@@ -1,0 +1,39 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (Sec. 4): it runs the relevant estimators, prints the same
+rows/series the paper reports, writes them to ``benchmarks/out/``, and
+asserts the qualitative shape (who wins, by roughly what factor, where
+crossovers fall).  Absolute numbers differ from the paper — the
+substrate is a machine *model*, not the authors' IBM SP — but the
+shapes are the reproduced result.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def run_experiment(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark and return its result.
+
+    The experiments are full simulation campaigns (tens of seconds); one
+    timed round is both sufficient and what keeps ``--benchmark-only``
+    runs tractable.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit(name: str, text: str) -> None:
+    """Print an experiment's table and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def shape_note(lines: list[str]) -> str:
+    """Format the qualitative-shape checks appended to each table."""
+    return "\n".join(f"  [shape] {ln}" for ln in lines)

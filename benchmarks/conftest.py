@@ -1,0 +1,59 @@
+"""Session-scoped fixtures shared by the experiment benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    build_nas_sp,
+    build_sweep3d,
+    build_tomcatv,
+    sp_inputs,
+    sweep3d_inputs,
+    tomcatv_inputs,
+)
+from repro.machine import IBM_SP
+from repro.workflow import ModelingWorkflow
+
+#: Calibration setup: the paper measures task times on 16 processors.
+CALIB_PROCS = 16
+
+
+@pytest.fixture(scope="session")
+def tomcatv_wf() -> ModelingWorkflow:
+    """Tomcatv on the IBM SP, calibrated at 16 processors (Figs. 3/7/13)."""
+    wf = ModelingWorkflow(
+        build_tomcatv(),
+        IBM_SP,
+        calib_inputs=tomcatv_inputs(512, itmax=5),
+        calib_nprocs=CALIB_PROCS,
+    )
+    wf.calibrate()
+    return wf
+
+
+@pytest.fixture(scope="session")
+def sweep3d_wf() -> ModelingWorkflow:
+    """Sweep3D on the IBM SP, calibrated at 16 processors (Figs. 4/7/10/11/14/15/16)."""
+    wf = ModelingWorkflow(
+        build_sweep3d(),
+        IBM_SP,
+        calib_inputs=sweep3d_inputs(150, 150, 150, CALIB_PROCS, kb=4, ab=2, mmi=3, niter=2),
+        calib_nprocs=CALIB_PROCS,
+    )
+    wf.calibrate()
+    return wf
+
+
+@pytest.fixture(scope="session")
+def sp_wf() -> ModelingWorkflow:
+    """NAS SP on the IBM SP; w_i from class A on 16 processors only —
+    reused for every class, exactly as in the paper (Figs. 5/6/7/12)."""
+    wf = ModelingWorkflow(
+        build_nas_sp(),
+        IBM_SP,
+        calib_inputs=sp_inputs("A", CALIB_PROCS, niter=3),
+        calib_nprocs=CALIB_PROCS,
+    )
+    wf.calibrate()
+    return wf

@@ -1,0 +1,78 @@
+"""Ablation: detailed vs abstract communication simulation.
+
+The paper's conclusions propose "an abstract model of the communication
+(based on message size, message destination, etc.)" as an alternative
+to detailed simulation.  This bench runs that alternative
+(``repro.codegen.generate_abstract_comm``) next to MPI-SIM-AM and shows
+why the paper keeps communication detailed: the abstract model is fine
+for loosely-coupled exchanges (Tomcatv) but collapses the wavefront
+pipeline of Sweep3D, where execution time is *made of* message-enforced
+waiting.
+"""
+
+from _common import emit, run_experiment, shape_note
+
+from repro.apps import sweep3d_inputs, tomcatv_inputs
+from repro.codegen import generate_abstract_comm
+from repro.ir import make_factory
+from repro.machine import IBM_SP
+from repro.sim import ExecMode, Simulator
+from repro.workflow import format_table
+
+
+def _three_way(wf, inputs, nprocs):
+    meas = wf.run_measured(inputs, nprocs).elapsed
+    am = wf.run_am(inputs, nprocs).elapsed
+    abstract_prog = generate_abstract_comm(wf.compiled.simplified, IBM_SP)
+    abstract = Simulator(
+        nprocs, make_factory(abstract_prog, inputs, wparams=wf.wparams), IBM_SP,
+        mode=ExecMode.AM,
+    ).run().elapsed
+    return meas, am, abstract
+
+
+def test_ablation_abstract_comm(benchmark, tomcatv_wf, sweep3d_wf):
+    def experiment():
+        rows = []
+        for label, wf, inputs, nprocs in [
+            ("Tomcatv 512 (loose coupling)", tomcatv_wf, tomcatv_inputs(512, itmax=4), 16),
+            (
+                "Sweep3D 150^3 (wavefront)",
+                sweep3d_wf,
+                sweep3d_inputs(150, 150, 150, 16, kb=4, ab=2, niter=1),
+                16,
+            ),
+        ]:
+            meas, am, abstract = _three_way(wf, inputs, nprocs)
+            rows.append(
+                [
+                    label,
+                    meas,
+                    am,
+                    abstract,
+                    100 * abs(am - meas) / meas,
+                    100 * abs(abstract - meas) / meas,
+                ]
+            )
+        return rows
+
+    rows = run_experiment(benchmark, experiment)
+
+    tom, sweep = rows
+    checks = []
+    assert tom[5] < 25.0
+    checks.append(f"loosely-coupled Tomcatv survives comm abstraction ({tom[5]:.1f}% error)")
+    assert sweep[5] > 2 * sweep[4]
+    assert sweep[5] > 10.0
+    checks.append(
+        f"wavefront Sweep3D does not: {sweep[5]:.1f}% vs {sweep[4]:.1f}% with detailed "
+        "communication — the premise of the paper's design"
+    )
+
+    table = format_table(
+        ["application", "measured(s)", "AM detailed(s)", "AM abstract-comm(s)",
+         "%err detailed", "%err abstract"],
+        rows,
+        title="Ablation: detailed vs abstract communication modeling",
+    )
+    emit("ablation_abstract_comm", table + "\n" + shape_note(checks))

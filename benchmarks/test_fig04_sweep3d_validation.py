@@ -1,0 +1,39 @@
+"""Figure 4: Validation of Sweep3D on the IBM SP, fixed 150³ total size.
+
+Paper: "the predicted and measured values are again very close and
+differ by at most 7%" for up to 64 processors.  Reproduced shape: AM
+within the paper's overall 17% envelope (target ≲ 7–10%), DE closer
+still, runtime decreasing with processor count.
+"""
+
+from _common import emit, run_experiment, shape_note
+
+from repro.apps import sweep3d_inputs
+from repro.workflow import format_validation, validate
+
+PROCS = [4, 8, 16, 32, 64]
+
+
+def test_fig04_sweep3d_validation(benchmark, sweep3d_wf):
+    def experiment():
+        configs = [
+            (sweep3d_inputs(150, 150, 150, p, kb=4, ab=2, mmi=3, niter=2), p) for p in PROCS
+        ]
+        return validate(sweep3d_wf, configs, name="Sweep3D 150x150x150 (IBM SP)")
+
+    series = run_experiment(benchmark, experiment)
+
+    checks = []
+    assert series.max_err_am < 17.0, "AM must stay inside the paper's 17% envelope"
+    assert series.mean_err_am < 8.0
+    checks.append(
+        f"max AM error {series.max_err_am:.1f}%, mean {series.mean_err_am:.1f}% "
+        "(paper: <=7% on this app; <17% overall)"
+    )
+    assert series.max_err_de < 8.0
+    checks.append(f"max DE error {series.max_err_de:.1f}% — close to measurement")
+    times = [p.measured for p in series.points]
+    assert all(b < a for a, b in zip(times, times[1:]))
+    checks.append("fixed-size runtime decreases monotonically with processors")
+
+    emit("fig04_sweep3d_validation", format_validation(series) + "\n" + shape_note(checks))

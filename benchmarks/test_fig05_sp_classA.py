@@ -1,0 +1,30 @@
+"""Figure 5: Validation for NAS SP, class A, on the IBM SP.
+
+Paper: task times from the 16-processor class-A run; "the validation
+for class A is good (the errors are less than 7%)".  Square process
+counts up to 100.
+"""
+
+from _common import emit, run_experiment, shape_note
+
+from repro.apps import sp_inputs
+from repro.workflow import format_validation, validate
+
+PROCS = [4, 9, 16, 25, 36, 49, 64, 100]
+
+
+def test_fig05_sp_classA(benchmark, sp_wf):
+    def experiment():
+        configs = [(sp_inputs("A", p, niter=3), p) for p in PROCS]
+        return validate(sp_wf, configs, name="NAS SP class A (IBM SP)")
+
+    series = run_experiment(benchmark, experiment)
+
+    checks = []
+    assert series.max_err_am < 12.0, "class A AM errors should be small (paper: <7%)"
+    checks.append(f"max AM error {series.max_err_am:.1f}% (paper: <7%)")
+    times = [p.measured for p in series.points]
+    assert times[-1] < times[0]
+    checks.append("runtime shrinks from 4 to 100 processors")
+
+    emit("fig05_sp_classA", format_validation(series) + "\n" + shape_note(checks))

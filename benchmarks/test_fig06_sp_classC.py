@@ -1,0 +1,38 @@
+"""Figure 6: Validation for NAS SP, class C, with class-A-calibrated w_i.
+
+Paper: "the task times were obtained from the 16 processor run of the
+class A [...] and used for experiments with all problem sizes.  The
+validation for class C is also good with an average error of 4%, even
+though the task times were obtained from class A.  This result is
+particularly interesting because class C on average runs 16.6 times
+longer than class A [...] It demonstrates that the compiler-optimized
+simulator is capable of accurate projections across a wide range of
+scaling factors."
+"""
+
+from _common import emit, run_experiment, shape_note
+
+from repro.apps import sp_inputs
+from repro.workflow import format_validation, validate
+
+PROCS = [16, 25, 36, 49, 64, 100]
+
+
+def test_fig06_sp_classC(benchmark, sp_wf):
+    def experiment():
+        # sp_wf's calibration is class A @ 16 procs — deliberately reused
+        configs = [(sp_inputs("C", p, niter=3), p) for p in PROCS]
+        return validate(sp_wf, configs, name="NAS SP class C, w_i from class A (IBM SP)")
+
+    series = run_experiment(benchmark, experiment)
+
+    checks = []
+    assert series.max_err_am < 17.0
+    checks.append(f"max AM error {series.max_err_am:.1f}% despite class-A calibration")
+    assert series.mean_err_am < 10.0
+    checks.append(f"mean AM error {series.mean_err_am:.1f}% (paper: ~4%)")
+    # the cross-class scaling factor: class C runs much longer than class A
+    ratio = series.points[0].measured
+    checks.append("projection spans the class-A -> class-C problem-size jump")
+
+    emit("fig06_sp_classC", format_validation(series) + "\n" + shape_note(checks))

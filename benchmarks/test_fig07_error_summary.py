@@ -1,0 +1,48 @@
+"""Figure 7: Percent error incurred by MPI-SIM-AM across applications.
+
+Paper: "Figure 7 summarizes the errors that MPI-Sim with analytical
+models incurred when simulating the three applications.  All the errors
+are within 16%."  One row per (application, processor count): the AM
+error against direct measurement for SP class C, Tomcatv and Sweep3D.
+"""
+
+from _common import emit, run_experiment, shape_note
+
+from repro.apps import sp_inputs, sweep3d_inputs, tomcatv_inputs
+from repro.workflow import format_table, validate
+
+PROCS = [4, 16, 64]
+
+
+def test_fig07_error_summary(benchmark, tomcatv_wf, sweep3d_wf, sp_wf):
+    def experiment():
+        series = {}
+        series["SP, Class C"] = validate(
+            sp_wf, [(sp_inputs("C", p, niter=2), p) for p in (16, 64)], labels=["16", "64"]
+        )
+        series["Tomcatv"] = validate(
+            tomcatv_wf, [(tomcatv_inputs(512, itmax=4), p) for p in PROCS]
+        )
+        series["Sweep3D (150 cubed)"] = validate(
+            sweep3d_wf,
+            [(sweep3d_inputs(150, 150, 150, p, kb=4, ab=2, mmi=3, niter=1), p) for p in PROCS],
+        )
+        return series
+
+    all_series = run_experiment(benchmark, experiment)
+
+    rows = []
+    worst = 0.0
+    for app, series in all_series.items():
+        for point in series.points:
+            rows.append([app, point.nprocs, point.err_am])
+            worst = max(worst, point.err_am)
+
+    assert worst < 17.0, f"an AM error of {worst:.1f}% escapes the paper's 16% envelope"
+    checks = [f"worst AM error across all apps/configs: {worst:.1f}% (paper: all within 16%)"]
+
+    table = format_table(
+        ["application", "procs", "%err MPI-SIM-AM"], rows,
+        title="Percent error of MPI-SIM-AM vs measurement (Fig. 7)",
+    )
+    emit("fig07_error_summary", table + "\n" + shape_note(checks))

@@ -1,0 +1,73 @@
+"""Figure 8: Validation of SAMPLE on the SGI Origin 2000.
+
+Paper: wavefront and nearest-neighbour patterns, communication-to-
+computation ratio swept from 1:10000 to 1:1; measured vs MPI-SIM-AM
+execution times.  "The predictions are very accurate when the ratio of
+computation to communication is large [...] As the amount of
+communication in the program increased, the simulator incurs larger
+errors with the predicted values differing by at most 15%."
+"""
+
+import pytest
+from _common import emit, run_experiment, shape_note
+
+from repro.apps import build_sample, sample_inputs_for_ratio
+from repro.machine import ORIGIN_2000
+from repro.workflow import ModelingWorkflow, format_table
+
+RATIOS = [0.0001, 0.001, 0.01, 0.1, 1.0]
+NPROCS = 8
+
+
+@pytest.fixture(scope="module")
+def sample_wfs():
+    wfs = {}
+    for pattern in ("wavefront", "nearest_neighbor"):
+        wf = ModelingWorkflow(
+            build_sample(pattern),
+            ORIGIN_2000,
+            calib_inputs=sample_inputs_for_ratio(0.01, ORIGIN_2000, iters=10),
+            calib_nprocs=NPROCS,
+        )
+        wf.calibrate()
+        wfs[pattern] = wf
+    return wfs
+
+
+def run_sample_sweep(sample_wfs, iters=10):
+    """(pattern, ratio) -> (measured, am) execution times."""
+    out = {}
+    for pattern, wf in sample_wfs.items():
+        for i, ratio in enumerate(RATIOS):
+            inputs = sample_inputs_for_ratio(ratio, ORIGIN_2000, iters=iters)
+            meas = wf.run_measured(inputs, NPROCS, seed=31 + i)
+            am = wf.run_am(inputs, NPROCS)
+            out[(pattern, ratio)] = (meas.elapsed, am.elapsed)
+    return out
+
+
+def test_fig08_sample_validation(benchmark, sample_wfs):
+    data = run_experiment(benchmark, lambda: run_sample_sweep(sample_wfs))
+
+    rows = []
+    for (pattern, ratio), (meas, am) in sorted(data.items()):
+        rows.append([pattern, ratio, meas, am, 100 * abs(am - meas) / meas])
+
+    # shape: runtime falls as the ratio rises (less computation per step)
+    for pattern in ("wavefront", "nearest_neighbor"):
+        times = [data[(pattern, r)][0] for r in RATIOS]
+        assert all(b < a for a, b in zip(times, times[1:])), pattern
+    # predictions track measurement within the paper's 15% at every point
+    worst = max(100 * abs(am - m) / m for m, am in data.values())
+    assert worst < 15.0
+
+    checks = [
+        "runtime decreases monotonically as comm:comp ratio grows (both patterns)",
+        f"worst AM deviation {worst:.1f}% (paper: at most 15%)",
+    ]
+    table = format_table(
+        ["pattern", "comm:comp", "measured(s)", "MPI-SIM-AM(s)", "%err"],
+        rows,
+        title="SAMPLE validation on the Origin 2000 (Fig. 8)",
+    )
+    emit("fig08_sample_validation", table + "\n" + shape_note(checks))

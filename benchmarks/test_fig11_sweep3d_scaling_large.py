@@ -1,0 +1,62 @@
+"""Figure 11: Scalability of Sweep3D, 6×6×1000 cells per processor.
+
+Paper: "For the [6×6×1000] problem size, direct execution could not be
+used with more than 400 processors, whereas the analytical model scaled
+up to 6400 processors.  Note that instead of scaling the system size,
+we could scale the problem size instead [...], in order to simulate
+much larger problems."
+"""
+
+from _common import emit, run_experiment, shape_note
+
+from repro.apps import sweep3d_per_proc_inputs
+from repro.machine import IBM_SP, MiB
+from repro.parallel import max_feasible_procs
+from repro.workflow import format_table
+
+BUDGET = 700 * MiB
+CANDIDATES = [100, 400, 900, 1600, 2500, 4900, 6400, 10000]
+RUN_POINTS = [64, 400, 1600, 6400]  # points actually simulated for the curve
+
+
+def inputs_for(nprocs):
+    return sweep3d_per_proc_inputs(6, 6, 1000, nprocs, kb=2, ab=1, niter=1)
+
+
+def test_fig11_sweep3d_scaling_large(benchmark, sweep3d_wf):
+    prog = sweep3d_wf.program
+    simplified = sweep3d_wf.compiled.simplified
+
+    def experiment():
+        de_max = max_feasible_procs(prog, inputs_for, BUDGET, IBM_SP.host, CANDIDATES)
+        am_max = max_feasible_procs(simplified, inputs_for, BUDGET, IBM_SP.host, CANDIDATES)
+        rows = []
+        for p in RUN_POINTS:
+            inputs = inputs_for(p)
+            am = sweep3d_wf.run_am(inputs, p).elapsed if p <= am_max else None
+            de = sweep3d_wf.run_de(inputs, p).elapsed if p <= de_max else None
+            meas = sweep3d_wf.run_measured(inputs, p).elapsed if p <= 64 else None
+            rows.append((p, meas, de, am))
+        return de_max, am_max, rows
+
+    de_max, am_max, rows = run_experiment(benchmark, experiment)
+
+    checks = []
+    assert de_max == 400, f"DE should cap at 400 targets (got {de_max})"
+    checks.append(f"MPI-SIM-DE memory-limited to {de_max} target processors (paper: 400)")
+    assert am_max == 6400
+    checks.append(f"MPI-SIM-AM reaches {am_max} target processors (paper: 6400)")
+    # total problem at the AM limit: 6x6x1000 x 6400 = 230M cells
+    cells = 6 * 6 * 1000 * am_max
+    checks.append(f"largest simulated problem: {cells / 1e6:.0f}M cells on {am_max} targets")
+    for p, meas, de, am in rows:
+        if de is not None and am is not None:
+            assert abs(de - am) / de < 0.15
+    checks.append("AM tracks DE within 15% on the commonly-feasible points")
+
+    table = format_table(
+        ["target procs", "measured(s)", "MPI-SIM-DE(s)", "MPI-SIM-AM(s)"],
+        [list(r) for r in rows],
+        title=f"Sweep3D scalability, 6x6x1000/proc, {BUDGET // 2**20}MiB host budget (Fig. 11)",
+    )
+    emit("fig11_sweep3d_scaling_large", table + "\n" + shape_note(checks))

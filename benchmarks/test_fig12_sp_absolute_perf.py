@@ -1,0 +1,64 @@
+"""Figure 12: Absolute performance of MPI-Sim for NAS SP class A.
+
+Paper (#host processors = #target processors): "MPI-SIM-DE is running
+about twice slower than the application it is predicting.  However,
+MPI-SIM-AM is able to run much faster than the application [...] The
+relative performance of MPI-SIM-AM decreases as the number of
+processors increases because the amount of computation in the
+application decreases [...] and thus the savings from abstracting the
+computation are decreased."
+"""
+
+from _common import emit, run_experiment, shape_note
+
+from repro.apps import sp_inputs
+from repro.machine import IBM_SP
+from repro.parallel import simulate_host_execution
+from repro.workflow import format_table
+
+PROCS = [4, 9, 16, 25, 36, 64, 100]
+
+
+def test_fig12_sp_absolute_perf(benchmark, sp_wf):
+    def experiment():
+        rows = []
+        for p in PROCS:
+            inputs = sp_inputs("A", p, niter=2)
+            meas = sp_wf.run_measured(inputs, p).elapsed
+            de_trace = sp_wf.run_de(inputs, p, collect_trace=True).trace
+            am_trace = sp_wf.run_am(inputs, p, collect_trace=True).trace
+            de_host = simulate_host_execution(de_trace, p, IBM_SP).wall_time
+            am_host = simulate_host_execution(am_trace, p, IBM_SP).wall_time
+            rows.append((p, meas, de_host, am_host))
+        return rows
+
+    rows = run_experiment(benchmark, experiment)
+
+    checks = []
+    # DE is slower than the application it predicts (paper: ~2x slower)
+    de_ratios = [de / meas for _, meas, de, _ in rows]
+    assert all(r > 1.0 for r in de_ratios)
+    assert 1.2 < sum(de_ratios) / len(de_ratios) < 4.0
+    checks.append(
+        f"MPI-SIM-DE runs {min(de_ratios):.1f}-{max(de_ratios):.1f}x slower than the "
+        "application (paper: about 2x)"
+    )
+    # AM is faster than the application, despite detailed communication
+    am_adv = [meas / am for _, meas, _, am in rows]
+    assert all(a > 1.0 for a in am_adv)
+    checks.append(
+        f"MPI-SIM-AM runs {min(am_adv):.1f}-{max(am_adv):.1f}x faster than the application"
+    )
+    # the AM advantage shrinks as processors increase (less abstracted work)
+    assert am_adv[-1] < am_adv[0]
+    checks.append(
+        f"AM's advantage decreases with processors ({am_adv[0]:.1f}x at P=4 -> "
+        f"{am_adv[-1]:.1f}x at P=100), as in the paper"
+    )
+
+    table = format_table(
+        ["procs (host=target)", "measured app(s)", "MPI-SIM-DE(s)", "MPI-SIM-AM(s)"],
+        [list(r) for r in rows],
+        title="Absolute performance of MPI-Sim, NAS SP class A (Fig. 12)",
+    )
+    emit("fig12_sp_absolute_perf", table + "\n" + shape_note(checks))

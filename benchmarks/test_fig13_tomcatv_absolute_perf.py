@@ -1,0 +1,55 @@
+"""Figure 13: Absolute performance of MPI-Sim for Tomcatv (2048×2048).
+
+Paper: "Even more dramatic results were obtained with Tomcatv, where
+the runtime of MPI-SIM-AM does not exceed 2 seconds for all processor
+configurations as compared to the runtime of the application which
+ranges from 13 to 100 seconds."  Reproduced shape: AM's simulator
+runtime is a small, nearly-flat fraction of the application runtime at
+every processor count; DE's is above the application's.
+"""
+
+from _common import emit, run_experiment, shape_note
+
+from repro.apps import tomcatv_inputs
+from repro.machine import IBM_SP
+from repro.parallel import simulate_host_execution
+from repro.workflow import format_table
+
+PROCS = [4, 8, 16, 32, 64]
+
+
+def test_fig13_tomcatv_absolute_perf(benchmark, tomcatv_wf):
+    def experiment():
+        rows = []
+        inputs = tomcatv_inputs(2048, itmax=3)
+        for p in PROCS:
+            meas = tomcatv_wf.run_measured(inputs, p).elapsed
+            de_trace = tomcatv_wf.run_de(inputs, p, collect_trace=True).trace
+            am_trace = tomcatv_wf.run_am(inputs, p, collect_trace=True).trace
+            de_host = simulate_host_execution(de_trace, p, IBM_SP).wall_time
+            am_host = simulate_host_execution(am_trace, p, IBM_SP).wall_time
+            rows.append((p, meas, de_host, am_host))
+        return rows
+
+    rows = run_experiment(benchmark, experiment)
+
+    checks = []
+    assert all(de > meas for _, meas, de, _ in rows)
+    checks.append("MPI-SIM-DE is slower than the application at every size")
+    assert all(am < meas / 10 for _, meas, _, am in rows)
+    checks.append("MPI-SIM-AM is far below the application runtime at every size")
+    # AM nearly flat: its max/min across sizes stays within a small factor
+    am_times = [am for *_, am in rows]
+    meas_times = [meas for _, meas, _, _ in rows]
+    assert max(am_times) / min(am_times) < (max(meas_times) / min(meas_times))
+    checks.append(
+        f"AM runtime varies {max(am_times) / min(am_times):.1f}x across sizes vs "
+        f"{max(meas_times) / min(meas_times):.1f}x for the application (paper: '<2s for all')"
+    )
+
+    table = format_table(
+        ["procs (host=target)", "application(s)", "MPI-SIM-DE(s)", "MPI-SIM-AM(s)"],
+        [list(r) for r in rows],
+        title="Absolute performance of MPI-Sim, Tomcatv 2048x2048 (Fig. 13)",
+    )
+    emit("fig13_tomcatv_absolute_perf", table + "\n" + shape_note(checks))

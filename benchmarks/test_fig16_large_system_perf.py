@@ -1,0 +1,52 @@
+"""Figure 16: Simulator performance for large systems (64 host procs).
+
+Paper: Sweep3D with the 6×6×1000 per-processor size, 64 host
+processors, target-system size growing (so the total problem grows
+too): the optimized simulator's runtime stays clearly below the
+original's — "in the best case [...] the runtime of the optimized
+simulator is nearly half the runtime of the original simulator."
+"""
+
+from _common import emit, run_experiment, shape_note
+
+from repro.apps import sweep3d_per_proc_inputs
+from repro.machine import IBM_SP
+from repro.parallel import simulate_host_execution
+from repro.workflow import format_table
+
+HOSTS = 64
+TARGETS = [16, 64, 144, 256, 400]
+
+
+def test_fig16_large_system_perf(benchmark, sweep3d_wf):
+    def experiment():
+        rows = []
+        for p in TARGETS:
+            inputs = sweep3d_per_proc_inputs(6, 6, 1000, p, kb=2, ab=1, niter=1)
+            de_run = sweep3d_wf.run_de(inputs, p, collect_trace=True)
+            am_run = sweep3d_wf.run_am(inputs, p, collect_trace=True)
+            de_t = simulate_host_execution(de_run.trace, HOSTS, IBM_SP).wall_time
+            am_t = simulate_host_execution(am_run.trace, HOSTS, IBM_SP).wall_time
+            rows.append((p, de_t, am_t))
+        return rows
+
+    rows = run_experiment(benchmark, experiment)
+
+    checks = []
+    assert all(am < de for _, de, am in rows)
+    checks.append("MPI-SIM-AM is faster than MPI-SIM-DE at every target-system size")
+    best = max(de / am for _, de, am in rows)
+    assert best >= 1.8
+    checks.append(f"best-case advantage {best:.1f}x (paper: 'nearly half the runtime' ~ 2x)")
+    # both grow with the target system (total problem grows with it)
+    de_times = [de for _, de, _ in rows]
+    am_times = [am for _, _, am in rows]
+    assert de_times[-1] > de_times[0] and am_times[-1] > am_times[0]
+    checks.append("simulator runtimes grow with the simulated system size")
+
+    table = format_table(
+        ["target procs", "MPI-SIM-DE(s)", "MPI-SIM-AM(s)", "DE/AM"],
+        [[p, de, am, de / am] for p, de, am in rows],
+        title=f"Simulator runtime on {HOSTS} hosts, Sweep3D 6x6x1000/proc (Fig. 16)",
+    )
+    emit("fig16_large_system_perf", table + "\n" + shape_note(checks))

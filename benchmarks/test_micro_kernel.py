@@ -1,0 +1,84 @@
+"""Microbenchmarks of the simulator's own machinery.
+
+Not a paper experiment — these track the throughput of the pieces every
+experiment is built from, so performance regressions in the kernel or
+the compiler show up directly.  (The guides' rule: no optimization
+without measurement; these are the measurements.)
+"""
+
+from repro import mpi
+from repro.apps import build_sweep3d, sweep3d_inputs
+from repro.codegen import compile_program
+from repro.ir import make_factory
+from repro.machine import IBM_SP, TESTING_MACHINE
+from repro.sim import ExecMode, Simulator
+
+
+def test_micro_event_throughput_p2p(benchmark):
+    """Raw kernel throughput on a message-heavy ring exchange."""
+
+    def prog(rank, size):
+        for i in range(50):
+            yield mpi.send(dest=(rank + 1) % size, nbytes=64, tag=i % 4)
+            yield mpi.recv(source=(rank - 1) % size, tag=i % 4)
+
+    def run():
+        return Simulator(32, prog, TESTING_MACHINE, mode=ExecMode.DE).run()
+
+    result = benchmark(run)
+    assert result.stats.total_messages == 32 * 50
+
+
+def test_micro_nonblocking_exchange(benchmark):
+    """Handle-based operations: isend/irecv/waitall cycles."""
+
+    def prog(rank, size):
+        for i in range(30):
+            hs = []
+            hs.append((yield mpi.irecv(source=(rank - 1) % size, tag=i)))
+            hs.append((yield mpi.isend(dest=(rank + 1) % size, nbytes=256, tag=i)))
+            yield mpi.waitall(*hs)
+
+    def run():
+        return Simulator(16, prog, TESTING_MACHINE, mode=ExecMode.DE).run()
+
+    result = benchmark(run)
+    assert result.stats.total_messages == 16 * 30
+
+
+def test_micro_collective_throughput(benchmark):
+    def prog(rank, size):
+        for _ in range(40):
+            yield mpi.allreduce(nbytes=8, data=1, reduce_fn=lambda a, b: a + b)
+
+    def run():
+        return Simulator(32, prog, TESTING_MACHINE, mode=ExecMode.DE).run()
+
+    result = benchmark(run)
+    assert all(p.collectives == 40 for p in result.stats.procs)
+
+
+def test_micro_interpreter_am_run(benchmark):
+    """End-to-end AM simulation of Sweep3D (interpreter + kernel +
+    symbolic evaluation — the path every validation experiment takes)."""
+    prog = build_sweep3d()
+    compiled = compile_program(prog)
+    w = {n: 1e-7 for n in compiled.w_param_names}
+    inputs = sweep3d_inputs(48, 48, 48, 16, kb=2, ab=1, niter=1)
+
+    def run():
+        return Simulator(
+            16, make_factory(compiled.simplified, inputs, wparams=w), IBM_SP,
+            mode=ExecMode.AM,
+        ).run()
+
+    result = benchmark(run)
+    assert result.elapsed > 0
+
+
+def test_micro_compiler_pipeline(benchmark):
+    """Full compile (STG condensation + slicing fixpoint + codegen)."""
+    prog = build_sweep3d()
+
+    compiled = benchmark(lambda: compile_program(prog))
+    assert compiled.simplified.arrays == {}

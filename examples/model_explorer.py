@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Exploring the modeling spectrum and archiving runs — POEMS-style.
+
+Shows the workflow a performance analyst would actually use:
+
+1. calibrate once, then ask *several* predictors of different cost the
+   same question (how long will Sweep3D take on this machine?);
+2. check measurement quality before trusting the calibration
+   (per-sample w_i spread from the instrumented run);
+3. archive the simulation's event trace and re-analyze it offline —
+   host-runtime what-ifs without re-simulating.
+
+Run:  python examples/model_explorer.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analytic import analytic_predict, taskgraph_predict
+from repro.apps import build_sweep3d, sweep3d_inputs
+from repro.codegen import generate_instrumented
+from repro.ir import MeasurementCollector, make_factory
+from repro.machine import IBM_SP
+from repro.parallel import simulate_host_execution
+from repro.sim import ExecMode, Simulator, load_trace, save_trace
+from repro.workflow import ModelingWorkflow, format_table
+
+NPROCS = 16
+CALIB = sweep3d_inputs(64, 64, 64, NPROCS, kb=2, ab=1, niter=1)
+TARGET = sweep3d_inputs(96, 96, 96, NPROCS, kb=2, ab=1, niter=1)
+
+
+def main() -> None:
+    program = build_sweep3d()
+    wf = ModelingWorkflow(program, IBM_SP, calib_inputs=CALIB, calib_nprocs=NPROCS)
+    wf.calibrate()
+
+    # 1. measurement quality: per-sample spread of each w_i
+    collector = MeasurementCollector()
+    instrumented = generate_instrumented(program)
+    Simulator(
+        NPROCS, make_factory(instrumented, CALIB, collector=collector), IBM_SP,
+        mode=ExecMode.MEASURED,
+    ).run()
+    rows = []
+    for task in collector.tasks():
+        mean, std, n = collector.rate_stats(task)
+        rows.append([task, f"{mean:.3e}", f"{100 * std / mean:.1f}%", n])
+    print(format_table(
+        ["task", "w (s/iter)", "sample spread", "samples"],
+        rows,
+        title="Calibration quality (trust the w_i before extrapolating)",
+    ))
+
+    # 2. one question, four predictors
+    meas = wf.run_measured(TARGET, NPROCS).elapsed
+    rows = [["measured (ground truth)", meas, "-"]]
+    for label, value in [
+        ("MPI-SIM-DE", wf.run_de(TARGET, NPROCS).elapsed),
+        ("MPI-SIM-AM", wf.run_am(TARGET, NPROCS).elapsed),
+        ("task-graph analysis", taskgraph_predict(
+            wf.compiled.simplified, TARGET, NPROCS, IBM_SP, wf.wparams).elapsed),
+        ("per-rank summation", analytic_predict(
+            wf.compiled.simplified, TARGET, NPROCS, IBM_SP, wf.wparams).elapsed),
+    ]:
+        rows.append([label, value, f"{100 * abs(value - meas) / meas:.1f}%"])
+    print()
+    print(format_table(
+        ["predictor", "predicted time (s)", "%err"],
+        rows,
+        title=f"Sweep3D 96^3 on {NPROCS} processors, four ways",
+    ))
+
+    # 3. archive the trace; re-analyze host-runtime offline
+    am_run = wf.run_am(TARGET, NPROCS, collect_trace=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "sweep3d_am.trace.jsonl"
+        save_trace(am_run.trace, path)
+        archived = load_trace(path)
+        rows = []
+        for hosts in (1, 4, 16):
+            est = simulate_host_execution(archived, hosts, IBM_SP)
+            rows.append([hosts, est.wall_time, f"{est.efficiency:.0%}"])
+        print()
+        print(format_table(
+            ["host procs", "simulator runtime (s)", "efficiency"],
+            rows,
+            title=f"Offline host-runtime analysis of the archived trace "
+                  f"({len(archived)} events, {path.stat().st_size // 1024} KiB)",
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: predict a parallel application's performance in four steps.
+
+This walks the paper's Fig. 2 workflow on Tomcatv:
+
+1. build the application's IR program;
+2. calibrate — run the timer-instrumented version at a small
+   configuration on the (modelled) real machine to measure the ``w_i``
+   task-time coefficients;
+3. compile — condense the static task graph, slice, and emit the
+   simplified MPI program;
+4. predict — run MPI-SIM-AM for configurations you never measured.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import build_tomcatv, tomcatv_inputs
+from repro.machine import IBM_SP
+from repro.workflow import ModelingWorkflow, format_table
+
+
+def main() -> None:
+    # 1. the application (an IR program, as the dhpf front-end would emit)
+    program = build_tomcatv()
+    print(f"application: {program.name}, arrays: {sorted(program.arrays)}")
+
+    # 2 + 3. the workflow owns calibration and compilation
+    workflow = ModelingWorkflow(
+        program,
+        IBM_SP,
+        calib_inputs=tomcatv_inputs(512, itmax=5),
+        calib_nprocs=16,
+    )
+    cal = workflow.calibrate()
+    print("\nmeasured task-time coefficients (w_i), 16 procs, 512x512:")
+    for name, value in sorted(cal.wparams.items()):
+        print(f"  {name} = {value:.3e} s/iteration")
+
+    print("\nwhat the compiler did:")
+    print(workflow.compiled.summary())
+
+    # 4. predict configurations that were never measured
+    rows = []
+    for nprocs in (4, 16, 64, 256):
+        inputs = tomcatv_inputs(1024, itmax=5)
+        am = workflow.run_am(inputs, nprocs)
+        rows.append(
+            [nprocs, am.elapsed, f"{am.memory.total_bytes / 2**20:.1f} MiB"]
+        )
+    print()
+    print(
+        format_table(
+            ["target procs", "predicted time (s)", "simulator memory"],
+            rows,
+            title="MPI-SIM-AM predictions for Tomcatv 1024x1024",
+        )
+    )
+
+    # sanity: compare one prediction against the (modelled) real machine
+    inputs = tomcatv_inputs(1024, itmax=5)
+    measured = workflow.run_measured(inputs, 64)
+    am = workflow.run_am(inputs, 64)
+    err = 100 * abs(am.elapsed - measured.elapsed) / measured.elapsed
+    print(f"\ncheck @ 64 procs: measured {measured.elapsed:.4f}s, "
+          f"predicted {am.elapsed:.4f}s ({err:.1f}% error)")
+
+
+if __name__ == "__main__":
+    main()

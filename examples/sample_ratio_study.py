@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""When can you trust the analytical model?  A SAMPLE-style study.
+
+The paper's synthetic kernel exists to answer one question: how does
+MPI-SIM-AM's accuracy depend on the communication-to-computation ratio?
+This example sweeps the ratio on the SGI Origin 2000 for both
+communication patterns and prints accuracy next to the simulator's own
+cost savings, so you can see the trade-off in one table: abstraction is
+essentially free *and* accurate for compute-bound codes, and costs a
+little accuracy exactly where it also saves the least.
+
+Run:  python examples/sample_ratio_study.py
+"""
+
+from repro.apps import build_sample, sample_inputs_for_ratio
+from repro.machine import ORIGIN_2000
+from repro.parallel import simulate_host_execution
+from repro.workflow import ModelingWorkflow, format_table
+
+NPROCS = 8
+RATIOS = [0.0001, 0.001, 0.01, 0.1, 1.0]
+
+
+def study(pattern: str) -> list[list]:
+    wf = ModelingWorkflow(
+        build_sample(pattern),
+        ORIGIN_2000,
+        calib_inputs=sample_inputs_for_ratio(0.01, ORIGIN_2000, iters=10),
+        calib_nprocs=NPROCS,
+    )
+    wf.calibrate()
+    rows = []
+    for i, ratio in enumerate(RATIOS):
+        inputs = sample_inputs_for_ratio(ratio, ORIGIN_2000, iters=10)
+        measured = wf.run_measured(inputs, NPROCS, seed=71 + i)
+        de = wf.run_de(inputs, NPROCS, collect_trace=True)
+        am = wf.run_am(inputs, NPROCS, collect_trace=True)
+        err = 100 * abs(am.elapsed - measured.elapsed) / measured.elapsed
+        de_cost = simulate_host_execution(de.trace, NPROCS, ORIGIN_2000).wall_time
+        am_cost = simulate_host_execution(am.trace, NPROCS, ORIGIN_2000).wall_time
+        rows.append([ratio, measured.elapsed, am.elapsed, err, de_cost / am_cost])
+    return rows
+
+
+def main() -> None:
+    for pattern in ("wavefront", "nearest_neighbor"):
+        rows = study(pattern)
+        print(
+            format_table(
+                ["comm:comp", "measured(s)", "AM predicted(s)", "%err", "sim speedup (DE/AM)"],
+                rows,
+                title=f"SAMPLE [{pattern}] on the Origin 2000, {NPROCS} processors",
+            )
+        )
+        print()
+    print(
+        "Reading the table: at small comm:comp ratios (compute-bound, the\n"
+        "common case) the analytical model is both most accurate and most\n"
+        "profitable; as communication dominates, its advantage and accuracy\n"
+        "both shrink — the paper's Figs. 8/9 in one experiment."
+    )
+
+
+if __name__ == "__main__":
+    main()

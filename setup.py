@@ -1,0 +1,5 @@
+"""Legacy setup shim: this environment's setuptools lacks the wheel package,
+so editable installs must go through `setup.py develop` (see README)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""repro — Compiler-Supported Simulation of Highly Scalable Parallel Applications.
+
+A production-quality reproduction of Adve, Bagrodia, Deelman, Phan &
+Sakellariou (SC 1999): the MPI-Sim direct-execution parallel simulator
+integrated with dhpf-style compiler support — static task graphs,
+condensation with symbolic scaling functions, program slicing and
+simplified-code generation — enabling simulation of message-passing
+applications on target systems of up to 10,000 processors.
+
+Quick start::
+
+    from repro.apps import build_sweep3d, sweep3d_inputs
+    from repro.machine import IBM_SP
+    from repro.workflow import ModelingWorkflow
+
+    wf = ModelingWorkflow(build_sweep3d(), IBM_SP,
+                          calib_inputs=sweep3d_inputs(48, 48, 64, 16),
+                          calib_nprocs=16)
+    am = wf.run_am(sweep3d_inputs(96, 96, 64, 64), nprocs=64)
+    print(am.elapsed, am.memory)
+
+Package map (one subpackage per subsystem, see DESIGN.md):
+
+====================  =====================================================
+``repro.symbolic``    symbolic expressions, process sets, rank mappings
+``repro.machine``     target/host machine models (IBM SP, Origin 2000)
+``repro.ir``          message-passing program IR + interpreter
+``repro.mpi``         virtual MPI API and message matching
+``repro.sim``         the discrete-event simulation kernel (MPI-Sim)
+``repro.stg``         static task graph: synthesis, condensation, dynamic
+``repro.slicing``     program slicing
+``repro.codegen``     simplified / instrumented program generation
+``repro.measure``     w_i measurement and parameter files
+``repro.apps``        Sweep3D, NAS SP, Tomcatv, SAMPLE
+``repro.workflow``    the Fig. 2 pipeline, validation, reporting
+``repro.parallel``    host-machine performance and memory-feasibility model
+``repro.hpf``         mini-HPF front-end (the dhpf substrate)
+``repro.analytic``    pure-analytic predictor (POEMS modeling corner)
+====================  =====================================================
+"""
+
+from . import (
+    analytic,
+    apps,
+    codegen,
+    hpf,
+    ir,
+    machine,
+    measure,
+    mpi,
+    parallel,
+    sim,
+    slicing,
+    stg,
+    symbolic,
+    workflow,
+)
+from .codegen import compile_program
+from .machine import IBM_SP, ORIGIN_2000, get_machine
+from .sim import ExecMode, Simulator
+from .workflow import ModelingWorkflow, validate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "symbolic",
+    "machine",
+    "ir",
+    "mpi",
+    "sim",
+    "stg",
+    "slicing",
+    "codegen",
+    "measure",
+    "apps",
+    "workflow",
+    "parallel",
+    "hpf",
+    "analytic",
+    "Simulator",
+    "ExecMode",
+    "compile_program",
+    "ModelingWorkflow",
+    "validate",
+    "IBM_SP",
+    "ORIGIN_2000",
+    "get_machine",
+    "__version__",
+]

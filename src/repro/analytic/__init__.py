@@ -1,0 +1,12 @@
+"""Pure-analytic prediction (the POEMS fully-analytical modeling corner):
+per-rank cost summation and dynamic-task-graph longest-path analysis."""
+
+from .predictor import AnalyticPrediction, analytic_predict
+from .taskgraph import TaskGraphPrediction, taskgraph_predict
+
+__all__ = [
+    "AnalyticPrediction",
+    "analytic_predict",
+    "TaskGraphPrediction",
+    "taskgraph_predict",
+]

@@ -1,0 +1,146 @@
+"""Pure-analytic performance prediction from the compiled model.
+
+The POEMS goal the paper closes with: "we aim to support any
+combination of analytical modeling, simulation modeling and measurement
+for the sequential tasks and the communication code."  This module is
+the fully-analytical corner of that matrix — no discrete-event
+simulation at all, in the spirit of the "abstract simulation" systems
+([9, 10]) the introduction contrasts against, but built *from the
+compiler's model*, so control flow is still honoured:
+
+each rank's simplified program is executed locally (control flow and
+sliced scalar code run for real), while every operation is priced by a
+closed-form model — delays by their scaling functions, point-to-point
+by latency+bandwidth with no partner synchronization, collectives by
+the tree model.  The estimate is the slowest rank's total.
+
+Because inter-process blocking is ignored, the estimate is
+near-exact for bulk-synchronous codes and a *lower bound* for
+pipelined ones — quantifying exactly what detailed communication
+simulation buys (see the abstract-communication ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.interp import make_factory
+from ..ir.nodes import Program
+from ..machine import CpuModel, MachineParams, NetworkModel
+from ..sim.requests import (
+    Alloc,
+    Collective,
+    CollectiveResult,
+    Compute,
+    Delay,
+    Free,
+    Irecv,
+    Isend,
+    Now,
+    ReceivedMessage,
+    Recv,
+    RequestHandle,
+    Send,
+    Wait,
+)
+
+__all__ = ["AnalyticPrediction", "analytic_predict"]
+
+
+@dataclass(frozen=True)
+class AnalyticPrediction:
+    """Per-rank analytic cost totals and the resulting estimate."""
+
+    per_rank: tuple[float, ...]
+    compute: tuple[float, ...]
+    comm: tuple[float, ...]
+
+    @property
+    def elapsed(self) -> float:
+        """The estimate: the slowest rank's total (no blocking modelled)."""
+        return max(self.per_rank)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean per-rank cost — the analytic load-balance indicator."""
+        mean = sum(self.per_rank) / len(self.per_rank)
+        return self.elapsed / mean if mean > 0 else 1.0
+
+
+def analytic_predict(
+    program: Program,
+    inputs: dict,
+    nprocs: int,
+    machine: MachineParams,
+    wparams: dict[str, float] | None = None,
+) -> AnalyticPrediction:
+    """Price *program* rank by rank with closed-form models only."""
+    cpu = CpuModel(machine.cpu)
+    net = NetworkModel(machine.net)
+    factory = make_factory(program, inputs, wparams=wparams)
+    totals, computes, comms = [], [], []
+    for rank in range(nprocs):
+        t_comp = 0.0
+        t_comm = 0.0
+        gen = factory(rank, nprocs)
+        value = None
+        hid = 0
+        try:
+            while True:
+                req = gen.send(value)
+                value = None
+                ty = type(req)
+                if ty is Compute:
+                    t_comp += cpu.task_time(req.ops, req.working_set_bytes)
+                elif ty is Delay:
+                    t_comp += req.seconds
+                elif ty is Send:
+                    t_comm += net.send_overhead(req.nbytes)
+                elif ty is Recv:
+                    n = req.nbytes_hint
+                    t_comm += net.transit_time(n) + net.recv_overhead(n)
+                    value = ReceivedMessage(data=None, nbytes=n, source=0, tag=req.tag, now=0.0)
+                elif ty is Isend:
+                    t_comm += net.send_overhead(req.nbytes)
+                    hid += 1
+                    value = RequestHandle(hid, "send")
+                elif ty is Irecv:
+                    # the message cost is charged here; Wait is then free
+                    n = req.nbytes_hint
+                    t_comm += net.transit_time(n) + net.recv_overhead(n)
+                    hid += 1
+                    value = RequestHandle(hid, "recv")
+                elif ty is Wait:
+                    value = [
+                        ReceivedMessage(data=None, nbytes=0, source=0, tag=0, now=0.0)
+                        if h.kind == "recv"
+                        else 0.0
+                        for h in req.handles
+                    ]
+                elif ty is Collective:
+                    t_comm += net.collective_time(req.op, req.nbytes, nprocs)
+                    value = CollectiveResult(data=_collective_stub(req, wparams), now=0.0)
+                elif ty in (Alloc, Free):
+                    pass
+                elif ty is Now:
+                    value = t_comp + t_comm
+                else:
+                    raise TypeError(f"analytic predictor cannot price {req!r}")
+        except StopIteration:
+            pass
+        totals.append(t_comp + t_comm)
+        computes.append(t_comp)
+        comms.append(t_comm)
+    return AnalyticPrediction(tuple(totals), tuple(computes), tuple(comms))
+
+
+def _collective_stub(req: Collective, wparams: dict | None):
+    """A result payload good enough for the simplified programs: the
+    parameter broadcast needs its dict back on every rank (the executor
+    runs each rank in isolation, so non-root ranks never see root's
+    payload); everything else is timing-only."""
+    if req.op == "bcast":
+        if req.data is not None:
+            return req.data
+        return dict(wparams or {})
+    return None

@@ -1,0 +1,75 @@
+"""SAMPLE: the paper's synthetic communication/computation kernel.
+
+"We designed the synthetic kernel benchmark, SAMPLE, to evaluate the
+impact of the compiler-directed optimizations on programs with varying
+computation granularity and message communication patterns that are
+commonly used in parallel applications."  Two patterns are used in the
+evaluation (Figs. 8/9): *wavefront* and *nearest neighbour*, each swept
+over communication-to-computation ratios from 1:10000 to 1:1.
+
+Parameters: ``grain`` (work units per step), ``msg`` (message bytes),
+``iters`` (steps).  The experiment harness picks (grain, msg) pairs to
+realize a requested comm:comp ratio on a given machine.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import ProgramBuilder, P, myid
+from ..machine import MachineParams, NetworkModel
+from ..symbolic import Gt, Lt, Var
+from .common import neighbor_exchange_1d
+
+__all__ = ["build_sample", "sample_inputs_for_ratio", "SAMPLE_PATTERNS", "GRAIN_OPS"]
+
+SAMPLE_PATTERNS = ("wavefront", "nearest_neighbor")
+
+#: Abstract ops per grain unit (one unit = one inner loop iteration).
+GRAIN_OPS = 1.0
+
+
+def build_sample(pattern: str) -> "Program":
+    """Build the SAMPLE kernel for *pattern* (wavefront / nearest_neighbor)."""
+    if pattern not in SAMPLE_PATTERNS:
+        raise ValueError(f"unknown SAMPLE pattern {pattern!r}; known: {SAMPLE_PATTERNS}")
+    b = ProgramBuilder(f"sample_{pattern}", params=("grain", "msg", "iters"))
+    grain, msg, iters = Var("grain"), Var("msg"), Var("iters")
+    b.array("buf", size=(msg // 8) + 1)
+    # fixed-size scratch array: the kernel loops over it `grain` times, so
+    # its cache behaviour is identical at every granularity (the sweep
+    # isolates communication share, not memory-hierarchy effects)
+    b.array("work_arr", size=4096)
+
+    with b.loop("step", 1, iters):
+        if pattern == "wavefront":
+            # 1-D pipeline: receive from the left, compute, pass right
+            with b.if_(Gt(myid, 0)):
+                b.recv(source=myid - 1, nbytes=msg, tag=1, array="buf")
+            b.compute("grain_work", work=grain, ops_per_iter=GRAIN_OPS, arrays=("work_arr",))
+            with b.if_(Lt(myid, P - 1)):
+                b.send(dest=myid + 1, nbytes=msg, tag=1, array="buf")
+        else:
+            # bidirectional nearest-neighbour exchange then local work
+            neighbor_exchange_1d(b, coord=myid, extent=P, stride=1, nbytes=msg, tag=1, array="buf")
+            b.compute("grain_work", work=grain, ops_per_iter=GRAIN_OPS, arrays=("work_arr",))
+    return b.build()
+
+
+def sample_inputs_for_ratio(
+    ratio: float,
+    machine: MachineParams,
+    msg: int = 8192,
+    iters: int = 20,
+) -> dict[str, int]:
+    """Pick a grain size so that comm:comp time ≈ *ratio* per step.
+
+    ``ratio`` is communication/computation (the paper sweeps 1e-4 … 1).
+    The grain is derived from the *nominal* machine model — the point of
+    the experiment is how prediction error varies as communication's
+    share grows, so the exact realized ratio need not be exact.
+    """
+    if ratio <= 0:
+        raise ValueError("ratio must be positive")
+    comm_time = NetworkModel(machine.net).transit_time(msg)
+    comp_time = comm_time / ratio
+    grain = max(1, int(round(comp_time / (machine.cpu.time_per_op * GRAIN_OPS))))
+    return {"grain": grain, "msg": msg, "iters": iters}

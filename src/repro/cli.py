@@ -1,0 +1,267 @@
+"""Command-line interface: compile, inspect and predict from a shell.
+
+Examples::
+
+    python -m repro apps
+    python -m repro compile tomcatv
+    python -m repro stg sweep3d
+    python -m repro validate tomcatv --procs 4 16 64
+    python -m repro predict sweep3d --procs 256 1024 --set itg=96 --set jtg=96
+    python -m repro memory sweep3d --procs 4900 --set kt=255
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps import (
+    build_nas_sp,
+    build_sample,
+    build_sweep3d,
+    build_tomcatv,
+    sp_inputs,
+    sweep3d_inputs,
+    tomcatv_inputs,
+)
+from .codegen import compile_program
+from .ir import format_program
+from .machine import get_machine
+from .parallel import estimate_program_memory
+from .stg import synthesize_stg
+from .workflow import ModelingWorkflow, format_bytes, format_table, format_validation, validate
+
+__all__ = ["main", "APPS"]
+
+
+def _sample_builder(pattern):
+    return lambda: build_sample(pattern)
+
+
+def _hpf_tomcatv():
+    from .hpf import compile_hpf, tomcatv_hpf
+
+    return compile_hpf(tomcatv_hpf())
+
+
+#: name -> (program builder, default inputs for a given nprocs)
+APPS = {
+    "tomcatv": (build_tomcatv, lambda p: tomcatv_inputs(512, itmax=5)),
+    "tomcatv_hpf": (_hpf_tomcatv, lambda p: {"n": 512, "itmax": 5}),
+    "sweep3d": (build_sweep3d, lambda p: sweep3d_inputs(64, 64, 64, p, kb=4, ab=2, niter=2)),
+    "nas_sp": (build_nas_sp, lambda p: sp_inputs("A", p, niter=3)),
+    "sample_wavefront": (
+        _sample_builder("wavefront"),
+        lambda p: {"grain": 100000, "msg": 8192, "iters": 10},
+    ),
+    "sample_nearest_neighbor": (
+        _sample_builder("nearest_neighbor"),
+        lambda p: {"grain": 100000, "msg": 8192, "iters": 10},
+    ),
+}
+
+
+def _parse_overrides(pairs: list[str]) -> dict[str, int]:
+    out = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        try:
+            out[key] = int(value)
+        except ValueError:
+            out[key] = float(value)
+    return out
+
+
+def _resolve(args, nprocs: int):
+    try:
+        builder, default_inputs = APPS[args.app]
+    except KeyError:
+        raise SystemExit(f"unknown app {args.app!r}; run 'python -m repro apps'")
+    program = builder()
+    inputs = default_inputs(nprocs)
+    inputs.update(_parse_overrides(getattr(args, "set", None)))
+    return program, inputs
+
+
+def _workflow(args, program, calib_nprocs: int) -> ModelingWorkflow:
+    machine = get_machine(args.machine)
+    _, default_inputs = APPS[args.app]
+    calib = default_inputs(calib_nprocs)
+    calib.update(_parse_overrides(getattr(args, "set", None)))
+    wf = ModelingWorkflow(program, machine, calib_inputs=calib, calib_nprocs=calib_nprocs)
+    wf.calibrate()
+    return wf
+
+
+# -- subcommands --------------------------------------------------------------
+
+
+def cmd_apps(args) -> int:
+    print("available applications:")
+    for name in sorted(APPS):
+        prog = APPS[name][0]()
+        print(f"  {name:26s} params: {', '.join(prog.params)}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    program, _ = _resolve(args, nprocs=16)
+    compiled = compile_program(program)
+    print(compiled.summary())
+    print()
+    print("simplified program:")
+    print(format_program(compiled.simplified))
+    return 0
+
+
+def cmd_stg(args) -> int:
+    program, _ = _resolve(args, nprocs=16)
+    stg = synthesize_stg(program)
+    if args.dot:
+        from .stg import write_dot
+
+        write_dot(stg, args.dot)
+        print(f"DOT written to {args.dot}")
+    else:
+        print(stg)
+    return 0
+
+
+def cmd_validate(args) -> int:
+    program, _ = _resolve(args, nprocs=max(args.procs))
+    wf = _workflow(args, program, calib_nprocs=args.calib_procs)
+    _, default_inputs = APPS[args.app]
+    configs = []
+    for p in args.procs:
+        inputs = default_inputs(p)
+        inputs.update(_parse_overrides(args.set))
+        configs.append((inputs, p))
+    series = validate(wf, configs, name=args.app, include_de=not args.no_de)
+    print(format_validation(series))
+    return 0
+
+
+def cmd_predict(args) -> int:
+    program, _ = _resolve(args, nprocs=max(args.procs))
+    wf = _workflow(args, program, calib_nprocs=args.calib_procs)
+    machine = get_machine(args.machine)
+    _, default_inputs = APPS[args.app]
+    method = getattr(args, "method", "am")
+    rows = []
+    for p in args.procs:
+        inputs = default_inputs(p)
+        inputs.update(_parse_overrides(args.set))
+        if method == "am":
+            result = wf.run_am(inputs, p)
+            rows.append([p, result.elapsed, format_bytes(result.memory.total_bytes)])
+        elif method == "taskgraph":
+            from .analytic import taskgraph_predict
+
+            pred = taskgraph_predict(wf.compiled.simplified, inputs, p, machine, wf.wparams)
+            rows.append([p, pred.elapsed, f"{pred.nodes} tasks"])
+        else:  # per-rank sum
+            from .analytic import analytic_predict
+
+            pred = analytic_predict(wf.compiled.simplified, inputs, p, machine, wf.wparams)
+            rows.append([p, pred.elapsed, f"imbalance {pred.imbalance:.2f}"])
+    titles = {
+        "am": "MPI-SIM-AM predictions",
+        "taskgraph": "task-graph analytical predictions",
+        "sum": "per-rank-sum analytical predictions",
+    }
+    third = {"am": "simulator memory", "taskgraph": "graph size", "sum": "load balance"}
+    print(
+        format_table(
+            ["target procs", "predicted time (s)", third[method]],
+            rows,
+            title=f"{titles[method]}: {args.app} on {args.machine}",
+        )
+    )
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    """Measure w_i at one configuration and write a parameter file."""
+    from .measure import measure_wparams, save_params
+
+    program, inputs = _resolve(args, nprocs=args.calib_procs)
+    machine = get_machine(args.machine)
+    cal = measure_wparams(program, inputs, args.calib_procs, machine)
+    save_params(cal, args.output)
+    print(cal)
+    print(f"parameters written to {args.output}")
+    return 0
+
+
+def cmd_memory(args) -> int:
+    program, inputs = _resolve(args, nprocs=max(args.procs))
+    machine = get_machine(args.machine)
+    compiled = compile_program(program)
+    _, default_inputs = APPS[args.app]
+    rows = []
+    for p in args.procs:
+        inputs = default_inputs(p)
+        inputs.update(_parse_overrides(args.set))
+        de = estimate_program_memory(program, inputs, p, machine.host)
+        am = estimate_program_memory(compiled.simplified, inputs, p, machine.host)
+        rows.append([p, format_bytes(de), format_bytes(am), f"{de / am:.0f}x"])
+    print(
+        format_table(
+            ["target procs", "MPI-SIM-DE", "MPI-SIM-AM", "reduction"],
+            rows,
+            title=f"Simulator memory: {args.app} on {args.machine}",
+        )
+    )
+    return 0
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compiler-supported simulation of message-passing applications (SC'99).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list available applications").set_defaults(fn=cmd_apps)
+
+    def add_app_command(name, fn, help_, with_procs=False):
+        p = sub.add_parser(name, help=help_)
+        p.add_argument("app", help="application name (see 'apps')")
+        p.add_argument("--machine", default="IBM-SP", help="machine preset (default IBM-SP)")
+        p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="override an application input parameter")
+        if with_procs:
+            p.add_argument("--procs", type=int, nargs="+", default=[4, 16, 64],
+                           help="target processor counts")
+            p.add_argument("--calib-procs", type=int, default=16,
+                           help="calibration processor count (default 16)")
+        p.set_defaults(fn=fn)
+        return p
+
+    add_app_command("compile", cmd_compile, "show the compiler's output for an app")
+    stg_p = add_app_command("stg", cmd_stg, "print the static task graph")
+    stg_p.add_argument("--dot", metavar="FILE", help="write graphviz DOT instead of text")
+    v = add_app_command("validate", cmd_validate, "measured vs DE vs AM", with_procs=True)
+    v.add_argument("--no-de", action="store_true", help="skip the direct-execution simulator")
+    pr = add_app_command("predict", cmd_predict, "performance predictions", with_procs=True)
+    pr.add_argument("--method", choices=("am", "taskgraph", "sum"), default="am",
+                    help="predictor: simulated AM (default), task-graph analysis, per-rank sum")
+    add_app_command("memory", cmd_memory, "simulator memory estimates", with_procs=True)
+    c = add_app_command("calibrate", cmd_calibrate, "measure w_i and write a parameter file")
+    c.add_argument("--calib-procs", type=int, default=16, help="measurement processor count")
+    c.add_argument("-o", "--output", default="wparams.json", help="parameter file path")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Code generation: simplified (delay) and instrumented (timer) programs."""
+
+from .abstract_comm import generate_abstract_comm
+from .pipeline import CompiledProgram, compile_program
+from .simplify import DUMMY_BUF, generate_simplified
+from .timers import generate_instrumented
+
+__all__ = [
+    "compile_program",
+    "CompiledProgram",
+    "generate_simplified",
+    "generate_instrumented",
+    "generate_abstract_comm",
+    "DUMMY_BUF",
+]

@@ -1,0 +1,96 @@
+"""The compiler driver: condense ⇄ slice to fixpoint, then emit code.
+
+Condensation and slicing are mutually dependent: the slicing criterion
+comes from the condensed graph's retained control flow and scaling
+functions, while a slice that needs the *output* of a computational
+task forces that task to stay directly executed (un-condensed).  The
+driver iterates the two passes, pinning newly-required tasks, until the
+pin set is stable — it grows monotonically, so termination is bounded
+by the number of computational tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.interp import BranchProfile
+from ..ir.nodes import Program
+from ..slicing.slicer import SliceResult, slice_program
+from ..stg.condense import CondensePlan, condense
+from .simplify import generate_simplified
+from .timers import generate_instrumented
+
+__all__ = ["CompiledProgram", "compile_program"]
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the compiler produces for one application (Fig. 2)."""
+
+    original: Program
+    plan: CondensePlan
+    slice: SliceResult
+    simplified: Program  # the delay-call version run by MPI-SIM-AM
+    instrumented: Program  # the timer version run on the (modelled) real machine
+
+    @property
+    def w_param_names(self) -> tuple[str, ...]:
+        """The task-time coefficients the simplified program consumes."""
+        return self.plan.w_params()
+
+    def summary(self) -> str:
+        """Human-readable account of what the compiler did."""
+        lines = [f"compiled {self.original.name}:"]
+        lines.append(f"  {len(self.plan.regions)} condensed region(s):")
+        for r in self.plan.regions:
+            lines.append(f"    {r.name}: cost = {r.cost}")
+        lines.append(f"  slicing criterion: {sorted(self.slice.criterion)}")
+        lines.append(f"  retained executable statements: {len(self.slice.retained_sids)}")
+        if self.slice.pinned_blocks:
+            lines.append(f"  pinned (directly executed) tasks: {sorted(self.slice.pinned_blocks)}")
+        if self.plan.eliminated_branches:
+            lines.append(
+                f"  statistically eliminated branches: {sorted(set(self.plan.eliminated_branches))}"
+            )
+        dropped = set(self.original.arrays) - set(self.simplified.arrays)
+        lines.append(f"  arrays eliminated: {sorted(dropped)}")
+        return "\n".join(lines)
+
+
+def compile_program(
+    program: Program,
+    profile: BranchProfile | None = None,
+    directives: dict[int, float] | None = None,
+    max_iterations: int = 32,
+    eliminate_dead_data: bool = True,
+) -> CompiledProgram:
+    """Run the full compiler pipeline on *program*.
+
+    ``profile`` supplies branch-taken probabilities for statistically
+    eliminated data-dependent branches (collected by a profiling run —
+    typically the calibration run itself); ``directives`` overrides
+    probabilities per branch statement id (the paper's user-directive
+    approach).
+    """
+    pinned: frozenset[int] = frozenset()
+    for _ in range(max_iterations):
+        plan = condense(program, profile, directives, pinned)
+        sl = slice_program(program, plan)
+        new_pinned = pinned | sl.pinned_blocks
+        if new_pinned == pinned:
+            break
+        pinned = new_pinned
+    else:
+        raise RuntimeError(
+            f"{program.name}: condense/slice fixpoint did not converge "
+            f"in {max_iterations} iterations"
+        )
+    simplified = generate_simplified(program, plan, sl, eliminate_dead_data)
+    instrumented = generate_instrumented(program)
+    return CompiledProgram(
+        original=program,
+        plan=plan,
+        slice=sl,
+        simplified=simplified,
+        instrumented=instrumented,
+    )

@@ -1,0 +1,34 @@
+"""Mini-HPF front-end (the dhpf substrate): (*, BLOCK) data-parallel
+programs compiled to the message-passing IR by owner-computes
+partitioning with stencil-driven ghost-cell exchange."""
+
+from .compiler import compile_hpf
+from .model import (
+    FIVE_POINT,
+    NINE_POINT,
+    POINTWISE,
+    DoLoop,
+    Forall,
+    HpfArray,
+    HpfBuilder,
+    HpfProgram,
+    Reduction,
+    Stencil,
+)
+from .programs import jacobi2d_hpf, tomcatv_hpf
+
+__all__ = [
+    "compile_hpf",
+    "HpfBuilder",
+    "HpfProgram",
+    "HpfArray",
+    "Forall",
+    "Reduction",
+    "DoLoop",
+    "Stencil",
+    "POINTWISE",
+    "FIVE_POINT",
+    "NINE_POINT",
+    "tomcatv_hpf",
+    "jacobi2d_hpf",
+]

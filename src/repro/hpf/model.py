@@ -1,0 +1,225 @@
+"""A mini-HPF program model: the input language of the dhpf front-end.
+
+The paper's toolchain starts from High Performance Fortran: "dhpf, in
+normal usage, compiles an HPF program to MPI [...] The integrated tool
+can allow us to perform simulation for MPI and HPF programs without
+requiring any changes to the source code."  This package reproduces the
+slice of that front-end the evaluation needs: data-parallel programs
+over 2-D arrays with the HPF ``(*, BLOCK)`` distribution (the one used
+for Tomcatv), compiled to the message-passing IR by owner-computes
+partitioning with stencil-driven ghost-cell communication.
+
+An HPF program here is:
+
+* 2-D arrays aligned to one ``rows × cols`` template, each distributed
+  ``(*, BLOCK)`` (contiguous column blocks per processor);
+* ``FORALL``-style data-parallel statements with declared read stencils
+  (offset footprints) and written arrays;
+* global reductions (``MAXVAL``/``SUM``-style);
+* sequential ``DO`` loops around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..symbolic import Expr, as_expr
+from ..symbolic.expr import ExprLike
+
+__all__ = [
+    "Stencil",
+    "POINTWISE",
+    "FIVE_POINT",
+    "NINE_POINT",
+    "HpfArray",
+    "HpfStmt",
+    "Forall",
+    "Reduction",
+    "DoLoop",
+    "HpfProgram",
+    "HpfBuilder",
+]
+
+
+@dataclass(frozen=True)
+class Stencil:
+    """A read footprint: the set of (di, dj) offsets a point update reads.
+
+    ``j`` is the distributed dimension under ``(*, BLOCK)``; the ghost
+    width a stencil demands is ``max |dj|``.
+    """
+
+    offsets: frozenset[tuple[int, int]]
+
+    @classmethod
+    def of(cls, *offsets: tuple[int, int]) -> "Stencil":
+        return cls(frozenset(offsets))
+
+    @property
+    def ghost_width(self) -> int:
+        """Columns of remote data needed on each side."""
+        return max((abs(dj) for _, dj in self.offsets), default=0)
+
+    @property
+    def interior_margin(self) -> tuple[int, int]:
+        """(row, col) margins excluded from the iteration space."""
+        di = max((abs(d) for d, _ in self.offsets), default=0)
+        dj = max((abs(d) for _, d in self.offsets), default=0)
+        return di, dj
+
+    def __or__(self, other: "Stencil") -> "Stencil":
+        return Stencil(self.offsets | other.offsets)
+
+
+POINTWISE = Stencil.of((0, 0))
+FIVE_POINT = Stencil.of((0, 0), (-1, 0), (1, 0), (0, -1), (0, 1))
+NINE_POINT = Stencil.of(
+    (0, 0), (-1, 0), (1, 0), (0, -1), (0, 1), (-1, -1), (-1, 1), (1, -1), (1, 1)
+)
+
+
+@dataclass(frozen=True)
+class HpfArray:
+    """A template-aligned 2-D array with an HPF distribution directive."""
+
+    name: str
+    dist: tuple[str, str] = ("*", "BLOCK")
+    itemsize: int = 8
+
+    def __post_init__(self):
+        if self.dist != ("*", "BLOCK"):
+            raise NotImplementedError(
+                f"{self.name}: only the (*, BLOCK) distribution is supported "
+                "(the one the paper uses for Tomcatv); got {self.dist}"
+            )
+
+
+class HpfStmt:
+    """Base class of HPF-level statements."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Forall(HpfStmt):
+    """A data-parallel update: ``FORALL (i, j) writes(i,j) = f(reads)``.
+
+    ``reads`` maps array names to their stencils; ``writes`` lists the
+    arrays assigned (owner-computes: each processor updates its block).
+    ``ops_per_point`` is the static cost estimate of the right-hand side.
+    """
+
+    name: str
+    reads: dict[str, Stencil]
+    writes: tuple[str, ...]
+    ops_per_point: float = 1.0
+
+    def ghost_width(self) -> int:
+        return max((s.ghost_width for s in self.reads.values()), default=0)
+
+    def interior_margin(self) -> tuple[int, int]:
+        di = max((s.interior_margin[0] for s in self.reads.values()), default=0)
+        dj = max((s.interior_margin[1] for s in self.reads.values()), default=0)
+        return di, dj
+
+
+@dataclass
+class Reduction(HpfStmt):
+    """A global reduction over a distributed array (MAXVAL / SUM ...)."""
+
+    array: str
+    kind: str = "max"  # max | min | sum
+
+    def __post_init__(self):
+        if self.kind not in ("max", "min", "sum"):
+            raise ValueError(f"unknown reduction kind {self.kind!r}")
+
+
+@dataclass
+class DoLoop(HpfStmt):
+    """A sequential loop around data-parallel statements."""
+
+    var: str
+    lo: Expr
+    hi: Expr
+    body: list[HpfStmt] = field(default_factory=list)
+
+
+@dataclass
+class HpfProgram:
+    """A complete HPF-level program over one 2-D template."""
+
+    name: str
+    params: tuple[str, ...]
+    rows: Expr  # template extent in the serial (*) dimension
+    cols: Expr  # template extent in the distributed (BLOCK) dimension
+    arrays: dict[str, HpfArray]
+    body: list[HpfStmt]
+
+    def foralls(self) -> list[Forall]:
+        out = []
+
+        def visit(stmts):
+            for s in stmts:
+                if isinstance(s, Forall):
+                    out.append(s)
+                elif isinstance(s, DoLoop):
+                    visit(s.body)
+
+        visit(self.body)
+        return out
+
+    def validate(self) -> None:
+        names = set(self.arrays)
+        for f in self.foralls():
+            missing = (set(f.reads) | set(f.writes)) - names
+            if missing:
+                raise ValueError(f"{self.name}/{f.name}: undeclared arrays {sorted(missing)}")
+
+
+class HpfBuilder:
+    """Fluent construction of :class:`HpfProgram`."""
+
+    def __init__(self, name: str, params: tuple[str, ...], rows: ExprLike, cols: ExprLike):
+        self.name = name
+        self.params = tuple(params)
+        self.rows = as_expr(rows)
+        self.cols = as_expr(cols)
+        self._arrays: dict[str, HpfArray] = {}
+        self._body: list[HpfStmt] = []
+        self._stack: list[list[HpfStmt]] = [self._body]
+
+    def array(self, name: str, dist: tuple[str, str] = ("*", "BLOCK"), itemsize: int = 8) -> None:
+        if name in self._arrays:
+            raise ValueError(f"array {name!r} declared twice")
+        self._arrays[name] = HpfArray(name, dist, itemsize)
+
+    def forall(self, name: str, reads: dict[str, Stencil], writes: tuple[str, ...],
+               ops_per_point: float = 1.0) -> None:
+        self._stack[-1].append(Forall(name, dict(reads), tuple(writes), ops_per_point))
+
+    def reduction(self, array: str, kind: str = "max") -> None:
+        self._stack[-1].append(Reduction(array, kind))
+
+    def do(self, var: str, lo: ExprLike, hi: ExprLike):
+        """Context manager: a sequential loop."""
+        loop = DoLoop(var, as_expr(lo), as_expr(hi))
+        self._stack[-1].append(loop)
+
+        class _Ctx:
+            def __enter__(ctx):
+                self._stack.append(loop.body)
+                return loop
+
+            def __exit__(ctx, *exc):
+                self._stack.pop()
+                return False
+
+        return _Ctx()
+
+    def build(self) -> HpfProgram:
+        if len(self._stack) != 1:
+            raise RuntimeError("unclosed do() loop")
+        prog = HpfProgram(self.name, self.params, self.rows, self.cols, self._arrays, self._body)
+        prog.validate()
+        return prog

@@ -1,0 +1,63 @@
+"""HPF-source versions of benchmark programs.
+
+Tomcatv "is handled fully automatically through the steps of
+compilation, task measurements, and simulation shown in Figure 2" —
+starting from HPF.  This module holds the HPF-level sources; compile
+them with :func:`repro.hpf.compile_hpf` and feed the result to the
+standard workflow.
+"""
+
+from __future__ import annotations
+
+from ..symbolic import Var
+from .model import NINE_POINT, POINTWISE, HpfBuilder, HpfProgram, Stencil
+
+__all__ = ["tomcatv_hpf", "jacobi2d_hpf"]
+
+
+def tomcatv_hpf() -> HpfProgram:
+    """The HPF Tomcatv: seven n×n (*,BLOCK) arrays, ITMAX mesh-relaxation
+    iterations of residual evaluation (9-point), a residual MAXVAL, the
+    column-wise tridiagonal solve and the mesh update."""
+    n, itmax = Var("n"), Var("itmax")
+    b = HpfBuilder("tomcatv_hpf", params=("n", "itmax"), rows=n, cols=n)
+    for name in ("X", "Y", "RX", "RY", "AA", "DD", "D"):
+        b.array(name)
+    column = Stencil.of((0, 0), (-1, 0), (1, 0))  # along-column dependence
+    with b.do("iter", 1, itmax):
+        b.forall(
+            "residual",
+            reads={"X": NINE_POINT, "Y": NINE_POINT},
+            writes=("RX", "RY"),
+            ops_per_point=40.0,
+        )
+        b.reduction("RX", kind="max")
+        b.forall(
+            "tridiag_solve",
+            reads={"RX": column, "RY": column, "AA": POINTWISE, "DD": POINTWISE, "D": POINTWISE},
+            writes=("RX", "RY"),
+            ops_per_point=12.0,
+        )
+        b.forall(
+            "mesh_update",
+            reads={"RX": POINTWISE, "RY": POINTWISE},
+            writes=("X", "Y"),
+            ops_per_point=6.0,
+        )
+    return b.build()
+
+
+def jacobi2d_hpf() -> HpfProgram:
+    """A 5-point Jacobi relaxation — the canonical HPF example, useful
+    for tests and as a minimal front-end demo."""
+    n, iters = Var("n"), Var("iters")
+    b = HpfBuilder("jacobi2d", params=("n", "iters"), rows=n, cols=n)
+    b.array("U")
+    b.array("Unew")
+    from .model import FIVE_POINT
+
+    with b.do("k", 1, iters):
+        b.forall("relax", reads={"U": FIVE_POINT}, writes=("Unew",), ops_per_point=5.0)
+        b.forall("copyback", reads={"Unew": POINTWISE}, writes=("U",), ops_per_point=1.0)
+        b.reduction("Unew", kind="max")
+    return b.build()

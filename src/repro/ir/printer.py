@@ -1,0 +1,105 @@
+"""Pretty-printer: renders IR programs as pseudo-Fortran/MPI text.
+
+Used for debugging and for the documentation examples; also the easiest
+way to eyeball what the simplifier did to a program (compare the
+original and the generated code as in the paper's Fig. 1(a)/(c)).
+"""
+
+from __future__ import annotations
+
+from .nodes import (
+    AllocStmt,
+    ArrayAssign,
+    Assign,
+    CollectiveStmt,
+    CompBlock,
+    DelayStmt,
+    For,
+    If,
+    IrecvStmt,
+    IsendStmt,
+    Program,
+    ReadParams,
+    RecvStmt,
+    SendStmt,
+    StartTimer,
+    Stmt,
+    StopTimer,
+    WaitAllStmt,
+)
+
+__all__ = ["format_program", "format_stmts"]
+
+
+def format_program(prog: Program) -> str:
+    """Render a whole program, declarations first."""
+    lines = [f"program {prog.name}({', '.join(prog.params)})"]
+    for decl in prog.arrays.values():
+        mat = ", materialized" if decl.materialize else ""
+        lines.append(f"  array {decl.name}[{decl.size}] x{decl.itemsize}B{mat}")
+    lines.extend(format_stmts(prog.body, indent=1))
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def format_stmts(stmts: list[Stmt], indent: int = 0) -> list[str]:
+    """Render a statement list as indented lines."""
+    pad = "  " * indent
+    out: list[str] = []
+    for s in stmts:
+        out.extend(_fmt(s, pad, indent))
+    return out
+
+
+def _fmt(s: Stmt, pad: str, indent: int) -> list[str]:
+    if isinstance(s, Assign):
+        return [f"{pad}{s.var} = {s.expr}"]
+    if isinstance(s, ArrayAssign):
+        return [f"{pad}{s.array}[:] = kernel({', '.join(sorted(s.reads_))})"]
+    if isinstance(s, CompBlock):
+        arrs = f" on {','.join(s.arrays)}" if s.arrays else ""
+        return [f"{pad}compute {s.name}: {s.work} iters x {s.ops_per_iter} ops{arrs}"]
+    if isinstance(s, For):
+        out = [f"{pad}do {s.var} = {s.lo}, {s.hi}"]
+        out.extend(format_stmts(s.body, indent + 1))
+        out.append(f"{pad}enddo")
+        return out
+    if isinstance(s, If):
+        tag = " [data-dependent]" if s.data_dependent else ""
+        out = [f"{pad}if ({s.cond}) then{tag}"]
+        out.extend(format_stmts(s.then, indent + 1))
+        if s.orelse:
+            out.append(f"{pad}else")
+            out.extend(format_stmts(s.orelse, indent + 1))
+        out.append(f"{pad}endif")
+        return out
+    if isinstance(s, SendStmt):
+        buf = s.array or "<none>"
+        return [f"{pad}SEND {buf}({s.nbytes} bytes) to {s.dest} tag {s.tag}"]
+    if isinstance(s, RecvStmt):
+        buf = s.array or "<none>"
+        return [f"{pad}RECV {buf}({s.nbytes} bytes) from {s.source} tag {s.tag}"]
+    if isinstance(s, IsendStmt):
+        buf = s.array or "<none>"
+        return [f"{pad}{s.handle_var} = ISEND {buf}({s.nbytes} bytes) to {s.dest} tag {s.tag}"]
+    if isinstance(s, IrecvStmt):
+        buf = s.array or "<none>"
+        return [f"{pad}{s.handle_var} = IRECV {buf}({s.nbytes} bytes) from {s.source} tag {s.tag}"]
+    if isinstance(s, WaitAllStmt):
+        return [f"{pad}call mpi_waitall({', '.join(s.handle_vars)})"]
+    if isinstance(s, CollectiveStmt):
+        extra = ""
+        if s.result_var:
+            extra = f" -> {s.result_var} ({s.reduce_kind})"
+        return [f"{pad}{s.op.upper()}({s.nbytes} bytes){extra}"]
+    if isinstance(s, DelayStmt):
+        return [f"{pad}call delay({s.amount})  ! task {s.task}"]
+    if isinstance(s, ReadParams):
+        return [f"{pad}call read_and_broadcast({', '.join(s.names)})"]
+    if isinstance(s, StartTimer):
+        return [f"{pad}call timer_start('{s.task}')"]
+    if isinstance(s, StopTimer):
+        return [f"{pad}call timer_stop('{s.task}')"]
+    if isinstance(s, AllocStmt):
+        return [f"{pad}allocate {s.name}({s.nbytes} bytes)"]
+    return [f"{pad}<{type(s).__name__}>"]

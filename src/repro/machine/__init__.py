@@ -1,0 +1,52 @@
+"""Target-machine and host-machine models (IBM SP, SGI Origin 2000).
+
+Substitutes for the physical machines of the paper's evaluation: a CPU
+timing model with cache-working-set effects, a LogGP-style interconnect
+model with an eager/rendezvous protocol switch, perturbation parameters
+that distinguish the *real* machine from the simulator's nominal model,
+and host-machine parameters (memory, per-event costs) that bound and
+price the simulator's own execution.
+"""
+
+from .cpu import CpuModel
+from .fitting import fit_cpu_params, fit_machine, fit_network_params
+from .network import COLLECTIVE_OPS, NetworkModel
+from .topology import TOPOLOGIES, hops, mean_hops
+from .params import (
+    GiB,
+    IBM_SP,
+    KiB,
+    MiB,
+    ORIGIN_2000,
+    TESTING_MACHINE,
+    CpuParams,
+    HostParams,
+    MachineParams,
+    NetworkParams,
+    PerturbationParams,
+    get_machine,
+)
+
+__all__ = [
+    "CpuModel",
+    "NetworkModel",
+    "COLLECTIVE_OPS",
+    "CpuParams",
+    "NetworkParams",
+    "PerturbationParams",
+    "HostParams",
+    "MachineParams",
+    "IBM_SP",
+    "ORIGIN_2000",
+    "TESTING_MACHINE",
+    "get_machine",
+    "fit_network_params",
+    "fit_cpu_params",
+    "fit_machine",
+    "hops",
+    "mean_hops",
+    "TOPOLOGIES",
+    "KiB",
+    "MiB",
+    "GiB",
+]

@@ -1,0 +1,78 @@
+"""CPU timing model: task times with cache-working-set effects.
+
+The ground-truth machine and the direct-execution simulator both price a
+sequential task as ``ops × time_per_op × cache_factor(working_set)``;
+the ground truth additionally applies multiplicative lognormal noise.
+The analytical-model simulator never calls this module for abstracted
+tasks — that is the whole point of the paper — it uses measured ``w_i``
+coefficients and the compiler's scaling functions instead.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .params import CpuParams
+
+__all__ = ["CpuModel"]
+
+
+class CpuModel:
+    """Prices sequential computation on one processor.
+
+    Parameters
+    ----------
+    params:
+        Machine CPU description.
+    noise_sigma:
+        Sigma of multiplicative lognormal noise (0 disables noise and the
+        model is deterministic — this is what the simulators use).
+    rng:
+        Source of randomness for the noisy (ground-truth) variant.
+    """
+
+    def __init__(self, params: CpuParams, noise_sigma: float = 0.0, rng: np.random.Generator | None = None):
+        if noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        if noise_sigma > 0 and rng is None:
+            raise ValueError("noisy CpuModel requires an rng")
+        self.params = params
+        self.noise_sigma = noise_sigma
+        self._rng = rng
+
+    def cache_factor(self, working_set_bytes: float) -> float:
+        """Slowdown factor for a task touching *working_set_bytes* of data.
+
+        1.0 inside L1, rising log-linearly to ``l2_factor`` at the L2
+        capacity and to ``mem_factor`` at 16× L2 (after which it
+        saturates).  Log-linear interpolation keeps the factor smooth so
+        that halving a per-process working set (by doubling processors)
+        yields a modest, realistic speedup rather than a cliff.
+        """
+        p = self.params
+        ws = float(working_set_bytes)
+        if ws <= p.l1_bytes:
+            return 1.0
+        if ws <= p.l2_bytes:
+            t = math.log(ws / p.l1_bytes) / math.log(p.l2_bytes / p.l1_bytes)
+            return 1.0 + t * (p.l2_factor - 1.0)
+        saturation = 16.0 * p.l2_bytes
+        if ws >= saturation:
+            return p.mem_factor
+        t = math.log(ws / p.l2_bytes) / math.log(saturation / p.l2_bytes)
+        return p.l2_factor + t * (p.mem_factor - p.l2_factor)
+
+    def task_time(self, ops: float, working_set_bytes: float = 0.0) -> float:
+        """Execution time of a sequential task performing *ops* operations."""
+        if ops < 0:
+            raise ValueError(f"negative op count: {ops}")
+        t = ops * self.params.time_per_op * self.cache_factor(working_set_bytes)
+        if self.noise_sigma > 0.0 and t > 0.0:
+            t *= float(np.exp(self._rng.normal(0.0, self.noise_sigma)))
+        return t
+
+    def timer_cost(self) -> float:
+        """Cost of a single timer call (instrumented measurement runs)."""
+        return self.params.timer_overhead

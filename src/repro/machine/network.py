@@ -1,0 +1,138 @@
+"""Interconnect timing model: point-to-point and collective communication.
+
+MPI-Sim "traps" communication commands and "uses an appropriate model to
+predict the execution time for the corresponding communication activity
+on the target architecture" (Sec. 2.1).  This module is that model.
+
+Two variants exist:
+
+* the *nominal* model — what both MPI-SIM-DE and MPI-SIM-AM use to
+  predict communication; deterministic, contention-free;
+* the *ground-truth* model — the same structure with the machine's
+  perturbation factors (contention-degraded latency/bandwidth) and
+  per-message lognormal noise; this is what "direct measurement" of the
+  application experiences.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .params import NetworkParams, PerturbationParams
+
+__all__ = ["NetworkModel", "COLLECTIVE_OPS"]
+
+#: Collective operations the model knows how to price.
+COLLECTIVE_OPS = ("barrier", "bcast", "reduce", "allreduce", "gather", "scatter", "allgather", "alltoall")
+
+
+class NetworkModel:
+    """Prices MPI communication on the target interconnect."""
+
+    def __init__(
+        self,
+        params: NetworkParams,
+        perturbation: PerturbationParams | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.params = params
+        self._pert = perturbation
+        self._rng = rng
+        if perturbation is not None:
+            self._latency = params.latency * perturbation.latency_factor
+            self._per_byte = params.per_byte / perturbation.bandwidth_factor
+            self._coll_factor = perturbation.collective_factor
+            self._sigma = perturbation.comm_noise_sigma
+            if self._sigma > 0 and rng is None:
+                raise ValueError("noisy NetworkModel requires an rng")
+        else:
+            self._latency = params.latency
+            self._per_byte = params.per_byte
+            self._coll_factor = 1.0
+            self._sigma = 0.0
+
+    # -- helpers ---------------------------------------------------------------
+    def _noise(self) -> float:
+        if self._sigma > 0.0:
+            return float(np.exp(self._rng.normal(0.0, self._sigma)))
+        return 1.0
+
+    @property
+    def eager_limit(self) -> int:
+        """Messages up to this many bytes are sent eagerly (buffered)."""
+        return self.params.eager_limit
+
+    # -- point-to-point ----------------------------------------------------------
+    def transit_time(self, nbytes: int, src: int | None = None,
+                     dst: int | None = None, nprocs: int | None = None) -> float:
+        """Wire time of one message: latency + size / bandwidth.
+
+        With endpoints given and a non-crossbar topology configured,
+        latency grows with router hops (``per_hop`` per hop beyond the
+        first); without endpoints the uniform base latency is charged.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes}")
+        base = self._latency + nbytes * self._per_byte
+        if (
+            self.params.per_hop > 0.0
+            and src is not None
+            and dst is not None
+            and nprocs is not None
+        ):
+            from .topology import hops
+
+            h = hops(self.params.topology, src, dst, nprocs)
+            if h > 1:
+                extra = (h - 1) * self.params.per_hop
+                if self._pert is not None:
+                    extra *= self._pert.latency_factor
+                base += extra
+        if nbytes > self.params.eager_limit:
+            base += self.params.rendezvous_latency * (
+                self._pert.latency_factor if self._pert else 1.0
+            )
+        return base * self._noise()
+
+    def send_overhead(self, nbytes: int) -> float:
+        """CPU time the sender spends injecting one message."""
+        return self.params.cpu_overhead + 0.1 * nbytes * self._per_byte
+
+    def recv_overhead(self, nbytes: int) -> float:
+        """CPU time the receiver spends draining one message."""
+        return self.params.cpu_overhead + 0.1 * nbytes * self._per_byte
+
+    def is_eager(self, nbytes: int) -> bool:
+        """Eager (buffered) vs rendezvous (synchronizing) protocol choice."""
+        return nbytes <= self.params.eager_limit
+
+    # -- collectives ----------------------------------------------------------------
+    def collective_time(self, op: str, nbytes: int, nprocs: int) -> float:
+        """Completion time of a collective over *nprocs* processes.
+
+        Tree-based models: log2(P) rounds for one-to-all/all-to-one,
+        twice that for allreduce/allgather, (P-1) exchanges for alltoall.
+        This is the "appropriate model" MPI-Sim substitutes for detailed
+        packet simulation of collectives.
+        """
+        if op not in COLLECTIVE_OPS:
+            raise ValueError(f"unknown collective {op!r}; known: {COLLECTIVE_OPS}")
+        if nprocs < 1:
+            raise ValueError(f"collective over {nprocs} processes")
+        if nbytes < 0:
+            raise ValueError(f"negative collective payload: {nbytes}")
+        if nprocs == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(nprocs))
+        hop = self._latency + nbytes * self._per_byte
+        if op == "barrier":
+            t = rounds * self._latency
+        elif op in ("bcast", "reduce", "gather", "scatter"):
+            t = rounds * hop
+        elif op in ("allreduce", "allgather"):
+            t = 2 * rounds * hop
+        else:  # alltoall
+            t = (nprocs - 1) * hop
+        return t * self._coll_factor * self._noise()

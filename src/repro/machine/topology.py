@@ -1,0 +1,84 @@
+"""Interconnect topologies: hop-count-dependent message latency.
+
+The paper's two platforms have structurally different interconnects —
+the IBM SP's multistage switch (near-uniform latency) and the SGI
+Origin 2000's hypercube-like NUMA fabric (latency grows with router
+hops).  The base :class:`NetworkModel` treats latency as uniform; this
+module supplies hop models so a machine can charge distance-dependent
+latency instead, and the simulation kernel passes message endpoints
+through for exactly that purpose.
+
+Hop counts are computed on logical rank ids (the common modeling
+simplification: process i on node i).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["hops", "TOPOLOGIES", "mean_hops"]
+
+
+def _hops_crossbar(src: int, dst: int, nprocs: int) -> int:
+    """Single-stage crossbar / idealized switch: one hop for everyone."""
+    return 0 if src == dst else 1
+
+
+def _hops_multistage(src: int, dst: int, nprocs: int) -> int:
+    """Multistage (omega/butterfly) switch, as in the IBM SP: every
+    remote message crosses ceil(log2 P) switch stages."""
+    if src == dst:
+        return 0
+    return max(1, math.ceil(math.log2(max(nprocs, 2))))
+
+
+def _hops_hypercube(src: int, dst: int, nprocs: int) -> int:
+    """Hypercube routing distance: popcount of src xor dst (Origin-like)."""
+    return bin(src ^ dst).count("1")
+
+
+def _hops_torus2d(src: int, dst: int, nprocs: int) -> int:
+    """2-D torus with near-square extents and wraparound routing."""
+    if src == dst:
+        return 0
+    width = int(math.isqrt(nprocs))
+    while nprocs % width != 0:
+        width -= 1
+    height = nprocs // width
+    sx, sy = src % width, src // width
+    dx, dy = dst % width, dst // width
+    ddx = abs(sx - dx)
+    ddy = abs(sy - dy)
+    return min(ddx, width - ddx) + min(ddy, height - ddy)
+
+
+TOPOLOGIES = {
+    "crossbar": _hops_crossbar,
+    "multistage": _hops_multistage,
+    "hypercube": _hops_hypercube,
+    "torus2d": _hops_torus2d,
+}
+
+
+def hops(kind: str, src: int, dst: int, nprocs: int) -> int:
+    """Router hops between ranks *src* and *dst* on topology *kind*."""
+    try:
+        fn = TOPOLOGIES[kind]
+    except KeyError:
+        known = ", ".join(sorted(TOPOLOGIES))
+        raise KeyError(f"unknown topology {kind!r}; known: {known}") from None
+    if not (0 <= src < nprocs and 0 <= dst < nprocs):
+        raise ValueError(f"ranks ({src}, {dst}) out of range for {nprocs} processes")
+    return fn(src, dst, nprocs)
+
+
+def mean_hops(kind: str, nprocs: int) -> float:
+    """Average hop count over all ordered pairs (for model sanity checks)."""
+    if nprocs <= 1:
+        return 0.0
+    total = 0
+    for s in range(nprocs):
+        for d in range(nprocs):
+            if s != d:
+                total += hops(kind, s, d, nprocs)
+    return total / (nprocs * (nprocs - 1))

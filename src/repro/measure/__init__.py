@@ -1,0 +1,6 @@
+"""Task-time measurement and parameter-file handling (Fig. 2)."""
+
+from .calibrate import Calibration, measure_wparams
+from .params_io import load_params, save_params
+
+__all__ = ["Calibration", "measure_wparams", "save_params", "load_params"]

@@ -1,0 +1,76 @@
+"""Task-time measurement: run the timer-instrumented program (Fig. 2).
+
+"The simplest approach, and the one we use in this paper, is to measure
+task times (specifically, the w_i) for one or a few selected problem
+sizes and number of processors, and then use the symbolic scaling
+functions derived by the compiler to estimate the delay values for
+other problem sizes and number of processors." (Sec. 3.3)
+
+The measurement run executes on the *ground-truth* machine model (the
+paper runs it on the real parallel system), so the extracted ``w_i``
+absorb that configuration's cache behaviour, noise, and the timer
+overhead — faithfully reproducing the approximation sources the paper
+analyzes in Sec. 4.2.  The same run collects the branch profile used to
+eliminate data-dependent branches statistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..codegen.timers import generate_instrumented
+from ..ir.interp import BranchProfile, MeasurementCollector, make_factory
+from ..ir.nodes import Program
+from ..machine import MachineParams
+from ..sim.engine import ExecMode, Simulator
+
+__all__ = ["Calibration", "measure_wparams"]
+
+
+@dataclass
+class Calibration:
+    """Result of one measurement run."""
+
+    program: str
+    inputs: dict[str, float]
+    nprocs: int
+    machine: str
+    wparams: dict[str, float] = field(default_factory=dict)
+    profile: BranchProfile = field(default_factory=BranchProfile)
+    elapsed: float = 0.0  # instrumented run's (simulated) wall time
+
+    def __str__(self):
+        ws = ", ".join(f"{k}={v:.3e}" for k, v in sorted(self.wparams.items()))
+        return (
+            f"calibration of {self.program} at {self.inputs} on {self.nprocs} procs "
+            f"({self.machine}): {ws}"
+        )
+
+
+def measure_wparams(
+    program: Program,
+    inputs: dict[str, float],
+    nprocs: int,
+    machine: MachineParams,
+    seed: int = 0,
+) -> Calibration:
+    """Measure the per-iteration task-time coefficients of *program*.
+
+    Runs the timer-instrumented version on the ground-truth machine at
+    the given calibration configuration and returns the pooled
+    ``w_<task>`` coefficients plus the observed branch profile.
+    """
+    instrumented = generate_instrumented(program)
+    collector = MeasurementCollector()
+    profile = BranchProfile()
+    factory = make_factory(instrumented, inputs, collector=collector, profile=profile)
+    result = Simulator(nprocs, factory, machine, mode=ExecMode.MEASURED, seed=seed).run()
+    return Calibration(
+        program=program.name,
+        inputs=dict(inputs),
+        nprocs=nprocs,
+        machine=machine.name,
+        wparams=collector.params(),
+        profile=profile,
+        elapsed=result.elapsed,
+    )

@@ -1,0 +1,42 @@
+"""Parameter-file I/O: persist measured w_i coefficients.
+
+"The output of the timer version can be directly provided as input to
+the delay version of the code" (Sec. 3.3).  In the paper this is a
+file of w_i values; here a small JSON document that also records the
+calibration configuration for provenance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .calibrate import Calibration
+
+__all__ = ["save_params", "load_params"]
+
+_FORMAT_VERSION = 1
+
+
+def save_params(cal: Calibration, path: str | Path) -> None:
+    """Write a calibration's parameters (and provenance) to *path*."""
+    doc = {
+        "format": _FORMAT_VERSION,
+        "program": cal.program,
+        "machine": cal.machine,
+        "nprocs": cal.nprocs,
+        "inputs": cal.inputs,
+        "wparams": cal.wparams,
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def load_params(path: str | Path) -> dict[str, float]:
+    """Read the w_i parameters back from *path*."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"{path}: unsupported parameter file format {doc.get('format')!r}")
+    wparams = doc.get("wparams")
+    if not isinstance(wparams, dict):
+        raise ValueError(f"{path}: malformed parameter file (no wparams)")
+    return {str(k): float(v) for k, v in wparams.items()}

@@ -1,0 +1,158 @@
+"""Convenience constructors: the virtual MPI API seen by target programs.
+
+Target programs (hand-written generators or the IR interpreter) build
+requests with these helpers and ``yield`` them to the kernel::
+
+    def program(rank, size):
+        if rank > 0:
+            yield mpi.send(dest=rank - 1, nbytes=8 * n)
+        if rank < size - 1:
+            msg = yield mpi.recv(source=rank + 1)
+        yield mpi.compute(ops=local_work)
+
+The names mirror MPI: ``send``/``recv`` are blocking (buffered-eager or
+rendezvous, decided by message size), collectives are issued by all
+ranks.  ``delay`` is the simulator-provided function of Sec. 2.2 that
+the compiler-simplified program calls instead of executing condensed
+computational tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..sim.requests import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Alloc,
+    Collective,
+    Compute,
+    Delay,
+    Free,
+    Irecv,
+    Isend,
+    Now,
+    Recv,
+    RequestHandle,
+    Send,
+    Wait,
+)
+
+__all__ = [
+    "send",
+    "recv",
+    "isend",
+    "irecv",
+    "waitall",
+    "compute",
+    "delay",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "allgather",
+    "scatter",
+    "alltoall",
+    "alloc",
+    "free",
+    "wtime",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]
+
+
+def send(dest: int, nbytes: int, tag: int = 0, data: Any = None) -> Send:
+    """Blocking send of *nbytes* (optionally carrying *data*) to *dest*."""
+    return Send(dest=dest, nbytes=nbytes, tag=tag, data=data)
+
+
+def recv(source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Recv:
+    """Blocking receive; yields a :class:`ReceivedMessage`."""
+    return Recv(source=source, tag=tag)
+
+
+def isend(dest: int, nbytes: int, tag: int = 0, data: Any = None) -> Isend:
+    """Non-blocking send; yields a :class:`RequestHandle`."""
+    return Isend(dest=dest, nbytes=nbytes, tag=tag, data=data)
+
+
+def irecv(source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Irecv:
+    """Non-blocking receive; yields a :class:`RequestHandle`."""
+    return Irecv(source=source, tag=tag)
+
+
+def waitall(*handles: RequestHandle) -> Wait:
+    """Block until every handle completes; yields per-handle results."""
+    return Wait(handles=tuple(handles))
+
+
+def compute(ops: float, working_set_bytes: float = 0.0, task: str | None = None) -> Compute:
+    """Local computation of *ops* abstract operations (direct execution)."""
+    return Compute(ops=ops, working_set_bytes=working_set_bytes, task=task)
+
+
+def delay(seconds: float, task: str | None = None) -> Delay:
+    """Advance this thread's clock by *seconds* (the simulator delay call)."""
+    return Delay(seconds=seconds, task=task)
+
+
+def barrier(group: tuple[int, ...] | None = None) -> Collective:
+    """Synchronize all ranks (or a communicator *group*)."""
+    return Collective(op="barrier", group=group)
+
+
+def bcast(nbytes: int, root: int = 0, data: Any = None,
+          group: tuple[int, ...] | None = None) -> Collective:
+    """Broadcast *root*'s payload to all ranks (or a *group*)."""
+    return Collective(op="bcast", nbytes=nbytes, root=root, data=data, group=group)
+
+
+def reduce(
+    nbytes: int, data: Any = None, reduce_fn: Callable[[Any, Any], Any] | None = None, root: int = 0
+) -> Collective:
+    """Reduce contributions to *root*."""
+    return Collective(op="reduce", nbytes=nbytes, root=root, data=data, reduce_fn=reduce_fn)
+
+
+def allreduce(
+    nbytes: int, data: Any = None, reduce_fn: Callable[[Any, Any], Any] | None = None,
+    group: tuple[int, ...] | None = None,
+) -> Collective:
+    """Reduce contributions and distribute the result (world or *group*)."""
+    return Collective(op="allreduce", nbytes=nbytes, data=data, reduce_fn=reduce_fn, group=group)
+
+
+def gather(nbytes: int, data: Any = None, root: int = 0) -> Collective:
+    """Gather per-rank payloads into a list at *root*."""
+    return Collective(op="gather", nbytes=nbytes, root=root, data=data)
+
+
+def allgather(nbytes: int, data: Any = None) -> Collective:
+    """Gather per-rank payloads into a list at every rank."""
+    return Collective(op="allgather", nbytes=nbytes, data=data)
+
+
+def scatter(nbytes: int, data: Any = None, root: int = 0) -> Collective:
+    """Scatter *root*'s list of chunks, one per rank."""
+    return Collective(op="scatter", nbytes=nbytes, root=root, data=data)
+
+
+def alltoall(nbytes: int) -> Collective:
+    """All-to-all personalized exchange of *nbytes* per pair."""
+    return Collective(op="alltoall", nbytes=nbytes)
+
+
+def alloc(name: str, nbytes: int) -> Alloc:
+    """Account *nbytes* of application memory under *name*."""
+    return Alloc(name=name, nbytes=nbytes)
+
+
+def free(name: str) -> Free:
+    """Release a named allocation."""
+    return Free(name=name)
+
+
+def wtime(charge_timer: bool = False) -> Now:
+    """Read the local virtual clock (MPI_Wtime); optionally pay timer cost."""
+    return Now(charge_timer=charge_timer)

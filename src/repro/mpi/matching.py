@@ -1,0 +1,92 @@
+"""MPI message matching: unexpected-message and posted-receive queues.
+
+Implements the matching semantics MPI-Sim relies on: messages from the
+same (source, tag) pair match receives in send order; ``ANY_SOURCE`` /
+``ANY_TAG`` wildcards match the earliest-sent compatible message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..sim.requests import ANY_SOURCE, ANY_TAG
+
+__all__ = ["MessageRecord", "PostedRecv", "MatchQueues"]
+
+
+@dataclass
+class MessageRecord:
+    """An in-flight or arrived message queued at the receiver.
+
+    ``ready_time`` is the arrival time for eager messages; rendezvous
+    messages have no arrival time until the matching receive posts (the
+    sender is blocked waiting for it).
+    """
+
+    seq: int  # global send order, for deterministic matching
+    source: int  # sending rank (also the matching key; == sender process)
+    tag: int
+    nbytes: int
+    data: Any
+    eager: bool
+    send_time: float  # sender's clock when the message was injected
+    ready_time: float | None  # arrival time (eager only; set at rendezvous for others)
+    sender_event: int | None = None  # trace event id of the send (if tracing)
+    sender_handle: int | None = None  # non-blocking send: handle to complete
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Does this message satisfy a receive for (*source*, *tag*)?"""
+        return (source == ANY_SOURCE or source == self.source) and (
+            tag == ANY_TAG or tag == self.tag
+        )
+
+
+@dataclass
+class PostedRecv:
+    """A receive posted before its message arrived (the blocked process)."""
+
+    seq: int
+    rank: int  # the receiving (owning) rank
+    source: int
+    tag: int
+    post_time: float
+    handle: int | None = None  # non-blocking receive: handle to complete
+
+    def matches(self, msg: MessageRecord) -> bool:
+        return msg.matches(self.source, self.tag)
+
+
+@dataclass
+class MatchQueues:
+    """Per-rank matching state: pending messages and posted receives."""
+
+    messages: list[MessageRecord] = field(default_factory=list)
+    recvs: list[PostedRecv] = field(default_factory=list)
+
+    def add_message(self, msg: MessageRecord) -> PostedRecv | None:
+        """Offer a new message; return the posted receive it matches, if any.
+
+        The caller removes the returned receive's blocked process from
+        its wait state; otherwise the message is queued as unexpected.
+        """
+        for i, r in enumerate(self.recvs):
+            if r.matches(msg):
+                return self.recvs.pop(i)
+        self.messages.append(msg)
+        return None
+
+    def post_recv(self, recv: PostedRecv) -> MessageRecord | None:
+        """Post a receive; return the earliest matching queued message, if any."""
+        best_i = -1
+        for i, m in enumerate(self.messages):
+            if recv.matches(m) and (best_i < 0 or m.seq < self.messages[best_i].seq):
+                best_i = i
+        if best_i >= 0:
+            return self.messages.pop(best_i)
+        self.recvs.append(recv)
+        return None
+
+    def idle(self) -> bool:
+        """True when no unmatched state remains (clean termination check)."""
+        return not self.messages and not self.recvs

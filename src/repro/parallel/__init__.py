@@ -1,0 +1,12 @@
+"""Parallel-simulator host model: runtime prediction and memory limits."""
+
+from .feasibility import estimate_program_memory, max_feasible_procs
+from .hostmodel import HostEstimate, sequential_host_time, simulate_host_execution
+
+__all__ = [
+    "HostEstimate",
+    "simulate_host_execution",
+    "sequential_host_time",
+    "estimate_program_memory",
+    "max_feasible_procs",
+]

@@ -1,0 +1,96 @@
+"""Memory feasibility: which configurations can each simulator run?
+
+"Since the simulator uses at least as much memory as the application,
+decreasing the amount of memory for the application decreases the
+simulator's memory requirements, thus allowing us to simulate large
+problem sizes and systems." (Sec. 4.3)
+
+This module estimates a program version's total simulator memory for a
+configuration *without running it* — array declarations are symbolic,
+so per-rank footprints can be evaluated directly — and finds the
+largest simulable target system under a host memory budget, which is
+how the DE/AM scalability limits of Figs. 10/11 arise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.nodes import AllocStmt, ArrayAssign, Assign, Program
+from ..machine import HostParams
+
+__all__ = ["estimate_program_memory", "max_feasible_procs"]
+
+
+def _rank_bytes(program: Program, inputs: dict, rank: int, nprocs: int) -> int:
+    """Per-rank application bytes: declared arrays plus top-level
+    dynamic allocations (the simplified program's dummy buffer)."""
+    env: dict = dict(inputs)
+    env["myid"] = rank
+    env["P"] = nprocs
+    total = 0
+    arrays: dict[str, np.ndarray] = {}
+    for decl in program.arrays.values():
+        n = int(decl.size.evaluate(env))
+        total += n * decl.itemsize
+        if decl.materialize:
+            arr = np.zeros(n)
+            arrays[decl.name] = arr
+            env[decl.name] = arr
+    # evaluate the top-level prologue (grid coordinates, block sizes,
+    # cell-size tables) so dynamic allocation sizes can be computed
+    for s in program.body:
+        if isinstance(s, Assign):
+            env[s.var] = s.expr.evaluate(env)
+        elif isinstance(s, ArrayAssign) and s.array in arrays:
+            s.kernel(env, arrays)
+        elif isinstance(s, AllocStmt):
+            total += int(s.nbytes.evaluate(env))
+    return total
+
+
+def estimate_program_memory(
+    program: Program,
+    inputs: dict,
+    nprocs: int,
+    host: HostParams,
+    sample_ranks: int = 4,
+    include_kernel: bool = True,
+) -> int:
+    """Total simulator memory for *program* at this configuration.
+
+    Per-rank footprints are sampled at a few ranks (they can differ at
+    block boundaries) and the maximum is charged for every rank — the
+    Fortran-style max-size allocation the generated code uses — plus the
+    kernel's per-thread overhead (set ``include_kernel=False`` for the
+    application-only footprint, isolating the compiler's effect).
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be positive")
+    ranks = sorted({0, nprocs - 1, *np.linspace(0, nprocs - 1, sample_ranks, dtype=int).tolist()})
+    per_rank = max(_rank_bytes(program, inputs, r, nprocs) for r in ranks)
+    total = per_rank * nprocs
+    if include_kernel:
+        total += host.thread_overhead_bytes * nprocs
+    return total
+
+
+def max_feasible_procs(
+    program: Program,
+    inputs_for: "callable",
+    budget_bytes: int,
+    host: HostParams,
+    candidates: list[int],
+) -> int | None:
+    """Largest process count in *candidates* whose simulation fits.
+
+    ``inputs_for(nprocs)`` builds the configuration (e.g. fixed per-
+    processor problem size).  Returns None when even the smallest
+    candidate exceeds the budget.
+    """
+    best = None
+    for nprocs in sorted(candidates):
+        need = estimate_program_memory(program, inputs_for(nprocs), nprocs, host)
+        if need <= budget_bytes:
+            best = nprocs
+    return best

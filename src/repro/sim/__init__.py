@@ -1,0 +1,65 @@
+"""MPI-Sim core: discrete-event kernel, statistics, memory, tracing."""
+
+from .engine import (
+    CollectiveMismatchError,
+    DeadlockError,
+    ExecMode,
+    SimResult,
+    Simulator,
+)
+from .memory import MemoryReport, MemoryTracker
+from .requests import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Isend,
+    Irecv,
+    Wait,
+    RequestHandle,
+    Alloc,
+    Collective,
+    CollectiveResult,
+    Compute,
+    Delay,
+    Free,
+    Now,
+    ReceivedMessage,
+    Recv,
+    Request,
+    Send,
+)
+from .stats import ProcessStats, SimStats
+from .trace import Trace, TraceEvent
+from .trace_io import load_trace, save_trace
+
+__all__ = [
+    "Simulator",
+    "SimResult",
+    "ExecMode",
+    "DeadlockError",
+    "CollectiveMismatchError",
+    "MemoryTracker",
+    "MemoryReport",
+    "ProcessStats",
+    "SimStats",
+    "Trace",
+    "TraceEvent",
+    "save_trace",
+    "load_trace",
+    "Request",
+    "Compute",
+    "Delay",
+    "Send",
+    "Recv",
+    "Isend",
+    "Irecv",
+    "Wait",
+    "RequestHandle",
+    "Collective",
+    "Alloc",
+    "Free",
+    "Now",
+    "ReceivedMessage",
+    "CollectiveResult",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]

@@ -1,0 +1,579 @@
+"""The MPI-Sim kernel: a discrete-event simulator of MPI programs.
+
+Target processes are generators of :mod:`repro.sim.requests` objects.
+Local computation advances a process's private clock inline (direct
+execution); communication requests serialize through a global event
+queue so that message matching happens in virtual-timestamp order —
+the sequential analogue of MPI-Sim's "the simulation kernel [...]
+ensures that events on host processors are executed in their correct
+timestamp order".
+
+Three execution modes share this kernel (see DESIGN.md §5):
+
+* ``MEASURED`` — ground truth: noisy CPU, perturbed network.  Standing
+  in for running the real application on the real machine.
+* ``DE`` — the original MPI-Sim: deterministic CPU (direct execution of
+  the computation), nominal analytic network model.
+* ``AM`` — the compiler-optimized simulator: the program itself is the
+  *simplified* program (delays instead of computation), nominal network.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..machine import CpuModel, MachineParams, NetworkModel
+from ..mpi.matching import MatchQueues, MessageRecord, PostedRecv
+from .memory import MemoryReport, MemoryTracker
+from .requests import (
+    Alloc,
+    Collective,
+    CollectiveResult,
+    Compute,
+    Delay,
+    Free,
+    Irecv,
+    Isend,
+    Now,
+    ReceivedMessage,
+    Recv,
+    Request,
+    RequestHandle,
+    Send,
+    Wait,
+)
+from .stats import ProcessStats, SimStats
+from .trace import Trace
+
+__all__ = ["ExecMode", "Simulator", "SimResult", "DeadlockError", "CollectiveMismatchError"]
+
+ProgramFactory = Callable[[int, int], Iterator[Request]]
+
+
+class ExecMode(enum.Enum):
+    """Which estimator this run represents (see module docstring)."""
+
+    MEASURED = "measured"
+    DE = "mpi-sim-de"
+    AM = "mpi-sim-am"
+
+
+class DeadlockError(RuntimeError):
+    """The event queue drained with blocked processes remaining."""
+
+
+class CollectiveMismatchError(RuntimeError):
+    """Processes issued inconsistent collectives at the same call index."""
+
+
+@dataclass
+class SimResult:
+    """Everything a simulation run produces."""
+
+    mode: ExecMode
+    stats: SimStats
+    memory: MemoryReport
+    trace: Trace | None
+
+    @property
+    def elapsed(self) -> float:
+        """Predicted (or, in MEASURED mode, actual) target execution time."""
+        return self.stats.elapsed
+
+
+class _Handle:
+    """Kernel-side state of one non-blocking operation (MPI_Request)."""
+
+    __slots__ = ("hid", "kind", "done", "ready_time", "result", "trace_eid")
+
+    def __init__(self, hid: int, kind: str):
+        self.hid = hid
+        self.kind = kind
+        self.done = False
+        self.ready_time = 0.0
+        self.result: Any = None
+        self.trace_eid: int | None = None  # the completion's trace event
+
+
+class _Proc:
+    """Kernel-side state of one simulated target process (thread)."""
+
+    __slots__ = (
+        "rank", "gen", "clock", "done", "blocked", "stats", "coll_index", "last_eid",
+        "handles", "next_hid", "waiting", "wait_time",
+    )
+
+    def __init__(self, rank: int, gen: Iterator[Request]):
+        self.rank = rank
+        self.gen = gen
+        self.clock = 0.0
+        self.done = False
+        self.blocked: str | None = None  # "recv" | "send" | "collective" | "wait" | None
+        self.stats = ProcessStats(rank)
+        self.coll_index: dict = {}  # communicator group -> next call index
+        self.last_eid: int | None = None
+        self.handles: dict[int, _Handle] = {}
+        self.next_hid = 0
+        self.waiting: tuple[int, ...] | None = None  # handle ids blocked on
+        self.wait_time = 0.0
+
+    def new_handle(self, kind: str) -> _Handle:
+        self.next_hid += 1
+        h = _Handle(self.next_hid, kind)
+        self.handles[h.hid] = h
+        return h
+
+
+class _CollState:
+    """Accumulating arrival state of one collective operation."""
+
+    __slots__ = ("op", "root", "arrivals", "nbytes", "reduce_fn")
+
+    def __init__(self, op: str, root: int):
+        self.op = op
+        self.root = root
+        self.arrivals: dict[int, tuple[float, Any]] = {}
+        self.nbytes = 0
+        self.reduce_fn = None
+
+
+class Simulator:
+    """Simulate *nprocs* target processes of *program_factory* on *machine*.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of target processes.
+    program_factory:
+        ``factory(rank, nprocs)`` returning the process generator.
+    machine:
+        Target machine parameters (e.g. ``repro.machine.IBM_SP``).
+    mode:
+        Which estimator to run (ground truth / DE / AM).
+    seed:
+        Ground-truth noise seed (ignored by DE/AM, which are exact).
+    collect_trace:
+        Record a dependency-annotated event trace for the host model.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        program_factory: ProgramFactory,
+        machine: MachineParams,
+        mode: ExecMode = ExecMode.DE,
+        seed: int = 0,
+        collect_trace: bool = False,
+    ):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.nprocs = nprocs
+        self.machine = machine
+        self.mode = mode
+        if mode is ExecMode.MEASURED:
+            rng = np.random.default_rng(seed)
+            self.cpu = CpuModel(machine.cpu, machine.truth.cpu_noise_sigma, rng)
+            self.net = NetworkModel(machine.net, machine.truth, rng)
+        else:
+            self.cpu = CpuModel(machine.cpu)
+            self.net = NetworkModel(machine.net)
+        self.memory = MemoryTracker(nprocs, machine.host.thread_overhead_bytes)
+        self.trace: Trace | None = Trace(nprocs) if collect_trace else None
+
+        self._procs = [_Proc(r, program_factory(r, nprocs)) for r in range(nprocs)]
+        self._queues = [MatchQueues() for _ in range(nprocs)]
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._seq = 0
+        self._colls: dict = {}  # (group, call index) -> _CollState
+        self._coll_trace_ids = 0
+        self._ran = False
+
+    # -- public API ----------------------------------------------------------
+    def run(self) -> SimResult:
+        """Execute the simulation to completion and return its results."""
+        if self._ran:
+            raise RuntimeError("a Simulator instance is single-use; build a new one")
+        self._ran = True
+        for proc in self._procs:
+            self._push(0.0, proc.rank, ("resume", None))
+        heap = self._heap
+        while heap:
+            t, _, rank, action = heapq.heappop(heap)
+            kind = action[0]
+            if kind == "resume":
+                self._resume(self._procs[rank], t, action[1])
+            else:  # deferred communication op, processed in timestamp order
+                self._do_comm(self._procs[rank], t, action[1])
+        blocked = [p.rank for p in self._procs if not p.done]
+        if blocked:
+            detail = ", ".join(
+                f"rank {p.rank} blocked in {p.blocked or 'unknown'} at t={p.clock:.6g}"
+                for p in self._procs
+                if not p.done
+            )
+            raise DeadlockError(f"simulation deadlocked: {detail}")
+        leftover = [r for r, q in enumerate(self._queues) if q.messages]
+        if leftover:
+            raise DeadlockError(f"unconsumed messages at ranks {leftover}")
+        stats = SimStats([p.stats for p in self._procs])
+        return SimResult(self.mode, stats, self.memory.report(), self.trace)
+
+    # -- kernel internals ---------------------------------------------------------
+    def _push(self, t: float, rank: int, action: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (t, self._seq, rank, action))
+
+    def _resume(self, proc: _Proc, t: float, value: object) -> None:
+        """Deliver *value* to the process at time *t* and run it until it
+        blocks on communication or finishes."""
+        proc.clock = t
+        proc.blocked = None
+        host = self.machine.host
+        while True:
+            try:
+                req = proc.gen.send(value)
+            except StopIteration:
+                proc.done = True
+                proc.stats.finish_time = proc.clock
+                return
+            proc.stats.events += 1
+            if type(req) is Compute:
+                dt = self.cpu.task_time(req.ops, req.working_set_bytes)
+                start = proc.clock
+                proc.clock += dt
+                proc.stats.compute_time += dt
+                cost = req.ops * self.machine.cpu.time_per_op * host.direct_exec_factor
+                proc.stats.host_cost += cost + host.event_overhead
+                if self.trace is not None:
+                    eid = self.trace.add(
+                        proc=proc.rank, kind="compute", start=start, end=proc.clock,
+                        host_cost=cost + host.event_overhead,
+                    )
+                    proc.last_eid = eid
+                value = proc.clock
+            elif type(req) is Delay:
+                start = proc.clock
+                proc.clock += req.seconds
+                proc.stats.compute_time += req.seconds
+                proc.stats.host_cost += host.delay_call_overhead + host.event_overhead
+                if self.trace is not None:
+                    eid = self.trace.add(
+                        proc=proc.rank, kind="delay", start=start, end=proc.clock,
+                        host_cost=host.delay_call_overhead + host.event_overhead,
+                    )
+                    proc.last_eid = eid
+                value = proc.clock
+            elif type(req) is Alloc:
+                self.memory.allocate(proc.rank, req.name, req.nbytes)
+                value = proc.clock
+            elif type(req) is Free:
+                self.memory.free(proc.rank, req.name)
+                value = proc.clock
+            elif type(req) is Now:
+                if req.charge_timer:
+                    proc.clock += self.cpu.timer_cost()
+                value = proc.clock
+            elif isinstance(req, (Send, Recv, Collective, Isend, Irecv, Wait)):
+                # Communication serializes through the global event queue so
+                # matching decisions are made in virtual-timestamp order.
+                proc.blocked = type(req).__name__.lower()
+                self._push(proc.clock, proc.rank, ("comm", req))
+                return
+            else:
+                raise TypeError(f"rank {proc.rank} yielded unknown request {req!r}")
+
+    # -- communication ----------------------------------------------------------
+    def _do_comm(self, proc: _Proc, t: float, req: Request) -> None:
+        ty = type(req)
+        if ty is Send:
+            self._do_send(proc, t, req)
+        elif ty is Recv:
+            self._do_recv(proc, t, req)
+        elif ty is Isend:
+            self._do_send(proc, t, req, handle=proc.new_handle("send"))
+        elif ty is Irecv:
+            self._do_recv(proc, t, req, handle=proc.new_handle("recv"))
+        elif ty is Wait:
+            self._do_wait(proc, t, req)
+        else:
+            self._do_collective(proc, t, req)
+
+    def _do_send(self, proc: _Proc, t: float, req: Send | Isend, handle: _Handle | None = None) -> None:
+        if req.dest >= self.nprocs:
+            raise ValueError(f"rank {proc.rank} sends to nonexistent rank {req.dest}")
+        host = self.machine.host
+        overhead = self.net.send_overhead(req.nbytes)
+        t_inject = t + overhead
+        proc.stats.comm_time += overhead
+        proc.stats.messages_sent += 1
+        proc.stats.bytes_sent += req.nbytes
+        cost = host.message_overhead + host.event_overhead + req.nbytes * host.message_per_byte
+        proc.stats.host_cost += cost
+        eager = self.net.is_eager(req.nbytes)
+        self._seq += 1
+        msg = MessageRecord(
+            seq=self._seq,
+            source=proc.rank,
+            tag=req.tag,
+            nbytes=req.nbytes,
+            data=req.data,
+            eager=eager,
+            send_time=t_inject,
+            ready_time=(
+                t_inject
+                + self.net.transit_time(req.nbytes, proc.rank, req.dest, self.nprocs)
+            )
+            if eager
+            else None,
+        )
+        send_eid = None
+        if self.trace is not None:
+            send_eid = self.trace.add(
+                proc=proc.rank, kind="send", start=t, end=t_inject,
+                host_cost=cost, nbytes=req.nbytes,
+            )
+            msg.sender_event = send_eid
+            proc.last_eid = send_eid
+        if handle is not None:
+            msg.sender_handle = handle.hid
+            handle.trace_eid = send_eid
+        matched = self._queues[req.dest].add_message(msg)
+        if eager:
+            if handle is not None:
+                handle.done = True
+                handle.ready_time = t_inject
+                handle.result = t_inject
+                self._push(t_inject, proc.rank, ("resume", RequestHandle(handle.hid, "send")))
+            else:
+                self._push(t_inject, proc.rank, ("resume", t_inject))
+            if matched is not None:
+                self._complete_recv(matched, msg)
+        else:
+            if handle is not None:
+                # the process continues; the handle completes at rendezvous
+                self._push(t_inject, proc.rank, ("resume", RequestHandle(handle.hid, "send")))
+            if matched is not None:
+                # receive already posted: rendezvous completes immediately
+                self._finish_rendezvous(msg, matched)
+            # else: the transfer waits for the matching receive to post
+
+    def _do_recv(self, proc: _Proc, t: float, req: Recv | Irecv, handle: _Handle | None = None) -> None:
+        self._seq += 1
+        posted = PostedRecv(
+            seq=self._seq, rank=proc.rank, source=req.source, tag=req.tag, post_time=t,
+            handle=handle.hid if handle is not None else None,
+        )
+        msg = self._queues[proc.rank].post_recv(posted)
+        if handle is not None:
+            # non-blocking: hand the handle back right away
+            self._push(t, proc.rank, ("resume", RequestHandle(handle.hid, "recv")))
+        if msg is None:
+            return  # (blocking: process blocked) until a matching message shows up
+        if msg.eager:
+            self._complete_recv(posted, msg)
+        else:
+            self._finish_rendezvous(msg, posted)
+
+    def _finish_rendezvous(self, msg: MessageRecord, posted: PostedRecv) -> None:
+        """Complete a rendezvous transfer once both sides are present."""
+        sender = self._procs[msg.source]
+        transfer_start = max(msg.send_time, posted.post_time)
+        msg.ready_time = transfer_start + self.net.transit_time(
+            msg.nbytes, msg.source, posted.rank, self.nprocs
+        )
+        if msg.sender_handle is not None:
+            self._complete_handle(sender, msg.sender_handle, transfer_start, transfer_start)
+        else:
+            wait = transfer_start - msg.send_time
+            if wait > 0:
+                sender.stats.comm_time += wait
+            self._push(transfer_start, sender.rank, ("resume", transfer_start))
+        self._complete_recv(posted, msg)
+
+    def _complete_recv(self, posted: PostedRecv, msg: MessageRecord) -> None:
+        host = self.machine.host
+        recv_rank = posted.rank
+        receiver = self._procs[recv_rank]
+        completion = max(posted.post_time, msg.ready_time) + self.net.recv_overhead(msg.nbytes)
+        receiver.stats.messages_received += 1
+        cost = host.message_overhead + host.event_overhead + msg.nbytes * host.message_per_byte
+        receiver.stats.host_cost += cost
+        eid = None
+        if self.trace is not None:
+            deps = (msg.sender_event,) if msg.sender_event is not None else ()
+            eid = self.trace.add(
+                proc=recv_rank, kind="recv", start=posted.post_time, end=completion,
+                host_cost=cost, deps=deps, nbytes=msg.nbytes,
+                nonblocking=posted.handle is not None,
+            )
+        result = ReceivedMessage(
+            data=msg.data, nbytes=msg.nbytes, source=msg.source, tag=msg.tag, now=completion
+        )
+        if posted.handle is not None:
+            # kernel-side completion: it does not advance the receiver's
+            # program order (the matching Wait does)
+            handle = receiver.handles[posted.handle]
+            handle.trace_eid = eid
+            self._complete_handle(receiver, posted.handle, completion, result)
+        else:
+            if eid is not None:
+                receiver.last_eid = eid
+            receiver.stats.comm_time += completion - posted.post_time
+            self._push(completion, recv_rank, ("resume", result))
+
+    # -- non-blocking completion ---------------------------------------------------
+    def _complete_handle(self, proc: _Proc, hid: int, ready_time: float, result) -> None:
+        handle = proc.handles[hid]
+        handle.done = True
+        handle.ready_time = ready_time
+        handle.result = result
+        if proc.waiting is not None and all(
+            proc.handles[h].done for h in proc.waiting
+        ):
+            self._release_wait(proc)
+
+    def _release_wait(self, proc: _Proc) -> None:
+        """All awaited handles completed: schedule the process's resume."""
+        hids = proc.waiting
+        proc.waiting = None
+        handles = [proc.handles.pop(h) for h in hids]
+        resume_at = max([proc.wait_time] + [h.ready_time for h in handles])
+        blocked = resume_at - proc.wait_time
+        if blocked > 0:
+            proc.stats.comm_time += blocked
+        if self.trace is not None:
+            deps = tuple(h.trace_eid for h in handles if h.trace_eid is not None)
+            eid = self.trace.add(
+                proc=proc.rank, kind="wait", start=proc.wait_time, end=resume_at,
+                host_cost=self.machine.host.event_overhead, deps=deps,
+            )
+            proc.last_eid = eid
+        results = [h.result for h in handles]
+        self._push(resume_at, proc.rank, ("resume", results))
+
+    def _do_wait(self, proc: _Proc, t: float, req: Wait) -> None:
+        host = self.machine.host
+        proc.stats.host_cost += host.event_overhead
+        hids = []
+        for rh in req.handles:
+            if rh.hid not in proc.handles:
+                raise ValueError(
+                    f"rank {proc.rank} waits on unknown or already-completed handle {rh.hid}"
+                )
+            hids.append(rh.hid)
+        proc.waiting = tuple(hids)
+        proc.wait_time = t
+        if all(proc.handles[h].done for h in hids):
+            self._release_wait(proc)
+        # else: blocked until the last handle completes
+
+    # -- collectives -----------------------------------------------------------------
+    def _do_collective(self, proc: _Proc, t: float, req: Collective) -> None:
+        # communicator: the sorted participant tuple (None = world)
+        group = req.group if req.group is not None else None
+        members = group if group is not None else tuple(range(self.nprocs))
+        if group is not None:
+            if proc.rank not in group:
+                raise CollectiveMismatchError(
+                    f"rank {proc.rank} issued a collective on group {group} "
+                    "it does not belong to"
+                )
+            if group[-1] >= self.nprocs:
+                raise CollectiveMismatchError(
+                    f"group {group} references ranks beyond P={self.nprocs}"
+                )
+            if req.op in ("bcast", "reduce", "gather", "scatter") and req.root not in group:
+                raise CollectiveMismatchError(
+                    f"collective root {req.root} is not in group {group}"
+                )
+        # per-(rank, communicator) call counting: group collectives on
+        # different communicators proceed independently
+        seq = proc.coll_index.get(group, 0)
+        proc.coll_index[group] = seq + 1
+        key = (group, seq)
+        state = self._colls.get(key)
+        if state is None:
+            state = _CollState(req.op, req.root)
+            self._colls[key] = state
+        elif state.op != req.op or state.root != req.root:
+            raise CollectiveMismatchError(
+                f"collective #{key}: rank {proc.rank} called {req.op!r} (root {req.root}) "
+                f"but others called {state.op!r} (root {state.root})"
+            )
+        if proc.rank in state.arrivals:
+            raise CollectiveMismatchError(
+                f"rank {proc.rank} issued collective #{key} twice"
+            )
+        state.arrivals[proc.rank] = (t, req.data)
+        state.nbytes = max(state.nbytes, req.nbytes)
+        if req.reduce_fn is not None:
+            state.reduce_fn = req.reduce_fn
+        if len(state.arrivals) < len(members):
+            return
+        # everyone has arrived: price the operation and release the group
+        del self._colls[key]
+        idx = self._coll_trace_ids
+        self._coll_trace_ids += 1
+        host = self.machine.host
+        start_max = max(at for at, _ in state.arrivals.values())
+        duration = self.net.collective_time(state.op, state.nbytes, len(members))
+        completion = start_max + duration
+        results = self._collective_results(state)
+        for rank, (arrival, _) in state.arrivals.items():
+            p = self._procs[rank]
+            p.stats.comm_time += completion - arrival
+            p.stats.collectives += 1
+            cost = (
+                host.message_overhead
+                + host.event_overhead
+                + state.nbytes * host.message_per_byte
+            )
+            p.stats.host_cost += cost
+            if self.trace is not None:
+                eid = self.trace.add(
+                    proc=rank, kind="collective", start=arrival, end=completion,
+                    host_cost=cost, coll_id=idx, nbytes=state.nbytes,
+                )
+                p.last_eid = eid
+            self._push(completion, rank, ("resume", CollectiveResult(results[rank], completion)))
+
+    def _collective_results(self, state: _CollState) -> dict[int, Any]:
+        """Per-rank result payloads for a completed collective."""
+        op = state.op
+        ranks = sorted(state.arrivals)
+        datas = {r: state.arrivals[r][1] for r in ranks}
+        if op == "bcast":
+            return {r: datas[state.root] for r in ranks}
+        if op in ("reduce", "allreduce"):
+            fn = state.reduce_fn
+            contributions = [datas[r] for r in ranks if datas[r] is not None]
+            acc = None
+            if contributions:
+                if fn is None:
+                    raise CollectiveMismatchError(f"{op} with data requires a reduce_fn")
+                acc = contributions[0]
+                for c in contributions[1:]:
+                    acc = fn(acc, c)
+            if op == "allreduce":
+                return {r: acc for r in ranks}
+            return {r: (acc if r == state.root else None) for r in ranks}
+        if op == "gather":
+            gathered = [datas[r] for r in ranks]
+            return {r: (gathered if r == state.root else None) for r in ranks}
+        if op == "allgather":
+            gathered = [datas[r] for r in ranks]
+            return {r: gathered for r in ranks}
+        if op == "scatter":
+            chunks = datas[state.root]
+            if chunks is not None and len(chunks) != len(ranks):
+                raise CollectiveMismatchError(
+                    f"scatter payload has {len(chunks)} chunks for {len(ranks)} ranks"
+                )
+            return {r: (None if chunks is None else chunks[i]) for i, r in enumerate(ranks)}
+        # barrier, alltoall carry no modelled payload
+        return {r: None for r in ranks}

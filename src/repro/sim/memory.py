@@ -1,0 +1,93 @@
+"""Byte-accurate memory accounting for the simulator.
+
+The central scalability claim of the paper (Table 1, Figs. 10–11) is
+about *memory*: direct execution forces the simulator to hold every
+target process's data, while the compiler-simplified program keeps only
+sliced scalars and one dummy communication buffer.  This tracker records
+every allocation the simulated application makes, per rank, and adds the
+simulation kernel's per-thread overhead, so both simulator variants can
+report their total footprint and be checked against a host memory
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryTracker", "MemoryReport"]
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Snapshot of the simulator's memory footprint."""
+
+    nprocs: int
+    app_bytes: int  # peak sum of target-program allocations across ranks
+    kernel_bytes: int  # simulator kernel state (threads, queues)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.app_bytes + self.kernel_bytes
+
+    def fits(self, budget_bytes: int) -> bool:
+        """Would this simulation fit in *budget_bytes* of host memory?"""
+        return self.total_bytes <= budget_bytes
+
+    def __str__(self):
+        return f"{self.total_bytes / 2**20:.1f} MiB ({self.nprocs} procs)"
+
+
+class MemoryTracker:
+    """Tracks named allocations per target rank and global peak usage."""
+
+    def __init__(self, nprocs: int, thread_overhead_bytes: int = 0):
+        if nprocs < 1:
+            raise ValueError("need at least one process")
+        self.nprocs = nprocs
+        self.thread_overhead_bytes = thread_overhead_bytes
+        self._allocs: list[dict[str, int]] = [dict() for _ in range(nprocs)]
+        self._rank_current = [0] * nprocs
+        self._rank_peak = [0] * nprocs
+
+    def allocate(self, rank: int, name: str, nbytes: int) -> None:
+        """Record an allocation; re-allocating a live name is an error."""
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        allocs = self._allocs[rank]
+        if name in allocs:
+            raise ValueError(f"rank {rank}: {name!r} is already allocated")
+        allocs[name] = nbytes
+        self._rank_current[rank] += nbytes
+        if self._rank_current[rank] > self._rank_peak[rank]:
+            self._rank_peak[rank] = self._rank_current[rank]
+
+    def free(self, rank: int, name: str) -> None:
+        """Release a named allocation."""
+        allocs = self._allocs[rank]
+        try:
+            nbytes = allocs.pop(name)
+        except KeyError:
+            raise ValueError(f"rank {rank}: {name!r} is not allocated") from None
+        self._rank_current[rank] -= nbytes
+
+    def rank_bytes(self, rank: int) -> int:
+        """Bytes currently allocated by *rank*."""
+        return self._rank_current[rank]
+
+    @property
+    def current_bytes(self) -> int:
+        return sum(self._rank_current)
+
+    @property
+    def peak_bytes(self) -> int:
+        """Sum of per-rank peaks: all target threads coexist in the simulator,
+        so each contributes its own peak regardless of scheduling order."""
+        return sum(self._rank_peak)
+
+    def report(self) -> MemoryReport:
+        """Total footprint: peak application bytes + kernel overhead."""
+        return MemoryReport(
+            nprocs=self.nprocs,
+            app_bytes=self.peak_bytes,
+            kernel_bytes=self.nprocs * self.thread_overhead_bytes,
+        )

@@ -1,0 +1,252 @@
+"""Simulation requests: the protocol between target programs and the kernel.
+
+A simulated target process is a Python generator.  It ``yield``s request
+objects to the simulation kernel — the analogue of MPI-Sim "trapping"
+MPI calls — and is resumed with a result once the kernel has advanced
+virtual time.  Local computation is requested explicitly (``Compute``
+for code the simulator executes/prices, ``Delay`` for the compiler's
+condensed tasks), mirroring how MPI-Sim directly executes local code but
+models communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Request",
+    "Compute",
+    "Delay",
+    "Send",
+    "Recv",
+    "Isend",
+    "Irecv",
+    "Wait",
+    "Collective",
+    "Alloc",
+    "Free",
+    "Now",
+    "ReceivedMessage",
+    "CollectiveResult",
+    "RequestHandle",
+]
+
+#: Wildcard source rank for Recv (MPI_ANY_SOURCE).
+ANY_SOURCE = -1
+#: Wildcard message tag for Recv (MPI_ANY_TAG).
+ANY_TAG = -1
+
+
+class Request:
+    """Base class of all kernel requests (marker)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Compute(Request):
+    """Execute local computation: *ops* abstract operations over a
+    working set of *working_set_bytes*.  Priced by the CPU model; under
+    measurement runs the time is also what instrumentation timers see."""
+
+    ops: float
+    working_set_bytes: float = 0.0
+    task: str | None = None  # STG task this computation belongs to (for timing)
+
+    def __post_init__(self):
+        if self.ops < 0:
+            raise ValueError(f"negative op count: {self.ops}")
+
+
+@dataclass(frozen=True)
+class Delay(Request):
+    """Advance the simulation clock of this thread by *seconds*.
+
+    This is the special simulator-provided function of Sec. 2.2: the
+    simplified MPI program calls it instead of running condensed tasks.
+    """
+
+    seconds: float
+    task: str | None = None
+
+    def __post_init__(self):
+        if self.seconds < 0:
+            raise ValueError(f"negative delay: {self.seconds}")
+
+
+@dataclass(frozen=True)
+class Send(Request):
+    """Blocking-buffered send of *nbytes* to *dest* with *tag*.
+
+    Eager messages complete locally after the send overhead; messages
+    above the eager limit use a rendezvous protocol and block until the
+    matching receive is posted (MPI-Sim's communication semantics).
+    """
+
+    dest: int
+    nbytes: int
+    tag: int = 0
+    data: Any = None
+
+    def __post_init__(self):
+        if self.nbytes < 0:
+            raise ValueError(f"negative message size: {self.nbytes}")
+        if self.dest < 0:
+            raise ValueError(f"invalid destination rank: {self.dest}")
+
+
+@dataclass(frozen=True)
+class Recv(Request):
+    """Blocking receive matching (*source*, *tag*); wildcards allowed.
+
+    ``nbytes_hint`` is the expected message size (the posted buffer's
+    extent); the kernel ignores it — matching determines the real size —
+    but closed-form estimators (repro.analytic) price receives with it.
+    """
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    nbytes_hint: int = 0
+
+
+@dataclass(frozen=True)
+class RequestHandle:
+    """Opaque handle to a pending non-blocking operation (MPI_Request)."""
+
+    hid: int
+    kind: str  # "send" | "recv"
+
+
+@dataclass(frozen=True)
+class Isend(Request):
+    """Non-blocking send: returns a :class:`RequestHandle` immediately.
+
+    The issuing process continues after the injection overhead; the
+    handle completes when the message is buffered (eager) or when the
+    matching receive has been posted and the transfer started
+    (rendezvous).
+    """
+
+    dest: int
+    nbytes: int
+    tag: int = 0
+    data: Any = None
+
+    def __post_init__(self):
+        if self.nbytes < 0:
+            raise ValueError(f"negative message size: {self.nbytes}")
+        if self.dest < 0:
+            raise ValueError(f"invalid destination rank: {self.dest}")
+
+
+@dataclass(frozen=True)
+class Irecv(Request):
+    """Non-blocking receive: posts the match and returns a handle."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    nbytes_hint: int = 0
+
+
+@dataclass(frozen=True)
+class Wait(Request):
+    """Block until every handle completes (MPI_Wait / MPI_Waitall).
+
+    Resumes with a list of per-handle results in handle order:
+    :class:`ReceivedMessage` for receives, completion time for sends.
+    """
+
+    handles: tuple
+
+    def __post_init__(self):
+        for h in self.handles:
+            if not isinstance(h, RequestHandle):
+                raise TypeError(f"Wait expects RequestHandle, got {h!r}")
+
+
+@dataclass(frozen=True)
+class Collective(Request):
+    """A collective operation over a communicator.
+
+    ``group`` is the sorted tuple of participating ranks (None = the
+    world communicator).  Participants must issue their group's
+    collectives in the same order with the same *op* and *root*; the
+    kernel checks this.  ``data`` is the local contribution (root's
+    payload for bcast, operand for reductions); ``reduce_fn`` combines
+    contributions pairwise for reduce/allreduce.  ``root`` is a rank in
+    the group (a world rank, not a group-relative index).
+    """
+
+    op: str
+    nbytes: int = 0
+    root: int = 0
+    data: Any = None
+    reduce_fn: Callable[[Any, Any], Any] | None = field(default=None, compare=False)
+    group: tuple[int, ...] | None = None
+
+    def __post_init__(self):
+        if self.nbytes < 0:
+            raise ValueError(f"negative collective payload: {self.nbytes}")
+        if self.group is not None:
+            if len(self.group) == 0:
+                raise ValueError("empty communicator group")
+            if list(self.group) != sorted(set(self.group)):
+                raise ValueError(f"group must be sorted and duplicate-free: {self.group}")
+
+
+@dataclass(frozen=True)
+class Alloc(Request):
+    """Account *nbytes* of target-program memory under *name*.
+
+    MPI-Sim's memory footprint is "at least as large as that of the
+    target application"; this is how the application reports its arrays
+    to the simulator's memory accounting.
+    """
+
+    name: str
+    nbytes: int
+
+    def __post_init__(self):
+        if self.nbytes < 0:
+            raise ValueError(f"negative allocation: {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class Free(Request):
+    """Release a prior allocation by name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Now(Request):
+    """Query the local virtual clock without advancing it (timer call).
+
+    ``charge_timer=True`` additionally charges the machine's timer-call
+    overhead — instrumented measurement runs pay for their own timers,
+    which is one source of the w_i inflation discussed in Sec. 4.2.
+    """
+
+    charge_timer: bool = False
+
+
+@dataclass(frozen=True)
+class ReceivedMessage:
+    """Result of a Recv: payload and envelope plus completion time."""
+
+    data: Any
+    nbytes: int
+    source: int
+    tag: int
+    now: float
+
+
+@dataclass(frozen=True)
+class CollectiveResult:
+    """Result of a Collective: op-dependent payload plus completion time."""
+
+    data: Any
+    now: float

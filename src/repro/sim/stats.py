@@ -1,0 +1,72 @@
+"""Per-process and aggregate simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ProcessStats", "SimStats"]
+
+
+@dataclass
+class ProcessStats:
+    """Virtual-time and host-cost accounting for one target process."""
+
+    rank: int
+    compute_time: float = 0.0  # virtual time spent computing (incl. delays)
+    comm_time: float = 0.0  # virtual time blocked in / charged to communication
+    finish_time: float = 0.0  # local clock at program end
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    collectives: int = 0
+    events: int = 0  # kernel events executed on behalf of this process
+    host_cost: float = 0.0  # modelled host CPU seconds to simulate this process
+
+
+@dataclass
+class SimStats:
+    """Aggregate statistics over all target processes."""
+
+    procs: list[ProcessStats] = field(default_factory=list)
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.procs)
+
+    @property
+    def elapsed(self) -> float:
+        """Predicted target execution time: the last process to finish."""
+        return max((p.finish_time for p in self.procs), default=0.0)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(p.messages_sent for p in self.procs)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.bytes_sent for p in self.procs)
+
+    @property
+    def total_events(self) -> int:
+        return sum(p.events for p in self.procs)
+
+    @property
+    def total_host_cost(self) -> float:
+        """Total host CPU seconds the simulation would consume (serial)."""
+        return sum(p.host_cost for p in self.procs)
+
+    @property
+    def total_compute_time(self) -> float:
+        return sum(p.compute_time for p in self.procs)
+
+    @property
+    def total_comm_time(self) -> float:
+        return sum(p.comm_time for p in self.procs)
+
+    def summary(self) -> str:
+        """Short human-readable description."""
+        return (
+            f"{self.nprocs} procs, elapsed {self.elapsed:.6f}s, "
+            f"{self.total_messages} msgs / {self.total_bytes} bytes, "
+            f"{self.total_events} events"
+        )

@@ -1,0 +1,67 @@
+"""Event tracing: the dependency-annotated record of a simulation run.
+
+The host-performance model (``repro.parallel``) replays this trace onto
+a set of host processors to predict how long MPI-Sim itself would take,
+sequentially or in parallel under a conservative protocol.  Each event
+records its virtual-time interval on the target, the host CPU cost of
+simulating it, and its cross-process dependencies (message receipt,
+collective membership).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulated event.
+
+    ``deps`` lists globally-unique ids of events on *other* processes
+    that must be simulated before this one (same-process program order
+    is implicit in event order).  ``coll_id`` groups the per-participant
+    events of one collective operation, which synchronize all ranks.
+    """
+
+    eid: int
+    proc: int
+    kind: str  # compute | delay | send | recv | wait | collective
+    start: float  # local virtual time when the event begins
+    end: float  # local virtual time when it completes
+    host_cost: float  # host CPU seconds to simulate this event
+    deps: tuple[int, ...] = ()
+    coll_id: int | None = None
+    nbytes: int = 0
+    #: Kernel-side completion of a non-blocking operation: occupies the
+    #: host when it occurs but does not order against the process's own
+    #: subsequent actions (only the matching "wait" event joins it).
+    nonblocking: bool = False
+
+
+@dataclass
+class Trace:
+    """An append-only event log for one simulation run."""
+
+    nprocs: int
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, **kwargs) -> int:
+        """Append an event, assigning the next event id; returns the id."""
+        eid = len(self.events)
+        self.events.append(TraceEvent(eid=eid, **kwargs))
+        return eid
+
+    def __len__(self):
+        return len(self.events)
+
+    def by_proc(self) -> list[list[TraceEvent]]:
+        """Events grouped per process, in program order."""
+        out: list[list[TraceEvent]] = [[] for _ in range(self.nprocs)]
+        for ev in self.events:
+            out[ev.proc].append(ev)
+        return out
+
+    def total_host_cost(self) -> float:
+        return sum(ev.host_cost for ev in self.events)

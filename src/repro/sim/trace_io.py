@@ -1,0 +1,62 @@
+"""Trace persistence: save/load dependency-annotated event traces.
+
+A trace is the interchange artifact between a simulation run and the
+offline analyses (host-performance replay, dynamic task-graph export),
+so it can be archived and reprocessed without re-simulating.  Format:
+one JSON header line plus one compact JSON array per event (JSONL —
+streams, diffs and compresses well).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .trace import Trace, TraceEvent
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT = 1
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write *trace* to *path* as JSONL."""
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"format": _FORMAT, "nprocs": trace.nprocs,
+                             "events": len(trace.events)}) + "\n")
+        for ev in trace.events:
+            fh.write(
+                json.dumps(
+                    [
+                        ev.eid, ev.proc, ev.kind, ev.start, ev.end, ev.host_cost,
+                        list(ev.deps), ev.coll_id, ev.nbytes, int(ev.nonblocking),
+                    ],
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with open(path) as fh:
+        header = json.loads(fh.readline())
+        if header.get("format") != _FORMAT:
+            raise ValueError(f"{path}: unsupported trace format {header.get('format')!r}")
+        trace = Trace(nprocs=int(header["nprocs"]))
+        for line in fh:
+            eid, proc, kind, start, end, cost, deps, coll_id, nbytes, nb = json.loads(line)
+            if eid != len(trace.events):
+                raise ValueError(f"{path}: event ids not contiguous at {eid}")
+            trace.events.append(
+                TraceEvent(
+                    eid=eid, proc=proc, kind=kind, start=start, end=end,
+                    host_cost=cost, deps=tuple(deps), coll_id=coll_id,
+                    nbytes=nbytes, nonblocking=bool(nb),
+                )
+            )
+        if len(trace.events) != header["events"]:
+            raise ValueError(
+                f"{path}: truncated trace ({len(trace.events)} of {header['events']} events)"
+            )
+    return trace

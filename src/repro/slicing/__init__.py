@@ -1,0 +1,5 @@
+"""Program slicing (Sec. 3.2): retain what affects parallel structure."""
+
+from .slicer import SliceResult, backward_slice, compute_criterion, slice_program
+
+__all__ = ["SliceResult", "backward_slice", "compute_criterion", "slice_program"]

@@ -1,0 +1,180 @@
+"""Program slicing: retain the computation that affects parallel structure.
+
+"We begin by finding the variables whose values affect relevant
+execution time metrics [...] these variables are exactly the variables
+that appear in the retained control-flow of the condensed graph, in the
+scaling functions of the sequential tasks, and in the calls to the
+communication library.  Program slicing [then isolates] the
+computations that affect those variable values." (Sec. 3.2)
+
+The slice is computed at statement granularity over the structured IR,
+with arrays treated as atomic objects (the paper's conservative,
+static-analysis-limited slice).  Interprocedural effects do not arise:
+like the paper's current system, the benchmarks are single-procedure.
+
+A subtlety the paper calls out: if a *computational task* produces a
+value the slice needs (e.g. a convergence flag), the task cannot be
+abstracted — we "pin" its statement id, and the condensation pass is
+re-run with the pin set until a fixpoint is reached (see
+:func:`repro.codegen.compile_program`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.nodes import (
+    ArrayAssign,
+    Assign,
+    CollectiveStmt,
+    CompBlock,
+    For,
+    If,
+    Program,
+    RecvStmt,
+    SendStmt,
+    Stmt,
+    BUILTIN_VARS,
+    walk,
+)
+from ..stg.condense import CondensePlan, PlanRegion, PlanRetain
+
+__all__ = ["SliceResult", "compute_criterion", "backward_slice", "slice_program"]
+
+
+@dataclass(frozen=True)
+class SliceResult:
+    """Outcome of slicing a program against a condensation plan."""
+
+    criterion: frozenset[str]  # the initial slicing criterion variables
+    needed: frozenset[str]  # transitive closure of required names
+    retained_sids: frozenset[int]  # executable statements kept in the slice
+    pinned_blocks: frozenset[int]  # CompBlock sids that must stay directly executed
+
+    def keeps(self, stmt: Stmt) -> bool:
+        return stmt.sid in self.retained_sids
+
+
+def _strip(names: set[str]) -> set[str]:
+    """Remove builtins and w_i parameters — they need no producer."""
+    return {n for n in names if n not in BUILTIN_VARS and not n.startswith("w_")}
+
+
+def compute_criterion(program: Program, plan: CondensePlan) -> frozenset[str]:
+    """The slicing criterion: variables the simplified program must
+    compute correctly (retained control flow, communication arguments,
+    scaling functions)."""
+    crit: set[str] = set()
+
+    def visit_items(items):
+        for item in items:
+            if isinstance(item, PlanRegion):
+                # the scaling function is retained, so its variables
+                # (including Index array references) are criterion
+                crit.update(item.region.cost.free_vars())
+            else:
+                s = item.stmt
+                if isinstance(s, For):
+                    crit.update(s.lo.free_vars() | s.hi.free_vars())
+                elif isinstance(s, If):
+                    crit.update(s.cond.free_vars())
+                elif isinstance(s, SendStmt):
+                    crit.update(s.dest.free_vars() | s.nbytes.free_vars())
+                elif isinstance(s, RecvStmt):
+                    crit.update(s.source.free_vars() | s.nbytes.free_vars())
+                elif isinstance(s, CollectiveStmt):
+                    crit.update(s.nbytes.free_vars() | s.root.free_vars())
+                elif isinstance(s, CompBlock):
+                    # a pinned block executes directly: it needs its work
+                    # expression and scalar inputs
+                    crit.update(s.work.free_vars())
+                    crit.update(s.reads_)
+                for bp in item.body_plans:
+                    visit_items(bp)
+
+    visit_items(plan.root)
+    # program parameters stay in the criterion (they are read, not
+    # computed); builtins and w_i coefficients are stripped
+    return frozenset(_strip(crit))
+
+
+def backward_slice(program: Program, criterion: frozenset[str]) -> tuple[set[str], set[int]]:
+    """Transitive backward closure: which statements produce needed names.
+
+    Returns ``(needed_names, retained_sids)``.  Iterates to a fixpoint
+    because producers inside loops may consume their own earlier
+    outputs.
+    """
+    needed: set[str] = set(_strip(set(criterion)))
+    retained: set[int] = set()
+    stmts = [s for s in walk(program.body) if isinstance(s, (Assign, ArrayAssign, CompBlock))]
+    changed = True
+    while changed:
+        changed = False
+        for s in reversed(stmts):
+            if isinstance(s, Assign):
+                w, r = {s.var}, s.expr.free_vars()
+            elif isinstance(s, ArrayAssign):
+                w, r = {s.array}, set(s.reads_) | s.work.free_vars()
+            else:  # CompBlock: only its declared scalar outputs matter here
+                w = set(s.writes_) | (set(s.arrays) & needed)
+                r = set(s.reads_) | s.work.free_vars() | set(s.arrays)
+            if s.sid not in retained and (w & needed):
+                retained.add(s.sid)
+                new = _strip(set(r)) - needed
+                if new:
+                    needed.update(new)
+                    changed = True
+                changed = True
+    return needed, retained
+
+
+def _control_vars_of_kept_structures(program: Program, retained: set[int]) -> set[str]:
+    """Bounds/conditions of control structures that must be kept because
+    they enclose retained statements (control dependence)."""
+    extra: set[str] = set()
+
+    def visit(stmts: list[Stmt]) -> bool:
+        any_kept = False
+        for s in stmts:
+            kept = s.sid in retained
+            if isinstance(s, For):
+                if visit(s.body):
+                    extra.update(s.lo.free_vars() | s.hi.free_vars())
+                    kept = True
+            elif isinstance(s, If):
+                inner = visit(s.then) | visit(s.orelse)
+                if inner:
+                    extra.update(s.cond.free_vars())
+                    kept = True
+            any_kept |= kept
+        return any_kept
+
+    visit(program.body)
+    return _strip(extra)
+
+
+def slice_program(program: Program, plan: CondensePlan) -> SliceResult:
+    """Slice *program* against *plan*, honouring control dependence.
+
+    Fixpoint over: criterion → backward slice → add the guards of control
+    structures that the slice forces us to keep → repeat.
+    """
+    criterion = set(compute_criterion(program, plan))
+    while True:
+        needed, retained = backward_slice(program, frozenset(criterion))
+        extra = _control_vars_of_kept_structures(program, retained) - criterion - needed
+        if not extra:
+            break
+        criterion.update(extra)
+    pinned = {
+        s.sid
+        for s in walk(program.body)
+        if isinstance(s, CompBlock) and s.sid in retained
+    }
+    return SliceResult(
+        criterion=frozenset(criterion),
+        needed=frozenset(needed),
+        retained_sids=frozenset(retained),
+        pinned_blocks=frozenset(pinned),
+    )

@@ -1,0 +1,33 @@
+"""Static task graph: model, synthesis, condensation, dynamic expansion."""
+
+from .condense import (
+    CondensePlan,
+    PlanRegion,
+    PlanRetain,
+    Region,
+    condense,
+    w_param,
+)
+from .dynamic import critical_path, critical_path_length, trace_to_dag
+from .export import to_dot, write_dot
+from .graph import NODE_KINDS, STG, STGEdge, STGNode
+from .synthesis import synthesize_stg
+
+__all__ = [
+    "STG",
+    "STGNode",
+    "STGEdge",
+    "NODE_KINDS",
+    "synthesize_stg",
+    "condense",
+    "CondensePlan",
+    "Region",
+    "PlanRetain",
+    "PlanRegion",
+    "w_param",
+    "trace_to_dag",
+    "critical_path",
+    "critical_path_length",
+    "to_dot",
+    "write_dot",
+]

@@ -1,0 +1,74 @@
+"""Graphviz (DOT) export of static task graphs.
+
+The POEMS environment visualizes task graphs; this writer needs no
+graphviz installation — it emits DOT text that any renderer accepts.
+Control-flow edges are solid, communication edges dashed and annotated
+with their rank mappings (the paper's Fig. 1(b) styling).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .graph import STG
+
+__all__ = ["to_dot", "write_dot"]
+
+_SHAPES = {
+    "compute": "box",
+    "condensed": "box3d",
+    "send": "cds",
+    "recv": "cds",
+    "collective": "doubleoctagon",
+    "loop": "diamond",
+    "branch": "diamond",
+    "assign": "ellipse",
+}
+
+_COLORS = {
+    "compute": "lightblue",
+    "condensed": "steelblue",
+    "send": "palegreen",
+    "recv": "palegreen",
+    "collective": "gold",
+    "loop": "lightgray",
+    "branch": "lightgray",
+    "assign": "white",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(stg: STG) -> str:
+    """Render *stg* as DOT source."""
+    lines = [f'digraph "{_escape(stg.program_name)}" {{']
+    lines.append("  rankdir=TB;")
+    lines.append('  node [style=filled, fontname="Helvetica"];')
+    for n in stg.nodes:
+        label = f"{n.label}\\n{n.pset}"
+        if n.work is not None:
+            label += f"\\nwork: {n.work}"
+        if n.comm_bytes is not None:
+            label += f"\\nbytes: {n.comm_bytes}"
+        shape = _SHAPES.get(n.kind, "ellipse")
+        color = _COLORS.get(n.kind, "white")
+        lines.append(
+            f'  n{n.nid} [label="{_escape(label)}", shape={shape}, fillcolor={color}];'
+        )
+    for e in stg.edges:
+        if e.kind == "control":
+            lines.append(f"  n{e.src} -> n{e.dst};")
+        else:
+            label = _escape(str(e.mapping)) if e.mapping else ""
+            lines.append(
+                f'  n{e.src} -> n{e.dst} [style=dashed, color=red, label="{label}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(stg: STG, path: str | Path) -> None:
+    """Write the DOT rendering of *stg* to *path*."""
+    Path(path).write_text(to_dot(stg))

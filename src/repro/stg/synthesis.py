@@ -1,0 +1,165 @@
+"""STG synthesis: derive the static task graph from a program's IR.
+
+Mirrors what the modified dhpf compiler does for MPI code it generates
+(paper Sec. 2.2 / [3]): every computational task, communication call and
+control construct becomes a node annotated with the *symbolic* set of
+processes that execute it — derived from the enclosing ``myid`` guards —
+and point-to-point nodes get a symbolic rank mapping recovered from the
+destination/source expressions.
+"""
+
+from __future__ import annotations
+
+from ..ir.nodes import (
+    ArrayAssign,
+    Assign,
+    CollectiveStmt,
+    CompBlock,
+    For,
+    If,
+    IrecvStmt,
+    IsendStmt,
+    Program,
+    RecvStmt,
+    SendStmt,
+    Stmt,
+)
+from ..symbolic import RANK, And, BoolExpr, Not, ProcessSet, RankMapping, Var, all_processes
+from .graph import STG, STGNode
+
+__all__ = ["synthesize_stg"]
+
+
+def _rankify(expr_or_cond, mapping={"myid": RANK}):
+    """Rewrite an expression over ``myid`` into one over the symbolic rank
+    variable ``p`` used in process sets and mappings."""
+    return expr_or_cond.subs({"myid": RANK})
+
+
+def synthesize_stg(program: Program) -> STG:
+    """Build the static task graph of *program*."""
+    stg = STG(program.name)
+    ctx = _Ctx(stg)
+    entry = ctx.add_control("entry", "assign", ())
+    _walk(program.body, ctx, entry, guard=None)
+    _pair_communication(stg)
+    return stg
+
+
+class _Ctx:
+    def __init__(self, stg: STG):
+        self.stg = stg
+
+    def pset(self, guard: BoolExpr | None) -> ProcessSet:
+        base = all_processes(Var("P"))
+        if guard is None:
+            return base
+        return base.restrict(guard)
+
+    def add_control(self, label: str, kind: str, sids, guard=None, work=None):
+        return self.stg.add_node(kind=kind, label=label, pset=self.pset(guard), sids=tuple(sids), work=work)
+
+
+def _conj(guard: BoolExpr | None, cond: BoolExpr) -> BoolExpr:
+    return cond if guard is None else And.make(guard, cond)
+
+
+def _walk(stmts: list[Stmt], ctx: _Ctx, pred: STGNode, guard: BoolExpr | None) -> STGNode:
+    """Append nodes for *stmts*, chaining control edges from *pred*;
+    returns the last node in control-flow order."""
+    stg = ctx.stg
+    for s in stmts:
+        if isinstance(s, Assign):
+            node = stg.add_node(
+                kind="assign", label=f"{s.var}=...", pset=ctx.pset(guard), sids=(s.sid,)
+            )
+            stg.add_edge(pred, node, "control")
+            pred = node
+        elif isinstance(s, ArrayAssign):
+            node = stg.add_node(
+                kind="assign", label=f"{s.array}[:]=...", pset=ctx.pset(guard), sids=(s.sid,),
+                work=s.work,
+            )
+            stg.add_edge(pred, node, "control")
+            pred = node
+        elif isinstance(s, CompBlock):
+            node = stg.add_node(
+                kind="compute", label=s.name, pset=ctx.pset(guard), sids=(s.sid,),
+                work=s.work * s.ops_per_iter,
+            )
+            stg.add_edge(pred, node, "control")
+            pred = node
+        elif isinstance(s, (SendStmt, IsendStmt)):
+            nb = "i" if isinstance(s, IsendStmt) else ""
+            mapping = RankMapping(
+                target=_rankify(s.dest),
+                guard=True if guard is None else guard,
+            )
+            node = stg.add_node(
+                kind="send", label=f"{nb}send tag={s.tag}", pset=ctx.pset(guard), sids=(s.sid,),
+                comm_bytes=s.nbytes, mapping=mapping,
+            )
+            stg.add_edge(pred, node, "control")
+            pred = node
+        elif isinstance(s, (RecvStmt, IrecvStmt)):
+            nb = "i" if isinstance(s, IrecvStmt) else ""
+            node = stg.add_node(
+                kind="recv", label=f"{nb}recv tag={s.tag}", pset=ctx.pset(guard), sids=(s.sid,),
+                comm_bytes=s.nbytes,
+                mapping=RankMapping(target=_rankify(s.source), guard=True if guard is None else guard),
+            )
+            stg.add_edge(pred, node, "control")
+            pred = node
+        elif isinstance(s, CollectiveStmt):
+            node = stg.add_node(
+                kind="collective", label=s.op, pset=ctx.pset(guard), sids=(s.sid,),
+                comm_bytes=s.nbytes,
+            )
+            stg.add_edge(pred, node, "control")
+            pred = node
+        elif isinstance(s, For):
+            head = stg.add_node(
+                kind="loop", label=f"do {s.var}={s.lo},{s.hi}", pset=ctx.pset(guard), sids=(s.sid,)
+            )
+            stg.add_edge(pred, head, "control")
+            tail = _walk(s.body, ctx, head, guard)
+            if tail is not head:
+                stg.add_edge(tail, head, "control")  # back edge
+            pred = head
+        elif isinstance(s, If):
+            head = stg.add_node(
+                kind="branch", label=f"if {s.cond}", pset=ctx.pset(guard), sids=(s.sid,)
+            )
+            stg.add_edge(pred, head, "control")
+            then_guard = _conj(guard, _rankify(s.cond))
+            else_guard = _conj(guard, Not.make(_rankify(s.cond)))
+            then_tail = _walk(s.then, ctx, head, then_guard)
+            else_tail = _walk(s.orelse, ctx, head, else_guard) if s.orelse else head
+            join = stg.add_node(kind="branch", label="endif", pset=ctx.pset(guard), sids=(s.sid,))
+            stg.add_edge(then_tail, join, "control")
+            if else_tail is not then_tail:
+                stg.add_edge(else_tail, join, "control")
+            pred = join
+        else:
+            # generated statements (timers, delays) may appear when
+            # synthesizing STGs of transformed programs
+            node = stg.add_node(
+                kind="assign", label=type(s).__name__, pset=ctx.pset(guard), sids=(s.sid,)
+            )
+            stg.add_edge(pred, node, "control")
+            pred = node
+    return pred
+
+
+def _pair_communication(stg: STG) -> None:
+    """Add communication edges pairing send nodes with recv nodes of the
+    same tag (conservative: one edge per compatible pair)."""
+    existing = {(e.src, e.dst) for e in stg.communication_edges()}
+    sends = stg.nodes_of_kind("send")
+    recvs = stg.nodes_of_kind("recv")
+    for snd in sends:
+        stag = snd.label.split("tag=")[1]
+        for rcv in recvs:
+            if rcv.label.split("tag=")[1] == stag and (snd.nid, rcv.nid) not in existing:
+                stg.add_edge(snd, rcv, "communication", mapping=snd.mapping)
+                existing.add((snd.nid, rcv.nid))

@@ -1,0 +1,16 @@
+"""End-to-end modeling workflow (Fig. 2), validation and reporting."""
+
+from .pipeline import ModelingWorkflow
+from .reporting import format_bytes, format_table, format_validation, write_validation_csv
+from .validation import ValidationPoint, ValidationSeries, validate
+
+__all__ = [
+    "ModelingWorkflow",
+    "validate",
+    "ValidationPoint",
+    "ValidationSeries",
+    "format_table",
+    "format_validation",
+    "format_bytes",
+    "write_validation_csv",
+]

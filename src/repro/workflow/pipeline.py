@@ -1,0 +1,85 @@
+"""The Fig. 2 modeling workflow: compile → measure → simulate.
+
+One :class:`ModelingWorkflow` object owns an application, a target
+machine and a calibration configuration, and exposes the three
+estimators the paper compares:
+
+* :meth:`run_measured` — "direct program measurement" (ground truth);
+* :meth:`run_de` — MPI-SIM-DE, the original direct-execution simulator;
+* :meth:`run_am` — MPI-SIM-AM, the compiler-optimized simulator running
+  the simplified program with the calibrated w_i.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codegen import CompiledProgram, compile_program
+from ..ir.interp import make_factory
+from ..ir.nodes import Program
+from ..machine import MachineParams
+from ..measure import Calibration, measure_wparams
+from ..sim.engine import ExecMode, SimResult, Simulator
+
+__all__ = ["ModelingWorkflow"]
+
+
+@dataclass
+class ModelingWorkflow:
+    """End-to-end modeling of one application on one machine."""
+
+    program: Program
+    machine: MachineParams
+    calib_inputs: dict[str, float]
+    calib_nprocs: int
+    directives: dict[int, float] | None = None
+    seed: int = 0
+
+    def __post_init__(self):
+        self._calibration: Calibration | None = None
+        self._compiled: CompiledProgram | None = None
+
+    # -- calibration ---------------------------------------------------------
+    def calibrate(self) -> Calibration:
+        """Run the timer-instrumented program at the calibration
+        configuration (once; cached)."""
+        if self._calibration is None:
+            self._calibration = measure_wparams(
+                self.program, self.calib_inputs, self.calib_nprocs, self.machine, self.seed
+            )
+        return self._calibration
+
+    @property
+    def compiled(self) -> CompiledProgram:
+        """The compiled application (branch profile from calibration)."""
+        if self._compiled is None:
+            cal = self.calibrate()
+            self._compiled = compile_program(
+                self.program, profile=cal.profile, directives=self.directives
+            )
+        return self._compiled
+
+    @property
+    def wparams(self) -> dict[str, float]:
+        return self.calibrate().wparams
+
+    # -- the three estimators ---------------------------------------------------
+    def run_measured(
+        self, inputs: dict[str, float], nprocs: int, seed: int | None = None, **kw
+    ) -> SimResult:
+        """Ground truth: the application on the (modelled) real machine."""
+        factory = make_factory(self.program, inputs)
+        return Simulator(
+            nprocs, factory, self.machine, mode=ExecMode.MEASURED,
+            seed=self.seed + 1 if seed is None else seed, **kw
+        ).run()
+
+    def run_de(self, inputs: dict[str, float], nprocs: int, **kw) -> SimResult:
+        """MPI-SIM-DE: direct execution + nominal communication model."""
+        factory = make_factory(self.program, inputs)
+        return Simulator(nprocs, factory, self.machine, mode=ExecMode.DE, **kw).run()
+
+    def run_am(self, inputs: dict[str, float], nprocs: int, **kw) -> SimResult:
+        """MPI-SIM-AM: the simplified program with calibrated w_i."""
+        factory = make_factory(self.compiled.simplified, inputs, wparams=self.wparams)
+        return Simulator(nprocs, factory, self.machine, mode=ExecMode.AM, **kw).run()

@@ -1,0 +1,72 @@
+"""Text-table and CSV reporting of experiment results."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from .validation import ValidationSeries
+
+__all__ = ["format_table", "format_validation", "format_bytes", "write_validation_csv"]
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render a plain-text table with right-aligned numeric columns."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_validation(series: ValidationSeries) -> str:
+    """The paper's validation-figure table: measured / DE / AM / errors."""
+    headers = ["procs", "measured(s)", "MPI-SIM-DE(s)", "MPI-SIM-AM(s)", "%err DE", "%err AM"]
+    rows = []
+    for p in series.points:
+        rows.append([p.label, p.measured, p.de, p.am, p.err_de, p.err_am])
+    table = format_table(headers, rows, title=f"Validation: {series.name}")
+    footer = (
+        f"max AM error {series.max_err_am:.1f}%  "
+        f"mean AM error {series.mean_err_am:.1f}%"
+    )
+    return table + "\n" + footer
+
+
+def write_validation_csv(series: ValidationSeries, path: str | Path) -> None:
+    """Write a validation series as CSV (for external plotting tools)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["label", "nprocs", "measured_s", "de_s", "am_s", "err_de_pct", "err_am_pct"])
+        for p in series.points:
+            writer.writerow(
+                [p.label, p.nprocs, p.measured, p.de, p.am, p.err_de, p.err_am]
+            )
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count (KB/MB/GB, decimal as in the paper)."""
+    for unit, scale in (("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+        if abs(nbytes) >= scale:
+            return f"{nbytes / scale:.1f}{unit}"
+    return f"{nbytes:.0f}B"

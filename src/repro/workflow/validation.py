@@ -1,0 +1,88 @@
+"""Validation runner: measured vs MPI-SIM-DE vs MPI-SIM-AM.
+
+Produces the data behind the paper's validation figures (Figs. 3–9):
+for each configuration, the three estimators' predicted execution times
+and the percentage errors of the simulators against direct measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .pipeline import ModelingWorkflow
+
+__all__ = ["ValidationPoint", "ValidationSeries", "validate"]
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One configuration's comparison of the three estimators."""
+
+    label: str
+    nprocs: int
+    measured: float
+    de: float | None
+    am: float
+
+    @property
+    def err_de(self) -> float | None:
+        """Percentage error of MPI-SIM-DE vs measurement."""
+        if self.de is None:
+            return None
+        return 100.0 * abs(self.de - self.measured) / self.measured
+
+    @property
+    def err_am(self) -> float:
+        """Percentage error of MPI-SIM-AM vs measurement."""
+        return 100.0 * abs(self.am - self.measured) / self.measured
+
+
+@dataclass
+class ValidationSeries:
+    """A named sweep of validation points (one figure's data)."""
+
+    name: str
+    points: list[ValidationPoint] = field(default_factory=list)
+
+    @property
+    def max_err_am(self) -> float:
+        return max(p.err_am for p in self.points)
+
+    @property
+    def mean_err_am(self) -> float:
+        return sum(p.err_am for p in self.points) / len(self.points)
+
+    @property
+    def max_err_de(self) -> float:
+        errs = [p.err_de for p in self.points if p.err_de is not None]
+        return max(errs) if errs else float("nan")
+
+
+def validate(
+    workflow: ModelingWorkflow,
+    configs: list[tuple[dict, int]],
+    name: str = "",
+    include_de: bool = True,
+    labels: list[str] | None = None,
+) -> ValidationSeries:
+    """Run all three estimators over *configs* ``[(inputs, nprocs), ...]``.
+
+    ``include_de=False`` skips the direct-execution simulator (used when
+    its memory demand would be infeasible, as in the paper's largest
+    configurations).
+    """
+    series = ValidationSeries(name or workflow.program.name)
+    for i, (inputs, nprocs) in enumerate(configs):
+        measured = workflow.run_measured(inputs, nprocs, seed=workflow.seed + 101 + i)
+        de = workflow.run_de(inputs, nprocs) if include_de else None
+        am = workflow.run_am(inputs, nprocs)
+        series.points.append(
+            ValidationPoint(
+                label=labels[i] if labels else str(nprocs),
+                nprocs=nprocs,
+                measured=measured.elapsed,
+                de=de.elapsed if de else None,
+                am=am.elapsed,
+            )
+        )
+    return series

@@ -1,0 +1,51 @@
+"""Additional analytic-module coverage: stats objects and HPF programs."""
+
+import pytest
+
+from repro.analytic import analytic_predict, taskgraph_predict
+from repro.hpf import compile_hpf, jacobi2d_hpf
+from repro.machine import TESTING_MACHINE
+from repro.ir import make_factory
+from repro.sim import ExecMode, Simulator
+
+
+class TestOnHpfPrograms:
+    def test_both_predictors_handle_hpf_output(self):
+        prog = compile_hpf(jacobi2d_hpf())
+        inputs = {"n": 48, "iters": 2}
+        per_rank = analytic_predict(prog, inputs, 4, TESTING_MACHINE)
+        tg = taskgraph_predict(prog, inputs, 4, TESTING_MACHINE)
+        sim = Simulator(
+            4, make_factory(prog, inputs), TESTING_MACHINE, mode=ExecMode.DE
+        ).run()
+        # Jacobi is bulk-synchronous: everything agrees closely
+        assert tg.elapsed == pytest.approx(sim.elapsed, rel=0.15)
+        assert per_rank.elapsed == pytest.approx(sim.elapsed, rel=0.30)
+
+    def test_single_rank_degenerate(self):
+        prog = compile_hpf(jacobi2d_hpf())
+        inputs = {"n": 16, "iters": 1}
+        per_rank = analytic_predict(prog, inputs, 1, TESTING_MACHINE)
+        tg = taskgraph_predict(prog, inputs, 1, TESTING_MACHINE)
+        assert per_rank.per_rank[0] > 0
+        assert tg.messages == 0
+        assert tg.critical_rank == 0
+
+
+class TestPredictionObjects:
+    def test_imbalance_of_uniform_load_is_one(self):
+        from repro.ir import ProgramBuilder
+
+        b = ProgramBuilder("flat", params=())
+        b.compute("t", work=1000)
+        pred = analytic_predict(b.build(), {}, 4, TESTING_MACHINE)
+        assert pred.imbalance == pytest.approx(1.0)
+        assert pred.elapsed == pred.per_rank[0]
+
+    def test_empty_program(self):
+        from repro.ir import ProgramBuilder
+
+        prog = ProgramBuilder("empty", params=()).build()
+        pred = analytic_predict(prog, {}, 3, TESTING_MACHINE)
+        assert pred.elapsed == 0.0
+        assert pred.imbalance == 1.0

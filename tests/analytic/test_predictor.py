@@ -1,0 +1,96 @@
+"""Tests for the pure-analytic predictor."""
+
+import pytest
+
+from repro.analytic import analytic_predict
+from repro.apps import (
+    build_sample,
+    build_sweep3d,
+    build_tomcatv,
+    sample_inputs_for_ratio,
+    sweep3d_inputs,
+    tomcatv_inputs,
+)
+from repro.machine import IBM_SP, ORIGIN_2000
+from repro.workflow import ModelingWorkflow
+
+
+@pytest.fixture(scope="module")
+def tomcatv_wf():
+    wf = ModelingWorkflow(
+        build_tomcatv(), IBM_SP, calib_inputs=tomcatv_inputs(256, itmax=3), calib_nprocs=8
+    )
+    wf.calibrate()
+    return wf
+
+
+class TestAgainstSimulation:
+    def test_bsp_code_close_to_simulation(self, tomcatv_wf):
+        """Tomcatv is bulk-synchronous: the analytic estimate tracks the
+        simulated one closely."""
+        inputs = tomcatv_inputs(256, itmax=3)
+        sim = tomcatv_wf.run_am(inputs, 8)
+        ana = analytic_predict(
+            tomcatv_wf.compiled.simplified, inputs, 8, IBM_SP, tomcatv_wf.wparams
+        )
+        assert ana.elapsed == pytest.approx(sim.elapsed, rel=0.25)
+
+    def test_lower_bounds_pipelined_code(self):
+        """Sweep3D's wavefront coupling is invisible to the analytic
+        model: its estimate must undershoot the simulation."""
+        wf = ModelingWorkflow(
+            build_sweep3d(),
+            IBM_SP,
+            calib_inputs=sweep3d_inputs(32, 32, 32, 4, kb=2, ab=1, niter=1),
+            calib_nprocs=4,
+        )
+        wf.calibrate()
+        inputs = sweep3d_inputs(32, 32, 32, 16, kb=2, ab=1, niter=1)
+        sim = wf.run_am(inputs, 16)
+        ana = analytic_predict(wf.compiled.simplified, inputs, 16, IBM_SP, wf.wparams)
+        assert ana.elapsed < sim.elapsed
+
+    def test_original_program_also_supported(self, tomcatv_wf):
+        """The predictor prices direct-execution programs too (compute
+        blocks via the CPU model)."""
+        inputs = tomcatv_inputs(256, itmax=2)
+        ana = analytic_predict(build_tomcatv(), inputs, 8, IBM_SP)
+        sim = tomcatv_wf.run_de(inputs, 8)
+        assert ana.elapsed == pytest.approx(sim.elapsed, rel=0.25)
+
+
+class TestStructure:
+    def test_per_rank_split(self, tomcatv_wf):
+        inputs = tomcatv_inputs(256, itmax=2)
+        ana = analytic_predict(
+            tomcatv_wf.compiled.simplified, inputs, 8, IBM_SP, tomcatv_wf.wparams
+        )
+        assert len(ana.per_rank) == 8
+        assert all(
+            t == pytest.approx(c + m)
+            for t, c, m in zip(ana.per_rank, ana.compute, ana.comm)
+        )
+
+    def test_imbalance_detects_uneven_blocks(self, tomcatv_wf):
+        # 10 columns over 3 ranks: blocks 4/4/2
+        ana = analytic_predict(
+            tomcatv_wf.compiled.simplified, {"n": 10, "itmax": 1}, 3, IBM_SP,
+            tomcatv_wf.wparams,
+        )
+        assert ana.imbalance > 1.05
+
+    def test_balanced_load_imbalance_near_one(self, tomcatv_wf):
+        ana = analytic_predict(
+            tomcatv_wf.compiled.simplified, {"n": 64, "itmax": 1}, 4, IBM_SP,
+            tomcatv_wf.wparams,
+        )
+        # interior ranks pay a bit more communication; compute is equal
+        assert ana.imbalance < 1.2
+
+    def test_nonblocking_programs_priced(self):
+        """SAMPLE nearest-neighbour uses isend/irecv/waitall."""
+        prog = build_sample("nearest_neighbor")
+        inputs = sample_inputs_for_ratio(0.01, ORIGIN_2000, iters=4)
+        ana = analytic_predict(prog, inputs, 4, ORIGIN_2000)
+        assert ana.elapsed > 0
+        assert all(c > 0 for c in ana.comm[1:-1])

@@ -1,0 +1,98 @@
+"""Tests for the multipartitioned NAS SP variant."""
+
+import pytest
+
+from repro.apps import (
+    build_nas_sp,
+    build_nas_sp_multipartition,
+    sp_inputs,
+    sp_multi_inputs,
+)
+from repro.codegen import compile_program
+from repro.ir import make_factory
+from repro.machine import IBM_SP, TESTING_MACHINE
+from repro.sim import ExecMode, Simulator
+
+
+def run(prog, inputs, nprocs, machine=IBM_SP, mode=ExecMode.DE):
+    return Simulator(nprocs, make_factory(prog, inputs), machine, mode=mode).run()
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return build_nas_sp_multipartition()
+
+
+class TestStructure:
+    def test_any_processor_count(self, prog):
+        """Multipartitioning does not require square counts."""
+        for p in (1, 3, 5, 7):
+            res = run(prog, sp_multi_inputs("S", niter=1), p)
+            assert res.elapsed > 0
+
+    def test_inputs_helper(self):
+        inputs = sp_multi_inputs("A", niter=2)
+        assert inputs == {"nx": 64, "niter": 2}
+        with pytest.raises(KeyError):
+            sp_multi_inputs("Z")
+
+    def test_ring_message_pattern(self, prog):
+        """Per sweep phase: P-1 stages with one exchange each per proc,
+        always to the same ring neighbour."""
+        P = 4
+        res = run(prog, sp_multi_inputs("S", niter=1), P)
+        # copy_faces: 2 ring exchanges (2 msgs/proc) + 4 phases x (P-1) stages
+        expected = P * 2 + 4 * (P - 1) * P
+        assert res.stats.total_messages == expected
+
+    def test_load_balance_is_perfect(self, prog):
+        """Every processor computes at every stage: compute times equal."""
+        res = run(prog, {"nx": 16, "niter": 2}, 4, machine=TESTING_MACHINE)
+        times = {round(p.compute_time, 12) for p in res.stats.procs}
+        assert len(times) == 1
+
+    def test_no_pipeline_fill_bubbles(self, prog):
+        """Utilization: comm-blocked time is a small share of elapsed on
+        a compute-heavy configuration (unlike the 2-D grid pipeline)."""
+        res = run(prog, {"nx": 36, "niter": 2}, 4)
+        for p in res.stats.procs:
+            assert p.comm_time < 0.35 * p.finish_time
+
+
+class TestAgainstGridVersion:
+    def test_multipartition_beats_grid_pipeline(self, prog):
+        """The whole point of multipartitioning: at the same (nx, P) the
+        diagonal decomposition outruns the line pipeline."""
+        P = 16
+        grid = run(build_nas_sp(), sp_inputs("A", P, niter=2), P)
+        multi = run(prog, {"nx": 64, "niter": 2}, P)
+        assert multi.elapsed < grid.elapsed
+
+    def test_same_total_computation(self, prog):
+        """Both decompositions do the same arithmetic (up to block
+        rounding): total compute time within 20%."""
+        P = 4
+        grid = run(build_nas_sp(), sp_inputs("S", P, niter=1), P, machine=TESTING_MACHINE)
+        multi = run(prog, {"nx": 12, "niter": 1}, P, machine=TESTING_MACHINE)
+        ratio = multi.stats.total_compute_time / grid.stats.total_compute_time
+        assert 0.8 < ratio < 1.25
+
+
+class TestCompilation:
+    def test_compiles_and_simplifies(self, prog):
+        compiled = compile_program(prog)
+        assert compiled.simplified.arrays == {}
+        assert len(compiled.plan.regions) >= 3
+
+    def test_am_accuracy(self, prog):
+        from repro.workflow import ModelingWorkflow
+
+        wf = ModelingWorkflow(
+            prog, IBM_SP, calib_inputs=sp_multi_inputs("S", niter=2), calib_nprocs=4
+        )
+        wf.calibrate()
+        inputs = sp_multi_inputs("W", niter=2)
+        meas = wf.run_measured(inputs, 8)
+        am = wf.run_am(inputs, 8)
+        err = abs(am.elapsed - meas.elapsed) / meas.elapsed
+        assert err < 0.17

@@ -1,0 +1,183 @@
+"""Tests for Tomcatv, NAS SP and SAMPLE application models."""
+
+import pytest
+
+from repro.apps import (
+    SAMPLE_PATTERNS,
+    build_nas_sp,
+    build_sample,
+    build_tomcatv,
+    factor2d,
+    sample_inputs_for_ratio,
+    sp_inputs,
+    square_side,
+    tomcatv_inputs,
+)
+from repro.codegen import compile_program
+from repro.ir import ArrayAssign, make_factory
+from repro.machine import IBM_SP, ORIGIN_2000
+from repro.sim import ExecMode, Simulator
+
+
+def run(prog, inputs, nprocs, machine=IBM_SP, mode=ExecMode.DE, **kw):
+    return Simulator(nprocs, make_factory(prog, inputs, **kw), machine, mode=mode).run()
+
+
+class TestHelpers:
+    def test_factor2d(self):
+        assert factor2d(16) == (4, 4)
+        assert factor2d(8) == (2, 4)
+        assert factor2d(7) == (1, 7)
+        assert factor2d(1) == (1, 1)
+
+    def test_factor2d_invalid(self):
+        with pytest.raises(ValueError):
+            factor2d(0)
+
+    def test_square_side(self):
+        assert square_side(16) == 4
+        with pytest.raises(ValueError, match="square"):
+            square_side(8)
+
+
+class TestTomcatv:
+    @pytest.fixture(scope="class")
+    def prog(self):
+        return build_tomcatv()
+
+    def test_message_pattern(self, prog):
+        """Per iteration: each interior rank exchanges both ways, edge
+        ranks one way -> 2*(P-1) messages per iteration."""
+        inputs = tomcatv_inputs(64, itmax=3)
+        res = run(prog, inputs, 4)
+        assert res.stats.total_messages == 3 * 2 * (4 - 1)
+
+    def test_allreduce_per_iteration(self, prog):
+        inputs = tomcatv_inputs(64, itmax=5)
+        res = run(prog, inputs, 4)
+        assert all(p.collectives == 5 for p in res.stats.procs)
+
+    def test_memory_is_seven_arrays(self, prog):
+        inputs = tomcatv_inputs(128, itmax=1)
+        res = run(prog, inputs, 4)
+        per_rank = 7 * 128 * 32 * 8  # 7 arrays of n*ceil(n/P) doubles
+        assert res.memory.app_bytes == 4 * per_rank
+
+    def test_simplified_eliminates_everything(self, prog):
+        compiled = compile_program(prog)
+        assert compiled.simplified.arrays == {}
+        assert len(compiled.plan.regions) >= 1
+
+    def test_load_balance(self, prog):
+        """With n divisible by P, per-rank compute times are equal."""
+        inputs = tomcatv_inputs(64, itmax=2)
+        res = run(prog, inputs, 4)
+        times = [p.compute_time for p in res.stats.procs]
+        assert max(times) == pytest.approx(min(times))
+
+
+class TestNasSP:
+    @pytest.fixture(scope="class")
+    def prog(self):
+        return build_nas_sp()
+
+    def test_class_inputs(self):
+        inputs = sp_inputs("A", 16)
+        assert inputs["nx"] == 64 and inputs["q"] == 4
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            sp_inputs("A", 8)
+
+    def test_unknown_class(self):
+        with pytest.raises(KeyError):
+            sp_inputs("Z", 4)
+
+    def test_runs_small(self, prog):
+        res = run(prog, sp_inputs("S", 4, niter=2), 4)
+        assert res.elapsed > 0
+        assert res.stats.total_messages > 0
+
+    def test_cell_size_array_retained_in_simplified(self, prog):
+        """The paper's Sec. 3.3 feature: cell_size arrays feed loop
+        bounds, so the slicer must keep them (and their producers)."""
+        compiled = compile_program(prog)
+        assert "cell_size_x" in compiled.simplified.arrays
+        assert "cell_size_y" in compiled.simplified.arrays
+        aa = [s for s in compiled.simplified.statements() if isinstance(s, ArrayAssign)]
+        assert {a.array for a in aa} == {"cell_size_x", "cell_size_y"}
+
+    def test_big_arrays_eliminated(self, prog):
+        compiled = compile_program(prog)
+        assert "u" not in compiled.simplified.arrays
+        assert "rhs" not in compiled.simplified.arrays
+
+    def test_uneven_cell_sizes(self, prog):
+        """nx not divisible by q: ranks get different work via cell_size."""
+        res = run(prog, {"nx": 13, "q": 2, "niter": 1}, 4)
+        times = {round(p.compute_time, 9) for p in res.stats.procs}
+        assert len(times) > 1
+
+    def test_memory_reduction_factor_smaller_than_tomcatv(self, prog):
+        """SP must retain its cell_size machinery, so (as in Table 1) its
+        reduction factor is smaller than Tomcatv's."""
+        sp_c = compile_program(prog)
+        sp_inputs_ = sp_inputs("S", 4, niter=1)
+        de = run(prog, sp_inputs_, 4)
+        am = run(sp_c.simplified, sp_inputs_, 4, wparams={w: 1e-7 for w in sp_c.w_param_names})
+        sp_factor = de.memory.app_bytes / am.memory.app_bytes
+
+        tom = build_tomcatv()
+        tom_c = compile_program(tom)
+        ti = tomcatv_inputs(48, itmax=1)
+        tde = run(tom, ti, 4)
+        tam = run(tom_c.simplified, ti, 4, wparams={w: 1e-7 for w in tom_c.w_param_names})
+        tom_factor = tde.memory.app_bytes / tam.memory.app_bytes
+        assert sp_factor < tom_factor
+
+
+class TestSample:
+    @pytest.mark.parametrize("pattern", SAMPLE_PATTERNS)
+    def test_builds_and_runs(self, pattern):
+        prog = build_sample(pattern)
+        inputs = sample_inputs_for_ratio(0.01, ORIGIN_2000, iters=5)
+        res = run(prog, inputs, 4, machine=ORIGIN_2000)
+        assert res.elapsed > 0
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            build_sample("ring")
+
+    def test_ratio_controls_grain(self):
+        lo = sample_inputs_for_ratio(0.0001, ORIGIN_2000)
+        hi = sample_inputs_for_ratio(1.0, ORIGIN_2000)
+        assert lo["grain"] > hi["grain"] * 100
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            sample_inputs_for_ratio(0, ORIGIN_2000)
+
+    def test_wavefront_pipelines(self):
+        prog = build_sample("wavefront")
+        inputs = sample_inputs_for_ratio(1.0, ORIGIN_2000, iters=1)
+        res = run(prog, inputs, 4, machine=ORIGIN_2000)
+        finishes = [p.finish_time for p in res.stats.procs]
+        assert finishes == sorted(finishes)  # each rank finishes after its left
+
+    def test_nn_symmetric(self):
+        prog = build_sample("nearest_neighbor")
+        inputs = sample_inputs_for_ratio(0.1, ORIGIN_2000, iters=4)
+        res = run(prog, inputs, 4, machine=ORIGIN_2000)
+        # interior ranks exchange both ways
+        assert res.stats.procs[1].messages_sent == 2 * 4
+        assert res.stats.procs[0].messages_sent == 1 * 4
+
+    def test_comm_to_comp_ratio_realized(self):
+        """The realized ratio tracks the requested one within 2x."""
+        prog = build_sample("nearest_neighbor")
+        for target in (0.001, 0.1):
+            inputs = sample_inputs_for_ratio(target, ORIGIN_2000, iters=4)
+            res = run(prog, inputs, 2, machine=ORIGIN_2000)
+            p = res.stats.procs[0]
+            realized = p.comm_time / p.compute_time
+            assert realized / target < 10 and target / realized < 10

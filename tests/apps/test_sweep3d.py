@@ -1,0 +1,126 @@
+"""Tests for the Sweep3D application model."""
+
+import pytest
+
+from repro.apps import sweep3d_inputs, sweep3d_per_proc_inputs
+from repro.apps.sweep3d import FIXUP_PROBABILITY, build_sweep3d
+from repro.codegen import compile_program
+from repro.ir import BranchProfile, CompBlock, DelayStmt, make_factory
+from repro.machine import TESTING_MACHINE, IBM_SP
+from repro.sim import ExecMode, Simulator
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return build_sweep3d()
+
+
+def run(prog, inputs, nprocs, machine=IBM_SP, mode=ExecMode.DE, **kw):
+    return Simulator(nprocs, make_factory(prog, inputs, **kw), machine, mode=mode).run()
+
+
+class TestStructure:
+    def test_builds_and_validates(self, prog):
+        assert prog.name == "sweep3d"
+        assert len(prog.comp_blocks()) == 3  # sweep_stage, flux_fixup, flux_norm
+
+    def test_fixup_branch_is_data_dependent(self, prog):
+        from repro.ir import If, walk
+
+        dd = [s for s in walk(prog.body) if isinstance(s, If) and s.data_dependent]
+        assert len(dd) == 1
+
+    def test_inputs_helper_factorizes(self):
+        inputs = sweep3d_inputs(150, 150, 150, 8)
+        assert inputs["px"] * inputs["py"] == 8
+
+    def test_per_proc_inputs_scale_grid(self):
+        inputs = sweep3d_per_proc_inputs(4, 4, 255, 16)
+        assert inputs["itg"] == 4 * inputs["px"]
+        assert inputs["jtg"] == 4 * inputs["py"]
+
+
+class TestExecution:
+    def test_pipeline_message_count(self, prog):
+        """Each octant sweep sends one i-message per interior i-edge and
+        one j-message per interior j-edge, per (angle-block × k-block)."""
+        inputs = sweep3d_inputs(16, 16, 16, 4, kb=2, ab=1, niter=1)
+        res = run(prog, inputs, 4)
+        px, py = inputs["px"], inputs["py"]
+        stages = 8 * inputs["ab"] * inputs["kb"]
+        i_msgs = stages * (px - 1) * py
+        j_msgs = stages * px * (py - 1)
+        assert res.stats.total_messages == i_msgs + j_msgs
+
+    def test_wavefront_skew(self, prog):
+        """Downstream corner ranks finish later than the origin corner in
+        a single one-octant-dominated pipeline; with all 8 octants the
+        finish times even out — so check the pipeline exists via comm time."""
+        inputs = sweep3d_inputs(24, 24, 16, 4, kb=2, ab=1, niter=1)
+        res = run(prog, inputs, 4)
+        assert all(p.comm_time > 0 for p in res.stats.procs)
+
+    def test_fixup_branch_fires_at_expected_rate(self, prog):
+        inputs = sweep3d_inputs(16, 16, 16, 4, kb=3, ab=2, niter=2)
+        profile = BranchProfile()
+        run(prog, inputs, 4, profile=profile)
+        from repro.ir import If, walk
+
+        branch = next(s for s in walk(prog.body) if isinstance(s, If) and s.data_dependent)
+        p = profile.probability(branch.sid)
+        assert abs(p - FIXUP_PROBABILITY) < 0.15
+
+    def test_deterministic_across_modes(self, prog):
+        """DE control flow matches the measured run exactly (same message
+        counts) because the fixup probe is deterministic."""
+        inputs = sweep3d_inputs(16, 16, 16, 4, kb=2, ab=1, niter=1)
+        de = run(prog, inputs, 4, mode=ExecMode.DE)
+        meas = run(prog, inputs, 4, mode=ExecMode.MEASURED)
+        assert de.stats.total_messages == meas.stats.total_messages
+        assert de.stats.total_bytes == meas.stats.total_bytes
+
+    def test_memory_scales_with_grid(self, prog):
+        small = run(prog, sweep3d_inputs(12, 12, 8, 4, niter=1), 4)
+        large = run(prog, sweep3d_inputs(24, 24, 8, 4, niter=1), 4)
+        assert large.memory.app_bytes > 3 * small.memory.app_bytes
+
+
+class TestCompilation:
+    @pytest.fixture(scope="class")
+    def compiled(self, prog):
+        profile = BranchProfile()
+        inputs = sweep3d_inputs(16, 16, 16, 4, kb=2, ab=1, niter=1)
+        run(prog, inputs, 4, profile=profile)
+        return compile_program(prog, profile=profile)
+
+    def test_fixup_branch_eliminated(self, compiled):
+        assert len(set(compiled.plan.eliminated_branches)) == 1
+
+    def test_all_big_arrays_eliminated(self, compiled):
+        assert compiled.simplified.arrays == {}
+
+    def test_no_compute_blocks_remain(self, compiled):
+        stmts = list(compiled.simplified.statements())
+        assert not any(isinstance(s, CompBlock) for s in stmts)
+        assert any(isinstance(s, DelayStmt) for s in stmts)
+
+    def test_comm_structure_preserved(self, compiled, prog):
+        inputs = sweep3d_inputs(16, 16, 16, 4, kb=2, ab=1, niter=1)
+        de = run(prog, inputs, 4)
+        am = run(compiled.simplified, inputs, 4, wparams={
+            w: 1e-7 for w in compiled.w_param_names
+        })
+        assert am.stats.total_messages == de.stats.total_messages
+
+    def test_am_accuracy_on_exact_machine(self, prog):
+        """On the noise-free flat-cache machine, AM tracks ground truth to
+        within a few percent despite the statistically eliminated fixup."""
+        from repro.measure import measure_wparams
+
+        inputs = sweep3d_inputs(16, 16, 16, 4, kb=2, ab=2, niter=2)
+        cal = measure_wparams(prog, inputs, 4, TESTING_MACHINE)
+        compiled = compile_program(prog, profile=cal.profile)
+        am = run(compiled.simplified, inputs, 4, machine=TESTING_MACHINE, wparams=cal.wparams)
+        meas = run(prog, inputs, 4, machine=TESTING_MACHINE, mode=ExecMode.MEASURED)
+        err = abs(am.elapsed - meas.elapsed) / meas.elapsed
+        assert err < 0.06

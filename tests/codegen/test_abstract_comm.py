@@ -1,0 +1,96 @@
+"""Tests for the abstract-communication extension (paper Sec. 5)."""
+
+import pytest
+
+from repro.apps import (
+    build_sweep3d,
+    build_tomcatv,
+    sweep3d_inputs,
+    tomcatv_inputs,
+)
+from repro.codegen import generate_abstract_comm
+from repro.ir import DelayStmt, RecvStmt, SendStmt, make_factory
+from repro.machine import IBM_SP
+from repro.sim import ExecMode, Simulator
+from repro.workflow import ModelingWorkflow
+
+
+@pytest.fixture(scope="module")
+def tomcatv_wf():
+    wf = ModelingWorkflow(
+        build_tomcatv(), IBM_SP, calib_inputs=tomcatv_inputs(128, itmax=3), calib_nprocs=4
+    )
+    wf.calibrate()
+    return wf
+
+
+@pytest.fixture(scope="module")
+def sweep_wf():
+    wf = ModelingWorkflow(
+        build_sweep3d(),
+        IBM_SP,
+        calib_inputs=sweep3d_inputs(32, 32, 32, 4, kb=2, ab=1, niter=1),
+        calib_nprocs=4,
+    )
+    wf.calibrate()
+    return wf
+
+
+class TestTransformation:
+    def test_no_p2p_remains(self, tomcatv_wf):
+        abstract = generate_abstract_comm(tomcatv_wf.compiled.simplified, IBM_SP)
+        stmts = list(abstract.statements())
+        assert not any(isinstance(s, (SendStmt, RecvStmt)) for s in stmts)
+        assert any(
+            isinstance(s, DelayStmt) and s.task.startswith("abstract_") for s in stmts
+        )
+
+    def test_collectives_kept(self, tomcatv_wf):
+        abstract = generate_abstract_comm(tomcatv_wf.compiled.simplified, IBM_SP)
+        assert any(s.is_comm() for s in abstract.statements())
+
+    def test_runs_without_messages(self, tomcatv_wf):
+        abstract = generate_abstract_comm(tomcatv_wf.compiled.simplified, IBM_SP)
+        res = Simulator(
+            4,
+            make_factory(abstract, tomcatv_inputs(128, itmax=3), wparams=tomcatv_wf.wparams),
+            IBM_SP,
+            mode=ExecMode.AM,
+        ).run()
+        assert res.stats.total_messages == 0
+        assert res.elapsed > 0
+
+    def test_metadata_recorded(self, tomcatv_wf):
+        abstract = generate_abstract_comm(tomcatv_wf.compiled.simplified, IBM_SP)
+        assert abstract.meta["abstract_comm"] == IBM_SP.name
+
+
+class TestAccuracyTradeoff:
+    """The reason the paper simulates communication in detail."""
+
+    def _am_and_abstract(self, wf, inputs, nprocs):
+        am = wf.run_am(inputs, nprocs).elapsed
+        abstract_prog = generate_abstract_comm(wf.compiled.simplified, IBM_SP)
+        abstract = Simulator(
+            nprocs,
+            make_factory(abstract_prog, inputs, wparams=wf.wparams),
+            IBM_SP,
+            mode=ExecMode.AM,
+        ).run().elapsed
+        meas = wf.run_measured(inputs, nprocs).elapsed
+        return (
+            abs(am - meas) / meas,
+            abs(abstract - meas) / meas,
+        )
+
+    def test_loosely_coupled_app_survives_abstraction(self, tomcatv_wf):
+        err_am, err_abs = self._am_and_abstract(tomcatv_wf, tomcatv_inputs(128, itmax=3), 4)
+        assert err_abs < 0.25  # still usable
+
+    def test_wavefront_app_needs_detailed_communication(self, sweep_wf):
+        inputs = sweep3d_inputs(32, 32, 32, 16, kb=2, ab=1, niter=1)
+        err_am, err_abs = self._am_and_abstract(sweep_wf, inputs, 16)
+        # detailed communication keeps AM accurate; the abstract model
+        # loses the pipeline-fill time and degrades substantially
+        assert err_abs > 2 * err_am
+        assert err_abs > 0.10

@@ -1,0 +1,119 @@
+"""Property-based tests of the HPF front-end.
+
+Random (*, BLOCK) data-parallel programs must compile to valid,
+runnable message-passing programs whose communication structure follows
+directly from the declared stencils.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpf import HpfBuilder, Stencil, compile_hpf
+from repro.ir import IrecvStmt, IsendStmt, make_factory, walk
+from repro.machine import TESTING_MACHINE
+from repro.sim import ExecMode, Simulator
+from repro.symbolic import Var
+
+
+@st.composite
+def stencils(draw):
+    n_offsets = draw(st.integers(1, 5))
+    offs = {(0, 0)}
+    for _ in range(n_offsets):
+        offs.add((draw(st.integers(-2, 2)), draw(st.integers(-2, 2))))
+    return Stencil(frozenset(offs))
+
+
+@st.composite
+def hpf_programs(draw):
+    n = Var("n")
+    b = HpfBuilder(f"hprop{draw(st.integers(0, 10**6))}", params=("n",), rows=n, cols=n)
+    arrays = [f"A{i}" for i in range(draw(st.integers(1, 3)))]
+    for name in arrays:
+        b.array(name)
+    decls = {}
+    n_stmts = draw(st.integers(1, 4))
+    loop = draw(st.booleans())
+    ctx = b.do("t", 1, draw(st.integers(1, 3))) if loop else None
+    if ctx:
+        ctx.__enter__()
+    for i in range(n_stmts):
+        kind = draw(st.sampled_from(["forall", "reduce"]))
+        if kind == "forall":
+            reads = {
+                name: draw(stencils())
+                for name in draw(st.sets(st.sampled_from(arrays), min_size=1))
+            }
+            writes = tuple(draw(st.sets(st.sampled_from(arrays), min_size=1)))
+            b.forall(f"f{i}", reads=reads, writes=writes,
+                     ops_per_point=draw(st.integers(1, 20)))
+            decls[f"f{i}"] = reads
+        else:
+            b.reduction(draw(st.sampled_from(arrays)),
+                        kind=draw(st.sampled_from(["max", "min", "sum"])))
+    if ctx:
+        ctx.__exit__(None, None, None)
+    return b.build(), decls
+
+
+@given(hpf_programs(), st.integers(1, 5), st.integers(8, 40))
+@settings(max_examples=30, deadline=None)
+def test_compiled_program_validates_and_runs(data, nprocs, n):
+    hpf, _ = data
+    prog = compile_hpf(hpf)  # .validate() runs inside
+    res = Simulator(
+        nprocs, make_factory(prog, {"n": n}), TESTING_MACHINE, mode=ExecMode.DE
+    ).run()
+    assert res.elapsed >= 0.0
+
+
+@given(hpf_programs())
+@settings(max_examples=50, deadline=None)
+def test_exchanges_iff_stencil_reaches_neighbours(data):
+    hpf, decls = data
+    prog = compile_hpf(hpf)
+    comm_arrays = {s.array for s in walk(prog.body) if isinstance(s, (IsendStmt, IrecvStmt))}
+    expect = set()
+    for reads in decls.values():
+        for name, stencil in reads.items():
+            if stencil.ghost_width > 0:
+                expect.add(name)
+    assert comm_arrays == expect
+
+
+@given(hpf_programs(), st.integers(2, 5), st.integers(10, 30))
+@settings(max_examples=30, deadline=None)
+def test_ghost_allocation_covers_widest_stencil(data, nprocs, n):
+    hpf, decls = data
+    prog = compile_hpf(hpf)
+    need: dict[str, int] = {}
+    for reads in decls.values():
+        for name, stencil in reads.items():
+            need[name] = max(need.get(name, 0), stencil.ghost_width)
+    env = {"n": n, "P": nprocs, "myid": 0}
+    import math
+
+    block = math.ceil(n / nprocs)
+    for name, decl in prog.arrays.items():
+        size = int(decl.size.evaluate(env))
+        assert size == n * (block + 2 * need.get(name, 0))
+
+
+@given(hpf_programs(), st.integers(2, 4), st.integers(12, 24))
+@settings(max_examples=20, deadline=None)
+def test_compiles_through_backend(data, nprocs, n):
+    """Every front-end output survives the full condense/slice/codegen."""
+    from repro.codegen import compile_program
+
+    hpf, _ = data
+    compiled = compile_program(compile_hpf(hpf))
+    res = Simulator(
+        nprocs,
+        make_factory(
+            compiled.simplified, {"n": n},
+            wparams={w: 1e-8 for w in compiled.w_param_names},
+        ),
+        TESTING_MACHINE,
+        mode=ExecMode.AM,
+    ).run()
+    assert res.elapsed >= 0.0

@@ -1,0 +1,94 @@
+"""Tests for the IR pretty-printer (full statement coverage)."""
+
+from repro.ir import ProgramBuilder, format_program, format_stmts, myid, P
+from repro.ir.nodes import (
+    AllocStmt,
+    DelayStmt,
+    ReadParams,
+    StartTimer,
+    StopTimer,
+)
+from repro.symbolic import Gt, Var
+
+
+def full_program():
+    N = Var("N")
+    b = ProgramBuilder("printme", params=("N",))
+    b.array("A", size=N, itemsize=8, materialize=True)
+    b.array_assign("A", lambda e, a: None, reads={"N"}, work=N)
+    b.assign("x", N + 1)
+    with b.loop("i", 1, N):
+        b.compute("body", work=N, ops_per_iter=3, arrays=("A",))
+        with b.if_(Gt(myid, 0)):
+            b.send(dest=myid - 1, nbytes=8, tag=2, array="A")
+        with b.else_():
+            b.recv(source=myid + 1, nbytes=8, tag=2)
+    b.isend(dest=(myid + 1) % P, nbytes=16, tag=3, handle="h1")
+    b.irecv(source=(myid - 1 + P) % P, nbytes=16, tag=3, handle="h2")
+    b.waitall("h1", "h2")
+    b.allreduce(nbytes=8, contrib=Var("x"), result_var="total")
+    return b.build()
+
+
+class TestFormatProgram:
+    def test_header_and_decls(self):
+        text = format_program(full_program())
+        assert text.startswith("program printme(N)")
+        assert "array A[N] x8B, materialized" in text
+        assert text.rstrip().endswith("end")
+
+    def test_every_statement_rendered(self):
+        text = format_program(full_program())
+        for token in (
+            "A[:] = kernel(N)",
+            "x = N + 1",
+            "do i = 1, N",
+            "compute body: N iters x 3.0 ops on A",
+            "SEND A(8 bytes) to myid - 1 tag 2",
+            "RECV <none>(8 bytes) from myid + 1 tag 2",
+            "else",
+            "endif",
+            "enddo",
+            "h1 = ISEND",
+            "h2 = IRECV",
+            "call mpi_waitall(h1, h2)",
+            "ALLREDUCE(8 bytes) -> total (sum)",
+        ):
+            assert token in text, f"missing: {token}"
+
+    def test_generated_statements(self):
+        stmts = [
+            ReadParams(("w_a", "w_b")),
+            AllocStmt("dummy_buf", Var("N") * 8),
+            DelayStmt(Var("w_a") * Var("N"), task="T0"),
+            StartTimer("a"),
+            StopTimer("a"),
+        ]
+        lines = format_stmts(stmts)
+        assert "call read_and_broadcast(w_a, w_b)" in lines[0]
+        assert "allocate dummy_buf" in lines[1]
+        assert "call delay(" in lines[2] and "T0" in lines[2]
+        assert "timer_start('a')" in lines[3]
+        assert "timer_stop('a')" in lines[4]
+
+    def test_indentation_nesting(self):
+        text = format_program(full_program())
+        # the send inside if inside loop is indented three levels
+        line = next(l for l in text.splitlines() if "SEND" in l)
+        assert line.startswith("      ")
+
+    def test_data_dependent_marker(self):
+        b = ProgramBuilder("dd")
+        with b.if_(Gt(myid, 0), data_dependent=True):
+            b.compute("t", work=1)
+        text = format_program(b.build())
+        assert "[data-dependent]" in text
+
+    def test_simplified_program_renders(self):
+        from repro.apps import build_tomcatv
+        from repro.codegen import compile_program
+
+        text = format_program(compile_program(build_tomcatv()).simplified)
+        assert "call read_and_broadcast" in text
+        assert "call delay(" in text
+        assert "dummy_buf" in text

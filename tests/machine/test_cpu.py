@@ -1,0 +1,80 @@
+"""Unit tests for the CPU timing model."""
+
+import numpy as np
+import pytest
+
+from repro.machine import IBM_SP, CpuModel, CpuParams, KiB, MiB
+
+
+@pytest.fixture
+def cpu():
+    return CpuModel(IBM_SP.cpu)
+
+
+class TestCacheFactor:
+    def test_inside_l1_is_unity(self, cpu):
+        assert cpu.cache_factor(0) == 1.0
+        assert cpu.cache_factor(IBM_SP.cpu.l1_bytes) == 1.0
+
+    def test_at_l2_boundary(self, cpu):
+        assert cpu.cache_factor(IBM_SP.cpu.l2_bytes) == pytest.approx(IBM_SP.cpu.l2_factor)
+
+    def test_saturates_at_mem_factor(self, cpu):
+        assert cpu.cache_factor(10**12) == pytest.approx(IBM_SP.cpu.mem_factor)
+
+    def test_monotone_nondecreasing(self, cpu):
+        sizes = [2**k for k in range(10, 34)]
+        factors = [cpu.cache_factor(s) for s in sizes]
+        assert all(b >= a for a, b in zip(factors, factors[1:]))
+
+    def test_between_l1_and_l2(self, cpu):
+        mid = 512 * KiB
+        f = cpu.cache_factor(mid)
+        assert 1.0 < f < IBM_SP.cpu.l2_factor
+
+    def test_flat_cache_when_factors_unity(self):
+        flat = CpuModel(CpuParams(l2_factor=1.0, mem_factor=1.0))
+        assert flat.cache_factor(10**12) == 1.0
+
+
+class TestTaskTime:
+    def test_linear_in_ops_within_regime(self, cpu):
+        t1 = cpu.task_time(1000, working_set_bytes=1 * KiB)
+        t2 = cpu.task_time(2000, working_set_bytes=1 * KiB)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_zero_ops(self, cpu):
+        assert cpu.task_time(0) == 0.0
+
+    def test_negative_ops_rejected(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.task_time(-1)
+
+    def test_cache_effect_slows_tasks(self, cpu):
+        small = cpu.task_time(10**6, working_set_bytes=16 * KiB)
+        large = cpu.task_time(10**6, working_set_bytes=256 * MiB)
+        assert large > small
+
+    def test_deterministic_without_noise(self, cpu):
+        assert cpu.task_time(12345, 100) == cpu.task_time(12345, 100)
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError):
+            CpuModel(IBM_SP.cpu, noise_sigma=0.05)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            CpuModel(IBM_SP.cpu, noise_sigma=-0.1, rng=np.random.default_rng(0))
+
+    def test_noise_is_multiplicative_and_bounded(self):
+        rng = np.random.default_rng(42)
+        noisy = CpuModel(IBM_SP.cpu, noise_sigma=0.02, rng=rng)
+        base = CpuModel(IBM_SP.cpu)
+        ts = np.array([noisy.task_time(10**6) for _ in range(200)])
+        t0 = base.task_time(10**6)
+        ratios = ts / t0
+        assert 0.9 < ratios.mean() < 1.1
+        assert ratios.std() < 0.1
+
+    def test_timer_cost(self, cpu):
+        assert cpu.timer_cost() == IBM_SP.cpu.timer_overhead

@@ -1,0 +1,103 @@
+"""Unit tests for the interconnect timing model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.machine import COLLECTIVE_OPS, IBM_SP, KiB, NetworkModel
+
+
+@pytest.fixture
+def net():
+    return NetworkModel(IBM_SP.net)
+
+
+@pytest.fixture
+def truth_net():
+    return NetworkModel(IBM_SP.net, IBM_SP.truth, rng=np.random.default_rng(7))
+
+
+class TestPointToPoint:
+    def test_zero_byte_message_costs_latency(self, net):
+        assert net.transit_time(0) == pytest.approx(IBM_SP.net.latency)
+
+    def test_transit_linear_in_size_below_eager(self, net):
+        t1 = net.transit_time(1024)
+        t2 = net.transit_time(2048)
+        assert (t2 - t1) == pytest.approx(1024 * IBM_SP.net.per_byte)
+
+    def test_rendezvous_adds_handshake(self, net):
+        small = net.transit_time(IBM_SP.net.eager_limit)
+        big = net.transit_time(IBM_SP.net.eager_limit + 1)
+        extra_byte = IBM_SP.net.per_byte
+        assert big - small == pytest.approx(IBM_SP.net.rendezvous_latency + extra_byte)
+
+    def test_is_eager(self, net):
+        assert net.is_eager(IBM_SP.net.eager_limit)
+        assert not net.is_eager(IBM_SP.net.eager_limit + 1)
+
+    def test_negative_size_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.transit_time(-1)
+
+    def test_overheads_positive(self, net):
+        assert net.send_overhead(0) > 0
+        assert net.recv_overhead(4 * KiB) > net.recv_overhead(0)
+
+    def test_ground_truth_slower_on_average(self, net, truth_net):
+        nominal = net.transit_time(64 * KiB)
+        samples = [truth_net.transit_time(64 * KiB) for _ in range(100)]
+        assert np.mean(samples) > nominal
+
+    def test_truth_noise_varies(self, truth_net):
+        a = truth_net.transit_time(1024)
+        b = truth_net.transit_time(1024)
+        assert a != b  # lognormal noise applied per message
+
+    def test_noisy_model_requires_rng(self):
+        with pytest.raises(ValueError):
+            NetworkModel(IBM_SP.net, IBM_SP.truth, rng=None)
+
+
+class TestCollectives:
+    def test_single_process_is_free(self, net):
+        for op in COLLECTIVE_OPS:
+            assert net.collective_time(op, 1024, 1) == 0.0
+
+    def test_log_scaling_of_bcast(self, net):
+        t4 = net.collective_time("bcast", 1024, 4)
+        t16 = net.collective_time("bcast", 1024, 16)
+        assert t16 == pytest.approx(2 * t4)  # log2(16)=4 vs log2(4)=2
+
+    def test_allreduce_twice_reduce(self, net):
+        r = net.collective_time("reduce", 4096, 8)
+        ar = net.collective_time("allreduce", 4096, 8)
+        assert ar == pytest.approx(2 * r)
+
+    def test_barrier_ignores_payload(self, net):
+        assert net.collective_time("barrier", 0, 8) == net.collective_time("barrier", 10**6, 8)
+
+    def test_alltoall_linear_in_procs(self, net):
+        t8 = net.collective_time("alltoall", 1024, 8)
+        t16 = net.collective_time("alltoall", 1024, 16)
+        assert t16 == pytest.approx(t8 * 15 / 7)
+
+    def test_rounds_use_ceil_log2(self, net):
+        t5 = net.collective_time("bcast", 0, 5)
+        assert t5 == pytest.approx(math.ceil(math.log2(5)) * IBM_SP.net.latency)
+
+    def test_unknown_op_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.collective_time("gossip", 0, 4)
+
+    def test_invalid_args_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.collective_time("bcast", -1, 4)
+        with pytest.raises(ValueError):
+            net.collective_time("bcast", 0, 0)
+
+    def test_truth_collective_slower(self, net, truth_net):
+        nominal = net.collective_time("allreduce", 8192, 16)
+        samples = [truth_net.collective_time("allreduce", 8192, 16) for _ in range(50)]
+        assert np.mean(samples) > nominal

@@ -1,0 +1,90 @@
+"""Tests for interconnect topologies and hop-dependent latency."""
+
+import pytest
+
+from repro import mpi
+from repro.machine import IBM_SP, TOPOLOGIES, NetworkModel, hops, mean_hops
+from repro.machine.params import NetworkParams
+from repro.sim import ExecMode, Simulator
+
+
+class TestHopCounts:
+    def test_crossbar_uniform(self):
+        assert hops("crossbar", 0, 7, 8) == 1
+        assert hops("crossbar", 3, 3, 8) == 0
+
+    def test_multistage_log(self):
+        assert hops("multistage", 0, 1, 16) == 4  # ceil(log2 16)
+        assert hops("multistage", 0, 15, 16) == 4
+
+    def test_hypercube_popcount(self):
+        assert hops("hypercube", 0b000, 0b111, 8) == 3
+        assert hops("hypercube", 0b101, 0b100, 8) == 1
+
+    def test_torus_wraparound(self):
+        # 4x4 torus: 0 -> 3 wraps in one hop
+        assert hops("torus2d", 0, 3, 16) == 1
+        assert hops("torus2d", 0, 5, 16) == 2  # (1,1) diagonal
+
+    def test_unknown_topology(self):
+        with pytest.raises(KeyError, match="unknown topology"):
+            hops("ring9000", 0, 1, 4)
+
+    def test_rank_range_checked(self):
+        with pytest.raises(ValueError):
+            hops("crossbar", 0, 9, 4)
+
+    def test_mean_hops_ordering(self):
+        # richer topologies have shorter average paths than a 2-D torus
+        assert mean_hops("crossbar", 16) <= mean_hops("hypercube", 16)
+        assert mean_hops("hypercube", 16) <= mean_hops("torus2d", 64) + 2
+
+    def test_all_registered_topologies_symmetric(self):
+        for kind in TOPOLOGIES:
+            for s, d in ((0, 5), (2, 7)):
+                assert hops(kind, s, d, 8) == hops(kind, d, s, 8)
+
+
+class TestHopLatency:
+    def _net(self, topology, per_hop):
+        return NetworkModel(NetworkParams(topology=topology, per_hop=per_hop))
+
+    def test_crossbar_unaffected(self):
+        net = self._net("crossbar", 5e-6)
+        assert net.transit_time(0, 0, 7, 8) == net.transit_time(0)
+
+    def test_hypercube_distance_matters(self):
+        net = self._net("hypercube", 5e-6)
+        near = net.transit_time(0, 0b000, 0b001, 8)  # 1 hop
+        far = net.transit_time(0, 0b000, 0b111, 8)  # 3 hops
+        assert far == pytest.approx(near + 2 * 5e-6)
+
+    def test_endpoints_optional(self):
+        net = self._net("hypercube", 5e-6)
+        assert net.transit_time(1024) > 0  # uniform fallback
+
+    def test_zero_per_hop_is_uniform(self):
+        net = self._net("hypercube", 0.0)
+        assert net.transit_time(0, 0, 7, 8) == net.transit_time(0)
+
+
+class TestEndToEnd:
+    def test_distant_ranks_communicate_slower(self):
+        from dataclasses import replace
+
+        machine = replace(
+            IBM_SP, net=replace(IBM_SP.net, topology="torus2d", per_hop=20e-6)
+        )
+
+        def prog_pair(a, b):
+            def prog(rank, size):
+                if rank == a:
+                    yield mpi.send(dest=b, nbytes=64)
+                elif rank == b:
+                    yield mpi.recv(source=a)
+
+            return prog
+
+        near = Simulator(16, prog_pair(0, 1), machine, mode=ExecMode.DE).run()
+        far = Simulator(16, prog_pair(0, 10), machine, mode=ExecMode.DE).run()
+        assert far.elapsed > near.elapsed

@@ -1,0 +1,61 @@
+"""Tests for task-time measurement and parameter-file I/O."""
+
+import pytest
+
+from repro.apps import build_tomcatv, tomcatv_inputs
+from repro.apps.tomcatv import STENCIL_OPS
+from repro.machine import IBM_SP, TESTING_MACHINE
+from repro.measure import load_params, measure_wparams, save_params
+
+
+class TestCalibration:
+    def test_measures_all_tasks(self):
+        cal = measure_wparams(build_tomcatv(), tomcatv_inputs(64, itmax=2), 4, IBM_SP)
+        assert set(cal.wparams) == {"w_residual", "w_tridiag_solve", "w_mesh_update"}
+        assert cal.program == "tomcatv"
+        assert cal.elapsed > 0
+
+    def test_w_near_true_cost_on_exact_machine(self):
+        """On the flat-cache noise-free machine with zero timer cost, the
+        measured w equals ops_per_iter * time_per_op exactly."""
+        cal = measure_wparams(build_tomcatv(), tomcatv_inputs(64, itmax=2), 4, TESTING_MACHINE)
+        expected = STENCIL_OPS * TESTING_MACHINE.cpu.time_per_op
+        assert cal.wparams["w_residual"] == pytest.approx(expected, rel=1e-9)
+
+    def test_timer_overhead_inflates_w(self):
+        """On the IBM SP (nonzero timer cost), measured w exceeds the pure
+        per-iteration cost — the Sec. 4.2 inflation at small granularity."""
+        small = tomcatv_inputs(16, itmax=2)  # tiny tasks: inflation visible
+        cal = measure_wparams(build_tomcatv(), small, 4, IBM_SP, seed=5)
+        pure = STENCIL_OPS * IBM_SP.cpu.time_per_op
+        assert cal.wparams["w_residual"] > pure
+
+    def test_seed_reproducible(self):
+        a = measure_wparams(build_tomcatv(), tomcatv_inputs(64, itmax=2), 4, IBM_SP, seed=9)
+        b = measure_wparams(build_tomcatv(), tomcatv_inputs(64, itmax=2), 4, IBM_SP, seed=9)
+        assert a.wparams == b.wparams
+
+    def test_str_smoke(self):
+        cal = measure_wparams(build_tomcatv(), tomcatv_inputs(32, itmax=1), 2, IBM_SP)
+        assert "tomcatv" in str(cal)
+
+
+class TestParamsIO:
+    def test_roundtrip(self, tmp_path):
+        cal = measure_wparams(build_tomcatv(), tomcatv_inputs(32, itmax=1), 2, IBM_SP)
+        path = tmp_path / "tomcatv.params.json"
+        save_params(cal, path)
+        loaded = load_params(path)
+        assert loaded == pytest.approx(cal.wparams)
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 99, "wparams": {}}')
+        with pytest.raises(ValueError, match="unsupported"):
+            load_params(path)
+
+    def test_missing_wparams_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 1}')
+        with pytest.raises(ValueError, match="malformed"):
+            load_params(path)

@@ -1,0 +1,102 @@
+"""Unit tests for MPI message matching semantics."""
+
+from repro.mpi.matching import MatchQueues, MessageRecord, PostedRecv
+from repro.sim.requests import ANY_SOURCE, ANY_TAG
+
+
+def msg(seq, source=0, tag=0, send_time=0.0, ready=1.0):
+    return MessageRecord(
+        seq=seq, source=source, tag=tag, nbytes=8, data=None,
+        eager=True, send_time=send_time, ready_time=ready,
+    )
+
+
+def post(seq, source=ANY_SOURCE, tag=ANY_TAG, t=0.0, rank=0):
+    return PostedRecv(seq=seq, rank=rank, source=source, tag=tag, post_time=t)
+
+
+class TestExactMatching:
+    def test_message_then_recv(self):
+        q = MatchQueues()
+        assert q.add_message(msg(1, source=2, tag=5)) is None
+        m = q.post_recv(post(2, source=2, tag=5))
+        assert m is not None and m.seq == 1
+        assert q.idle()
+
+    def test_recv_then_message(self):
+        q = MatchQueues()
+        assert q.post_recv(post(1, source=2, tag=5)) is None
+        r = q.add_message(msg(2, source=2, tag=5))
+        assert r is not None and r.seq == 1
+        assert q.idle()
+
+    def test_wrong_tag_does_not_match(self):
+        q = MatchQueues()
+        q.post_recv(post(1, source=2, tag=5))
+        assert q.add_message(msg(2, source=2, tag=6)) is None
+        assert not q.idle()
+
+    def test_wrong_source_does_not_match(self):
+        q = MatchQueues()
+        q.post_recv(post(1, source=2, tag=5))
+        assert q.add_message(msg(2, source=3, tag=5)) is None
+
+
+class TestOrdering:
+    def test_same_source_tag_matches_in_send_order(self):
+        q = MatchQueues()
+        q.add_message(msg(5, source=1, tag=0))
+        q.add_message(msg(2, source=1, tag=0))
+        first = q.post_recv(post(10, source=1, tag=0))
+        assert first.seq == 2
+        second = q.post_recv(post(11, source=1, tag=0))
+        assert second.seq == 5
+
+    def test_posted_recvs_match_in_post_order(self):
+        q = MatchQueues()
+        q.post_recv(post(1, source=1, tag=0))
+        q.post_recv(post(2, source=1, tag=0))
+        r = q.add_message(msg(3, source=1, tag=0))
+        assert r.seq == 1
+
+
+class TestWildcards:
+    def test_any_source(self):
+        q = MatchQueues()
+        q.add_message(msg(1, source=7, tag=3))
+        m = q.post_recv(post(2, source=ANY_SOURCE, tag=3))
+        assert m.source == 7
+
+    def test_any_tag(self):
+        q = MatchQueues()
+        q.add_message(msg(1, source=7, tag=3))
+        m = q.post_recv(post(2, source=7, tag=ANY_TAG))
+        assert m.tag == 3
+
+    def test_any_any_picks_earliest_seq(self):
+        q = MatchQueues()
+        q.add_message(msg(9, source=1, tag=1))
+        q.add_message(msg(4, source=2, tag=2))
+        m = q.post_recv(post(10))
+        assert m.seq == 4
+
+    def test_wildcard_recv_matched_by_arriving_message(self):
+        q = MatchQueues()
+        q.post_recv(post(1))
+        r = q.add_message(msg(2, source=3, tag=9))
+        assert r is not None and r.seq == 1
+
+
+class TestIdle:
+    def test_fresh_queue_idle(self):
+        assert MatchQueues().idle()
+
+    def test_pending_message_not_idle(self):
+        q = MatchQueues()
+        q.add_message(msg(1))
+        assert not q.idle()
+
+    def test_pending_recv_not_idle(self):
+        q = MatchQueues()
+        q.post_recv(post(1, source=0, tag=0))
+        assert not q.idle()

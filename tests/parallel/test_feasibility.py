@@ -1,0 +1,71 @@
+"""Tests for the memory-feasibility estimator."""
+
+import pytest
+
+from repro.apps import build_sweep3d, build_tomcatv, sweep3d_per_proc_inputs, tomcatv_inputs
+from repro.codegen import compile_program
+from repro.ir import make_factory
+from repro.machine import IBM_SP, GiB, MiB
+from repro.parallel import estimate_program_memory, max_feasible_procs
+from repro.sim import ExecMode, Simulator
+
+
+class TestEstimate:
+    def test_matches_actual_run_tomcatv(self):
+        """The static estimate agrees with the kernel's accounting."""
+        prog = build_tomcatv()
+        inputs = tomcatv_inputs(128, itmax=1)
+        est = estimate_program_memory(prog, inputs, 4, IBM_SP.host)
+        res = Simulator(4, make_factory(prog, inputs), IBM_SP, mode=ExecMode.DE).run()
+        assert est == res.memory.total_bytes
+
+    def test_matches_actual_run_simplified(self):
+        """Dynamic (dummy-buffer) allocations are included."""
+        prog = build_tomcatv()
+        compiled = compile_program(prog)
+        inputs = tomcatv_inputs(128, itmax=1)
+        est = estimate_program_memory(compiled.simplified, inputs, 4, IBM_SP.host)
+        w = {n: 1e-7 for n in compiled.w_param_names}
+        res = Simulator(
+            4, make_factory(compiled.simplified, inputs, wparams=w), IBM_SP, mode=ExecMode.AM
+        ).run()
+        assert est == res.memory.total_bytes
+
+    def test_scales_linearly_in_procs_for_fixed_per_proc_size(self):
+        prog = build_sweep3d()
+        e16 = estimate_program_memory(prog, sweep3d_per_proc_inputs(4, 4, 64, 16), 16, IBM_SP.host)
+        e64 = estimate_program_memory(prog, sweep3d_per_proc_inputs(4, 4, 64, 64), 64, IBM_SP.host)
+        assert e64 == pytest.approx(4 * e16, rel=0.05)
+
+    def test_invalid_procs(self):
+        with pytest.raises(ValueError):
+            estimate_program_memory(build_tomcatv(), tomcatv_inputs(8), 0, IBM_SP.host)
+
+
+class TestMaxFeasible:
+    def test_de_caps_before_am(self):
+        """The Figs. 10/11 phenomenon: under the same budget, direct
+        execution hits the memory wall at far fewer target processors
+        than the compiler-optimized simulator."""
+        prog = build_sweep3d()
+        compiled = compile_program(prog)
+
+        def inputs_for(nprocs):
+            return sweep3d_per_proc_inputs(4, 4, 1024, nprocs)
+
+        budget = 2 * GiB
+        candidates = [16, 64, 256, 1024, 4096, 16384]
+        de_max = max_feasible_procs(prog, inputs_for, budget, IBM_SP.host, candidates)
+        am_max = max_feasible_procs(
+            compiled.simplified, inputs_for, budget, IBM_SP.host, candidates
+        )
+        assert de_max is not None and am_max is not None
+        assert am_max > de_max
+
+    def test_none_when_nothing_fits(self):
+        prog = build_tomcatv()
+
+        def inputs_for(nprocs):
+            return tomcatv_inputs(4096, itmax=1)
+
+        assert max_feasible_procs(prog, inputs_for, 1 * MiB, IBM_SP.host, [4, 16]) is None

@@ -1,0 +1,112 @@
+"""Tests for the simulator host-performance model."""
+
+import pytest
+
+from repro import mpi
+from repro.machine import IBM_SP
+from repro.parallel import sequential_host_time, simulate_host_execution
+from repro.sim import ExecMode, Simulator
+
+
+def traced_run(nprocs, factory, machine=IBM_SP):
+    return Simulator(nprocs, factory, machine, mode=ExecMode.DE, collect_trace=True).run()
+
+
+def embarrassingly_parallel(rank, size):
+    yield mpi.compute(ops=10**6)
+
+
+def ring(rank, size):
+    for _ in range(5):
+        yield mpi.send(dest=(rank + 1) % size, nbytes=1024)
+        yield mpi.recv(source=(rank - 1) % size)
+        yield mpi.compute(ops=10**5)
+
+
+class TestSequential:
+    def test_single_host_equals_total_cost(self):
+        res = traced_run(4, embarrassingly_parallel)
+        est = simulate_host_execution(res.trace, 1, IBM_SP)
+        assert est.wall_time == pytest.approx(res.stats.total_host_cost)
+        assert est.sync_time == 0.0
+
+    def test_sequential_helper(self):
+        res = traced_run(4, embarrassingly_parallel)
+        assert sequential_host_time(res.trace) == pytest.approx(res.stats.total_host_cost)
+
+
+class TestParallelScaling:
+    def test_perfect_scaling_without_communication(self):
+        res = traced_run(8, embarrassingly_parallel)
+        e1 = simulate_host_execution(res.trace, 1, IBM_SP)
+        e8 = simulate_host_execution(res.trace, 8, IBM_SP)
+        assert e1.wall_time / e8.wall_time == pytest.approx(8, rel=0.01)
+
+    def test_more_hosts_never_slower_much(self):
+        res = traced_run(8, ring)
+        walls = [simulate_host_execution(res.trace, h, IBM_SP).wall_time for h in (1, 2, 4, 8)]
+        # speedup is monotone-ish; communication sync limits it
+        assert walls[1] < walls[0]
+        assert walls[3] <= walls[1]
+
+    def test_speedup_sublinear_with_communication(self):
+        res = traced_run(8, ring)
+        e1 = simulate_host_execution(res.trace, 1, IBM_SP)
+        e8 = simulate_host_execution(res.trace, 8, IBM_SP)
+        speedup = e1.wall_time / e8.wall_time
+        assert 1.0 < speedup < 8.0
+
+    def test_hosts_capped_at_procs(self):
+        res = traced_run(2, embarrassingly_parallel)
+        est = simulate_host_execution(res.trace, 64, IBM_SP)
+        assert est.n_hosts == 2
+
+    def test_invalid_hosts(self):
+        res = traced_run(2, embarrassingly_parallel)
+        with pytest.raises(ValueError):
+            simulate_host_execution(res.trace, 0, IBM_SP)
+
+    def test_efficiency_bounded(self):
+        res = traced_run(8, ring)
+        for h in (1, 2, 8):
+            est = simulate_host_execution(res.trace, h, IBM_SP)
+            assert 0.0 < est.efficiency <= 1.0 + 1e-9
+
+
+class TestCollectiveHandling:
+    def test_collective_synchronizes_hosts(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=10**5 * (rank + 1))
+            yield mpi.barrier()
+            yield mpi.compute(ops=10**5)
+
+        res = traced_run(4, prog)
+        est = simulate_host_execution(res.trace, 4, IBM_SP)
+        # wall must cover the slowest pre-barrier compute plus post work
+        slowest = 4 * 10**5 * IBM_SP.cpu.time_per_op * IBM_SP.host.direct_exec_factor
+        assert est.wall_time > slowest
+
+    def test_empty_trace(self):
+        from repro.sim.trace import Trace
+
+        est = simulate_host_execution(Trace(nprocs=2), 2, IBM_SP)
+        assert est.wall_time == 0.0 and est.events == 0
+
+
+class TestAmVsDeHostCost:
+    def test_am_cheaper_to_simulate_than_de(self):
+        """The central performance claim: abstracting computation makes
+        the simulator itself much faster (Figs. 12-13)."""
+        from repro.apps import build_tomcatv, tomcatv_inputs
+        from repro.ir import make_factory
+        from repro.workflow import ModelingWorkflow
+
+        wf = ModelingWorkflow(
+            build_tomcatv(), IBM_SP, calib_inputs=tomcatv_inputs(96, itmax=2), calib_nprocs=4
+        )
+        inputs = tomcatv_inputs(192, itmax=2)
+        de = wf.run_de(inputs, 4, collect_trace=True)
+        am = wf.run_am(inputs, 4, collect_trace=True)
+        de_host = simulate_host_execution(de.trace, 4, IBM_SP).wall_time
+        am_host = simulate_host_execution(am.trace, 4, IBM_SP).wall_time
+        assert am_host < de_host / 5

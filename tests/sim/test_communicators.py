@@ -1,0 +1,127 @@
+"""Tests for sub-communicator (group) collectives."""
+
+import pytest
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE
+from repro.sim import CollectiveMismatchError, ExecMode, Simulator
+
+M = TESTING_MACHINE
+
+
+def run(nprocs, factory, **kw):
+    return Simulator(nprocs, factory, M, mode=ExecMode.DE, **kw).run()
+
+
+def row_of(rank, width):
+    base = (rank // width) * width
+    return tuple(range(base, base + width))
+
+
+class TestGroupCollectives:
+    def test_row_allreduce_values(self):
+        """2x2 grid: each row reduces independently."""
+        got = {}
+
+        def prog(rank, size):
+            r = yield mpi.allreduce(
+                nbytes=8, data=rank, reduce_fn=lambda a, b: a + b, group=row_of(rank, 2)
+            )
+            got[rank] = r.data
+
+        run(4, prog)
+        assert got == {0: 1, 1: 1, 2: 5, 3: 5}
+
+    def test_group_bcast(self):
+        got = {}
+
+        def prog(rank, size):
+            grp = row_of(rank, 2)
+            r = yield mpi.bcast(nbytes=8, root=grp[0], data=(f"row{grp[0]}" if rank == grp[0] else None), group=grp)
+            got[rank] = r.data
+
+        run(4, prog)
+        assert got == {0: "row0", 1: "row0", 2: "row2", 3: "row2"}
+
+    def test_group_barrier_does_not_sync_other_group(self):
+        """Row 0 barriers quickly while row 1 is still computing."""
+
+        def prog(rank, size):
+            if rank >= 2:
+                yield mpi.delay(5.0)
+            yield mpi.barrier(group=row_of(rank, 2))
+
+        res = run(4, prog)
+        assert res.stats.procs[0].finish_time < 1.0
+        assert res.stats.procs[2].finish_time >= 5.0
+
+    def test_group_timing_uses_group_size(self):
+        from repro.machine import NetworkModel
+
+        def prog(rank, size):
+            grp = row_of(rank, 2)
+            yield mpi.bcast(nbytes=1024, root=grp[0], group=grp)
+
+        res = run(4, prog)
+        expected = NetworkModel(M.net).collective_time("bcast", 1024, 2)
+        assert res.elapsed == pytest.approx(expected)
+
+    def test_interleaved_world_and_group(self):
+        def prog(rank, size):
+            yield mpi.allreduce(nbytes=8, data=1, reduce_fn=lambda a, b: a + b,
+                                group=row_of(rank, 2))
+            r = yield mpi.allreduce(nbytes=8, data=1, reduce_fn=lambda a, b: a + b)
+            assert r.data == size
+            yield mpi.barrier(group=row_of(rank, 2))
+
+        res = run(4, prog)
+        assert all(p.collectives == 3 for p in res.stats.procs)
+
+    def test_trace_groups_distinct(self):
+        def prog(rank, size):
+            yield mpi.barrier(group=row_of(rank, 2))
+
+        res = run(4, prog, collect_trace=True)
+        ids = {e.coll_id for e in res.trace.events if e.kind == "collective"}
+        assert len(ids) == 2  # one collective instance per row
+
+
+class TestGroupErrors:
+    def test_nonmember_rejected(self):
+        def prog(rank, size):
+            yield mpi.barrier(group=(0, 1))  # ranks 2,3 are not members
+
+        with pytest.raises(CollectiveMismatchError, match="does not belong"):
+            run(4, prog)
+
+    def test_out_of_range_group(self):
+        def prog(rank, size):
+            yield mpi.barrier(group=(0, 9))
+
+        with pytest.raises(CollectiveMismatchError, match="beyond"):
+            run(2, prog)
+
+    def test_root_outside_group(self):
+        def prog(rank, size):
+            yield mpi.bcast(nbytes=8, root=3, group=(0, 1))
+
+        with pytest.raises(CollectiveMismatchError, match="root"):
+            run(2, prog)
+
+    def test_unsorted_group_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="sorted"):
+            mpi.barrier(group=(1, 0))
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            mpi.barrier(group=())
+
+    def test_partial_group_deadlocks(self):
+        from repro.sim import DeadlockError
+
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.barrier(group=(0, 1))
+
+        with pytest.raises(DeadlockError):
+            run(2, prog)

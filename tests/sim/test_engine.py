@@ -1,0 +1,496 @@
+"""Integration tests for the discrete-event MPI simulation kernel."""
+
+import pytest
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE, IBM_SP
+from repro.sim import (
+    CollectiveMismatchError,
+    DeadlockError,
+    ExecMode,
+    Simulator,
+)
+
+M = TESTING_MACHINE
+NET = M.net
+
+
+def run(nprocs, factory, machine=M, mode=ExecMode.DE, **kw):
+    return Simulator(nprocs, factory, machine, mode=mode, **kw).run()
+
+
+class TestLocalExecution:
+    def test_single_process_compute(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=1000)
+
+        res = run(1, prog)
+        assert res.elapsed == pytest.approx(1000 * M.cpu.time_per_op)
+
+    def test_delay(self):
+        def prog(rank, size):
+            yield mpi.delay(0.25)
+            yield mpi.delay(0.75)
+
+        res = run(1, prog)
+        assert res.elapsed == pytest.approx(1.0)
+
+    def test_clock_returned_to_program(self):
+        seen = {}
+
+        def prog(rank, size):
+            t0 = yield mpi.wtime()
+            yield mpi.delay(0.5)
+            t1 = yield mpi.wtime()
+            seen["dt"] = t1 - t0
+
+        run(1, prog)
+        assert seen["dt"] == pytest.approx(0.5)
+
+    def test_timer_charge(self):
+        def prog(rank, size):
+            yield mpi.wtime(charge_timer=True)
+
+        res = run(1, prog, machine=IBM_SP)
+        assert res.elapsed == pytest.approx(IBM_SP.cpu.timer_overhead)
+
+    def test_empty_program(self):
+        def prog(rank, size):
+            return
+            yield  # pragma: no cover
+
+        res = run(4, prog)
+        assert res.elapsed == 0.0
+
+    def test_processes_run_independently(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=1000 * (rank + 1))
+
+        res = run(3, prog)
+        per = [p.finish_time for p in res.stats.procs]
+        assert per[0] < per[1] < per[2]
+        assert res.elapsed == per[2]
+
+
+class TestPointToPoint:
+    def test_eager_message_timing(self):
+        """Receiver posted first: completes at send-inject + transit + recv overhead."""
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=100)
+            else:
+                yield mpi.recv(source=0)
+
+        res = run(2, prog)
+        inject = NET.cpu_overhead + 0.1 * 100 * NET.per_byte
+        transit = NET.latency + 100 * NET.per_byte
+        recv_oh = NET.cpu_overhead + 0.1 * 100 * NET.per_byte
+        assert res.stats.procs[1].finish_time == pytest.approx(inject + transit + recv_oh)
+        # eager sender finishes right after injection
+        assert res.stats.procs[0].finish_time == pytest.approx(inject)
+
+    def test_late_receiver_waits_for_nothing_extra(self):
+        """If the receiver posts after arrival, it completes at post + overhead."""
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=8)
+            else:
+                yield mpi.delay(10.0)
+                yield mpi.recv(source=0)
+
+        res = run(2, prog)
+        recv_oh = NET.cpu_overhead + 0.1 * 8 * NET.per_byte
+        assert res.stats.procs[1].finish_time == pytest.approx(10.0 + recv_oh)
+
+    def test_early_receiver_blocks_until_arrival(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.delay(5.0)
+                yield mpi.send(dest=1, nbytes=8)
+            else:
+                yield mpi.recv(source=0)
+
+        res = run(2, prog)
+        assert res.stats.procs[1].finish_time > 5.0
+        assert res.stats.procs[1].comm_time == pytest.approx(res.stats.procs[1].finish_time)
+
+    def test_rendezvous_sender_blocks_until_recv_posted(self):
+        big = NET.eager_limit + 1
+
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=big)
+            else:
+                yield mpi.delay(3.0)
+                yield mpi.recv(source=0)
+
+        res = run(2, prog)
+        # sender resumes at the transfer start (>= receiver's post time)
+        assert res.stats.procs[0].finish_time >= 3.0
+
+    def test_eager_sender_does_not_block(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=8)
+            else:
+                yield mpi.delay(3.0)
+                yield mpi.recv(source=0)
+
+        res = run(2, prog)
+        assert res.stats.procs[0].finish_time < 1.0
+
+    def test_rendezvous_recv_first(self):
+        big = NET.eager_limit + 1
+
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.delay(2.0)
+                yield mpi.send(dest=1, nbytes=big)
+            else:
+                yield mpi.recv(source=0)
+
+        res = run(2, prog)
+        assert res.stats.procs[0].finish_time >= 2.0
+        assert res.stats.procs[1].finish_time > res.stats.procs[0].finish_time
+
+    def test_data_payload_delivered(self):
+        received = {}
+
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=8, data={"x": 42})
+            else:
+                m = yield mpi.recv(source=0)
+                received.update(m.data)
+                assert m.source == 0 and m.nbytes == 8
+
+        run(2, prog)
+        assert received == {"x": 42}
+
+    def test_message_ordering_same_pair(self):
+        order = []
+
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=8, data="first", tag=1)
+                yield mpi.send(dest=1, nbytes=8, data="second", tag=1)
+            else:
+                a = yield mpi.recv(source=0, tag=1)
+                b = yield mpi.recv(source=0, tag=1)
+                order.extend([a.data, b.data])
+
+        run(2, prog)
+        assert order == ["first", "second"]
+
+    def test_tags_disambiguate(self):
+        got = {}
+
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=8, data="a", tag=10)
+                yield mpi.send(dest=1, nbytes=8, data="b", tag=20)
+            else:
+                m20 = yield mpi.recv(source=0, tag=20)
+                m10 = yield mpi.recv(source=0, tag=10)
+                got["t20"], got["t10"] = m20.data, m10.data
+
+        run(2, prog)
+        assert got == {"t20": "b", "t10": "a"}
+
+    def test_any_source_matches_earliest_arrival(self):
+        got = []
+
+        def prog(rank, size):
+            if rank == 1:
+                yield mpi.delay(1.0)
+                yield mpi.send(dest=0, nbytes=8, data="late")
+            elif rank == 2:
+                yield mpi.send(dest=0, nbytes=8, data="early")
+            else:
+                m = yield mpi.recv(source=mpi.ANY_SOURCE)
+                got.append(m.data)
+                m = yield mpi.recv(source=mpi.ANY_SOURCE)
+                got.append(m.data)
+
+        run(3, prog)
+        assert got == ["early", "late"]
+
+    def test_send_to_invalid_rank(self):
+        def prog(rank, size):
+            yield mpi.send(dest=5, nbytes=8)
+
+        with pytest.raises(ValueError):
+            run(2, prog)
+
+    def test_ring_exchange(self):
+        """Every rank sends right and receives from left; totals line up."""
+        def prog(rank, size):
+            yield mpi.send(dest=(rank + 1) % size, nbytes=64, data=rank)
+            m = yield mpi.recv(source=(rank - 1) % size)
+            assert m.data == (rank - 1) % size
+
+        res = run(8, prog)
+        assert res.stats.total_messages == 8
+        assert all(p.messages_received == 1 for p in res.stats.procs)
+
+
+class TestDeadlock:
+    def test_recv_without_send_deadlocks(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.recv(source=1)
+            else:
+                yield mpi.compute(ops=10)
+
+        with pytest.raises(DeadlockError, match="rank 0"):
+            run(2, prog)
+
+    def test_rendezvous_cycle_deadlocks(self):
+        big = NET.eager_limit + 1
+
+        def prog(rank, size):
+            yield mpi.send(dest=(rank + 1) % size, nbytes=big)
+            yield mpi.recv(source=(rank - 1) % size)
+
+        with pytest.raises(DeadlockError):
+            run(2, prog)
+
+    def test_eager_cycle_does_not_deadlock(self):
+        def prog(rank, size):
+            yield mpi.send(dest=(rank + 1) % size, nbytes=8)
+            yield mpi.recv(source=(rank - 1) % size)
+
+        res = run(2, prog)
+        assert res.elapsed > 0
+
+    def test_unconsumed_message_detected(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=8)
+
+        with pytest.raises(DeadlockError, match="unconsumed"):
+            run(2, prog)
+
+    def test_partial_collective_deadlocks(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.barrier()
+
+        with pytest.raises(DeadlockError):
+            run(2, prog)
+
+
+class TestCollectives:
+    def test_barrier_synchronizes(self):
+        def prog(rank, size):
+            yield mpi.delay(float(rank))
+            r = yield mpi.barrier()
+            assert r.now >= size - 1
+
+        res = run(4, prog)
+        finish = [p.finish_time for p in res.stats.procs]
+        assert max(finish) == pytest.approx(min(finish))
+
+    def test_bcast_data(self):
+        got = []
+
+        def prog(rank, size):
+            r = yield mpi.bcast(nbytes=8, root=2, data=("payload" if rank == 2 else None))
+            got.append(r.data)
+
+        run(4, prog)
+        assert got == ["payload"] * 4
+
+    def test_allreduce_sum(self):
+        got = []
+
+        def prog(rank, size):
+            r = yield mpi.allreduce(nbytes=8, data=rank + 1, reduce_fn=lambda a, b: a + b)
+            got.append(r.data)
+
+        run(4, prog)
+        assert got == [10, 10, 10, 10]
+
+    def test_reduce_only_root_gets_value(self):
+        got = {}
+
+        def prog(rank, size):
+            r = yield mpi.reduce(nbytes=8, data=rank, reduce_fn=max, root=1)
+            got[rank] = r.data
+
+        run(3, prog)
+        assert got == {0: None, 1: 2, 2: None}
+
+    def test_gather(self):
+        got = {}
+
+        def prog(rank, size):
+            r = yield mpi.gather(nbytes=8, data=rank * 10, root=0)
+            got[rank] = r.data
+
+        run(3, prog)
+        assert got[0] == [0, 10, 20] and got[1] is None
+
+    def test_allgather(self):
+        got = {}
+
+        def prog(rank, size):
+            r = yield mpi.allgather(nbytes=8, data=rank)
+            got[rank] = r.data
+
+        run(3, prog)
+        assert all(v == [0, 1, 2] for v in got.values())
+
+    def test_scatter(self):
+        got = {}
+
+        def prog(rank, size):
+            payload = ["a", "b", "c"] if rank == 0 else None
+            r = yield mpi.scatter(nbytes=8, data=payload, root=0)
+            got[rank] = r.data
+
+        run(3, prog)
+        assert got == {0: "a", 1: "b", 2: "c"}
+
+    def test_mismatched_collective_rejected(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.barrier()
+            else:
+                yield mpi.bcast(nbytes=8)
+
+        with pytest.raises(CollectiveMismatchError):
+            run(2, prog)
+
+    def test_collective_timing_uses_model(self):
+        def prog(rank, size):
+            yield mpi.bcast(nbytes=1024)
+
+        res = run(4, prog)
+        from repro.machine import NetworkModel
+
+        expected = NetworkModel(M.net).collective_time("bcast", 1024, 4)
+        assert res.elapsed == pytest.approx(expected)
+
+    def test_sequence_of_collectives(self):
+        def prog(rank, size):
+            yield mpi.barrier()
+            r = yield mpi.allreduce(nbytes=8, data=1, reduce_fn=lambda a, b: a + b)
+            assert r.data == size
+            yield mpi.barrier()
+
+        res = run(5, prog)
+        assert all(p.collectives == 3 for p in res.stats.procs)
+
+
+class TestAccounting:
+    def test_memory_tracking(self):
+        def prog(rank, size):
+            yield mpi.alloc("A", 1000)
+            yield mpi.alloc("B", 500)
+            yield mpi.free("B")
+
+        res = run(4, prog)
+        assert res.memory.app_bytes == 4 * 1500  # peak, before B freed
+        assert res.memory.kernel_bytes == 4 * M.host.thread_overhead_bytes
+
+    def test_compute_and_comm_time_split(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=10000)
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=100)
+            else:
+                yield mpi.recv(source=0)
+
+        res = run(2, prog)
+        p0, p1 = res.stats.procs
+        assert p0.compute_time == pytest.approx(10000 * M.cpu.time_per_op)
+        assert p0.comm_time > 0 and p1.comm_time > 0
+
+    def test_host_cost_accumulates(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=10**6)
+
+        res = run(1, prog)
+        assert res.stats.total_host_cost >= 10**6 * M.cpu.time_per_op * M.host.direct_exec_factor
+
+    def test_reuse_rejected(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=1)
+
+        sim = Simulator(1, prog, M)
+        sim.run()
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            Simulator(0, lambda r, s: iter(()), M)
+
+
+class TestModes:
+    def _prog(self, rank, size):
+        yield mpi.compute(ops=10**5, working_set_bytes=10**7)
+        if rank == 0:
+            yield mpi.send(dest=1, nbytes=4096)
+        elif rank == 1:
+            yield mpi.recv(source=0)
+
+    def test_de_is_deterministic(self):
+        a = run(2, self._prog, machine=IBM_SP, mode=ExecMode.DE)
+        b = run(2, self._prog, machine=IBM_SP, mode=ExecMode.DE)
+        assert a.elapsed == b.elapsed
+
+    def test_measured_seed_reproducible(self):
+        a = Simulator(2, self._prog, IBM_SP, mode=ExecMode.MEASURED, seed=3).run()
+        b = Simulator(2, self._prog, IBM_SP, mode=ExecMode.MEASURED, seed=3).run()
+        assert a.elapsed == b.elapsed
+
+    def test_measured_differs_from_de(self):
+        de = run(2, self._prog, machine=IBM_SP, mode=ExecMode.DE)
+        meas = Simulator(2, self._prog, IBM_SP, mode=ExecMode.MEASURED, seed=1).run()
+        assert meas.elapsed != de.elapsed
+        # but not wildly: within tens of percent
+        assert abs(meas.elapsed - de.elapsed) / meas.elapsed < 0.5
+
+
+class TestTrace:
+    def test_trace_records_dependencies(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=100)
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=8)
+            else:
+                yield mpi.recv(source=0)
+
+        res = run(2, prog, collect_trace=True)
+        kinds = {e.kind for e in res.trace.events}
+        assert kinds == {"compute", "send", "recv"}
+        recv_ev = next(e for e in res.trace.events if e.kind == "recv")
+        send_ev = next(e for e in res.trace.events if e.kind == "send")
+        assert recv_ev.deps == (send_ev.eid,)
+
+    def test_trace_collective_grouping(self):
+        def prog(rank, size):
+            yield mpi.barrier()
+
+        res = run(3, prog, collect_trace=True)
+        colls = [e for e in res.trace.events if e.kind == "collective"]
+        assert len(colls) == 3
+        assert len({e.coll_id for e in colls}) == 1
+
+    def test_trace_disabled_by_default(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=1)
+
+        assert run(1, prog).trace is None
+
+    def test_by_proc_ordering(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=10)
+            yield mpi.delay(0.1)
+
+        res = run(2, prog, collect_trace=True)
+        per = res.trace.by_proc()
+        assert [e.kind for e in per[0]] == ["compute", "delay"]
+        assert [e.kind for e in per[1]] == ["compute", "delay"]

@@ -1,0 +1,132 @@
+"""Error-path tests for the simulation kernel (defensive behaviour)."""
+
+import pytest
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE
+from repro.sim import (
+    CollectiveMismatchError,
+    ExecMode,
+    Simulator,
+)
+
+M = TESTING_MACHINE
+
+
+def run(nprocs, factory, **kw):
+    return Simulator(nprocs, factory, M, mode=ExecMode.DE, **kw).run()
+
+
+class TestBadRequests:
+    def test_unknown_request_type(self):
+        def prog(rank, size):
+            yield "not-a-request"
+
+        with pytest.raises(TypeError, match="unknown request"):
+            run(1, prog)
+
+    def test_negative_compute_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            mpi.compute(ops=-1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            mpi.delay(-0.5)
+
+    def test_negative_send_size_rejected(self):
+        with pytest.raises(ValueError):
+            mpi.send(dest=0, nbytes=-1)
+
+    def test_negative_dest_rejected(self):
+        with pytest.raises(ValueError):
+            mpi.send(dest=-2, nbytes=8)
+
+    def test_negative_collective_payload(self):
+        with pytest.raises(ValueError):
+            mpi.bcast(nbytes=-1)
+
+
+class TestCollectiveMisuse:
+    def test_root_mismatch(self):
+        def prog(rank, size):
+            yield mpi.bcast(nbytes=8, root=rank)  # different roots
+
+        with pytest.raises(CollectiveMismatchError, match="root"):
+            run(2, prog)
+
+    def test_scatter_chunk_count_checked(self):
+        def prog(rank, size):
+            payload = ["a", "b"] if rank == 0 else None  # 2 chunks for 3 ranks
+            yield mpi.scatter(nbytes=8, data=payload)
+
+        with pytest.raises(CollectiveMismatchError, match="chunks"):
+            run(3, prog)
+
+    def test_reduce_with_data_needs_fn(self):
+        def prog(rank, size):
+            yield mpi.allreduce(nbytes=8, data=rank)  # no reduce_fn
+
+        with pytest.raises(CollectiveMismatchError, match="reduce_fn"):
+            run(2, prog)
+
+
+class TestMemoryMisuse:
+    def test_double_allocation(self):
+        def prog(rank, size):
+            yield mpi.alloc("A", 10)
+            yield mpi.alloc("A", 10)
+
+        with pytest.raises(ValueError, match="already allocated"):
+            run(1, prog)
+
+    def test_free_unknown(self):
+        def prog(rank, size):
+            yield mpi.free("ghost")
+
+        with pytest.raises(ValueError, match="not allocated"):
+            run(1, prog)
+
+
+class TestSelfMessaging:
+    def test_eager_self_send(self):
+        """A rank may message itself (the multipartition P=1 case)."""
+
+        def prog(rank, size):
+            yield mpi.send(dest=rank, nbytes=8, data="me")
+            m = yield mpi.recv(source=rank)
+            assert m.data == "me"
+
+        res = run(2, prog)
+        assert res.stats.total_messages == 2
+
+    def test_rendezvous_self_roundtrip_nonblocking(self):
+        big = M.net.eager_limit * 2
+
+        def prog(rank, size):
+            h1 = yield mpi.irecv(source=rank, tag=1)
+            h2 = yield mpi.isend(dest=rank, nbytes=big, tag=1)
+            yield mpi.waitall(h1, h2)
+
+        res = run(1, prog)
+        assert res.stats.total_messages == 1
+
+
+class TestExceptionPropagation:
+    def test_program_exception_surfaces(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=1)
+            raise RuntimeError("app bug on rank %d" % rank)
+
+        with pytest.raises(RuntimeError, match="app bug"):
+            run(2, prog)
+
+    def test_interpreter_error_surfaces(self):
+        from repro.ir import InterpreterError, ProgramBuilder, make_factory
+        from repro.ir.nodes import StopTimer
+
+        b = ProgramBuilder("bad")
+        prog = b.build()
+        prog.body.append(StopTimer("never_started"))
+        prog.number()
+        with pytest.raises(InterpreterError):
+            run(1, make_factory(prog, {}))

@@ -1,0 +1,76 @@
+"""Unit tests for simulator memory accounting."""
+
+import pytest
+
+from repro.sim import MemoryTracker
+
+
+class TestMemoryTracker:
+    def test_simple_alloc(self):
+        t = MemoryTracker(2)
+        t.allocate(0, "A", 100)
+        t.allocate(1, "A", 200)
+        assert t.current_bytes == 300
+        assert t.rank_bytes(0) == 100
+
+    def test_free(self):
+        t = MemoryTracker(1)
+        t.allocate(0, "A", 100)
+        t.free(0, "A")
+        assert t.current_bytes == 0
+        assert t.peak_bytes == 100
+
+    def test_per_rank_peaks_sum(self):
+        """Peaks are per-rank: transient allocations on different ranks both count."""
+        t = MemoryTracker(2)
+        t.allocate(0, "A", 100)
+        t.free(0, "A")
+        t.allocate(1, "B", 50)
+        assert t.peak_bytes == 150
+
+    def test_double_alloc_rejected(self):
+        t = MemoryTracker(1)
+        t.allocate(0, "A", 10)
+        with pytest.raises(ValueError, match="already allocated"):
+            t.allocate(0, "A", 10)
+
+    def test_same_name_different_ranks_ok(self):
+        t = MemoryTracker(2)
+        t.allocate(0, "A", 10)
+        t.allocate(1, "A", 10)
+        assert t.current_bytes == 20
+
+    def test_free_unknown_rejected(self):
+        t = MemoryTracker(1)
+        with pytest.raises(ValueError, match="not allocated"):
+            t.free(0, "A")
+
+    def test_negative_rejected(self):
+        t = MemoryTracker(1)
+        with pytest.raises(ValueError):
+            t.allocate(0, "A", -1)
+
+    def test_realloc_after_free(self):
+        t = MemoryTracker(1)
+        t.allocate(0, "A", 10)
+        t.free(0, "A")
+        t.allocate(0, "A", 30)
+        assert t.rank_bytes(0) == 30
+        assert t.peak_bytes == 30
+
+    def test_report(self):
+        t = MemoryTracker(4, thread_overhead_bytes=1000)
+        t.allocate(2, "A", 5000)
+        rep = t.report()
+        assert rep.app_bytes == 5000
+        assert rep.kernel_bytes == 4000
+        assert rep.total_bytes == 9000
+        assert rep.fits(9000) and not rep.fits(8999)
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTracker(0)
+
+    def test_report_str(self):
+        t = MemoryTracker(1)
+        assert "MiB" in str(t.report())

@@ -1,0 +1,225 @@
+"""Tests for non-blocking communication (Isend/Irecv/Waitall)."""
+
+import pytest
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE
+from repro.sim import DeadlockError, ExecMode, ReceivedMessage, RequestHandle, Simulator
+
+M = TESTING_MACHINE
+NET = M.net
+
+
+def run(nprocs, factory, **kw):
+    return Simulator(nprocs, factory, M, mode=ExecMode.DE, **kw).run()
+
+
+class TestBasics:
+    def test_isend_returns_handle(self):
+        got = {}
+
+        def prog(rank, size):
+            if rank == 0:
+                h = yield mpi.isend(dest=1, nbytes=8, data="x")
+                got["handle"] = h
+                yield mpi.waitall(h)
+            else:
+                yield mpi.recv(source=0)
+
+        run(2, prog)
+        assert isinstance(got["handle"], RequestHandle)
+        assert got["handle"].kind == "send"
+
+    def test_irecv_wait_delivers_message(self):
+        got = {}
+
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=8, data="payload")
+            else:
+                h = yield mpi.irecv(source=0)
+                (msg,) = yield mpi.waitall(h)
+                got["msg"] = msg
+
+        run(2, prog)
+        assert isinstance(got["msg"], ReceivedMessage)
+        assert got["msg"].data == "payload"
+
+    def test_wait_multiple_handles_order(self):
+        got = {}
+
+        def prog(rank, size):
+            if rank == 0:
+                h1 = yield mpi.irecv(source=1, tag=1)
+                h2 = yield mpi.irecv(source=1, tag=2)
+                r1, r2 = yield mpi.waitall(h1, h2)
+                got["tags"] = (r1.tag, r2.tag)
+            else:
+                yield mpi.send(dest=0, nbytes=8, tag=2)
+                yield mpi.send(dest=0, nbytes=8, tag=1)
+
+        run(2, prog)
+        assert got["tags"] == (1, 2)  # results follow handle order, not arrival
+
+    def test_wait_unknown_handle_rejected(self):
+        def prog(rank, size):
+            if rank == 0:
+                h = yield mpi.irecv(source=1)
+                yield mpi.waitall(h)
+                yield mpi.waitall(h)  # already consumed
+            else:
+                yield mpi.send(dest=0, nbytes=8)
+                yield mpi.send(dest=0, nbytes=8)
+
+        with pytest.raises(ValueError, match="unknown or already-completed"):
+            run(2, prog)
+
+    def test_wait_requires_handles(self):
+        with pytest.raises(TypeError):
+            mpi.waitall("not-a-handle")
+
+
+class TestOverlap:
+    def test_isend_does_not_block_on_rendezvous(self):
+        """Computation proceeds while the rendezvous is pending."""
+        big = NET.eager_limit + 1
+
+        def prog(rank, size):
+            if rank == 0:
+                h = yield mpi.isend(dest=1, nbytes=big)
+                t_after_isend = yield mpi.wtime()
+                yield mpi.compute(ops=10**6)  # overlapped work
+                yield mpi.waitall(h)
+            else:
+                yield mpi.delay(0.0005)
+                yield mpi.recv(source=0)
+
+        res = run(2, prog)
+        # blocking rendezvous would serialize: wait-for-recv + compute;
+        # with isend the compute overlaps the rendezvous delay
+        compute_time = 10**6 * M.cpu.time_per_op
+        assert res.stats.procs[0].finish_time < 0.0005 + compute_time + 0.001
+
+    def test_exchange_without_evenodd_phasing(self):
+        """The classic deadlock (everyone blocking-sends left) disappears
+        with non-blocking operations — even above the eager limit."""
+        big = NET.eager_limit * 2
+
+        def prog(rank, size):
+            hs = []
+            if rank > 0:
+                hs.append((yield mpi.isend(dest=rank - 1, nbytes=big, tag=1)))
+                hs.append((yield mpi.irecv(source=rank - 1, tag=2)))
+            if rank < size - 1:
+                hs.append((yield mpi.isend(dest=rank + 1, nbytes=big, tag=2)))
+                hs.append((yield mpi.irecv(source=rank + 1, tag=1)))
+            yield mpi.waitall(*hs)
+
+        res = run(4, prog)
+        assert res.stats.total_messages == 2 * 3
+
+    def test_blocking_version_of_same_pattern_deadlocks(self):
+        big = NET.eager_limit * 2
+
+        def prog(rank, size):
+            if rank > 0:
+                yield mpi.send(dest=rank - 1, nbytes=big, tag=1)
+            if rank < size - 1:
+                yield mpi.send(dest=rank + 1, nbytes=big, tag=2)
+            if rank > 0:
+                yield mpi.recv(source=rank - 1, tag=2)
+            if rank < size - 1:
+                yield mpi.recv(source=rank + 1, tag=1)
+
+        with pytest.raises(DeadlockError):
+            run(4, prog)
+
+    def test_irecv_posted_early_avoids_unexpected_queue(self):
+        """Pre-posting receives gives the same completion as late recv
+        (timing equivalence check of the handle path)."""
+
+        def prog_pre(rank, size):
+            if rank == 0:
+                h = yield mpi.irecv(source=1)
+                yield mpi.delay(1.0)
+                yield mpi.waitall(h)
+            else:
+                yield mpi.delay(0.5)
+                yield mpi.send(dest=0, nbytes=64)
+
+        def prog_late(rank, size):
+            if rank == 0:
+                yield mpi.delay(1.0)
+                yield mpi.recv(source=1)
+            else:
+                yield mpi.delay(0.5)
+                yield mpi.send(dest=0, nbytes=64)
+
+        pre = run(2, prog_pre)
+        late = run(2, prog_late)
+        # the pre-posted receive completes no later than the late one
+        assert pre.stats.procs[0].finish_time <= late.stats.procs[0].finish_time
+
+
+class TestAccounting:
+    def test_wait_blocked_time_counted_as_comm(self):
+        def prog(rank, size):
+            if rank == 0:
+                h = yield mpi.irecv(source=1)
+                yield mpi.waitall(h)
+            else:
+                yield mpi.delay(2.0)
+                yield mpi.send(dest=0, nbytes=8)
+
+        res = run(2, prog)
+        assert res.stats.procs[0].comm_time >= 2.0
+
+    def test_no_double_count_when_ready_before_wait(self):
+        def prog(rank, size):
+            if rank == 0:
+                h = yield mpi.irecv(source=1)
+                yield mpi.delay(5.0)
+                yield mpi.waitall(h)  # message long since arrived
+            else:
+                yield mpi.send(dest=0, nbytes=8)
+
+        res = run(2, prog)
+        assert res.stats.procs[0].comm_time < 0.1
+        assert res.stats.procs[0].finish_time == pytest.approx(5.0, rel=0.01)
+
+    def test_deadlock_reports_wait(self):
+        def prog(rank, size):
+            if rank == 0:
+                h = yield mpi.irecv(source=1)
+                yield mpi.waitall(h)
+
+        with pytest.raises(DeadlockError, match="wait"):
+            run(2, prog)
+
+    def test_message_counters(self):
+        def prog(rank, size):
+            if rank == 0:
+                h = yield mpi.isend(dest=1, nbytes=128)
+                yield mpi.waitall(h)
+            else:
+                h = yield mpi.irecv(source=0)
+                yield mpi.waitall(h)
+
+        res = run(2, prog)
+        assert res.stats.procs[0].messages_sent == 1
+        assert res.stats.procs[1].messages_received == 1
+        assert res.stats.total_bytes == 128
+
+    def test_trace_dependencies_for_nonblocking(self):
+        def prog(rank, size):
+            if rank == 0:
+                h = yield mpi.isend(dest=1, nbytes=8)
+                yield mpi.waitall(h)
+            else:
+                h = yield mpi.irecv(source=0)
+                yield mpi.waitall(h)
+
+        res = run(2, prog, collect_trace=True)
+        recv_ev = next(e for e in res.trace.events if e.kind == "recv")
+        send_ev = next(e for e in res.trace.events if e.kind == "send")
+        assert recv_ev.deps == (send_ev.eid,)

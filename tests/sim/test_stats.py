@@ -1,0 +1,53 @@
+"""Unit tests for simulation statistics containers."""
+
+import pytest
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE
+from repro.sim import ExecMode, SimStats, Simulator
+from repro.sim.stats import ProcessStats
+
+
+class TestSimStats:
+    def test_empty(self):
+        s = SimStats()
+        assert s.nprocs == 0
+        assert s.elapsed == 0.0
+        assert s.total_messages == 0
+
+    def test_aggregates(self):
+        s = SimStats([
+            ProcessStats(0, compute_time=1.0, comm_time=0.5, finish_time=2.0,
+                         messages_sent=3, bytes_sent=300, events=10, host_cost=0.1),
+            ProcessStats(1, compute_time=2.0, comm_time=0.25, finish_time=3.5,
+                         messages_sent=1, bytes_sent=100, events=5, host_cost=0.2),
+        ])
+        assert s.nprocs == 2
+        assert s.elapsed == 3.5
+        assert s.total_messages == 4
+        assert s.total_bytes == 400
+        assert s.total_events == 15
+        assert s.total_host_cost == pytest.approx(0.3)
+        assert s.total_compute_time == pytest.approx(3.0)
+        assert s.total_comm_time == pytest.approx(0.75)
+
+    def test_summary_string(self):
+        def prog(rank, size):
+            yield mpi.send(dest=(rank + 1) % size, nbytes=8)
+            yield mpi.recv(source=(rank - 1) % size)
+
+        res = Simulator(2, prog, TESTING_MACHINE, mode=ExecMode.DE).run()
+        text = res.stats.summary()
+        assert "2 procs" in text and "msgs" in text and "events" in text
+
+
+class TestTraceHelpers:
+    def test_len_and_host_cost(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=100)
+
+        res = Simulator(
+            3, prog, TESTING_MACHINE, mode=ExecMode.DE, collect_trace=True
+        ).run()
+        assert len(res.trace) == 3
+        assert res.trace.total_host_cost() == pytest.approx(res.stats.total_host_cost)

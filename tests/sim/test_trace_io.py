@@ -1,0 +1,84 @@
+"""Tests for trace persistence and measurement statistics."""
+
+import pytest
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE, IBM_SP
+from repro.parallel import simulate_host_execution
+from repro.sim import ExecMode, Simulator, load_trace, save_trace
+
+
+def traced(nprocs, factory):
+    return Simulator(nprocs, factory, TESTING_MACHINE, mode=ExecMode.DE, collect_trace=True).run()
+
+
+class TestTraceIO:
+    def _prog(self, rank, size):
+        yield mpi.compute(ops=100 * (rank + 1))
+        h = yield mpi.isend(dest=(rank + 1) % size, nbytes=64)
+        g = yield mpi.irecv(source=(rank - 1) % size)
+        yield mpi.waitall(h, g)
+        yield mpi.barrier()
+
+    def test_roundtrip_identical(self, tmp_path):
+        res = traced(4, self._prog)
+        path = tmp_path / "run.trace.jsonl"
+        save_trace(res.trace, path)
+        loaded = load_trace(path)
+        assert loaded.nprocs == res.trace.nprocs
+        assert loaded.events == res.trace.events
+
+    def test_host_model_on_loaded_trace(self, tmp_path):
+        res = traced(4, self._prog)
+        path = tmp_path / "run.trace.jsonl"
+        save_trace(res.trace, path)
+        a = simulate_host_execution(res.trace, 2, TESTING_MACHINE)
+        b = simulate_host_execution(load_trace(path), 2, TESTING_MACHINE)
+        assert a.wall_time == b.wall_time
+
+    def test_bad_format(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": 99, "nprocs": 1, "events": 0}\n')
+        with pytest.raises(ValueError, match="unsupported"):
+            load_trace(path)
+
+    def test_truncation_detected(self, tmp_path):
+        res = traced(2, self._prog)
+        path = tmp_path / "run.jsonl"
+        save_trace(res.trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-2]) + "\n")
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace(path)
+
+
+class TestRateStats:
+    def test_stats_from_measurement(self):
+        from repro.apps import build_tomcatv, tomcatv_inputs
+        from repro.codegen import generate_instrumented
+        from repro.ir import MeasurementCollector, make_factory
+
+        coll = MeasurementCollector()
+        instr = generate_instrumented(build_tomcatv())
+        factory = make_factory(instr, tomcatv_inputs(64, itmax=4), collector=coll)
+        Simulator(4, factory, IBM_SP, mode=ExecMode.MEASURED, seed=3).run()
+        mean, std, n = coll.rate_stats("residual")
+        assert n == 4 * 4  # ranks x iterations
+        assert mean == pytest.approx(coll.w("residual"), rel=0.05)
+        assert std > 0  # ground-truth noise shows up in the spread
+        assert std / mean < 0.2
+
+    def test_no_samples_raises(self):
+        from repro.ir import InterpreterError, MeasurementCollector
+
+        with pytest.raises(InterpreterError, match="no paired samples"):
+            MeasurementCollector().rate_stats("ghost")
+
+    def test_single_sample_zero_std(self):
+        from repro.ir import MeasurementCollector
+
+        c = MeasurementCollector()
+        c.record_work("t", 100)
+        c.record_elapsed("t", 0.5)
+        mean, std, n = c.rate_stats("t")
+        assert (mean, std, n) == (pytest.approx(0.005), 0.0, 1)

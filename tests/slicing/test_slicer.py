@@ -1,0 +1,151 @@
+"""Unit tests for program slicing."""
+
+import pytest
+
+from repro.ir import ProgramBuilder, myid, P
+from repro.slicing import backward_slice, compute_criterion, slice_program
+from repro.stg import condense
+from repro.symbolic import Gt, Index, Var, ceil_div
+
+N = Var("N")
+
+
+def sliceable_program():
+    """b feeds comm; c is dead scalar code; big compute is abstracted."""
+    b = ProgramBuilder("sl", params=("N",))
+    b.array("D", size=N)
+    b.assign("b", ceil_div(N, P))
+    b.assign("c", Var("b") * 7)  # dead: nothing structural reads c
+    with b.if_(Gt(myid, 0)):
+        b.send(dest=myid - 1, nbytes=Var("b") * 8, array="D")
+    with b.if_(Gt(P - 1, myid)):
+        b.recv(source=myid + 1, nbytes=Var("b") * 8, array="D")
+    b.compute("work", work=N * Var("b"), arrays=("D",))
+    return b.build()
+
+
+class TestCriterion:
+    def test_includes_comm_and_scaling_vars(self):
+        prog = sliceable_program()
+        plan = condense(prog)
+        crit = compute_criterion(prog, plan)
+        assert "b" in crit and "N" in crit
+
+    def test_excludes_builtins_and_wparams(self):
+        prog = sliceable_program()
+        crit = compute_criterion(prog, condense(prog))
+        assert "myid" not in crit and "P" not in crit
+        assert not any(v.startswith("w_") for v in crit)
+
+    def test_payload_array_not_criterion(self):
+        """Buffer contents don't affect timing; D must not be criterion."""
+        prog = sliceable_program()
+        crit = compute_criterion(prog, condense(prog))
+        assert "D" not in crit
+
+
+class TestBackwardSlice:
+    def test_producer_retained(self):
+        prog = sliceable_program()
+        needed, retained = backward_slice(prog, frozenset({"b"}))
+        b_assign = prog.body[0]
+        assert b_assign.sid in retained
+        assert "N" in needed
+
+    def test_dead_code_dropped(self):
+        prog = sliceable_program()
+        sl = slice_program(prog, condense(prog))
+        c_assign = prog.body[1]
+        assert c_assign.sid not in sl.retained_sids
+
+    def test_transitive_chain(self):
+        b = ProgramBuilder("chain", params=("N",))
+        b.assign("a", N + 1)
+        b.assign("bb", Var("a") * 2)
+        b.assign("cc", Var("bb") + 3)
+        b.send(dest=(myid + 1) % P, nbytes=Var("cc"))
+        b.recv(source=(myid - 1 + P) % P, nbytes=Var("cc"))
+        prog = b.build()
+        sl = slice_program(prog, condense(prog))
+        assert all(s.sid in sl.retained_sids for s in prog.body[:3])
+
+    def test_array_in_scaling_function_retained(self):
+        """NAS-SP pattern: cell_size array feeds loop bounds; its producer
+        (an ArrayAssign) must be sliced in and the array kept."""
+
+        def kern(env, arrays):
+            arrays["cs"][:] = env["N"] // env["P"]
+
+        b = ProgramBuilder("sp_like", params=("N",))
+        b.array("cs", size=4, materialize=True)
+        b.array("U", size=N * N)
+        b.array_assign("cs", kern, reads={"N"})
+        b.compute("solve", work=Index.make("cs", 0) * N, arrays=("U",))
+        b.send(dest=(myid + 1) % P, nbytes=8)
+        b.recv(source=(myid - 1 + P) % P, nbytes=8)
+        prog = b.build()
+        sl = slice_program(prog, condense(prog))
+        aa = prog.body[0]
+        assert aa.sid in sl.retained_sids
+        assert "cs" in sl.needed
+
+    def test_fixpoint_through_loop(self):
+        """A value updated each iteration and used by comm must retain the
+        in-loop producer."""
+        b = ProgramBuilder("lp", params=("K",))
+        b.assign("sz", 8)
+        with b.loop("i", 1, Var("K")):
+            b.assign("sz", Var("sz") + 8)
+            b.send(dest=(myid + 1) % P, nbytes=Var("sz"))
+            b.recv(source=(myid - 1 + P) % P, nbytes=Var("sz"))
+        prog = b.build()
+        sl = slice_program(prog, condense(prog))
+        loop = prog.body[1]
+        inner_assign = loop.body[0]
+        assert inner_assign.sid in sl.retained_sids
+
+
+class TestControlDependence:
+    def test_guard_vars_pulled_into_criterion(self):
+        """An assign kept inside a condensed region's if pulls the guard
+        variable into the slice."""
+        b = ProgramBuilder("cd", params=("N",))
+        b.assign("g", N % 2)
+        with b.if_(Gt(Var("g"), 0)):
+            b.assign("sz", N * 8)
+        with b.else_():
+            b.assign("sz", N * 4)
+        b.compute("filler", work=N)
+        b.send(dest=(myid + 1) % P, nbytes=Var("sz"))
+        b.recv(source=(myid - 1 + P) % P, nbytes=Var("sz"))
+        prog = b.build()
+        sl = slice_program(prog, condense(prog))
+        assert "g" in sl.criterion or "g" in sl.needed
+        g_assign = prog.body[0]
+        assert g_assign.sid in sl.retained_sids
+
+
+class TestPinning:
+    def test_kernel_output_pins_block(self):
+        def kern(env, arrays):
+            env["nmsg"] = 4
+
+        b = ProgramBuilder("pin", params=("N",))
+        b.compute("decide", work=N, writes={"nmsg"}, kernel=kern)
+        b.send(dest=(myid + 1) % P, nbytes=Var("nmsg") * 8)
+        b.recv(source=(myid - 1 + P) % P, nbytes=Var("nmsg") * 8)
+        prog = b.build()
+        sl = slice_program(prog, condense(prog))
+        assert prog.comp_blocks()[0].sid in sl.pinned_blocks
+
+    def test_unneeded_kernel_output_not_pinned(self):
+        def kern(env, arrays):
+            env["junk"] = 1
+
+        b = ProgramBuilder("nopin", params=("N",))
+        b.compute("noise", work=N, writes={"junk"}, kernel=kern)
+        b.send(dest=(myid + 1) % P, nbytes=8)
+        b.recv(source=(myid - 1 + P) % P, nbytes=8)
+        prog = b.build()
+        sl = slice_program(prog, condense(prog))
+        assert sl.pinned_blocks == frozenset()

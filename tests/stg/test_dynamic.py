@@ -1,0 +1,112 @@
+"""Unit tests for dynamic task-graph expansion from traces."""
+
+import pytest
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE
+from repro.sim import ExecMode, Simulator
+from repro.stg import critical_path, critical_path_length, trace_to_dag
+
+
+def traced(nprocs, factory):
+    return Simulator(nprocs, factory, TESTING_MACHINE, mode=ExecMode.DE, collect_trace=True).run()
+
+
+class TestTraceToDag:
+    def test_program_order_edges(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=10)
+            yield mpi.compute(ops=20)
+
+        res = traced(1, prog)
+        g = trace_to_dag(res.trace)
+        assert g.number_of_nodes() == 2
+        assert g.has_edge(0, 1)
+
+    def test_message_edge(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=8)
+            else:
+                yield mpi.recv(source=0)
+
+        res = traced(2, prog)
+        g = trace_to_dag(res.trace)
+        send = next(e for e in res.trace.events if e.kind == "send")
+        recv = next(e for e in res.trace.events if e.kind == "recv")
+        assert g.has_edge(send.eid, recv.eid)
+
+    def test_collective_join(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=(rank + 1) * 100)
+            yield mpi.barrier()
+
+        res = traced(3, prog)
+        g = trace_to_dag(res.trace)
+        joins = [n for n in g.nodes if isinstance(n, str) and n.startswith("coll_")]
+        assert len(joins) == 1
+        # the slowest compute must reach every barrier event through the join
+        import networkx as nx
+
+        slow_compute = max(
+            (e for e in res.trace.events if e.kind == "compute"), key=lambda e: e.end
+        )
+        for ev in res.trace.events:
+            if ev.kind == "collective" and ev.proc != slow_compute.proc:
+                assert nx.has_path(g, slow_compute.eid, ev.eid)
+
+    def test_dag_is_acyclic(self):
+        def prog(rank, size):
+            yield mpi.send(dest=(rank + 1) % size, nbytes=8)
+            m = yield mpi.recv(source=(rank - 1) % size)
+            yield mpi.compute(ops=10)
+
+        res = traced(4, prog)
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(trace_to_dag(res.trace))
+
+    def test_invalid_weight_rejected(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=1)
+
+        res = traced(1, prog)
+        with pytest.raises(ValueError):
+            trace_to_dag(res.trace, weight="bogus")
+
+
+class TestCriticalPath:
+    def test_single_chain(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=100)
+            yield mpi.compute(ops=200)
+
+        res = traced(1, prog)
+        g = trace_to_dag(res.trace)
+        path = critical_path(g)
+        assert path == [0, 1]
+        expected = 300 * TESTING_MACHINE.cpu.time_per_op
+        assert critical_path_length(g) == pytest.approx(expected)
+
+    def test_virtual_critical_path_near_elapsed(self):
+        """The virtual-time critical path lower-bounds the elapsed time."""
+
+        def prog(rank, size):
+            yield mpi.compute(ops=1000 * (rank + 1))
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=64)
+            elif rank == 1:
+                yield mpi.recv(source=0)
+            yield mpi.compute(ops=500)
+
+        res = traced(2, prog)
+        g = trace_to_dag(res.trace)
+        assert critical_path_length(g) <= res.elapsed * 1.0001
+
+    def test_host_weight_mode(self):
+        def prog(rank, size):
+            yield mpi.compute(ops=100)
+
+        res = traced(1, prog)
+        g = trace_to_dag(res.trace, weight="host")
+        assert critical_path_length(g) == pytest.approx(res.stats.total_host_cost)

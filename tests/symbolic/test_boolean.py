@@ -1,0 +1,127 @@
+"""Unit tests for symbolic boolean conditions."""
+
+import pytest
+
+from repro.symbolic import (
+    FALSE,
+    TRUE,
+    And,
+    BoolConst,
+    Eq,
+    Ge,
+    Gt,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    Var,
+    as_bool_expr,
+)
+
+p = Var("p")
+P = Var("P")
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "ctor,op_true,op_false",
+        [
+            (Lt, (1, 2), (2, 2)),
+            (Le, (2, 2), (3, 2)),
+            (Gt, (3, 2), (2, 2)),
+            (Ge, (2, 2), (1, 2)),
+            (Eq, (2, 2), (1, 2)),
+            (Ne, (1, 2), (2, 2)),
+        ],
+    )
+    def test_semantics(self, ctor, op_true, op_false):
+        assert ctor(p, P).evaluate({"p": op_true[0], "P": op_true[1]}) is True
+        assert ctor(p, P).evaluate({"p": op_false[0], "P": op_false[1]}) is False
+
+    def test_constant_folding(self):
+        assert Lt(1, 2) == TRUE
+        assert Gt(1, 2) == FALSE
+
+    def test_free_vars(self):
+        assert Lt(p, P - 1).free_vars() == {"p", "P"}
+
+    def test_subs(self):
+        c = Lt(p, P)
+        assert c.subs({"P": 4}).evaluate({"p": 4}) is False
+        assert c.subs({"P": 4}).evaluate({"p": 3}) is True
+
+
+class TestJunctions:
+    def test_and_short_circuit(self):
+        assert And.make(FALSE, Lt(p, P)) == FALSE
+
+    def test_or_short_circuit(self):
+        assert Or.make(TRUE, Lt(p, P)) == TRUE
+
+    def test_and_identity(self):
+        assert And.make(TRUE, Lt(p, P)) == Lt(p, P)
+
+    def test_or_identity(self):
+        assert Or.make(FALSE, Lt(p, P)) == Lt(p, P)
+
+    def test_empty_and_is_true(self):
+        assert And.make() == TRUE
+
+    def test_empty_or_is_false(self):
+        assert Or.make() == FALSE
+
+    def test_flattening(self):
+        e = And.make(And.make(Lt(p, P), Gt(p, 0)), Ne(p, 3))
+        assert isinstance(e, And)
+        assert len(e.args) == 3
+
+    def test_operator_sugar(self):
+        e = Lt(p, P) & Gt(p, 0)
+        assert e.evaluate({"p": 1, "P": 4}) is True
+        assert e.evaluate({"p": 0, "P": 4}) is False
+        e2 = Lt(p, 0) | Gt(p, 10)
+        assert e2.evaluate({"p": 5}) is False
+        assert e2.evaluate({"p": 11}) is True
+
+    def test_evaluate_and(self):
+        e = And.make(Lt(p, P), Gt(p, 0))
+        assert e.evaluate({"p": 2, "P": 4}) is True
+        assert e.evaluate({"p": 4, "P": 4}) is False
+
+
+class TestNot:
+    def test_double_negation(self):
+        inner = And.make(Lt(p, P), Gt(p, 0))
+        assert Not.make(Not.make(inner)) == inner
+
+    def test_negates_comparison(self):
+        assert Not.make(Lt(p, P)) == Ge(p, P)
+        assert Not.make(Eq(p, P)) == Ne(p, P)
+
+    def test_negates_const(self):
+        assert Not.make(TRUE) == FALSE
+
+    def test_invert_sugar(self):
+        assert (~Lt(p, 3)).evaluate({"p": 3}) is True
+
+
+class TestCoercion:
+    def test_bool(self):
+        assert as_bool_expr(True) == TRUE
+        assert as_bool_expr(False) == FALSE
+
+    def test_passthrough(self):
+        c = Lt(p, P)
+        assert as_bool_expr(c) is c
+
+    def test_rejects_int(self):
+        with pytest.raises(TypeError):
+            as_bool_expr(1)
+
+    def test_boolconst_str(self):
+        assert str(TRUE) == "true" and str(FALSE) == "false"
+
+    def test_hash_equality(self):
+        assert hash(Lt(p, P)) == hash(Lt(Var("p"), Var("P")))
+        assert BoolConst(True) == TRUE

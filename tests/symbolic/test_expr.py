@@ -1,0 +1,216 @@
+"""Unit tests for the symbolic arithmetic expression engine."""
+
+import math
+
+import pytest
+
+from repro.symbolic import (
+    Add,
+    CeilDiv,
+    Const,
+    Div,
+    Expr,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    UnboundVariableError,
+    Var,
+    as_expr,
+    ceil_div,
+    floor_div,
+)
+
+N = Var("N")
+P = Var("P")
+
+
+class TestConstruction:
+    def test_as_expr_int(self):
+        e = as_expr(5)
+        assert isinstance(e, Const) and e.value == 5
+
+    def test_as_expr_float(self):
+        e = as_expr(2.5)
+        assert isinstance(e, Const) and e.value == 2.5
+
+    def test_as_expr_passthrough(self):
+        assert as_expr(N) is N
+
+    def test_as_expr_rejects_bool(self):
+        with pytest.raises(TypeError):
+            as_expr(True)
+
+    def test_as_expr_rejects_str(self):
+        with pytest.raises(TypeError):
+            as_expr("N")
+
+    def test_var_requires_name(self):
+        with pytest.raises(TypeError):
+            Var("")
+
+    def test_const_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            Const("x")
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            N.name = "M"
+        with pytest.raises(AttributeError):
+            Const(1).value = 2
+
+
+class TestSimplification:
+    def test_constant_folding_add(self):
+        assert (as_expr(2) + 3) == Const(5)
+
+    def test_constant_folding_mul(self):
+        assert (as_expr(4) * 5) == Const(20)
+
+    def test_add_identity(self):
+        assert (N + 0) == N
+        assert (0 + N) == N
+
+    def test_mul_identity(self):
+        assert (N * 1) == N
+        assert (1 * N) == N
+
+    def test_mul_zero_annihilates(self):
+        assert (N * 0) == Const(0)
+
+    def test_add_flattens(self):
+        e = (N + P) + (N + 1)
+        assert isinstance(e, Add)
+        assert len(e.args) == 4  # N, P, N, 1
+
+    def test_mul_flattens(self):
+        e = (N * 2) * (P * 3)
+        assert isinstance(e, Mul)
+        # the two constants fold together
+        assert e.evaluate({"N": 1, "P": 1}) == 6
+
+    def test_div_by_one(self):
+        assert (N / 1) == N
+        assert (N // 1) == N
+        assert ceil_div(N, 1) == N
+
+    def test_min_dedup(self):
+        assert Min.make(N, N) == N
+
+    def test_max_constant_fold(self):
+        assert Max.make(3, 7) == Const(7)
+
+    def test_min_mixed(self):
+        e = Min.make(N, 5, 3)
+        assert isinstance(e, Min)
+        assert e.evaluate({"N": 10}) == 3
+        assert e.evaluate({"N": 1}) == 1
+
+
+class TestEvaluation:
+    def test_var(self):
+        assert N.evaluate({"N": 42}) == 42
+
+    def test_unbound_raises(self):
+        with pytest.raises(UnboundVariableError) as ei:
+            (N + P).evaluate({"N": 1})
+        assert "P" in str(ei.value)
+
+    def test_arith(self):
+        e = (N - 2) * (P + 1)
+        assert e.evaluate({"N": 10, "P": 3}) == 32
+
+    def test_neg(self):
+        assert (-N).evaluate({"N": 5}) == -5
+
+    def test_rsub(self):
+        assert (10 - N).evaluate({"N": 3}) == 7
+
+    def test_floordiv(self):
+        assert (N // P).evaluate({"N": 7, "P": 2}) == 3
+
+    def test_ceildiv_exact(self):
+        assert ceil_div(N, P).evaluate({"N": 6, "P": 2}) == 3
+
+    def test_ceildiv_round_up(self):
+        assert ceil_div(N, P).evaluate({"N": 7, "P": 2}) == 4
+
+    def test_ceildiv_float(self):
+        assert ceil_div(N, P).evaluate({"N": 7.0, "P": 2}) == 4
+
+    def test_mod(self):
+        assert (N % P).evaluate({"N": 7, "P": 3}) == 1
+
+    def test_truediv(self):
+        assert (N / P).evaluate({"N": 7, "P": 2}) == 3.5
+
+    def test_floordiv_float(self):
+        assert floor_div(N, as_expr(2.0)).evaluate({"N": 7}) == math.floor(3.5)
+
+    def test_paper_shift_work_expression(self):
+        # (N-2) * (min(N, myid*b + b) - max(2, myid*b + 1)) from Fig. 1(c)
+        myid, b = Var("myid"), Var("b")
+        work = (N - 2) * (Min.make(N, myid * b + b) - Max.make(2, myid * b + 1))
+        env = {"N": 100, "b": 25, "myid": 0}
+        # proc 0: min(N, 25) - max(2, 1) = 25 - 2 = 23 rows, 98 columns
+        assert work.evaluate(env) == 98 * 23
+        env["myid"] = 3
+        # proc 3: min(N, 100) - max(2, 76) = 100 - 76 = 24 rows
+        assert work.evaluate(env) == 98 * 24
+
+
+class TestStructure:
+    def test_equality_and_hash(self):
+        a = (N + 1) * P
+        b = (Var("N") + 1) * Var("P")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert (N + 1) != (N + 2)
+        assert N != P
+
+    def test_free_vars(self):
+        e = ceil_div(N, P) + Var("myid") % 4
+        assert e.free_vars() == {"N", "P", "myid"}
+
+    def test_const_free_vars(self):
+        assert as_expr(7).free_vars() == frozenset()
+
+    def test_is_constant(self):
+        assert (as_expr(3) * 4).is_constant()
+        assert not N.is_constant()
+
+    def test_constant_value(self):
+        assert (as_expr(3) * 4).constant_value() == 12
+
+    def test_subs(self):
+        e = ceil_div(N, P)
+        e2 = e.subs({"P": 4})
+        assert e2.free_vars() == {"N"}
+        assert e2.evaluate({"N": 10}) == 3
+
+    def test_subs_with_expr(self):
+        e = N * 2
+        e2 = e.subs({"N": P + 1})
+        assert e2.evaluate({"P": 4}) == 10
+
+    def test_str_roundtrip_smoke(self):
+        e = (N - 2) * ceil_div(N, P) + Min.make(N, 5)
+        s = str(e)
+        assert "N" in s and "ceil" in s and "min" in s
+
+
+class TestMinMaxBinary:
+    def test_min_nested_flatten(self):
+        e = Min.make(Min.make(N, P), 3)
+        assert isinstance(e, Min)
+        assert len(e.args) == 3
+
+    def test_max_evaluate(self):
+        assert Max.make(N, P, 0).evaluate({"N": -5, "P": -2}) == 0
+
+    def test_empty_nary_rejected(self):
+        with pytest.raises((ValueError, TypeError)):
+            Add(())

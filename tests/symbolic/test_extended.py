@@ -1,0 +1,111 @@
+"""Unit tests for Index / Sum / Cond symbolic nodes."""
+
+import numpy as np
+import pytest
+
+from repro.symbolic import Cond, Gt, Index, Sum, Var
+
+N = Var("N")
+i = Var("i")
+
+
+class TestIndex:
+    def test_evaluate_with_array(self):
+        e = Index.make("cell_size", Var("c"))
+        env = {"cell_size": np.array([10, 20, 30]), "c": 1}
+        assert e.evaluate(env) == 20
+
+    def test_evaluate_with_list(self):
+        e = Index.make("sizes", 2)
+        assert e.evaluate({"sizes": [5, 6, 7]}) == 7
+
+    def test_free_vars_include_base(self):
+        e = Index.make("cs", Var("c") + 1)
+        assert e.free_vars() == {"cs", "c"}
+
+    def test_unbound_array(self):
+        with pytest.raises(KeyError):
+            Index.make("cs", 0).evaluate({})
+
+    def test_subs_reindexes(self):
+        e = Index.make("cs", Var("c"))
+        e2 = e.subs({"c": 2})
+        assert e2.evaluate({"cs": [1, 2, 3]}) == 3
+
+    def test_in_arithmetic(self):
+        # SP-style loop bound: work = cell_size[c] * cell_size[c]
+        e = Index.make("cs", Var("c")) * Index.make("cs", Var("c"))
+        assert e.evaluate({"cs": [4, 5], "c": 1}) == 25
+
+    def test_str(self):
+        assert str(Index.make("cs", Var("c"))) == "cs[c]"
+
+    def test_equality(self):
+        assert Index.make("cs", 1) == Index.make("cs", 1)
+        assert Index.make("cs", 1) != Index.make("ds", 1)
+
+
+class TestSum:
+    def test_index_independent_collapses(self):
+        e = Sum.make("i", 1, N, Var("w"))
+        # closed form: max(N - 1 + 1, 0) * w
+        assert e.evaluate({"N": 5, "w": 2.0}) == 10.0
+        assert "sum" not in str(e)
+
+    def test_index_dependent_iterates(self):
+        e = Sum.make("i", 1, N, i)
+        assert e.evaluate({"N": 4}) == 1 + 2 + 3 + 4
+
+    def test_empty_range_zero(self):
+        e = Sum.make("i", 5, N, i)
+        assert e.evaluate({"N": 3}) == 0
+
+    def test_empty_range_closed_form_clamped(self):
+        e = Sum.make("i", 5, N, Var("w"))
+        assert e.evaluate({"N": 3, "w": 7}) == 0
+
+    def test_bound_var_shadowed(self):
+        e = Sum.make("i", 0, 2, i * Var("k"))
+        # substituting i from outside must not touch the bound variable
+        e2 = e.subs({"i": 100, "k": 10})
+        assert e2.evaluate({}) == (0 + 1 + 2) * 10
+
+    def test_free_vars(self):
+        e = Sum.make("i", Var("lo"), Var("hi"), i + Var("k"))
+        assert e.free_vars() == {"lo", "hi", "k"}
+
+    def test_nested_sum(self):
+        inner = Sum.make("j", 1, i, Var("j"))
+        e = Sum.make("i", 1, 3, inner)
+        # i=1: 1; i=2: 3; i=3: 6
+        assert e.evaluate({}) == 10
+
+    def test_triangular_wavefront_cost(self):
+        # pipeline fill: stage p starts after p steps
+        e = Sum.make("p", 0, N - 1, N - Var("p"))
+        assert e.evaluate({"N": 4}) == 4 + 3 + 2 + 1
+
+
+class TestCond:
+    def test_basic(self):
+        e = Cond.make(Gt(Var("myid"), 0), 10, 20)
+        assert e.evaluate({"myid": 1}) == 10
+        assert e.evaluate({"myid": 0}) == 20
+
+    def test_constant_condition_folds(self):
+        assert Cond.make(Gt(1, 0), N, 0) == N
+
+    def test_equal_branches_fold(self):
+        assert Cond.make(Gt(Var("p"), 0), N, N) == N
+
+    def test_subs(self):
+        e = Cond.make(Gt(Var("p"), 0), Var("a"), Var("b"))
+        assert e.subs({"p": 1, "a": 5, "b": 6}).constant_value() == 5
+
+    def test_free_vars(self):
+        e = Cond.make(Gt(Var("p"), 0), Var("a"), Var("b"))
+        assert e.free_vars() == {"p", "a", "b"}
+
+    def test_nested_in_arithmetic(self):
+        e = 2 * Cond.make(Gt(Var("p"), 0), 3, 4)
+        assert e.evaluate({"p": 1}) == 6

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) for the symbolic expression engine.
+
+The compiler's correctness rests on symbolic expressions evaluating
+exactly like the concrete arithmetic they abstract; these properties pin
+that down over randomly generated expression trees.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import (
+    Add,
+    CeilDiv,
+    Const,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Var,
+    as_expr,
+    ceil_div,
+)
+
+VARS = ("N", "P", "b", "myid")
+
+
+@st.composite
+def envs(draw):
+    return {name: draw(st.integers(min_value=1, max_value=1000)) for name in VARS}
+
+
+def exprs(max_leaves=6):
+    leaf = st.one_of(
+        st.integers(min_value=-50, max_value=50).map(Const),
+        st.sampled_from(VARS).map(Var),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda ab: ab[0] + ab[1]),
+            st.tuples(children, children).map(lambda ab: ab[0] - ab[1]),
+            st.tuples(children, children).map(lambda ab: ab[0] * ab[1]),
+            st.tuples(children, children).map(lambda ab: Min.make(ab[0], ab[1])),
+            st.tuples(children, children).map(lambda ab: Max.make(ab[0], ab[1])),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=max_leaves)
+
+
+@given(exprs(), envs())
+@settings(max_examples=200)
+def test_subs_then_evaluate_equals_evaluate(e, env):
+    """Substituting all variables yields a closed expr with the same value."""
+    closed = e.subs(env)
+    assert closed.free_vars() == frozenset()
+    assert closed.constant_value() == e.evaluate(env)
+
+
+@given(exprs(), exprs(), envs())
+@settings(max_examples=200)
+def test_add_commutes_semantically(a, b, env):
+    assert (a + b).evaluate(env) == (b + a).evaluate(env)
+
+
+@given(exprs(), exprs(), exprs(), envs())
+@settings(max_examples=100)
+def test_add_associates_semantically(a, b, c, env):
+    assert ((a + b) + c).evaluate(env) == (a + (b + c)).evaluate(env)
+
+
+@given(exprs(), exprs(), envs())
+@settings(max_examples=200)
+def test_mul_commutes_semantically(a, b, env):
+    assert (a * b).evaluate(env) == (b * a).evaluate(env)
+
+
+@given(exprs(), envs())
+@settings(max_examples=200)
+def test_structural_equality_implies_equal_hash(e, env):
+    other = e.subs({})  # identity substitution rebuilds the tree
+    assert other == e
+    assert hash(other) == hash(e)
+
+
+@given(st.integers(min_value=-10000, max_value=10000), st.integers(min_value=1, max_value=500))
+def test_ceil_div_matches_math_ceil(a, b):
+    assert ceil_div(Const(a), Const(b)).constant_value() == math.ceil(a / b)
+
+
+@given(st.integers(min_value=-10000, max_value=10000), st.integers(min_value=1, max_value=500))
+def test_floor_div_matches_python(a, b):
+    assert FloorDiv.make(Const(a), Const(b)).constant_value() == a // b
+
+
+@given(st.integers(min_value=-10000, max_value=10000), st.integers(min_value=1, max_value=500))
+def test_mod_matches_python(a, b):
+    assert Mod.make(Const(a), Const(b)).constant_value() == a % b
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=6))
+def test_min_max_fold_constants(values):
+    assert Min.make(*map(Const, values)).constant_value() == min(values)
+    assert Max.make(*map(Const, values)).constant_value() == max(values)
+
+
+@given(exprs(), envs())
+@settings(max_examples=200)
+def test_free_vars_sound(e, env):
+    """Evaluation only needs the variables reported free."""
+    needed = {k: v for k, v in env.items() if k in e.free_vars()}
+    assert e.evaluate(needed) == e.evaluate(env)
+
+
+@given(exprs(), envs(), st.sampled_from(VARS))
+@settings(max_examples=200)
+def test_partial_substitution_consistent(e, env, name):
+    """Substituting one variable then evaluating the rest is consistent."""
+    partial = e.subs({name: env[name]})
+    assert name not in partial.free_vars()
+    assert partial.evaluate(env) == e.evaluate(env)

@@ -1,0 +1,94 @@
+"""Unit tests for symbolic process sets and rank mappings."""
+
+from repro.symbolic import (
+    RANK,
+    Eq,
+    Ge,
+    Gt,
+    Mod,
+    ProcessSet,
+    RankMapping,
+    Var,
+    all_processes,
+)
+
+P = Var("P")
+
+
+class TestProcessSet:
+    def test_all_processes(self):
+        s = all_processes()
+        assert list(s.members({"P": 4})) == [0, 1, 2, 3]
+        assert s.cardinality({"P": 4}) == 4
+
+    def test_contains(self):
+        s = all_processes()
+        assert s.contains(0, {"P": 4})
+        assert s.contains(3, {"P": 4})
+        assert not s.contains(4, {"P": 4})
+        assert not s.contains(-1, {"P": 4})
+
+    def test_guarded_set(self):
+        # senders in the paper's shift: {[p] : 1 <= p <= P-1}
+        s = ProcessSet(1, P - 1)
+        assert list(s.members({"P": 4})) == [1, 2, 3]
+
+    def test_guard_with_mod(self):
+        # even ranks only
+        s = all_processes().restrict(Eq(Mod.make(RANK, 2), 0))
+        assert list(s.members({"P": 6})) == [0, 2, 4]
+
+    def test_empty_set(self):
+        s = ProcessSet(1, 0)
+        assert list(s.members({})) == []
+        assert s.cardinality({}) == 0
+
+    def test_free_vars_exclude_rank(self):
+        s = ProcessSet(0, P - 1, Gt(RANK, Var("k")))
+        assert s.free_vars() == {"P", "k"}
+
+    def test_str(self):
+        assert "p" in str(all_processes())
+
+    def test_equality(self):
+        assert all_processes() == all_processes()
+        assert ProcessSet(1, P - 1) != all_processes()
+        assert hash(ProcessSet(1, P - 1)) == hash(ProcessSet(1, P - 1))
+
+
+class TestRankMapping:
+    def test_shift_left(self):
+        # Fig. 1(b): each p in [1, P-1] sends to q = p-1
+        m = RankMapping(RANK - 1, Ge(RANK, 1))
+        assert m.apply(3, {"P": 4}) == 2
+        assert m.apply(0, {"P": 4}) is None
+
+    def test_applies(self):
+        m = RankMapping(RANK - 1, Ge(RANK, 1))
+        assert m.applies(1, {}) and not m.applies(0, {})
+
+    def test_pairs(self):
+        m = RankMapping(RANK - 1, Ge(RANK, 1))
+        dom = all_processes()
+        assert list(m.pairs({"P": 4}, dom)) == [(1, 0), (2, 1), (3, 2)]
+
+    def test_2d_grid_neighbor(self):
+        # west neighbour on a px-wide grid: q = p-1 when (p mod px) > 0
+        px = Var("px")
+        m = RankMapping(RANK - 1, Gt(Mod.make(RANK, px), 0))
+        env = {"px": 3}
+        assert m.apply(4, env) == 3  # (1,1) -> (1,0)
+        assert m.apply(3, env) is None  # (1,0) has no west neighbour
+
+    def test_free_vars(self):
+        m = RankMapping(RANK + Var("px"), Gt(RANK, 0))
+        assert m.free_vars() == {"px"}
+
+    def test_equality_hash(self):
+        a = RankMapping(RANK - 1, Ge(RANK, 1))
+        b = RankMapping(RANK - 1, Ge(RANK, 1))
+        assert a == b and hash(a) == hash(b)
+
+    def test_str(self):
+        m = RankMapping(RANK - 1, Ge(RANK, 1))
+        assert "->" in str(m)

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import APPS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_validate_args(self):
+        args = build_parser().parse_args(
+            ["validate", "tomcatv", "--procs", "4", "8", "--no-de"]
+        )
+        assert args.app == "tomcatv" and args.procs == [4, 8] and args.no_de
+
+
+class TestCommands:
+    def test_apps_lists_everything(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in APPS:
+            assert name in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["compile", "linpack"])
+
+    def test_compile(self, capsys):
+        assert main(["compile", "tomcatv"]) == 0
+        out = capsys.readouterr().out
+        assert "condensed region" in out
+        assert "call delay(" in out
+        assert "read_and_broadcast" in out
+
+    def test_stg(self, capsys):
+        assert main(["stg", "tomcatv"]) == 0
+        out = capsys.readouterr().out
+        assert "STG(tomcatv)" in out
+
+    def test_predict(self, capsys):
+        assert main(["predict", "tomcatv", "--procs", "4", "--calib-procs", "4",
+                     "--set", "n=128", "--set", "itmax=2"]) == 0
+        out = capsys.readouterr().out
+        assert "MPI-SIM-AM predictions" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "tomcatv", "--procs", "4", "--calib-procs", "4",
+                     "--set", "n=128", "--set", "itmax=2"]) == 0
+        out = capsys.readouterr().out
+        assert "%err AM" in out and "max AM error" in out
+
+    def test_validate_no_de(self, capsys):
+        assert main(["validate", "tomcatv", "--procs", "2", "--calib-procs", "2",
+                     "--set", "n=64", "--set", "itmax=2", "--no-de"]) == 0
+        out = capsys.readouterr().out
+        assert "MPI-SIM-DE" in out  # column exists, values dashed
+
+    def test_memory(self, capsys):
+        assert main(["memory", "tomcatv", "--procs", "4", "--set", "n=1024"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out
+
+    def test_bad_override(self):
+        with pytest.raises(SystemExit, match="key=value"):
+            main(["predict", "tomcatv", "--procs", "2", "--set", "oops"])
+
+    def test_machine_selection(self, capsys):
+        assert main(["memory", "tomcatv", "--procs", "4",
+                     "--machine", "SGI-Origin-2000", "--set", "n=256"]) == 0
+        assert "SGI-Origin-2000" in capsys.readouterr().out
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError, match="unknown machine"):
+            main(["memory", "tomcatv", "--procs", "4", "--machine", "Cray-T3E"])
+
+
+class TestCalibrate:
+    def test_writes_parameter_file(self, tmp_path, capsys):
+        out = tmp_path / "w.json"
+        assert main(["calibrate", "tomcatv", "--calib-procs", "2",
+                     "--set", "n=64", "--set", "itmax=1", "-o", str(out)]) == 0
+        from repro.measure import load_params
+
+        params = load_params(out)
+        assert set(params) == {"w_residual", "w_tridiag_solve", "w_mesh_update"}
+        assert "parameters written" in capsys.readouterr().out
+
+
+class TestPredictMethods:
+    def test_taskgraph_method(self, capsys):
+        assert main(["predict", "tomcatv", "--procs", "4", "--calib-procs", "4",
+                     "--set", "n=64", "--set", "itmax=1", "--method", "taskgraph"]) == 0
+        out = capsys.readouterr().out
+        assert "task-graph analytical predictions" in out
+
+    def test_sum_method(self, capsys):
+        assert main(["predict", "tomcatv", "--procs", "4", "--calib-procs", "4",
+                     "--set", "n=64", "--set", "itmax=1", "--method", "sum"]) == 0
+        out = capsys.readouterr().out
+        assert "per-rank-sum" in out and "imbalance" in out
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["predict", "tomcatv", "--procs", "4", "--method", "psychic"])

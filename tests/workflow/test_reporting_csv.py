@@ -1,0 +1,23 @@
+"""Tests for CSV export of validation series."""
+
+import csv
+
+from repro.workflow import ValidationPoint, ValidationSeries, write_validation_csv
+
+
+def test_csv_roundtrip(tmp_path):
+    series = ValidationSeries(
+        "demo",
+        [
+            ValidationPoint("4", 4, measured=1.0, de=0.98, am=0.9),
+            ValidationPoint("8", 8, measured=0.5, de=None, am=0.52),
+        ],
+    )
+    path = tmp_path / "v.csv"
+    write_validation_csv(series, path)
+    with open(path) as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 2
+    assert rows[0]["nprocs"] == "4"
+    assert abs(float(rows[0]["err_am_pct"]) - 10.0) < 1e-9
+    assert rows[1]["de_s"] == ""  # skipped DE renders empty

@@ -1,0 +1,35 @@
+"""Extra coverage for validation containers and the sweep apps' workflows."""
+
+import math
+
+import pytest
+
+from repro.workflow import ValidationPoint, ValidationSeries
+
+
+class TestValidationSeries:
+    def _series(self):
+        return ValidationSeries(
+            "s",
+            [
+                ValidationPoint("a", 2, measured=1.0, de=0.95, am=0.90),
+                ValidationPoint("b", 4, measured=0.5, de=0.49, am=0.56),
+            ],
+        )
+
+    def test_error_properties(self):
+        s = self._series()
+        assert s.points[0].err_am == pytest.approx(10.0)
+        assert s.points[1].err_am == pytest.approx(12.0)
+        assert s.points[0].err_de == pytest.approx(5.0)
+
+    def test_max_and_mean(self):
+        s = self._series()
+        assert s.max_err_am == pytest.approx(12.0)
+        assert s.mean_err_am == pytest.approx(11.0)
+        assert s.max_err_de == pytest.approx(5.0)
+
+    def test_de_skipped(self):
+        s = ValidationSeries("s", [ValidationPoint("a", 2, measured=1.0, de=None, am=1.1)])
+        assert s.points[0].err_de is None
+        assert math.isnan(s.max_err_de)

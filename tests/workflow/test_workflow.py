@@ -1,0 +1,103 @@
+"""Integration tests for the Fig. 2 modeling workflow and validation."""
+
+import pytest
+
+from repro.apps import build_tomcatv, tomcatv_inputs
+from repro.machine import IBM_SP
+from repro.sim import ExecMode
+from repro.workflow import (
+    ModelingWorkflow,
+    format_bytes,
+    format_table,
+    format_validation,
+    validate,
+)
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return ModelingWorkflow(
+        build_tomcatv(), IBM_SP, calib_inputs=tomcatv_inputs(128, itmax=3), calib_nprocs=4
+    )
+
+
+class TestWorkflow:
+    def test_calibration_cached(self, wf):
+        a = wf.calibrate()
+        b = wf.calibrate()
+        assert a is b
+        assert set(a.wparams) == {"w_residual", "w_tridiag_solve", "w_mesh_update"}
+
+    def test_wparams_positive(self, wf):
+        assert all(v > 0 for v in wf.wparams.values())
+
+    def test_compiled_cached(self, wf):
+        assert wf.compiled is wf.compiled
+
+    def test_modes_tagged(self, wf):
+        inputs = tomcatv_inputs(64, itmax=2)
+        assert wf.run_measured(inputs, 4).mode is ExecMode.MEASURED
+        assert wf.run_de(inputs, 4).mode is ExecMode.DE
+        assert wf.run_am(inputs, 4).mode is ExecMode.AM
+
+    def test_am_error_small(self, wf):
+        """The headline result: AM within the paper's error envelope."""
+        inputs = tomcatv_inputs(128, itmax=3)
+        for nprocs in (2, 4, 8):
+            meas = wf.run_measured(inputs, nprocs)
+            am = wf.run_am(inputs, nprocs)
+            err = abs(am.elapsed - meas.elapsed) / meas.elapsed
+            assert err < 0.17, f"AM error {err:.1%} at P={nprocs} exceeds the paper's 17%"
+
+    def test_am_memory_reduction(self, wf):
+        inputs = tomcatv_inputs(256, itmax=1)
+        de = wf.run_de(inputs, 4)
+        am = wf.run_am(inputs, 4)
+        assert de.memory.app_bytes / am.memory.app_bytes > 100
+
+    def test_measured_noise_varies_with_seed(self, wf):
+        inputs = tomcatv_inputs(64, itmax=2)
+        a = wf.run_measured(inputs, 4, seed=1)
+        b = wf.run_measured(inputs, 4, seed=2)
+        assert a.elapsed != b.elapsed
+
+
+class TestValidate:
+    def test_series(self, wf):
+        configs = [(tomcatv_inputs(128, itmax=2), p) for p in (2, 4)]
+        series = validate(wf, configs, name="tomcatv-test")
+        assert len(series.points) == 2
+        assert series.max_err_am < 20
+        assert series.points[0].err_de is not None
+
+    def test_skip_de(self, wf):
+        configs = [(tomcatv_inputs(64, itmax=2), 2)]
+        series = validate(wf, configs, include_de=False)
+        assert series.points[0].de is None
+        assert series.points[0].err_de is None
+
+    def test_labels(self, wf):
+        configs = [(tomcatv_inputs(64, itmax=2), 2)]
+        series = validate(wf, configs, labels=["cfg-a"])
+        assert series.points[0].label == "cfg-a"
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, None]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "-" in lines[-1]  # None renders as '-'
+
+    def test_format_validation(self, wf):
+        configs = [(tomcatv_inputs(64, itmax=2), 2)]
+        series = validate(wf, configs)
+        text = format_validation(series)
+        assert "MPI-SIM-AM" in text and "max AM error" in text
+
+    def test_format_bytes(self):
+        assert format_bytes(500) == "500B"
+        assert format_bytes(2_000) == "2.0KB"
+        assert format_bytes(3_500_000) == "3.5MB"
+        assert format_bytes(7_200_000_000) == "7.2GB"
