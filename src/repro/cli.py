@@ -5,15 +5,20 @@ Examples::
     python -m repro apps
     python -m repro compile tomcatv
     python -m repro stg sweep3d
-    python -m repro validate tomcatv --procs 4 16 64
+    python -m repro validate tomcatv --procs 4 16 64 --seed 7
     python -m repro predict sweep3d --procs 256 1024 --set itg=96 --set jtg=96
     python -m repro memory sweep3d --procs 4900 --set kt=255
+    python -m repro faults sweep3d --nprocs 16 --crash 3@0.01
+    python -m repro faults tomcatv --nprocs 8 --sweep 0.01 0.05 0.1 --retry 5:1e-4
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+
+from dataclasses import replace
 
 from .apps import (
     build_nas_sp,
@@ -61,6 +66,17 @@ APPS = {
 }
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for processor counts: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"processor count must be >= 1, got {value}")
+    return value
+
+
 def _parse_overrides(pairs: list[str]) -> dict[str, int]:
     out = {}
     for pair in pairs or []:
@@ -85,13 +101,17 @@ def _resolve(args, nprocs: int):
     return program, inputs
 
 
-def _workflow(args, program, calib_nprocs: int) -> ModelingWorkflow:
+def _workflow(args, program, calib_nprocs: int, calibrate: bool = True) -> ModelingWorkflow:
     machine = get_machine(args.machine)
     _, default_inputs = APPS[args.app]
     calib = default_inputs(calib_nprocs)
     calib.update(_parse_overrides(getattr(args, "set", None)))
-    wf = ModelingWorkflow(program, machine, calib_inputs=calib, calib_nprocs=calib_nprocs)
-    wf.calibrate()
+    wf = ModelingWorkflow(
+        program, machine, calib_inputs=calib, calib_nprocs=calib_nprocs,
+        seed=getattr(args, "seed", 0),
+    )
+    if calibrate:
+        wf.calibrate()
     return wf
 
 
@@ -217,6 +237,128 @@ def cmd_memory(args) -> int:
     return 0
 
 
+def _parse_crash(spec: str):
+    from .sim.faults import CrashFault
+
+    rank, sep, t = spec.partition("@")
+    try:
+        if not sep:
+            raise ValueError
+        return CrashFault(rank=int(rank), time=float(t))
+    except ValueError:
+        raise SystemExit(f"--crash expects RANK@TIME (e.g. 3@0.5), got {spec!r}")
+
+
+def _parse_degrade(spec: str):
+    from .sim.faults import LinkDegradation
+
+    parts = spec.split(":")
+    if len(parts) != 6:
+        raise SystemExit(
+            f"--degrade expects SRC:DST:START:END:LATENCYx:BANDWIDTHx "
+            f"(use * for any rank), got {spec!r}"
+        )
+    try:
+        src = None if parts[0] == "*" else int(parts[0])
+        dst = None if parts[1] == "*" else int(parts[1])
+        return LinkDegradation(
+            src=src, dst=dst, start=float(parts[2]), end=float(parts[3]),
+            latency_factor=float(parts[4]), bandwidth_factor=float(parts[5]),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad --degrade spec {spec!r}: {exc}")
+
+
+def _parse_retry(spec: str):
+    from .sim.faults import RetryPolicy
+
+    parts = spec.split(":")
+    try:
+        kwargs = {"max_attempts": int(parts[0])}
+        if len(parts) > 1:
+            kwargs["backoff"] = float(parts[1])
+        if len(parts) > 2:
+            kwargs["backoff_factor"] = float(parts[2])
+        if len(parts) > 3:
+            raise ValueError("too many fields")
+        return RetryPolicy(**kwargs)
+    except ValueError as exc:
+        raise SystemExit(f"--retry expects MAX[:BACKOFF[:FACTOR]], got {spec!r} ({exc})")
+
+
+def _build_plan(args):
+    """Assemble the FaultPlan from --plan JSON plus per-flag overrides."""
+    from .sim.faults import FaultPlan
+
+    if args.plan:
+        try:
+            with open(args.plan) as fh:
+                plan = FaultPlan.from_dict(json.load(fh))
+        except (OSError, ValueError, TypeError) as exc:
+            raise SystemExit(f"cannot load fault plan {args.plan!r}: {exc}")
+    else:
+        plan = FaultPlan()
+    updates = {}
+    if args.fault_seed is not None:
+        updates["seed"] = args.fault_seed
+    if args.crash:
+        updates["crashes"] = plan.crashes + tuple(_parse_crash(s) for s in args.crash)
+    if args.loss is not None:
+        updates["message_loss"] = args.loss
+    if args.dup is not None:
+        updates["duplication"] = args.dup
+    if args.send_fail is not None:
+        updates["send_failure"] = args.send_fail
+    if args.degrade:
+        updates["degradations"] = plan.degradations + tuple(
+            _parse_degrade(s) for s in args.degrade
+        )
+    try:
+        return replace(plan, **updates) if updates else plan
+    except ValueError as exc:
+        raise SystemExit(f"invalid fault plan: {exc}")
+
+
+def cmd_faults(args) -> int:
+    """Run an application under a fault plan and report its resilience."""
+    from .sim import DeadlockError, ExecMode
+    from .workflow import fault_sweep, format_fault_sweep, format_resilience
+
+    program, _ = _resolve(args, nprocs=args.nprocs)
+    mode = {"am": ExecMode.AM, "de": ExecMode.DE, "measured": ExecMode.MEASURED}[args.mode]
+    calib_procs = args.calib_procs or min(args.nprocs, 16)
+    # AM calibrates lazily inside run_faulty; DE/MEASURED need no calibration
+    wf = _workflow(args, program, calib_nprocs=calib_procs, calibrate=False)
+    _, default_inputs = APPS[args.app]
+    inputs = default_inputs(args.nprocs)
+    inputs.update(_parse_overrides(args.set))
+    plan = _build_plan(args)
+    retry = _parse_retry(args.retry) if args.retry else None
+    for crash in plan.crashes:
+        if crash.rank >= args.nprocs:
+            raise SystemExit(
+                f"invalid fault plan: crashes rank {crash.rank} "
+                f"but --nprocs is {args.nprocs}"
+            )
+    if args.sweep:
+        series = fault_sweep(
+            wf, inputs, args.nprocs, args.sweep, base_plan=plan, retry=retry,
+            mode=mode, timeout=args.timeout, name=args.app,
+        )
+        print(format_fault_sweep(series))
+        return 0
+    try:
+        result = wf.run_faulty(
+            inputs, args.nprocs, plan=plan, retry=retry, mode=mode, timeout=args.timeout
+        )
+    except DeadlockError as exc:
+        print(f"Resilience report: {args.app} deadlocked under the fault plan")
+        print(exc.report.format() if exc.report is not None else str(exc))
+        return 2
+    print(format_resilience(result, title=f"Resilience report: {args.app} ({args.mode})"))
+    return 0
+
+
 # -- parser ---------------------------------------------------------------------
 
 
@@ -236,10 +378,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--set", action="append", metavar="KEY=VALUE",
                        help="override an application input parameter")
         if with_procs:
-            p.add_argument("--procs", type=int, nargs="+", default=[4, 16, 64],
+            p.add_argument("--procs", type=_positive_int, nargs="+", default=[4, 16, 64],
                            help="target processor counts")
-            p.add_argument("--calib-procs", type=int, default=16,
+            p.add_argument("--calib-procs", type=_positive_int, default=16,
                            help="calibration processor count (default 16)")
+            p.add_argument("--seed", type=int, default=0,
+                           help="noise seed for MEASURED-mode runs (reproducibility)")
         p.set_defaults(fn=fn)
         return p
 
@@ -253,8 +397,41 @@ def build_parser() -> argparse.ArgumentParser:
                     help="predictor: simulated AM (default), task-graph analysis, per-rank sum")
     add_app_command("memory", cmd_memory, "simulator memory estimates", with_procs=True)
     c = add_app_command("calibrate", cmd_calibrate, "measure w_i and write a parameter file")
-    c.add_argument("--calib-procs", type=int, default=16, help="measurement processor count")
+    c.add_argument("--calib-procs", type=_positive_int, default=16,
+                   help="measurement processor count")
+    c.add_argument("--seed", type=int, default=0, help="measurement noise seed")
     c.add_argument("-o", "--output", default="wparams.json", help="parameter file path")
+
+    f = add_app_command(
+        "faults", cmd_faults, "run an app under a fault plan; print the resilience report"
+    )
+    f.add_argument("--nprocs", type=_positive_int, default=16,
+                   help="target processor count (default 16)")
+    f.add_argument("--mode", choices=("am", "de", "measured"), default="de",
+                   help="estimator to run under faults (default de)")
+    f.add_argument("--plan", metavar="FILE", help="JSON fault-plan file (see DESIGN.md)")
+    f.add_argument("--crash", action="append", metavar="RANK@TIME",
+                   help="crash a rank at a virtual time (repeatable)")
+    f.add_argument("--loss", type=float, default=None, metavar="P",
+                   help="message-loss probability in [0,1]")
+    f.add_argument("--dup", type=float, default=None, metavar="P",
+                   help="message-duplication probability in [0,1]")
+    f.add_argument("--send-fail", type=float, default=None, metavar="P",
+                   help="transient send-failure probability in [0,1]")
+    f.add_argument("--degrade", action="append", metavar="SRC:DST:START:END:LATx:BWx",
+                   help="degrade a link over a time window (use * for any rank)")
+    f.add_argument("--retry", metavar="MAX[:BACKOFF[:FACTOR]]",
+                   help="retry policy for lost/failed messages (e.g. 5:1e-4:2)")
+    f.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="default watchdog timeout for blocking sends/receives")
+    f.add_argument("--fault-seed", type=int, default=None,
+                   help="fault plan seed (deterministic replay)")
+    f.add_argument("--seed", type=int, default=0,
+                   help="noise seed for --mode measured runs")
+    f.add_argument("--calib-procs", type=_positive_int, default=None,
+                   help="calibration processor count for --mode am")
+    f.add_argument("--sweep", type=float, nargs="+", metavar="LOSS",
+                   help="run a fault sweep over these loss rates instead of one run")
     return parser
 
 

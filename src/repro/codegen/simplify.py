@@ -34,7 +34,7 @@ from ..ir.nodes import (
     WaitAllStmt,
 )
 from ..slicing.slicer import SliceResult
-from ..stg.condense import CondensePlan, PlanRegion, PlanRetain
+from ..stg.condense import CondensePlan, PlanRegion
 from ..symbolic import Const, Max
 from ..symbolic.expr import Expr
 

@@ -108,6 +108,24 @@ class NetworkModel:
         """Eager (buffered) vs rendezvous (synchronizing) protocol choice."""
         return nbytes <= self.params.eager_limit
 
+    def degradation_extra(
+        self, nbytes: int, latency_factor: float, bandwidth_factor: float
+    ) -> float:
+        """Extra transit time of one message on a degraded link.
+
+        A degraded link multiplies the (possibly perturbed) base latency
+        by *latency_factor* and divides the bandwidth by
+        *bandwidth_factor*; this returns the additional seconds over the
+        healthy link, to be added on top of :meth:`transit_time`.
+        Deterministic — fault plans replay identically.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes}")
+        extra = self._latency * (latency_factor - 1.0)
+        if bandwidth_factor > 0.0:
+            extra += nbytes * self._per_byte * (1.0 / bandwidth_factor - 1.0)
+        return extra
+
     # -- collectives ----------------------------------------------------------------
     def collective_time(self, op: str, nbytes: int, nprocs: int) -> float:
         """Completion time of a collective over *nprocs* processes.

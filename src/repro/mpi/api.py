@@ -62,24 +62,45 @@ __all__ = [
 ]
 
 
-def send(dest: int, nbytes: int, tag: int = 0, data: Any = None) -> Send:
-    """Blocking send of *nbytes* (optionally carrying *data*) to *dest*."""
-    return Send(dest=dest, nbytes=nbytes, tag=tag, data=data)
+def send(
+    dest: int, nbytes: int, tag: int = 0, data: Any = None, timeout: float | None = None
+) -> Send:
+    """Blocking send of *nbytes* (optionally carrying *data*) to *dest*.
+
+    With a *timeout*, a rendezvous send left unmatched for *timeout*
+    virtual seconds resumes with a :class:`~repro.sim.requests.TimedOut`
+    status instead of blocking forever.
+    """
+    return Send(dest=dest, nbytes=nbytes, tag=tag, data=data, timeout=timeout)
 
 
-def recv(source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Recv:
-    """Blocking receive; yields a :class:`ReceivedMessage`."""
-    return Recv(source=source, tag=tag)
+def recv(
+    source: int = ANY_SOURCE, tag: int = ANY_TAG, timeout: float | None = None
+) -> Recv:
+    """Blocking receive; yields a :class:`ReceivedMessage`.
+
+    With a *timeout*, yields a :class:`~repro.sim.requests.TimedOut`
+    status if no message matches within *timeout* virtual seconds.
+    """
+    return Recv(source=source, tag=tag, timeout=timeout)
 
 
-def isend(dest: int, nbytes: int, tag: int = 0, data: Any = None) -> Isend:
+def isend(
+    dest: int, nbytes: int, tag: int = 0, data: Any = None, timeout: float | None = None
+) -> Isend:
     """Non-blocking send; yields a :class:`RequestHandle`."""
-    return Isend(dest=dest, nbytes=nbytes, tag=tag, data=data)
+    return Isend(dest=dest, nbytes=nbytes, tag=tag, data=data, timeout=timeout)
 
 
-def irecv(source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Irecv:
-    """Non-blocking receive; yields a :class:`RequestHandle`."""
-    return Irecv(source=source, tag=tag)
+def irecv(
+    source: int = ANY_SOURCE, tag: int = ANY_TAG, timeout: float | None = None
+) -> Irecv:
+    """Non-blocking receive; posts the match and returns a handle.
+
+    With a *timeout*, the handle completes with
+    :class:`~repro.sim.requests.TimedOut` if nothing matches in time.
+    """
+    return Irecv(source=source, tag=tag, timeout=timeout)
 
 
 def waitall(*handles: RequestHandle) -> Wait:

@@ -34,6 +34,7 @@ class MessageRecord:
     ready_time: float | None  # arrival time (eager only; set at rendezvous for others)
     sender_event: int | None = None  # trace event id of the send (if tracing)
     sender_handle: int | None = None  # non-blocking send: handle to complete
+    retry_delay: float = 0.0  # fault-injection: retransmission backoff on the wire
 
     def matches(self, source: int, tag: int) -> bool:
         """Does this message satisfy a receive for (*source*, *tag*)?"""
@@ -85,6 +86,24 @@ class MatchQueues:
         if best_i >= 0:
             return self.messages.pop(best_i)
         self.recvs.append(recv)
+        return None
+
+    def cancel_recv(self, seq: int) -> PostedRecv | None:
+        """Withdraw the posted receive with sequence *seq* (timeout path).
+
+        Returns it if it was still pending, or None if it already
+        matched (the timeout lost the race and must be ignored).
+        """
+        for i, r in enumerate(self.recvs):
+            if r.seq == seq:
+                return self.recvs.pop(i)
+        return None
+
+    def cancel_message(self, seq: int) -> MessageRecord | None:
+        """Withdraw the queued message with sequence *seq* (timeout path)."""
+        for i, m in enumerate(self.messages):
+            if m.seq == seq:
+                return self.messages.pop(i)
         return None
 
     def idle(self) -> bool:

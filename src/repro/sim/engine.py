@@ -16,12 +16,23 @@ Three execution modes share this kernel (see DESIGN.md §5):
   the computation), nominal analytic network model.
 * ``AM`` — the compiler-optimized simulator: the program itself is the
   *simplified* program (delays instead of computation), nominal network.
+
+Orthogonally to the mode, a :class:`repro.sim.faults.FaultPlan` may be
+injected: rank crashes, message loss/duplication, transient send
+failures and link degradation, with an optional
+:class:`repro.sim.faults.RetryPolicy` modeling retransmission.  Without
+a plan the fault layer is bypassed entirely and predictions are
+bit-identical to a fault-free build.  When the event queue drains with
+live-but-blocked processes, the deadlock watchdog raises
+:class:`DeadlockError` carrying a :class:`DeadlockReport` — the
+per-rank wait-chain diagnosis — instead of a bare error.
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
+import math
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
@@ -29,6 +40,7 @@ import numpy as np
 
 from ..machine import CpuModel, MachineParams, NetworkModel
 from ..mpi.matching import MatchQueues, MessageRecord, PostedRecv
+from .faults import DeadlockReport, FaultPlan, FaultState, RetryPolicy, WaitInfo
 from .memory import MemoryReport, MemoryTracker
 from .requests import (
     Alloc,
@@ -45,12 +57,20 @@ from .requests import (
     Request,
     RequestHandle,
     Send,
+    SendFailed,
+    TimedOut,
     Wait,
 )
 from .stats import ProcessStats, SimStats
 from .trace import Trace
 
-__all__ = ["ExecMode", "Simulator", "SimResult", "DeadlockError", "CollectiveMismatchError"]
+__all__ = [
+    "ExecMode",
+    "Simulator",
+    "SimResult",
+    "DeadlockError",
+    "CollectiveMismatchError",
+]
 
 ProgramFactory = Callable[[int, int], Iterator[Request]]
 
@@ -64,7 +84,16 @@ class ExecMode(enum.Enum):
 
 
 class DeadlockError(RuntimeError):
-    """The event queue drained with blocked processes remaining."""
+    """The event queue drained with blocked processes remaining.
+
+    ``report`` carries the watchdog's :class:`DeadlockReport` (the
+    per-rank wait-chain diagnosis) when one was built; the exception
+    message is its rendered form.
+    """
+
+    def __init__(self, message: str, report: DeadlockReport | None = None):
+        super().__init__(message)
+        self.report = report
 
 
 class CollectiveMismatchError(RuntimeError):
@@ -104,8 +133,8 @@ class _Proc:
     """Kernel-side state of one simulated target process (thread)."""
 
     __slots__ = (
-        "rank", "gen", "clock", "done", "blocked", "stats", "coll_index", "last_eid",
-        "handles", "next_hid", "waiting", "wait_time",
+        "rank", "gen", "clock", "done", "crashed", "blocked", "stats", "coll_index",
+        "last_eid", "handles", "next_hid", "waiting", "wait_time",
     )
 
     def __init__(self, rank: int, gen: Iterator[Request]):
@@ -113,6 +142,7 @@ class _Proc:
         self.gen = gen
         self.clock = 0.0
         self.done = False
+        self.crashed = False
         self.blocked: str | None = None  # "recv" | "send" | "collective" | "wait" | None
         self.stats = ProcessStats(rank)
         self.coll_index: dict = {}  # communicator group -> next call index
@@ -159,6 +189,16 @@ class Simulator:
         Ground-truth noise seed (ignored by DE/AM, which are exact).
     collect_trace:
         Record a dependency-annotated event trace for the host model.
+    faults:
+        Optional :class:`FaultPlan` to inject; an empty plan is treated
+        as no plan (zero-cost).
+    retry:
+        Optional :class:`RetryPolicy` for retransmission of transiently
+        failed / lost messages (only consulted under a fault plan).
+    default_timeout:
+        When set, blocking and non-blocking sends/receives without their
+        own ``timeout`` complete with :class:`TimedOut` after this many
+        virtual seconds unmatched (the kernel-level watchdog timeout).
     """
 
     def __init__(
@@ -169,9 +209,16 @@ class Simulator:
         mode: ExecMode = ExecMode.DE,
         seed: int = 0,
         collect_trace: bool = False,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        default_timeout: float | None = None,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
+        if default_timeout is not None and (
+            not math.isfinite(default_timeout) or default_timeout <= 0
+        ):
+            raise ValueError(f"default_timeout must be finite and > 0, got {default_timeout!r}")
         self.nprocs = nprocs
         self.machine = machine
         self.mode = mode
@@ -185,6 +232,16 @@ class Simulator:
         self.memory = MemoryTracker(nprocs, machine.host.thread_overhead_bytes)
         self.trace: Trace | None = Trace(nprocs) if collect_trace else None
 
+        if faults is not None and faults.is_empty():
+            faults = None  # the zero-cost guarantee: empty plan == no plan
+        self._fault_state = FaultState(faults, retry) if faults is not None else None
+        self._retry = retry
+        self._default_timeout = default_timeout
+        self._crash_times = (
+            self._fault_state.crash_times(nprocs) if self._fault_state is not None else {}
+        )
+        self._timeouts_fired = 0
+
         self._procs = [_Proc(r, program_factory(r, nprocs)) for r in range(nprocs)]
         self._queues = [MatchQueues() for _ in range(nprocs)]
         self._heap: list[tuple[float, int, int, object]] = []
@@ -195,31 +252,45 @@ class Simulator:
 
     # -- public API ----------------------------------------------------------
     def run(self) -> SimResult:
-        """Execute the simulation to completion and return its results."""
+        """Execute the simulation to completion and return its results.
+
+        Raises :class:`DeadlockError` (with a :class:`DeadlockReport`)
+        if the event queue drains while unfinished, uncrashed processes
+        remain blocked.
+        """
         if self._ran:
             raise RuntimeError("a Simulator instance is single-use; build a new one")
         self._ran = True
+        # crashes first: at equal timestamps a crash preempts the rank's
+        # own resume (a rank crashing at t=0 never runs)
+        for rank in sorted(self._crash_times):
+            self._push(self._crash_times[rank], rank, ("crash", None))
         for proc in self._procs:
             self._push(0.0, proc.rank, ("resume", None))
         heap = self._heap
         while heap:
             t, _, rank, action = heapq.heappop(heap)
             kind = action[0]
+            proc = self._procs[rank]
+            if kind == "crash":
+                self._do_crash(proc, t)
+                continue
+            if proc.crashed:
+                continue  # events addressed to a crashed rank are discarded
             if kind == "resume":
-                self._resume(self._procs[rank], t, action[1])
+                self._resume(proc, t, action[1])
+            elif kind == "timeout":
+                self._do_timeout(proc, t, action[1])
             else:  # deferred communication op, processed in timestamp order
-                self._do_comm(self._procs[rank], t, action[1])
-        blocked = [p.rank for p in self._procs if not p.done]
+                self._do_comm(proc, t, action[1])
+        blocked = [p for p in self._procs if not p.done and not p.crashed]
         if blocked:
-            detail = ", ".join(
-                f"rank {p.rank} blocked in {p.blocked or 'unknown'} at t={p.clock:.6g}"
-                for p in self._procs
-                if not p.done
-            )
-            raise DeadlockError(f"simulation deadlocked: {detail}")
-        leftover = [r for r, q in enumerate(self._queues) if q.messages]
-        if leftover:
-            raise DeadlockError(f"unconsumed messages at ranks {leftover}")
+            report = self._deadlock_report()
+            raise DeadlockError(report.format(), report=report)
+        if self._fault_state is None and self._timeouts_fired == 0:
+            leftover = [r for r, q in enumerate(self._queues) if q.messages]
+            if leftover:
+                raise DeadlockError(f"unconsumed messages at ranks {leftover}")
         stats = SimStats([p.stats for p in self._procs])
         return SimResult(self.mode, stats, self.memory.report(), self.trace)
 
@@ -227,6 +298,13 @@ class Simulator:
     def _push(self, t: float, rank: int, action: object) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (t, self._seq, rank, action))
+
+    def _transit(self, nbytes: int, src: int, dst: int, when: float) -> float:
+        """Wire time of one message, including any link degradation at *when*."""
+        base = self.net.transit_time(nbytes, src, dst, self.nprocs)
+        if self._fault_state is not None:
+            base += self._fault_state.degradation_extra(self.net, nbytes, src, dst, when)
+        return base
 
     def _resume(self, proc: _Proc, t: float, value: object) -> None:
         """Deliver *value* to the process at time *t* and run it until it
@@ -305,19 +383,38 @@ class Simulator:
 
     def _do_send(self, proc: _Proc, t: float, req: Send | Isend, handle: _Handle | None = None) -> None:
         if req.dest >= self.nprocs:
-            raise ValueError(f"rank {proc.rank} sends to nonexistent rank {req.dest}")
+            raise ValueError(
+                f"rank {proc.rank} sends to nonexistent rank {req.dest} "
+                f"(world size {self.nprocs})"
+            )
         host = self.machine.host
         overhead = self.net.send_overhead(req.nbytes)
-        t_inject = t + overhead
-        proc.stats.comm_time += overhead
+        cost = host.message_overhead + host.event_overhead + req.nbytes * host.message_per_byte
+        fs = self._fault_state
+        self._seq += 1
+        seq = self._seq
+        pre_delay = 0.0
+        if fs is not None:
+            injected, inj_retries, inj_delay = fs.injection(proc.rank, req.dest, seq)
+            proc.stats.retries += inj_retries
+            pre_delay = inj_delay
+            if not injected:
+                # transient send failure exhausted the retry budget: the
+                # message never leaves the NIC; the caller learns it failed
+                self._fail_send(proc, t, overhead + pre_delay, cost, req, handle, inj_retries)
+                return
+        t_inject = t + pre_delay + overhead
+        proc.stats.comm_time += overhead + pre_delay
         proc.stats.messages_sent += 1
         proc.stats.bytes_sent += req.nbytes
-        cost = host.message_overhead + host.event_overhead + req.nbytes * host.message_per_byte
         proc.stats.host_cost += cost
         eager = self.net.is_eager(req.nbytes)
-        self._seq += 1
+        delivered, wire_retries, wire_delay = True, 0, 0.0
+        if fs is not None:
+            delivered, wire_retries, wire_delay = fs.delivery(proc.rank, req.dest, seq)
+            proc.stats.retries += wire_retries
         msg = MessageRecord(
-            seq=self._seq,
+            seq=seq,
             source=proc.rank,
             tag=req.tag,
             nbytes=req.nbytes,
@@ -326,10 +423,12 @@ class Simulator:
             send_time=t_inject,
             ready_time=(
                 t_inject
-                + self.net.transit_time(req.nbytes, proc.rank, req.dest, self.nprocs)
+                + wire_delay
+                + self._transit(req.nbytes, proc.rank, req.dest, t_inject)
             )
             if eager
             else None,
+            retry_delay=wire_delay,
         )
         send_eid = None
         if self.trace is not None:
@@ -342,6 +441,18 @@ class Simulator:
         if handle is not None:
             msg.sender_handle = handle.hid
             handle.trace_eid = send_eid
+        if not delivered:
+            self._lose_message(proc, t_inject, msg, handle, wire_retries)
+            return
+        if fs is not None and fs.duplicates(proc.rank, req.dest, seq):
+            # a spurious duplicate reaches the receiver; the matching layer
+            # discards it, but draining it costs host work
+            receiver = self._procs[req.dest]
+            receiver.stats.messages_duplicated += 1
+            receiver.stats.host_cost += (
+                host.message_overhead + host.event_overhead
+                + req.nbytes * host.message_per_byte
+            )
         matched = self._queues[req.dest].add_message(msg)
         if eager:
             if handle is not None:
@@ -360,9 +471,75 @@ class Simulator:
             if matched is not None:
                 # receive already posted: rendezvous completes immediately
                 self._finish_rendezvous(msg, matched)
-            # else: the transfer waits for the matching receive to post
+            else:
+                # the transfer waits for the matching receive to post
+                timeout = req.timeout if req.timeout is not None else self._default_timeout
+                if timeout is not None:
+                    self._push(
+                        t_inject + timeout, proc.rank, ("timeout", ("send", req.dest, seq))
+                    )
+
+    def _fail_send(
+        self, proc: _Proc, t: float, delay: float, cost: float,
+        req: Send | Isend, handle: _Handle | None, retries: int,
+    ) -> None:
+        """Complete a send whose injection permanently failed."""
+        t_fail = t + delay
+        proc.stats.comm_time += delay
+        proc.stats.host_cost += cost
+        proc.stats.send_failures += 1
+        result = SendFailed(now=t_fail, retries=retries)
+        if self.trace is not None:
+            eid = self.trace.add(
+                proc=proc.rank, kind="send", start=t, end=t_fail,
+                host_cost=cost, nbytes=req.nbytes,
+            )
+            proc.last_eid = eid
+            if handle is not None:
+                handle.trace_eid = eid
+        if handle is not None:
+            handle.done = True
+            handle.ready_time = t_fail
+            handle.result = result
+            self._push(t_fail, proc.rank, ("resume", RequestHandle(handle.hid, "send")))
+        else:
+            self._push(t_fail, proc.rank, ("resume", result))
+
+    def _lose_message(
+        self, proc: _Proc, t_inject: float, msg: MessageRecord,
+        handle: _Handle | None, retries: int,
+    ) -> None:
+        """The wire dropped *msg* beyond recovery; settle the sender."""
+        proc.stats.messages_lost += 1
+        if msg.eager:
+            # buffered fire-and-forget: the sender completed locally and
+            # never learns the wire dropped the message
+            if handle is not None:
+                handle.done = True
+                handle.ready_time = t_inject
+                handle.result = t_inject
+                self._push(t_inject, proc.rank, ("resume", RequestHandle(handle.hid, "send")))
+            else:
+                self._push(t_inject, proc.rank, ("resume", t_inject))
+            return
+        # rendezvous: the handshake cannot complete — the send fails after
+        # its retransmission budget (backoff charged to the virtual clock)
+        t_fail = t_inject + msg.retry_delay
+        proc.stats.comm_time += msg.retry_delay
+        proc.stats.send_failures += 1
+        result = SendFailed(now=t_fail, retries=retries)
+        if handle is not None:
+            self._push(t_inject, proc.rank, ("resume", RequestHandle(handle.hid, "send")))
+            self._complete_handle(proc, handle.hid, t_fail, result)
+        else:
+            self._push(t_fail, proc.rank, ("resume", result))
 
     def _do_recv(self, proc: _Proc, t: float, req: Recv | Irecv, handle: _Handle | None = None) -> None:
+        if req.source >= self.nprocs:
+            raise ValueError(
+                f"rank {proc.rank} receives from nonexistent rank {req.source} "
+                f"(world size {self.nprocs})"
+            )
         self._seq += 1
         posted = PostedRecv(
             seq=self._seq, rank=proc.rank, source=req.source, tag=req.tag, post_time=t,
@@ -373,18 +550,78 @@ class Simulator:
             # non-blocking: hand the handle back right away
             self._push(t, proc.rank, ("resume", RequestHandle(handle.hid, "recv")))
         if msg is None:
-            return  # (blocking: process blocked) until a matching message shows up
+            # (blocking: process blocked) until a matching message shows up —
+            # or, with a timeout, until the watchdog withdraws the receive
+            timeout = req.timeout if req.timeout is not None else self._default_timeout
+            if timeout is not None:
+                self._push(t + timeout, proc.rank, ("timeout", ("recv", posted.seq)))
+            return
         if msg.eager:
             self._complete_recv(posted, msg)
         else:
             self._finish_rendezvous(msg, posted)
 
+    # -- timeouts ---------------------------------------------------------------
+    def _do_timeout(self, proc: _Proc, t: float, spec: tuple) -> None:
+        """A send/recv watchdog timer fired; withdraw the op if still pending."""
+        if spec[0] == "recv":
+            posted = self._queues[proc.rank].cancel_recv(spec[1])
+            if posted is None:
+                return  # already matched: the timeout lost the race
+            self._timeouts_fired += 1
+            proc.stats.timeouts += 1
+            result = TimedOut(op="recv", now=t)
+            if posted.handle is not None:
+                handle = proc.handles.get(posted.handle)
+                if handle is None or handle.done:
+                    return
+                self._complete_handle(proc, posted.handle, t, result)
+            else:
+                proc.stats.comm_time += t - posted.post_time
+                self._push(t, proc.rank, ("resume", result))
+        else:  # ("send", dest, seq)
+            dest, seq = spec[1], spec[2]
+            msg = self._queues[dest].cancel_message(seq)
+            if msg is None:
+                return
+            self._timeouts_fired += 1
+            proc.stats.timeouts += 1
+            result = TimedOut(op="send", now=t)
+            if msg.sender_handle is not None:
+                handle = proc.handles.get(msg.sender_handle)
+                if handle is None or handle.done:
+                    return
+                self._complete_handle(proc, msg.sender_handle, t, result)
+            else:
+                proc.stats.comm_time += t - msg.send_time
+                self._push(t, proc.rank, ("resume", result))
+
+    # -- crashes -----------------------------------------------------------------
+    def _do_crash(self, proc: _Proc, t: float) -> None:
+        """Rank *proc* stops at virtual time *t* (fault-plan crash)."""
+        if proc.done or proc.crashed:
+            return
+        proc.crashed = True
+        proc.waiting = None
+        proc.stats.crashed = True
+        proc.stats.crash_time = t
+        proc.clock = max(proc.clock, t)
+        # a dead rank receives nothing: withdraw its posted receives so
+        # in-flight messages to it stay queued (and get reported)
+        self._queues[proc.rank].recvs.clear()
+        try:
+            proc.gen.close()
+        except Exception:
+            pass  # a misbehaving generator must not mask the crash itself
+
     def _finish_rendezvous(self, msg: MessageRecord, posted: PostedRecv) -> None:
         """Complete a rendezvous transfer once both sides are present."""
         sender = self._procs[msg.source]
         transfer_start = max(msg.send_time, posted.post_time)
-        msg.ready_time = transfer_start + self.net.transit_time(
-            msg.nbytes, msg.source, posted.rank, self.nprocs
+        msg.ready_time = (
+            transfer_start
+            + msg.retry_delay
+            + self._transit(msg.nbytes, msg.source, posted.rank, transfer_start)
         )
         if msg.sender_handle is not None:
             self._complete_handle(sender, msg.sender_handle, transfer_start, transfer_start)
@@ -491,6 +728,11 @@ class Simulator:
                 raise CollectiveMismatchError(
                     f"collective root {req.root} is not in group {group}"
                 )
+        elif req.root >= self.nprocs:
+            raise ValueError(
+                f"rank {proc.rank} issued {req.op!r} with root {req.root} "
+                f"but the world has {self.nprocs} ranks"
+            )
         # per-(rank, communicator) call counting: group collectives on
         # different communicators proceed independently
         seq = proc.coll_index.get(group, 0)
@@ -577,3 +819,112 @@ class Simulator:
             return {r: (None if chunks is None else chunks[i]) for i, r in enumerate(ranks)}
         # barrier, alltoall carry no modelled payload
         return {r: None for r in ranks}
+
+    # -- the deadlock watchdog ----------------------------------------------------
+    def _deadlock_report(self) -> DeadlockReport:
+        """Diagnose a drained-but-blocked simulation: who waits on whom."""
+        unmatched_sends: list[tuple[int, int, int, int, float]] = []
+        unmatched_recvs: list[tuple[int, int, int, float]] = []
+        sends_by_src: dict[int, list[tuple[int, MessageRecord]]] = {}
+        for dst, q in enumerate(self._queues):
+            for m in q.messages:
+                unmatched_sends.append((m.source, dst, m.tag, m.nbytes, m.send_time))
+                sends_by_src.setdefault(m.source, []).append((dst, m))
+            for r in q.recvs:
+                unmatched_recvs.append((r.rank, r.source, r.tag, r.post_time))
+        stragglers: list[tuple] = []
+        coll_waits: dict[int, tuple[str, float, tuple[int, ...]]] = {}
+        for (group, _cidx), state in self._colls.items():
+            members = group if group is not None else tuple(range(self.nprocs))
+            arrived = tuple(sorted(state.arrivals))
+            missing = tuple(r for r in members if r not in state.arrivals)
+            stragglers.append((state.op, state.root, tuple(members), arrived, missing))
+            for r in arrived:
+                coll_waits[r] = (state.op, state.arrivals[r][0], missing)
+        blocked: list[WaitInfo] = []
+        crashed: list[WaitInfo] = []
+        for p in self._procs:
+            if p.done:
+                continue
+            if p.crashed:
+                crashed.append(
+                    WaitInfo(
+                        rank=p.rank, state="crashed", since=p.stats.crash_time,
+                        detail=f"crashed at t={p.stats.crash_time:.6g}",
+                    )
+                )
+                continue
+            blocked.append(self._wait_info(p, sends_by_src, coll_waits))
+        return DeadlockReport(
+            nprocs=self.nprocs,
+            blocked=tuple(blocked),
+            crashed=tuple(crashed),
+            unmatched_sends=tuple(unmatched_sends),
+            unmatched_recvs=tuple(unmatched_recvs),
+            stragglers=tuple(stragglers),
+        )
+
+    def _wait_info(
+        self,
+        p: _Proc,
+        sends_by_src: dict[int, list[tuple[int, MessageRecord]]],
+        coll_waits: dict[int, tuple[str, float, tuple[int, ...]]],
+    ) -> WaitInfo:
+        """One blocked process's wait-chain entry."""
+        state = p.blocked or "unknown"
+        since = p.clock
+        detail = f"blocked in {state}"
+        waiting_on: tuple[int, ...] = ()
+        if state == "recv":
+            mine = [r for r in self._queues[p.rank].recvs if r.handle is None]
+            if mine:
+                r = mine[0]
+                since = r.post_time
+                who = "ANY_SOURCE" if r.source < 0 else str(r.source)
+                tag = "ANY_TAG" if r.tag < 0 else str(r.tag)
+                detail = f"recv(source={who}, tag={tag}) posted at t={r.post_time:.6g}"
+                if r.source >= 0:
+                    waiting_on = (r.source,)
+        elif state == "send":
+            mine = [
+                (dst, m) for dst, m in sends_by_src.get(p.rank, ())
+                if m.sender_handle is None
+            ]
+            if mine:
+                dst, m = mine[0]
+                since = m.send_time
+                detail = (
+                    f"send(dest={dst}, tag={m.tag}, nbytes={m.nbytes}) awaiting a "
+                    f"matching recv since t={m.send_time:.6g}"
+                )
+                waiting_on = (dst,)
+        elif state == "wait":
+            pending = sorted(h for h in (p.waiting or ()) if not p.handles[h].done)
+            parts: list[str] = []
+            on: set[int] = set()
+            for r in self._queues[p.rank].recvs:
+                if r.handle in pending:
+                    who = "ANY_SOURCE" if r.source < 0 else str(r.source)
+                    parts.append(f"irecv(source={who})")
+                    if r.source >= 0:
+                        on.add(r.source)
+            for dst, m in sends_by_src.get(p.rank, ()):
+                if m.sender_handle in pending:
+                    parts.append(f"isend(dest={dst})")
+                    on.add(dst)
+            since = p.wait_time
+            what = ", ".join(parts) if parts else f"{len(pending)} pending handle(s)"
+            detail = f"wait on {what} since t={p.wait_time:.6g}"
+            waiting_on = tuple(sorted(on))
+        elif state == "collective":
+            if p.rank in coll_waits:
+                op, arrival, missing = coll_waits[p.rank]
+                since = arrival
+                detail = (
+                    f"collective {op!r} entered at t={arrival:.6g}, "
+                    f"missing ranks {list(missing)}"
+                )
+                waiting_on = missing
+        return WaitInfo(
+            rank=p.rank, state=state, since=since, detail=detail, waiting_on=waiting_on
+        )

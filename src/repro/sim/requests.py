@@ -7,10 +7,18 @@ virtual time.  Local computation is requested explicitly (``Compute``
 for code the simulator executes/prices, ``Delay`` for the compiler's
 condensed tasks), mirroring how MPI-Sim directly executes local code but
 models communication.
+
+Requests validate their arguments at construction, so a malformed
+program fails with a clear ``ValueError`` at the call site instead of a
+deep ``KeyError`` inside the engine.  ``Send``/``Recv`` (and their
+non-blocking variants) accept an optional ``timeout``: instead of
+blocking forever, the operation completes with a :class:`TimedOut`
+status once *timeout* virtual seconds pass without a match.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -32,12 +40,31 @@ __all__ = [
     "ReceivedMessage",
     "CollectiveResult",
     "RequestHandle",
+    "TimedOut",
+    "SendFailed",
 ]
 
 #: Wildcard source rank for Recv (MPI_ANY_SOURCE).
 ANY_SOURCE = -1
 #: Wildcard message tag for Recv (MPI_ANY_TAG).
 ANY_TAG = -1
+
+
+def _check_finite(name: str, value: float) -> None:
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+
+
+def _check_timeout(timeout: float | None) -> None:
+    if timeout is None:
+        return
+    if not math.isfinite(timeout) or timeout < 0:
+        raise ValueError(f"timeout must be finite and >= 0, got {timeout!r}")
+
+
+def _check_source(source: int) -> None:
+    if source < 0 and source != ANY_SOURCE:
+        raise ValueError(f"invalid source rank: {source} (use ANY_SOURCE for wildcards)")
 
 
 class Request:
@@ -57,8 +84,12 @@ class Compute(Request):
     task: str | None = None  # STG task this computation belongs to (for timing)
 
     def __post_init__(self):
+        _check_finite("op count", self.ops)
         if self.ops < 0:
             raise ValueError(f"negative op count: {self.ops}")
+        _check_finite("working set", self.working_set_bytes)
+        if self.working_set_bytes < 0:
+            raise ValueError(f"negative working set: {self.working_set_bytes}")
 
 
 @dataclass(frozen=True)
@@ -73,6 +104,7 @@ class Delay(Request):
     task: str | None = None
 
     def __post_init__(self):
+        _check_finite("delay", self.seconds)
         if self.seconds < 0:
             raise ValueError(f"negative delay: {self.seconds}")
 
@@ -84,18 +116,23 @@ class Send(Request):
     Eager messages complete locally after the send overhead; messages
     above the eager limit use a rendezvous protocol and block until the
     matching receive is posted (MPI-Sim's communication semantics).
+    With a *timeout*, a rendezvous send that stays unmatched completes
+    with :class:`TimedOut` after *timeout* virtual seconds.
     """
 
     dest: int
     nbytes: int
     tag: int = 0
     data: Any = None
+    timeout: float | None = None
 
     def __post_init__(self):
+        _check_finite("message size", self.nbytes)
         if self.nbytes < 0:
             raise ValueError(f"negative message size: {self.nbytes}")
         if self.dest < 0:
             raise ValueError(f"invalid destination rank: {self.dest}")
+        _check_timeout(self.timeout)
 
 
 @dataclass(frozen=True)
@@ -105,11 +142,18 @@ class Recv(Request):
     ``nbytes_hint`` is the expected message size (the posted buffer's
     extent); the kernel ignores it — matching determines the real size —
     but closed-form estimators (repro.analytic) price receives with it.
+    With a *timeout*, the receive completes with :class:`TimedOut` if no
+    message matches within *timeout* virtual seconds.
     """
 
     source: int = ANY_SOURCE
     tag: int = ANY_TAG
     nbytes_hint: int = 0
+    timeout: float | None = None
+
+    def __post_init__(self):
+        _check_source(self.source)
+        _check_timeout(self.timeout)
 
 
 @dataclass(frozen=True)
@@ -127,28 +171,41 @@ class Isend(Request):
     The issuing process continues after the injection overhead; the
     handle completes when the message is buffered (eager) or when the
     matching receive has been posted and the transfer started
-    (rendezvous).
+    (rendezvous).  With a *timeout*, an unmatched rendezvous handle
+    completes with :class:`TimedOut` instead of pending forever.
     """
 
     dest: int
     nbytes: int
     tag: int = 0
     data: Any = None
+    timeout: float | None = None
 
     def __post_init__(self):
+        _check_finite("message size", self.nbytes)
         if self.nbytes < 0:
             raise ValueError(f"negative message size: {self.nbytes}")
         if self.dest < 0:
             raise ValueError(f"invalid destination rank: {self.dest}")
+        _check_timeout(self.timeout)
 
 
 @dataclass(frozen=True)
 class Irecv(Request):
-    """Non-blocking receive: posts the match and returns a handle."""
+    """Non-blocking receive: posts the match and returns a handle.
+
+    With a *timeout*, the handle completes with :class:`TimedOut` if no
+    message matches in time.
+    """
 
     source: int = ANY_SOURCE
     tag: int = ANY_TAG
     nbytes_hint: int = 0
+    timeout: float | None = None
+
+    def __post_init__(self):
+        _check_source(self.source)
+        _check_timeout(self.timeout)
 
 
 @dataclass(frozen=True)
@@ -156,7 +213,8 @@ class Wait(Request):
     """Block until every handle completes (MPI_Wait / MPI_Waitall).
 
     Resumes with a list of per-handle results in handle order:
-    :class:`ReceivedMessage` for receives, completion time for sends.
+    :class:`ReceivedMessage` for receives, completion time for sends,
+    :class:`TimedOut` / :class:`SendFailed` for handles that failed.
     """
 
     handles: tuple
@@ -188,8 +246,11 @@ class Collective(Request):
     group: tuple[int, ...] | None = None
 
     def __post_init__(self):
+        _check_finite("collective payload", self.nbytes)
         if self.nbytes < 0:
             raise ValueError(f"negative collective payload: {self.nbytes}")
+        if self.root < 0:
+            raise ValueError(f"invalid collective root: {self.root}")
         if self.group is not None:
             if len(self.group) == 0:
                 raise ValueError("empty communicator group")
@@ -210,6 +271,7 @@ class Alloc(Request):
     nbytes: int
 
     def __post_init__(self):
+        _check_finite("allocation", self.nbytes)
         if self.nbytes < 0:
             raise ValueError(f"negative allocation: {self.nbytes}")
 
@@ -250,3 +312,27 @@ class CollectiveResult:
 
     data: Any
     now: float
+
+
+@dataclass(frozen=True)
+class TimedOut:
+    """Completion status of an operation whose *timeout* expired.
+
+    ``op`` is ``"send"`` or ``"recv"``; ``now`` is the virtual time the
+    timeout fired (the blocked process resumes then).
+    """
+
+    op: str
+    now: float
+
+
+@dataclass(frozen=True)
+class SendFailed:
+    """Completion status of a send that exhausted its fault-retry budget.
+
+    Produced only under fault injection (transient send failures or
+    unrecoverable message loss); ``now`` is when the sender gave up.
+    """
+
+    now: float
+    retries: int = 0

@@ -21,6 +21,14 @@ class ProcessStats:
     collectives: int = 0
     events: int = 0  # kernel events executed on behalf of this process
     host_cost: float = 0.0  # modelled host CPU seconds to simulate this process
+    # -- fault-injection / resilience counters (all zero without faults) --
+    retries: int = 0  # retransmission attempts charged to this rank's messages
+    timeouts: int = 0  # send/recv operations completed with TimedOut
+    messages_lost: int = 0  # messages this rank sent that were never delivered
+    messages_duplicated: int = 0  # spurious duplicates delivered to this rank
+    send_failures: int = 0  # sends abandoned after exhausting the retry budget
+    crashed: bool = False  # this rank was crashed by the fault plan
+    crash_time: float = 0.0  # virtual time of the crash (if crashed)
 
 
 @dataclass
@@ -63,10 +71,55 @@ class SimStats:
     def total_comm_time(self) -> float:
         return sum(p.comm_time for p in self.procs)
 
+    # -- fault-injection aggregates -----------------------------------------
+    @property
+    def total_retries(self) -> int:
+        return sum(p.retries for p in self.procs)
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(p.timeouts for p in self.procs)
+
+    @property
+    def total_messages_lost(self) -> int:
+        return sum(p.messages_lost for p in self.procs)
+
+    @property
+    def total_duplicates(self) -> int:
+        return sum(p.messages_duplicated for p in self.procs)
+
+    @property
+    def total_send_failures(self) -> int:
+        return sum(p.send_failures for p in self.procs)
+
+    @property
+    def crashed_ranks(self) -> tuple[int, ...]:
+        return tuple(p.rank for p in self.procs if p.crashed)
+
+    @property
+    def any_faults(self) -> bool:
+        """Did any fault/resilience event occur during the run?"""
+        return bool(
+            self.total_retries
+            or self.total_timeouts
+            or self.total_messages_lost
+            or self.total_duplicates
+            or self.total_send_failures
+            or self.crashed_ranks
+        )
+
     def summary(self) -> str:
         """Short human-readable description."""
-        return (
+        text = (
             f"{self.nprocs} procs, elapsed {self.elapsed:.6f}s, "
             f"{self.total_messages} msgs / {self.total_bytes} bytes, "
             f"{self.total_events} events"
         )
+        if self.any_faults:
+            text += (
+                f"; faults: {self.total_retries} retries, {self.total_timeouts} timeouts, "
+                f"{self.total_messages_lost} lost, {self.total_duplicates} duplicated, "
+                f"{self.total_send_failures} failed sends, "
+                f"{len(self.crashed_ranks)} crashed"
+            )
+        return text

@@ -37,7 +37,7 @@ from ..ir.nodes import (
     BUILTIN_VARS,
     walk,
 )
-from ..stg.condense import CondensePlan, PlanRegion, PlanRetain
+from ..stg.condense import CondensePlan, PlanRegion
 
 __all__ = ["SliceResult", "compute_criterion", "backward_slice", "slice_program"]
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import operator
 from collections.abc import Mapping
 
-from .expr import Expr, ExprLike, Number, UnboundVariableError, as_expr
+from .expr import Expr, ExprLike, Number, as_expr
 
 __all__ = [
     "BoolExpr",

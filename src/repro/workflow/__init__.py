@@ -1,16 +1,37 @@
-"""End-to-end modeling workflow (Fig. 2), validation and reporting."""
+"""End-to-end modeling workflow (Fig. 2), validation, faults, reporting."""
 
 from .pipeline import ModelingWorkflow
-from .reporting import format_bytes, format_table, format_validation, write_validation_csv
-from .validation import ValidationPoint, ValidationSeries, validate
+from .reporting import (
+    format_bytes,
+    format_fault_sweep,
+    format_resilience,
+    format_table,
+    format_validation,
+    write_fault_sweep_csv,
+    write_validation_csv,
+)
+from .validation import (
+    FaultSweepPoint,
+    FaultSweepSeries,
+    ValidationPoint,
+    ValidationSeries,
+    fault_sweep,
+    validate,
+)
 
 __all__ = [
     "ModelingWorkflow",
     "validate",
     "ValidationPoint",
     "ValidationSeries",
+    "fault_sweep",
+    "FaultSweepPoint",
+    "FaultSweepSeries",
     "format_table",
     "format_validation",
     "format_bytes",
+    "format_resilience",
+    "format_fault_sweep",
     "write_validation_csv",
+    "write_fault_sweep_csv",
 ]

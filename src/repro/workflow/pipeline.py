@@ -20,6 +20,7 @@ from ..ir.nodes import Program
 from ..machine import MachineParams
 from ..measure import Calibration, measure_wparams
 from ..sim.engine import ExecMode, SimResult, Simulator
+from ..sim.faults import FaultPlan, RetryPolicy
 
 __all__ = ["ModelingWorkflow"]
 
@@ -83,3 +84,42 @@ class ModelingWorkflow:
         """MPI-SIM-AM: the simplified program with calibrated w_i."""
         factory = make_factory(self.compiled.simplified, inputs, wparams=self.wparams)
         return Simulator(nprocs, factory, self.machine, mode=ExecMode.AM, **kw).run()
+
+    # -- resilience what-ifs ------------------------------------------------------
+    def run_faulty(
+        self,
+        inputs: dict[str, float],
+        nprocs: int,
+        plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        mode: ExecMode = ExecMode.DE,
+        timeout: float | None = None,
+        seed: int | None = None,
+        **kw,
+    ) -> SimResult:
+        """Run one estimator under a fault plan (resilience what-if).
+
+        *mode* picks the program the kernel executes: the application
+        itself (DE / MEASURED) or the compiler-simplified program (AM,
+        which calibrates on demand).  *timeout* is the kernel's default
+        watchdog timeout for blocking sends/receives; *retry* models
+        retransmission of lost / transiently failed messages.  May raise
+        :class:`repro.sim.DeadlockError` carrying a
+        :class:`repro.sim.DeadlockReport` when injected faults stall the
+        application.
+        """
+        if mode is ExecMode.AM:
+            factory = make_factory(self.compiled.simplified, inputs, wparams=self.wparams)
+        else:
+            factory = make_factory(self.program, inputs)
+        return Simulator(
+            nprocs,
+            factory,
+            self.machine,
+            mode=mode,
+            seed=self.seed + 1 if seed is None else seed,
+            faults=plan,
+            retry=retry,
+            default_timeout=timeout,
+            **kw,
+        ).run()

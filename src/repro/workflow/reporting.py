@@ -5,9 +5,18 @@ from __future__ import annotations
 import csv
 from pathlib import Path
 
-from .validation import ValidationSeries
+from ..sim.engine import SimResult
+from .validation import FaultSweepSeries, ValidationSeries
 
-__all__ = ["format_table", "format_validation", "format_bytes", "write_validation_csv"]
+__all__ = [
+    "format_table",
+    "format_validation",
+    "format_bytes",
+    "write_validation_csv",
+    "format_resilience",
+    "format_fault_sweep",
+    "write_fault_sweep_csv",
+]
 
 
 def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
@@ -62,6 +71,62 @@ def write_validation_csv(series: ValidationSeries, path: str | Path) -> None:
             writer.writerow(
                 [p.label, p.nprocs, p.measured, p.de, p.am, p.err_de, p.err_am]
             )
+
+
+def format_resilience(result: SimResult, title: str = "") -> str:
+    """Human-readable resilience report of one fault-injected run."""
+    s = result.stats
+    lines = [title or f"Resilience report ({result.mode.value})"]
+    lines.append(f"  elapsed           : {s.elapsed:.6f}s")
+    lines.append(f"  messages          : {s.total_messages} sent / {s.total_bytes} bytes")
+    lines.append(f"  retries           : {s.total_retries}")
+    lines.append(f"  timeouts          : {s.total_timeouts}")
+    lines.append(f"  messages lost     : {s.total_messages_lost}")
+    lines.append(f"  duplicates        : {s.total_duplicates}")
+    lines.append(f"  failed sends      : {s.total_send_failures}")
+    crashed = s.crashed_ranks
+    lines.append(
+        f"  crashed ranks     : {', '.join(str(r) for r in crashed) if crashed else 'none'}"
+    )
+    return "\n".join(lines)
+
+
+def format_fault_sweep(series: FaultSweepSeries) -> str:
+    """The fault-sweep table: elapsed / slowdown / counters per loss rate."""
+    headers = [
+        "loss rate", "elapsed (s)", "slowdown %", "retries", "timeouts",
+        "lost", "failed sends",
+    ]
+    base = series.baseline
+    rows = []
+    for p in series.points:
+        if p.deadlocked:
+            rows.append([p.loss_rate, "DEADLOCK", None, None, None, None, None])
+        else:
+            rows.append([
+                p.loss_rate, p.elapsed, p.slowdown_pct(base), p.retries,
+                p.timeouts, p.messages_lost, p.send_failures,
+            ])
+    return format_table(
+        headers, rows,
+        title=f"Fault sweep: {series.name} ({series.mode}, {series.nprocs} procs)",
+    )
+
+
+def write_fault_sweep_csv(series: FaultSweepSeries, path: str | Path) -> None:
+    """Write a fault-sweep series as CSV (for external plotting tools)."""
+    base = series.baseline
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([
+            "loss_rate", "elapsed_s", "slowdown_pct", "retries", "timeouts",
+            "messages_lost", "send_failures", "deadlocked",
+        ])
+        for p in series.points:
+            writer.writerow([
+                p.loss_rate, p.elapsed, p.slowdown_pct(base), p.retries,
+                p.timeouts, p.messages_lost, p.send_failures, int(p.deadlocked),
+            ])
 
 
 def format_bytes(nbytes: float) -> str:

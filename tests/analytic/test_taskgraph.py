@@ -6,7 +6,7 @@ from repro.analytic import analytic_predict, taskgraph_predict
 from repro.apps import build_sweep3d, build_tomcatv, sweep3d_inputs, tomcatv_inputs
 from repro.ir import ProgramBuilder, myid, P
 from repro.machine import IBM_SP, TESTING_MACHINE
-from repro.symbolic import Gt, Lt, Var
+from repro.symbolic import Gt, Lt
 from repro.workflow import ModelingWorkflow
 
 

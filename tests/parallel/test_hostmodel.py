@@ -98,7 +98,6 @@ class TestAmVsDeHostCost:
         """The central performance claim: abstracting computation makes
         the simulator itself much faster (Figs. 12-13)."""
         from repro.apps import build_tomcatv, tomcatv_inputs
-        from repro.ir import make_factory
         from repro.workflow import ModelingWorkflow
 
         wf = ModelingWorkflow(

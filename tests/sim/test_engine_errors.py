@@ -45,6 +45,49 @@ class TestBadRequests:
         with pytest.raises(ValueError):
             mpi.bcast(nbytes=-1)
 
+    def test_negative_source_rejected(self):
+        with pytest.raises(ValueError, match="source"):
+            mpi.recv(source=-7)
+
+    def test_negative_collective_root_rejected(self):
+        with pytest.raises(ValueError, match="root"):
+            mpi.bcast(nbytes=8, root=-1)
+
+    def test_non_finite_compute_rejected(self):
+        with pytest.raises(ValueError):
+            mpi.compute(ops=float("nan"))
+        with pytest.raises(ValueError):
+            mpi.compute(ops=float("inf"))
+
+    def test_non_finite_delay_rejected(self):
+        with pytest.raises(ValueError):
+            mpi.delay(float("inf"))
+
+    def test_non_finite_send_size_rejected(self):
+        with pytest.raises(ValueError):
+            mpi.send(dest=0, nbytes=float("nan"))
+
+    def test_send_to_rank_beyond_world(self):
+        def prog(rank, size):
+            yield mpi.send(dest=5, nbytes=8)
+
+        with pytest.raises(ValueError, match="nonexistent rank 5"):
+            run(2, prog)
+
+    def test_recv_from_rank_beyond_world(self):
+        def prog(rank, size):
+            yield mpi.recv(source=9)
+
+        with pytest.raises(ValueError, match="nonexistent rank 9"):
+            run(2, prog)
+
+    def test_collective_root_beyond_world(self):
+        def prog(rank, size):
+            yield mpi.bcast(nbytes=8, root=7)
+
+        with pytest.raises(ValueError, match="root 7"):
+            run(2, prog)
+
 
 class TestCollectiveMisuse:
     def test_root_mismatch(self):
@@ -67,6 +110,73 @@ class TestCollectiveMisuse:
             yield mpi.allreduce(nbytes=8, data=rank)  # no reduce_fn
 
         with pytest.raises(CollectiveMismatchError, match="reduce_fn"):
+            run(2, prog)
+
+    def test_op_mismatch(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.bcast(nbytes=8)
+            else:
+                yield mpi.barrier()
+
+        with pytest.raises(CollectiveMismatchError, match="others called"):
+            run(2, prog)
+
+    def test_uneven_call_counts_deadlock(self):
+        def prog(rank, size):
+            yield mpi.allreduce(nbytes=8)
+            if rank == 0:
+                yield mpi.allreduce(nbytes=8)  # nobody else joins
+
+        from repro.sim import DeadlockError
+
+        with pytest.raises(DeadlockError):
+            run(2, prog)
+
+
+class TestDeadlockDiagnosis:
+    """Regression coverage for the deadlock watchdog (legacy + report)."""
+
+    def test_lone_recv_names_rank_and_state(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.recv(source=1)
+
+        from repro.sim import DeadlockError
+
+        with pytest.raises(DeadlockError, match="rank 0") as ei:
+            run(2, prog)
+        report = ei.value.report
+        assert report is not None
+        assert report.blocked_ranks == (0,)
+        assert report.blocked[0].state == "recv"
+        assert report.unmatched_recvs[0][:2] == (0, 1)
+
+    def test_collective_straggler_reported(self):
+        def prog(rank, size):
+            if rank != 2:
+                yield mpi.barrier()
+
+        from repro.sim import DeadlockError
+
+        with pytest.raises(DeadlockError) as ei:
+            run(3, prog)
+        report = ei.value.report
+        (straggler,) = report.stragglers
+        op, _root, _members, arrived, missing = straggler
+        assert op == "barrier"
+        assert missing == (2,)
+        assert set(arrived) == {0, 1}
+        assert "collective stragglers" in report.format()
+
+    def test_unconsumed_messages_still_reported(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=8)
+
+        from repro.sim import DeadlockError
+
+        with pytest.raises(DeadlockError, match="unconsumed"):
             run(2, prog)
 
 

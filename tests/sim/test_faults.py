@@ -1,0 +1,413 @@
+"""Tests for the fault-injection & resilience subsystem."""
+
+import pytest
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE
+from repro.sim import (
+    CrashFault,
+    DeadlockError,
+    ExecMode,
+    FaultPlan,
+    LinkDegradation,
+    RetryPolicy,
+    SendFailed,
+    Simulator,
+    TimedOut,
+)
+
+M = TESTING_MACHINE
+BIG = M.net.eager_limit * 2  # rendezvous-sized payload
+
+
+def run(nprocs, factory, mode=ExecMode.DE, **kw):
+    return Simulator(nprocs, factory, M, mode=mode, **kw).run()
+
+
+def ring(iters=5, nbytes=256):
+    """Nearest-neighbour ring exchange: every rank sends right, recvs left."""
+
+    def prog(rank, size):
+        right = (rank + 1) % size
+        left = (rank - 1) % size
+        for _ in range(iters):
+            yield mpi.compute(ops=1000)
+            yield mpi.send(dest=right, nbytes=nbytes)
+            yield mpi.recv(source=left)
+
+    return prog
+
+
+class TestPlanConstruction:
+    def test_empty_plan_is_empty(self):
+        assert FaultPlan().is_empty()
+        assert not FaultPlan(message_loss=0.1).is_empty()
+        assert not FaultPlan(crashes=(CrashFault(0, 1.0),)).is_empty()
+
+    def test_probability_ranges_checked(self):
+        with pytest.raises(ValueError, match="message_loss"):
+            FaultPlan(message_loss=1.5)
+        with pytest.raises(ValueError, match="duplication"):
+            FaultPlan(duplication=-0.1)
+        with pytest.raises(ValueError, match="send_failure"):
+            FaultPlan(send_failure=float("nan"))
+
+    def test_crash_validation(self):
+        with pytest.raises(ValueError, match="rank"):
+            CrashFault(rank=-1, time=0.0)
+        with pytest.raises(ValueError, match="time"):
+            CrashFault(rank=0, time=-1.0)
+        with pytest.raises(ValueError, match="more than once"):
+            FaultPlan(crashes=(CrashFault(1, 0.1), CrashFault(1, 0.2)))
+
+    def test_degradation_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            LinkDegradation(start=1.0, end=1.0)
+        with pytest.raises(ValueError, match="latency_factor"):
+            LinkDegradation(start=0.0, end=1.0, latency_factor=0.5)
+        with pytest.raises(ValueError, match="bandwidth_factor"):
+            LinkDegradation(start=0.0, end=1.0, bandwidth_factor=0.0)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff=-1.0)
+        assert RetryPolicy(backoff=1e-3, backoff_factor=2.0).delay_after(3) == (
+            pytest.approx(4e-3)
+        )
+
+    def test_crash_beyond_world_rejected(self):
+        plan = FaultPlan(crashes=(CrashFault(8, 0.1),))
+        with pytest.raises(ValueError, match="world has 4 ranks"):
+            run(4, ring(), faults=plan)
+
+    def test_roundtrip_serialization(self):
+        plan = FaultPlan(
+            seed=7,
+            crashes=(CrashFault(2, 0.5),),
+            message_loss=0.1,
+            link_loss=((0, 1, 0.3),),
+            duplication=0.05,
+            send_failure=0.02,
+            degradations=(LinkDegradation(0.0, 1.0, latency_factor=3.0, src=1),),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan keys"):
+            FaultPlan.from_dict({"seed": 1, "gremlins": True})
+
+    def test_with_loss(self):
+        plan = FaultPlan(seed=3).with_loss(0.25)
+        assert plan.message_loss == 0.25 and plan.seed == 3
+
+
+class TestBitIdentity:
+    """An empty plan must not perturb predictions at all (acceptance)."""
+
+    @pytest.mark.parametrize("mode", [ExecMode.DE, ExecMode.AM, ExecMode.MEASURED])
+    def test_empty_plan_bit_identical(self, mode):
+        base = run(4, ring(), mode=mode, seed=11)
+        faulty = run(4, ring(), mode=mode, seed=11, faults=FaultPlan())
+        assert faulty.elapsed == base.elapsed  # exact, not approx
+        assert faulty.stats.total_messages == base.stats.total_messages
+        for a, b in zip(base.stats.procs, faulty.stats.procs):
+            assert a.comm_time == b.comm_time and a.compute_time == b.compute_time
+
+    def test_none_and_empty_plan_agree(self):
+        a = run(4, ring(), faults=None)
+        b = run(4, ring(), faults=FaultPlan())
+        assert a.elapsed == b.elapsed
+
+    def test_no_fault_counters_without_faults(self):
+        res = run(4, ring())
+        assert not res.stats.any_faults
+        assert res.stats.total_retries == 0
+        assert res.stats.crashed_ranks == ()
+        assert "retries" not in res.stats.summary()
+
+
+class TestCrash:
+    def test_crash_produces_report_naming_rank(self):
+        plan = FaultPlan(crashes=(CrashFault(2, 0.0),))
+        with pytest.raises(DeadlockError) as ei:
+            run(4, ring(), faults=plan)
+        report = ei.value.report
+        assert report is not None
+        assert report.crashed_ranks == (2,)
+        assert 3 in report.blocked_ranks  # 3 receives from 2
+        text = report.format()
+        assert "crashed at t=" in text and "wait chains" in text
+
+    def test_wait_chain_points_at_crashed_rank(self):
+        plan = FaultPlan(crashes=(CrashFault(0, 0.0),))
+
+        def prog(rank, size):
+            if rank == 1:
+                yield mpi.recv(source=0)
+
+        with pytest.raises(DeadlockError) as ei:
+            run(2, prog, faults=plan)
+        report = ei.value.report
+        (waiter,) = [w for w in report.blocked if w.rank == 1]
+        assert waiter.waiting_on == (0,)
+        assert "waits on crashed rank" in report.format()
+
+    def test_crash_records_stats(self):
+        plan = FaultPlan(crashes=(CrashFault(1, 0.0),))
+
+        def prog(rank, size):
+            yield mpi.compute(ops=100)
+
+        res = run(2, prog, faults=plan)
+        assert res.stats.crashed_ranks == (1,)
+        assert res.stats.procs[1].crashed
+        assert res.stats.procs[1].crash_time == 0.0
+        assert "crashed" in res.stats.summary()
+
+    def test_late_crash_lets_early_work_finish(self):
+        plan = FaultPlan(crashes=(CrashFault(0, 1e9),))
+        res = run(4, ring(), faults=plan)
+        assert not res.stats.procs[0].crashed  # program ends before the crash
+
+
+class TestCycleDetection:
+    def test_rendezvous_ring_reports_circular_wait(self):
+        def prog(rank, size):
+            yield mpi.send(dest=(rank + 1) % size, nbytes=BIG)
+            yield mpi.recv(source=(rank - 1) % size)
+
+        with pytest.raises(DeadlockError) as ei:
+            run(3, prog)
+        # fault-free rendezvous cycle: classic deadlock, legacy message intact
+        assert "rank 0" in str(ei.value)
+
+    def test_cycles_found_in_report(self):
+        def prog(rank, size):
+            yield mpi.send(dest=(rank + 1) % size, nbytes=BIG)
+            yield mpi.recv(source=(rank - 1) % size)
+
+        # run under an (inert) fault plan so the watchdog builds a report
+        plan = FaultPlan(message_loss=0.0, duplication=0.0, send_failure=0.0,
+                         degradations=(LinkDegradation(1e8, 1e9),))
+        with pytest.raises(DeadlockError) as ei:
+            run(3, prog, faults=plan)
+        report = ei.value.report
+        cycles = report.cycles()
+        assert len(cycles) == 1 and set(cycles[0]) == {0, 1, 2}
+        assert "circular wait" in report.format()
+
+    def test_no_spurious_cycle_from_dead_end_chain(self):
+        # rank 1 waits only on crashed rank 0: no cycle must be reported
+        plan = FaultPlan(crashes=(CrashFault(0, 0.0),))
+
+        def prog(rank, size):
+            if rank == 1:
+                yield mpi.recv(source=0)
+
+        with pytest.raises(DeadlockError) as ei:
+            run(2, prog, faults=plan)
+        assert ei.value.report.cycles() == []
+
+
+class TestLossAndRetry:
+    def test_loss_without_retry_drops_messages(self):
+        plan = FaultPlan(seed=1, message_loss=0.6)
+        with pytest.raises(DeadlockError) as ei:
+            run(4, ring(iters=8), faults=plan)
+        report = ei.value.report
+        assert report.blocked  # receivers starve
+        assert any(w.state == "recv" for w in report.blocked)
+
+    def test_retry_recovers_lost_messages(self):
+        plan = FaultPlan(seed=1, message_loss=0.3)
+        res = run(4, ring(iters=8), faults=plan, retry=RetryPolicy(max_attempts=12))
+        assert res.stats.total_retries > 0
+        assert res.stats.total_messages_lost == 0
+        assert res.stats.any_faults
+        assert "retries" in res.stats.summary()
+
+    def test_backoff_charged_to_virtual_clock(self):
+        plan = FaultPlan(seed=1, message_loss=0.3)
+        clean = run(4, ring(iters=8))
+        faulty = run(
+            4, ring(iters=8), faults=plan,
+            retry=RetryPolicy(max_attempts=12, backoff=1e-3),
+        )
+        assert faulty.elapsed > clean.elapsed
+
+    def test_elapsed_monotone_in_loss_rate(self):
+        """The acceptance curve: elapsed time grows with the loss rate."""
+        retry = RetryPolicy(max_attempts=16, backoff=1e-4)
+        elapsed = []
+        for p in (0.0, 0.1, 0.25, 0.4):
+            res = run(4, ring(iters=10), faults=FaultPlan(seed=5).with_loss(p),
+                      retry=retry)
+            elapsed.append(res.elapsed)
+        assert elapsed == sorted(elapsed)
+        assert elapsed[-1] > elapsed[0]
+
+    def test_per_link_loss_overrides_global(self):
+        # loss only on link 0->1; the 1->2 link is clean
+        plan = FaultPlan(seed=2, link_loss=((0, 1, 1.0),))
+
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=64)
+            elif rank == 1:
+                yield mpi.send(dest=2, nbytes=64)
+                yield mpi.recv(source=0, timeout=1.0)
+            else:
+                yield mpi.recv(source=1)
+
+        res = run(3, prog, faults=plan)
+        assert res.stats.total_messages_lost == 1
+        assert res.stats.total_timeouts == 1
+
+    def test_same_seed_reproduces_exactly(self):
+        plan = FaultPlan(seed=9, message_loss=0.3)
+        retry = RetryPolicy(max_attempts=12)
+        a = run(4, ring(iters=8), faults=plan, retry=retry)
+        b = run(4, ring(iters=8), faults=plan, retry=retry)
+        assert a.elapsed == b.elapsed
+        assert a.stats.total_retries == b.stats.total_retries
+
+    def test_different_seed_differs(self):
+        retry = RetryPolicy(max_attempts=12)
+        a = run(4, ring(iters=8), faults=FaultPlan(seed=1, message_loss=0.3), retry=retry)
+        b = run(4, ring(iters=8), faults=FaultPlan(seed=2, message_loss=0.3), retry=retry)
+        assert a.stats.total_retries != b.stats.total_retries or a.elapsed != b.elapsed
+
+
+class TestDuplication:
+    def test_duplicates_counted_and_discarded(self):
+        plan = FaultPlan(seed=3, duplication=1.0)
+        res = run(4, ring(iters=4), faults=plan)
+        assert res.stats.total_duplicates == res.stats.total_messages
+        # transport discards duplicates: matching is unaffected
+        assert res.stats.total_messages == 4 * 4
+
+    def test_duplicates_cost_receiver_time(self):
+        clean = run(4, ring(iters=4))
+        dup = run(4, ring(iters=4), faults=FaultPlan(seed=3, duplication=1.0))
+        assert dup.elapsed >= clean.elapsed
+
+
+class TestSendFailure:
+    def test_exhausted_send_returns_sendfailed(self):
+        plan = FaultPlan(seed=4, send_failure=1.0)
+        seen = {}
+
+        def prog(rank, size):
+            if rank == 0:
+                r = yield mpi.send(dest=1, nbytes=64)
+                seen["result"] = r
+            else:
+                yield mpi.recv(source=0, timeout=1.0)
+
+        res = run(2, prog, faults=plan, retry=RetryPolicy(max_attempts=3))
+        assert isinstance(seen["result"], SendFailed)
+        assert seen["result"].retries == 2
+        assert res.stats.total_send_failures == 1
+
+    def test_retry_can_overcome_transient_failure(self):
+        plan = FaultPlan(seed=4, send_failure=0.4)
+        res = run(4, ring(iters=6), faults=plan, retry=RetryPolicy(max_attempts=16))
+        assert res.stats.total_send_failures == 0
+        assert res.stats.total_retries > 0
+
+
+class TestDegradation:
+    def test_degraded_window_slows_run(self):
+        clean = run(4, ring(iters=6))
+        plan = FaultPlan(
+            degradations=(
+                LinkDegradation(0.0, 1e6, latency_factor=50.0, bandwidth_factor=0.01),
+            )
+        )
+        slow = run(4, ring(iters=6), faults=plan)
+        assert slow.elapsed > clean.elapsed
+
+    def test_window_outside_run_is_inert(self):
+        clean = run(4, ring(iters=6))
+        plan = FaultPlan(degradations=(LinkDegradation(1e8, 1e9, latency_factor=100.0),))
+        res = run(4, ring(iters=6), faults=plan)
+        assert res.elapsed == clean.elapsed
+
+    def test_link_filter(self):
+        d = LinkDegradation(0.0, 1.0, latency_factor=2.0, src=0, dst=1)
+        assert d.applies(0, 1, 0.5)
+        assert not d.applies(1, 0, 0.5)
+        assert not d.applies(0, 1, 1.5)
+
+
+class TestTimeouts:
+    def test_recv_timeout_returns_timedout(self):
+        seen = {}
+
+        def prog(rank, size):
+            if rank == 0:
+                r = yield mpi.recv(source=1, timeout=0.5)
+                seen["result"] = r
+
+        res = run(2, prog)
+        assert isinstance(seen["result"], TimedOut)
+        assert seen["result"].op == "recv"
+        assert seen["result"].now == pytest.approx(0.5)
+        assert res.stats.total_timeouts == 1
+
+    def test_rendezvous_send_timeout(self):
+        seen = {}
+
+        def prog(rank, size):
+            if rank == 0:
+                r = yield mpi.send(dest=1, nbytes=BIG, timeout=0.25)
+                seen["result"] = r
+
+        run(2, prog)
+        assert isinstance(seen["result"], TimedOut)
+        assert seen["result"].op == "send"
+
+    def test_timeout_not_fired_when_matched(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=64)
+            else:
+                m = yield mpi.recv(source=0, timeout=10.0)
+                assert not isinstance(m, TimedOut)
+
+        res = run(2, prog)
+        assert res.stats.total_timeouts == 0
+
+    def test_irecv_timeout_via_wait(self):
+        seen = {}
+
+        def prog(rank, size):
+            if rank == 0:
+                h = yield mpi.irecv(source=1, timeout=0.5)
+                r = yield mpi.waitall(h)
+                seen["result"] = r
+
+        run(2, prog)
+        assert isinstance(seen["result"][0], TimedOut)
+
+    def test_default_timeout_applies(self):
+        seen = {}
+
+        def prog(rank, size):
+            if rank == 0:
+                r = yield mpi.recv(source=1)
+                seen["result"] = r
+
+        res = run(2, prog, default_timeout=0.75)
+        assert isinstance(seen["result"], TimedOut)
+        assert res.stats.total_timeouts == 1
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            mpi.recv(source=0, timeout=-1.0)
+        with pytest.raises(ValueError):
+            mpi.send(dest=0, nbytes=8, timeout=float("inf"))
+        with pytest.raises(ValueError, match="default_timeout"):
+            Simulator(2, ring(), M, default_timeout=0.0)

@@ -1,7 +1,5 @@
 """Unit tests for program slicing."""
 
-import pytest
-
 from repro.ir import ProgramBuilder, myid, P
 from repro.slicing import backward_slice, compute_criterion, slice_program
 from repro.stg import condense

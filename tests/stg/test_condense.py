@@ -3,7 +3,7 @@
 import pytest
 
 from repro.ir import BranchProfile, ProgramBuilder, myid, P
-from repro.stg import CondensePlan, PlanRegion, PlanRetain, condense, w_param
+from repro.stg import PlanRegion, PlanRetain, condense, w_param
 from repro.symbolic import Gt, Var
 
 N = Var("N")

@@ -6,14 +6,9 @@ import pytest
 
 from repro.symbolic import (
     Add,
-    CeilDiv,
     Const,
-    Div,
-    Expr,
-    FloorDiv,
     Max,
     Min,
-    Mod,
     Mul,
     UnboundVariableError,
     Var,

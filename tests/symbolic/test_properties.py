@@ -11,16 +11,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.symbolic import (
-    Add,
-    CeilDiv,
     Const,
     FloorDiv,
     Max,
     Min,
     Mod,
-    Mul,
     Var,
-    as_expr,
     ceil_div,
 )
 

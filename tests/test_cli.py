@@ -93,6 +93,107 @@ class TestCalibrate:
         assert "parameters written" in capsys.readouterr().out
 
 
+class TestArgumentHardening:
+    def test_zero_nprocs_rejected(self, capsys):
+        with pytest.raises(SystemExit) as ei:
+            main(["faults", "sample_nearest_neighbor", "--nprocs", "0"])
+        assert ei.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be >= 1" in err
+
+    def test_negative_procs_rejected(self, capsys):
+        with pytest.raises(SystemExit) as ei:
+            main(["predict", "tomcatv", "--procs", "-3"])
+        assert ei.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_unknown_app_one_line(self):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["faults", "linpack"])
+
+    def test_seed_reproduces_measured_output(self, capsys):
+        argv = ["faults", "sample_nearest_neighbor", "--nprocs", "4",
+                "--mode", "measured", "--seed", "42"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_seed_changes_measured_output(self, capsys):
+        base = ["faults", "sample_nearest_neighbor", "--nprocs", "4",
+                "--mode", "measured"]
+        assert main(base + ["--seed", "1"]) == 0
+        a = capsys.readouterr().out
+        assert main(base + ["--seed", "2"]) == 0
+        assert capsys.readouterr().out != a
+
+
+class TestFaultsCommand:
+    APP = "sample_nearest_neighbor"
+
+    def test_fault_free_run(self, capsys):
+        assert main(["faults", self.APP, "--nprocs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Resilience report" in out
+        assert "crashed ranks     : none" in out
+
+    def test_crash_run_reports_and_exits_2(self, capsys):
+        rc = main(["faults", self.APP, "--nprocs", "4", "--crash", "2@0.01"])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "deadlocked under the fault plan" in out
+        assert "rank 2: crashed" in out
+        assert "wait chains" in out
+
+    def test_loss_with_retry(self, capsys):
+        assert main(["faults", self.APP, "--nprocs", "4",
+                     "--loss", "0.05", "--retry", "8:1e-4"]) == 0
+        out = capsys.readouterr().out
+        assert "retries" in out
+
+    def test_sweep_table(self, capsys):
+        assert main(["faults", self.APP, "--nprocs", "4",
+                     "--sweep", "0.05", "0.1", "--retry", "8:1e-4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault sweep" in out and "slowdown %" in out
+
+    def test_plan_file_loaded(self, tmp_path, capsys):
+        import json
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"seed": 1, "crashes": [{"rank": 0, "time": 0.0}]}))
+        rc = main(["faults", self.APP, "--nprocs", "4", "--plan", str(plan)])
+        assert rc == 2
+        assert "rank 0: crashed" in capsys.readouterr().out
+
+    def test_bad_plan_file(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"gremlins": true}')
+        with pytest.raises(SystemExit, match="cannot load fault plan"):
+            main(["faults", self.APP, "--nprocs", "4", "--plan", str(plan)])
+
+    def test_bad_crash_spec(self):
+        with pytest.raises(SystemExit, match="RANK@TIME"):
+            main(["faults", self.APP, "--nprocs", "4", "--crash", "oops"])
+
+    def test_crash_rank_beyond_world(self):
+        with pytest.raises(SystemExit, match="crashes rank 9"):
+            main(["faults", self.APP, "--nprocs", "4", "--crash", "9@0.1"])
+
+    def test_bad_retry_spec(self):
+        with pytest.raises(SystemExit, match="--retry expects"):
+            main(["faults", self.APP, "--nprocs", "4", "--retry", "a:b"])
+
+    def test_invalid_loss_probability(self):
+        with pytest.raises(SystemExit, match="invalid fault plan"):
+            main(["faults", self.APP, "--nprocs", "4", "--loss", "1.5"])
+
+    def test_degrade_flag(self, capsys):
+        assert main(["faults", self.APP, "--nprocs", "4",
+                     "--degrade", "*:*:0:1:10:0.1"]) == 0
+        assert "Resilience report" in capsys.readouterr().out
+
+
 class TestPredictMethods:
     def test_taskgraph_method(self, capsys):
         assert main(["predict", "tomcatv", "--procs", "4", "--calib-procs", "4",

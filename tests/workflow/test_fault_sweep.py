@@ -1,0 +1,115 @@
+"""Tests for the fault-sweep workflow mode and resilience reporting."""
+
+import pytest
+
+from repro.apps import build_tomcatv, tomcatv_inputs
+from repro.machine import IBM_SP
+from repro.sim import CrashFault, DeadlockError, ExecMode, FaultPlan, RetryPolicy
+from repro.workflow import (
+    ModelingWorkflow,
+    fault_sweep,
+    format_fault_sweep,
+    format_resilience,
+    write_fault_sweep_csv,
+)
+
+INPUTS = tomcatv_inputs(64, itmax=2)
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return ModelingWorkflow(
+        build_tomcatv(), IBM_SP, calib_inputs=INPUTS, calib_nprocs=2
+    )
+
+
+class TestRunFaulty:
+    def test_empty_plan_matches_plain_de(self, wf):
+        plain = wf.run_de(INPUTS, 4)
+        faulty = wf.run_faulty(INPUTS, 4, plan=FaultPlan(), mode=ExecMode.DE)
+        assert faulty.elapsed == plain.elapsed  # bit-identical
+
+    def test_empty_plan_matches_plain_am(self, wf):
+        plain = wf.run_am(INPUTS, 4)
+        faulty = wf.run_faulty(INPUTS, 4, plan=FaultPlan(), mode=ExecMode.AM)
+        assert faulty.elapsed == plain.elapsed
+
+    def test_crash_raises_with_report(self, wf):
+        plan = FaultPlan(crashes=(CrashFault(1, 0.0),))
+        with pytest.raises(DeadlockError) as ei:
+            wf.run_faulty(INPUTS, 4, plan=plan)
+        assert ei.value.report is not None
+        assert ei.value.report.crashed_ranks == (1,)
+
+    def test_mode_tagged(self, wf):
+        res = wf.run_faulty(INPUTS, 4, plan=FaultPlan(), mode=ExecMode.MEASURED)
+        assert res.mode is ExecMode.MEASURED
+
+
+class TestFaultSweep:
+    @pytest.fixture(scope="class")
+    def series(self, wf):
+        return fault_sweep(
+            wf, INPUTS, 4, [0.05, 0.15],
+            retry=RetryPolicy(max_attempts=16, backoff=1e-4),
+            name="tomcatv-sweep",
+        )
+
+    def test_baseline_prepended(self, series):
+        assert series.points[0].loss_rate == 0.0
+        assert series.points[0].retries == 0
+        assert series.baseline == series.points[0].elapsed
+
+    def test_elapsed_monotone(self, series):
+        done = [p.elapsed for p in series.points if p.elapsed is not None]
+        assert done == sorted(done)
+        assert done[-1] > done[0]
+
+    def test_counters_grow_with_loss(self, series):
+        retries = [p.retries for p in series.points if not p.deadlocked]
+        assert retries[0] == 0 and retries[-1] > 0
+
+    def test_slowdown_pct(self, series):
+        base = series.baseline
+        assert series.points[0].slowdown_pct(base) == pytest.approx(0.0)
+        last = series.points[-1]
+        if not last.deadlocked:
+            assert last.slowdown_pct(base) > 0.0
+
+    def test_deadlocked_point_recorded_not_raised(self, wf):
+        # certain loss with no retry: the run stalls, the sweep survives
+        series = fault_sweep(wf, INPUTS, 4, [1.0], name="stall")
+        stalled = series.points[-1]
+        assert stalled.deadlocked and stalled.elapsed is None
+        assert stalled.slowdown_pct(series.baseline) is None
+
+    def test_format(self, series):
+        text = format_fault_sweep(series)
+        assert "Fault sweep: tomcatv-sweep" in text
+        assert "loss rate" in text and "slowdown %" in text
+
+    def test_format_marks_deadlock(self, wf):
+        series = fault_sweep(wf, INPUTS, 4, [1.0], name="stall")
+        assert "DEADLOCK" in format_fault_sweep(series)
+
+    def test_csv(self, series, tmp_path):
+        import csv
+
+        path = tmp_path / "sweep.csv"
+        write_fault_sweep_csv(series, path)
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][0] == "loss_rate"
+        assert len(rows) == len(series.points) + 1
+
+
+class TestFormatResilience:
+    def test_counters_shown(self, wf):
+        plan = FaultPlan(seed=2, message_loss=0.1)
+        res = wf.run_faulty(
+            INPUTS, 4, plan=plan, retry=RetryPolicy(max_attempts=16)
+        )
+        text = format_resilience(res, title="Resilience report: tomcatv (de)")
+        assert "Resilience report" in text
+        assert "retries" in text and "messages lost" in text
+        assert "crashed ranks     : none" in text
