@@ -36,6 +36,7 @@ Package map (one subpackage per subsystem, see DESIGN.md):
 ``repro.parallel``    host-machine performance and memory-feasibility model
 ``repro.hpf``         mini-HPF front-end (the dhpf substrate)
 ``repro.analytic``    pure-analytic predictor (POEMS modeling corner)
+``repro.obs``         observability: spans, metrics, Perfetto, analyses
 ====================  =====================================================
 """
 
@@ -48,6 +49,7 @@ from . import (
     machine,
     measure,
     mpi,
+    obs,
     parallel,
     sim,
     slicing,
@@ -77,6 +79,7 @@ __all__ = [
     "parallel",
     "hpf",
     "analytic",
+    "obs",
     "Simulator",
     "ExecMode",
     "compile_program",

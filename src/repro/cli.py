@@ -10,6 +10,8 @@ Examples::
     python -m repro memory sweep3d --procs 4900 --set kt=255
     python -m repro faults sweep3d --nprocs 16 --crash 3@0.01
     python -m repro faults tomcatv --nprocs 8 --sweep 0.01 0.05 0.1 --retry 5:1e-4
+    python -m repro profile sweep3d --nprocs 16 --perfetto out.json --critical-path
+    python -m repro -v profile tomcatv --scaling-loss --procs 4 16 64
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ import sys
 
 from dataclasses import replace
 
+from . import __version__
 from .apps import (
     build_nas_sp,
     build_sample,
@@ -356,6 +359,91 @@ def cmd_faults(args) -> int:
         print(exc.report.format() if exc.report is not None else str(exc))
         return 2
     print(format_resilience(result, title=f"Resilience report: {args.app} ({args.mode})"))
+    if args.csv:
+        from .workflow import write_stats_csv
+
+        write_stats_csv(result.stats, args.csv)
+        print(f"per-rank statistics written to {args.csv}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Profile one run: dual-clock spans, trace analyses, exports."""
+    from .obs import (
+        METRICS,
+        TRACER,
+        JsonlSink,
+        comm_matrix,
+        critical_path,
+        detect_scaling_loss,
+        format_comm_matrix,
+        format_critical_path,
+        format_scaling_loss,
+        format_spans,
+        write_perfetto,
+    )
+    from .sim import ExecMode
+
+    program, _ = _resolve(args, nprocs=args.nprocs)
+    mode = {"am": ExecMode.AM, "de": ExecMode.DE, "measured": ExecMode.MEASURED}[args.mode]
+    calib_procs = args.calib_procs or min(args.nprocs, 16)
+    wf = _workflow(args, program, calib_nprocs=calib_procs, calibrate=False)
+    _, default_inputs = APPS[args.app]
+    runner = {
+        ExecMode.AM: wf.run_am, ExecMode.DE: wf.run_de, ExecMode.MEASURED: wf.run_measured,
+    }[mode]
+
+    def run_at(nprocs: int):
+        inputs = default_inputs(nprocs)
+        inputs.update(_parse_overrides(args.set))
+        return runner(inputs, nprocs, collect_trace=True)
+
+    TRACER.enable()
+    METRICS.enable()
+    try:
+        result = run_at(args.nprocs)
+        scaling_traces = {args.nprocs: result.trace}
+        if args.scaling_loss:
+            for p in args.procs:
+                if p not in scaling_traces:
+                    scaling_traces[p] = run_at(p).trace
+    finally:
+        TRACER.disable()
+        METRICS.disable()
+
+    print(f"Profile: {args.app} ({args.mode}, {args.nprocs} procs, {args.machine})")
+    print(f"  {result.stats.summary()}")
+    print()
+    print(format_spans(TRACER.spans))
+    if args.critical_path:
+        print()
+        print(format_critical_path(critical_path(result.trace)))
+    if args.comm_matrix:
+        print()
+        print(format_comm_matrix(comm_matrix(result.trace)))
+    if args.scaling_loss:
+        print()
+        print(format_scaling_loss(detect_scaling_loss(scaling_traces)))
+    if args.perfetto:
+        write_perfetto(
+            args.perfetto, trace=result.trace, spans=TRACER.spans,
+            meta={"app": args.app, "mode": args.mode, "nprocs": args.nprocs,
+                  "machine": args.machine, "repro_version": __version__},
+        )
+        print(f"\nPerfetto trace written to {args.perfetto} (open in ui.perfetto.dev)")
+    if args.metrics:
+        METRICS.flush(JsonlSink(args.metrics))
+        print(f"metrics written to {args.metrics}")
+    if args.trace:
+        from .sim import save_trace
+
+        save_trace(result.trace, args.trace)
+        print(f"raw trace written to {args.trace}")
+    if args.stats:
+        from .workflow import write_stats_csv
+
+        write_stats_csv(result.stats, args.stats)
+        print(f"per-rank statistics written to {args.stats}")
     return 0
 
 
@@ -366,6 +454,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Compiler-supported simulation of message-passing applications (SC'99).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (-v info, -vv debug); place before the subcommand",
+    )
+    parser.add_argument(
+        "--log-level", metavar="LEVEL", default=None,
+        help="explicit log level name (debug/info/warning/error); overrides -v",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -432,11 +531,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="calibration processor count for --mode am")
     f.add_argument("--sweep", type=float, nargs="+", metavar="LOSS",
                    help="run a fault sweep over these loss rates instead of one run")
+    f.add_argument("--csv", metavar="FILE",
+                   help="write per-rank statistics (fault counters included) as CSV")
+
+    prof = add_app_command(
+        "profile", cmd_profile,
+        "profile a run: spans, critical path, comm matrix, Perfetto export",
+    )
+    prof.add_argument("--nprocs", type=_positive_int, default=16,
+                      help="target processor count (default 16)")
+    prof.add_argument("--mode", choices=("am", "de", "measured"), default="de",
+                      help="estimator to profile (default de)")
+    prof.add_argument("--seed", type=int, default=0,
+                      help="noise seed for --mode measured runs")
+    prof.add_argument("--calib-procs", type=_positive_int, default=None,
+                      help="calibration processor count for --mode am")
+    prof.add_argument("--perfetto", metavar="FILE",
+                      help="write a Chrome/Perfetto trace-event JSON timeline")
+    prof.add_argument("--critical-path", action="store_true",
+                      help="report per-rank/per-kind contributions to the elapsed time")
+    prof.add_argument("--comm-matrix", action="store_true",
+                      help="report the rank x rank message/byte matrix")
+    prof.add_argument("--scaling-loss", action="store_true",
+                      help="diff traces across --procs and rank fastest-growing event kinds")
+    prof.add_argument("--procs", type=_positive_int, nargs="+", default=[4, 16],
+                      help="extra processor counts for --scaling-loss (default 4 16)")
+    prof.add_argument("--metrics", metavar="FILE",
+                      help="write the metrics registry snapshot as JSONL")
+    prof.add_argument("--trace", metavar="FILE",
+                      help="save the raw event trace (.jsonl or .jsonl.gz)")
+    prof.add_argument("--stats", metavar="FILE",
+                      help="write per-rank statistics as CSV")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from .obs.logging import configure_logging, verbosity_to_level
+
+    configure_logging(
+        args.log_level if args.log_level is not None
+        else verbosity_to_level(args.verbose)
+    )
     return args.fn(args)
 
 

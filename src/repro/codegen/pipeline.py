@@ -15,12 +15,17 @@ from dataclasses import dataclass
 
 from ..ir.interp import BranchProfile
 from ..ir.nodes import Program
+from ..obs.logging import get_logger
+from ..obs.metrics import METRICS
+from ..obs.spans import TRACER
 from ..slicing.slicer import SliceResult, slice_program
 from ..stg.condense import CondensePlan, condense
 from .simplify import generate_simplified
 from .timers import generate_instrumented
 
 __all__ = ["CompiledProgram", "compile_program"]
+
+_log = get_logger("codegen")
 
 
 @dataclass
@@ -72,21 +77,37 @@ def compile_program(
     probabilities per branch statement id (the paper's user-directive
     approach).
     """
-    pinned: frozenset[int] = frozenset()
-    for _ in range(max_iterations):
-        plan = condense(program, profile, directives, pinned)
-        sl = slice_program(program, plan)
-        new_pinned = pinned | sl.pinned_blocks
-        if new_pinned == pinned:
-            break
-        pinned = new_pinned
-    else:
-        raise RuntimeError(
-            f"{program.name}: condense/slice fixpoint did not converge "
-            f"in {max_iterations} iterations"
+    with TRACER.span("codegen.compile", program=program.name) as span:
+        pinned: frozenset[int] = frozenset()
+        for iteration in range(1, max_iterations + 1):
+            plan = condense(program, profile, directives, pinned)
+            sl = slice_program(program, plan)
+            new_pinned = pinned | sl.pinned_blocks
+            if new_pinned == pinned:
+                break
+            pinned = new_pinned
+        else:
+            raise RuntimeError(
+                f"{program.name}: condense/slice fixpoint did not converge "
+                f"in {max_iterations} iterations"
+            )
+        simplified = generate_simplified(program, plan, sl, eliminate_dead_data)
+        instrumented = generate_instrumented(program)
+        span.set(
+            iterations=iteration, regions=len(plan.regions),
+            pinned=len(sl.pinned_blocks), retained=len(sl.retained_sids),
         )
-    simplified = generate_simplified(program, plan, sl, eliminate_dead_data)
-    instrumented = generate_instrumented(program)
+    _log.debug(
+        "compiled %s: %d fixpoint iteration(s), %d region(s), %d pinned task(s)",
+        program.name, iteration, len(plan.regions), len(sl.pinned_blocks),
+    )
+    if METRICS.enabled:
+        METRICS.counter("codegen_compiles_total", "compiler pipeline runs").inc(
+            program=program.name
+        )
+        METRICS.histogram(
+            "codegen_fixpoint_iterations", "condense/slice iterations to converge"
+        ).observe(iteration, program=program.name)
     return CompiledProgram(
         original=program,
         plan=plan,

@@ -22,9 +22,13 @@ from ..codegen.timers import generate_instrumented
 from ..ir.interp import BranchProfile, MeasurementCollector, make_factory
 from ..ir.nodes import Program
 from ..machine import MachineParams
+from ..obs.logging import get_logger
+from ..obs.spans import TRACER
 from ..sim.engine import ExecMode, Simulator
 
 __all__ = ["Calibration", "measure_wparams"]
+
+_log = get_logger("measure")
 
 
 @dataclass
@@ -60,11 +64,20 @@ def measure_wparams(
     the given calibration configuration and returns the pooled
     ``w_<task>`` coefficients plus the observed branch profile.
     """
-    instrumented = generate_instrumented(program)
-    collector = MeasurementCollector()
-    profile = BranchProfile()
-    factory = make_factory(instrumented, inputs, collector=collector, profile=profile)
-    result = Simulator(nprocs, factory, machine, mode=ExecMode.MEASURED, seed=seed).run()
+    _log.info(
+        "calibration run: program=%s machine=%s nprocs=%d seed=%d inputs=%s",
+        program.name, machine.name, nprocs, seed, dict(inputs),
+    )
+    with TRACER.span(
+        "measure.calibrate", program=program.name, nprocs=nprocs, seed=seed
+    ) as span:
+        instrumented = generate_instrumented(program)
+        collector = MeasurementCollector()
+        profile = BranchProfile()
+        factory = make_factory(instrumented, inputs, collector=collector, profile=profile)
+        result = Simulator(nprocs, factory, machine, mode=ExecMode.MEASURED, seed=seed).run()
+        span.set_virtual(0.0, result.elapsed)
+        span.set(wparams=len(collector.params()))
     return Calibration(
         program=program.name,
         inputs=dict(inputs),

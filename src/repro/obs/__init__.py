@@ -1,0 +1,89 @@
+"""Observability: dual-clock tracing, metrics, logging, and trace analysis.
+
+The measurement spine of the reproduction (the paper's methodology is
+measurement all the way down — timer runs fit the w_i, and the
+simulators are judged on their own time/memory trajectories):
+
+* :mod:`repro.obs.spans` — span tracing on two clocks: host wall time
+  (what the simulator costs) and simulated virtual time (what the
+  target costs).  Disabled by default; zero-cost when off.
+* :mod:`repro.obs.metrics` — process-wide registry of labeled
+  counters/gauges/histograms with in-memory, JSONL and table sinks.
+* :mod:`repro.obs.logging` — structured logging behind ``-v``.
+* :mod:`repro.obs.perfetto` — Chrome/Perfetto trace-event export of
+  simulation traces and host spans (open in ``ui.perfetto.dev``).
+* :mod:`repro.obs.critical_path` — which events determine
+  ``SimStats.elapsed``, decomposed per rank and kind.
+* :mod:`repro.obs.scaling` — ScalAna-style scaling-loss detection by
+  diffing traces across processor counts.
+* :mod:`repro.obs.comm_matrix` — rank×rank message/byte matrix.
+
+Surfaced on the command line as ``python -m repro profile``.
+"""
+
+from .comm_matrix import CommMatrix, comm_matrix, format_comm_matrix
+from .critical_path import (
+    CriticalPathReport,
+    PathStep,
+    critical_path,
+    format_critical_path,
+)
+from .logging import configure_logging, get_logger, verbosity_to_level
+from .metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    TableSink,
+)
+from .perfetto import (
+    perfetto_document,
+    spans_to_events,
+    trace_to_events,
+    validate_perfetto,
+    write_perfetto,
+)
+from .scaling import (
+    ScalingEntry,
+    ScalingLossReport,
+    detect_scaling_loss,
+    format_scaling_loss,
+)
+from .spans import TRACER, Span, Tracer, format_spans
+
+__all__ = [
+    "TRACER",
+    "Tracer",
+    "Span",
+    "format_spans",
+    "METRICS",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "JsonlSink",
+    "TableSink",
+    "get_logger",
+    "configure_logging",
+    "verbosity_to_level",
+    "perfetto_document",
+    "trace_to_events",
+    "spans_to_events",
+    "write_perfetto",
+    "validate_perfetto",
+    "critical_path",
+    "CriticalPathReport",
+    "PathStep",
+    "format_critical_path",
+    "detect_scaling_loss",
+    "ScalingEntry",
+    "ScalingLossReport",
+    "format_scaling_loss",
+    "comm_matrix",
+    "CommMatrix",
+    "format_comm_matrix",
+]

@@ -1,0 +1,103 @@
+"""Communication-matrix report: who talks to whom, and how much.
+
+Rebuilds the rank×rank point-to-point traffic matrix from a simulation
+trace: every matched receive carries a dependency on its send event, so
+(source, destination, bytes) is recoverable offline without touching
+the kernel.  Collective participation is reported per rank alongside
+(collectives have no pairwise direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..sim.trace import Trace
+
+__all__ = ["CommMatrix", "comm_matrix", "format_comm_matrix"]
+
+
+@dataclass
+class CommMatrix:
+    """Pairwise message/byte counts plus per-rank collective counts."""
+
+    nprocs: int
+    messages: list[list[int]] = field(default_factory=list)  # [src][dst]
+    bytes: list[list[int]] = field(default_factory=list)  # [src][dst]
+    collectives: list[int] = field(default_factory=list)  # per rank
+
+    @property
+    def total_messages(self) -> int:
+        return sum(sum(row) for row in self.messages)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(sum(row) for row in self.bytes)
+
+    def top_pairs(self, k: int = 10) -> list[tuple[int, int, int, int]]:
+        """The *k* heaviest (src, dst, messages, bytes) pairs by bytes."""
+        pairs = [
+            (src, dst, self.messages[src][dst], self.bytes[src][dst])
+            for src in range(self.nprocs)
+            for dst in range(self.nprocs)
+            if self.messages[src][dst]
+        ]
+        pairs.sort(key=lambda p: (-p[3], -p[2], p[0], p[1]))
+        return pairs[:k]
+
+
+def comm_matrix(trace: Trace) -> CommMatrix:
+    """Accumulate the rank×rank matrix from matched receives in *trace*."""
+    n = trace.nprocs
+    cm = CommMatrix(
+        nprocs=n,
+        messages=[[0] * n for _ in range(n)],
+        bytes=[[0] * n for _ in range(n)],
+        collectives=[0] * n,
+    )
+    for ev in trace.events:
+        if ev.kind == "recv":
+            for dep in ev.deps:
+                src = trace.events[dep].proc
+                cm.messages[src][ev.proc] += 1
+                cm.bytes[src][ev.proc] += ev.nbytes
+        elif ev.kind == "collective":
+            cm.collectives[ev.proc] += 1
+    return cm
+
+
+def format_comm_matrix(cm: CommMatrix, max_ranks: int = 24) -> str:
+    """Render the matrix (small worlds) or the heaviest pairs (large)."""
+    lines = [
+        f"Communication matrix: {cm.nprocs} ranks, "
+        f"{cm.total_messages} messages / {cm.total_bytes} bytes p2p"
+    ]
+    if cm.nprocs <= max_ranks:
+        width = max(
+            5, *(len(str(v)) for row in cm.messages for v in row), len(str(cm.nprocs))
+        )
+        header = "  msgs " + " ".join(f"d{d}".rjust(width) for d in range(cm.nprocs))
+        lines.append(header)
+        for src in range(cm.nprocs):
+            row = " ".join(
+                (str(v) if v else ".").rjust(width) for v in cm.messages[src]
+            )
+            lines.append(f"  s{src:<4d} {row}")
+        lines.append("  bytes per destination (same layout):")
+        for src in range(cm.nprocs):
+            row = " ".join(
+                (str(v) if v else ".").rjust(width) for v in cm.bytes[src]
+            )
+            lines.append(f"  s{src:<4d} {row}")
+    else:
+        lines.append("  (world too large to tabulate; top pairs by bytes)")
+        for src, dst, msgs, nbytes in cm.top_pairs(20):
+            lines.append(f"  {src:>5d} -> {dst:<5d} {msgs:>8d} msgs {nbytes:>12d} bytes")
+    if any(cm.collectives):
+        lines.append(
+            "  collectives per rank: "
+            + ", ".join(str(c) for c in cm.collectives[:max_ranks])
+            + (" ..." if cm.nprocs > max_ranks else "")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Structured logging for the whole pipeline.
+
+One logger hierarchy rooted at ``repro`` with a compact single-line
+format.  Nothing is emitted unless :func:`configure_logging` raises the
+level (the CLI's ``-v`` / ``--log-level`` flags do), so instrumented
+code may log freely without taxing silent runs — a disabled ``log.info``
+is a single level comparison.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure_logging", "verbosity_to_level", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map a ``-v`` count to a logging level (0→WARNING, 1→INFO, 2+→DEBUG)."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(level: int | str = logging.WARNING, stream=None) -> logging.Logger:
+    """Install (once) a stderr handler on the ``repro`` root logger.
+
+    *level* is a numeric level or a name (``"info"``, ``"DEBUG"``, ...).
+    Calling again reconfigures the level, not the handler, so repeated
+    CLI invocations in one process (tests) don't stack handlers.
+    """
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
+    root = get_logger()
+    root.setLevel(level)
+    if not root.handlers:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+        root.addHandler(handler)
+        root.propagate = False
+    elif stream is not None:
+        root.handlers[0].setStream(stream)
+    return root

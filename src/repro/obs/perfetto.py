@@ -1,0 +1,241 @@
+"""Perfetto / Chrome trace-event export of simulation runs.
+
+Renders a :class:`repro.sim.Trace` (virtual-clock timeline, one Perfetto
+"process" per target rank) and the host-side :class:`repro.obs.Span`
+records (what the simulator itself spent) as one JSON document in the
+Chrome trace-event format, openable at ``ui.perfetto.dev`` or
+``chrome://tracing``.
+
+Trace events use the complete-event form (``"ph": "X"``) with
+microsecond timestamps; message dependencies become flow events
+(``"s"``/``"f"``) so Perfetto draws arrows from each send to the
+matching receive.  Non-blocking kernel completions render on a separate
+track per rank because they overlap the rank's program-order events.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid importing the kernel at runtime (layering)
+    from ..sim.trace import Trace
+    from .spans import Span
+
+__all__ = [
+    "trace_to_events",
+    "spans_to_events",
+    "perfetto_document",
+    "write_perfetto",
+    "validate_perfetto",
+]
+
+_US = 1e6  # seconds -> microseconds (the trace-event timestamp unit)
+
+#: stable color names per event kind (Chrome trace-viewer palette)
+_COLORS = {
+    "compute": "thread_state_running",
+    "delay": "thread_state_runnable",
+    "send": "thread_state_iowait",
+    "recv": "thread_state_sleeping",
+    "wait": "thread_state_unknown",
+    "collective": "rail_animation",
+}
+
+
+def trace_to_events(trace: Trace, include_flows: bool = True) -> list[dict]:
+    """Convert a simulation trace to trace-event dicts (virtual clock)."""
+    events: list[dict] = []
+    for rank in range(trace.nprocs):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": rank,
+                "tid": 0,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": rank,
+                "tid": 0,
+                "args": {"name": "program order"},
+            }
+        )
+    completion_tracks = {ev.proc for ev in trace.events if ev.nonblocking}
+    for rank in sorted(completion_tracks):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": rank,
+                "tid": 1,
+                "args": {"name": "kernel completions"},
+            }
+        )
+    for ev in trace.events:
+        args = {"eid": ev.eid, "host_cost": ev.host_cost}
+        if ev.nbytes:
+            args["nbytes"] = ev.nbytes
+        if ev.coll_id is not None:
+            args["coll_id"] = ev.coll_id
+        if ev.deps:
+            args["deps"] = list(ev.deps)
+        record = {
+            "ph": "X",
+            "name": ev.kind,
+            "cat": ev.kind,
+            "pid": ev.proc,
+            "tid": 1 if ev.nonblocking else 0,
+            "ts": ev.start * _US,
+            "dur": max(0.0, (ev.end - ev.start) * _US),
+            "args": args,
+        }
+        color = _COLORS.get(ev.kind)
+        if color is not None:
+            record["cname"] = color
+        events.append(record)
+        if include_flows:
+            for dep in ev.deps:
+                src = trace.events[dep]
+                events.append(
+                    {
+                        "ph": "s",
+                        "name": "dep",
+                        "cat": "dep",
+                        "id": f"{dep}->{ev.eid}",
+                        "pid": src.proc,
+                        "tid": 1 if src.nonblocking else 0,
+                        "ts": src.end * _US,
+                    }
+                )
+                events.append(
+                    {
+                        "ph": "f",
+                        "bp": "e",
+                        "name": "dep",
+                        "cat": "dep",
+                        "id": f"{dep}->{ev.eid}",
+                        "pid": ev.proc,
+                        "tid": 1 if ev.nonblocking else 0,
+                        "ts": ev.end * _US,
+                    }
+                )
+    return events
+
+
+def spans_to_events(spans: list[Span], pid: int = 0) -> list[dict]:
+    """Convert host-side spans to trace-event dicts (host wall clock).
+
+    Timestamps are rebased to the earliest span so the host timeline
+    starts near zero like the virtual one.
+    """
+    if not spans:
+        return []
+    base = min(sp.host_start for sp in spans)
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "simulator (host clock)"},
+        }
+    ]
+    for sp in spans:
+        args = dict(sp.attrs)
+        if sp.virtual_duration is not None:
+            args["virtual_s"] = sp.virtual_duration
+        events.append(
+            {
+                "ph": "X",
+                "name": sp.name,
+                "cat": "host",
+                "pid": pid,
+                "tid": 0,
+                "ts": (sp.host_start - base) * _US,
+                "dur": sp.host_duration * _US,
+                "args": args,
+            }
+        )
+    return events
+
+
+def perfetto_document(
+    trace: Trace | None = None,
+    spans: list[Span] | None = None,
+    meta: dict | None = None,
+) -> dict:
+    """Assemble the exportable trace-event JSON document."""
+    events: list[dict] = []
+    if trace is not None:
+        events.extend(trace_to_events(trace))
+    if spans:
+        host_pid = trace.nprocs if trace is not None else 0
+        events.extend(spans_to_events(spans, pid=host_pid))
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if meta:
+        doc["otherData"] = dict(meta)
+    return doc
+
+
+def write_perfetto(
+    path: str | Path,
+    trace: Trace | None = None,
+    spans: list[Span] | None = None,
+    meta: dict | None = None,
+) -> dict:
+    """Validate and write the export; returns the document."""
+    doc = perfetto_document(trace, spans, meta)
+    validate_perfetto(doc)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    return doc
+
+
+def validate_perfetto(doc: object) -> None:
+    """Check *doc* against the trace-event JSON schema; raise ValueError.
+
+    Covers the subset we emit: a ``traceEvents`` list of dicts, each
+    with a phase, numeric finite timestamps where required, and the
+    per-phase mandatory fields (``dur`` for "X", ``id`` for flows,
+    paired "s"/"f" ids).
+    """
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise ValueError("perfetto document must be a dict with a 'traceEvents' list")
+    flow_starts: set = set()
+    flow_ends: set = set()
+    for i, ev in enumerate(doc["traceEvents"]):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}]: not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "B", "E", "M", "s", "t", "f", "C", "i"):
+            raise ValueError(f"traceEvents[{i}]: unsupported phase {ph!r}")
+        if not isinstance(ev.get("name"), str):
+            raise ValueError(f"traceEvents[{i}]: missing event name")
+        if not isinstance(ev.get("pid"), int):
+            raise ValueError(f"traceEvents[{i}]: missing integer pid")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or not math.isfinite(ts) or ts < 0:
+                raise ValueError(f"traceEvents[{i}]: bad timestamp {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or not math.isfinite(dur) or dur < 0:
+                raise ValueError(f"traceEvents[{i}]: 'X' event needs a finite dur, got {dur!r}")
+        if ph in ("s", "t", "f"):
+            if "id" not in ev:
+                raise ValueError(f"traceEvents[{i}]: flow event needs an id")
+            (flow_starts if ph == "s" else flow_ends).add(ev["id"])
+    dangling = flow_starts.symmetric_difference(flow_ends)
+    if dangling:
+        raise ValueError(f"unpaired flow event ids: {sorted(dangling)[:5]}")
+    try:
+        json.dumps(doc)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"perfetto document is not JSON-serializable: {exc}")

@@ -1,0 +1,134 @@
+"""ScalAna-style scaling-loss detection: diff traces across P.
+
+Given traces of the same application at several processor counts, the
+detector aggregates virtual time per event kind, fits a log–log growth
+exponent against P, and ranks the kinds whose aggregate cost grows
+fastest — the ScalAna observation that scaling losses localize to the
+program constructs whose cost curve bends upward.  Under perfect strong
+scaling the total virtual time summed over ranks stays flat (exponent
+≈ 0); communication that serializes or synchronizes shows a positive
+exponent and a growing share of the run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..sim.trace import Trace
+
+__all__ = ["ScalingEntry", "ScalingLossReport", "detect_scaling_loss", "format_scaling_loss"]
+
+
+@dataclass(frozen=True)
+class ScalingEntry:
+    """One event kind's cost trajectory across processor counts."""
+
+    kind: str
+    totals: dict[int, float]  # nprocs -> summed virtual seconds
+    exponent: float | None  # log-log slope of total vs P (None if degenerate)
+    growth: float | None  # total at max P over total at min P (None if zero base)
+    added: float  # absolute seconds added between min P and max P
+
+    @property
+    def is_loss(self) -> bool:
+        """Does this kind's aggregate cost grow with P at all?"""
+        return self.added > 0
+
+
+@dataclass(frozen=True)
+class ScalingLossReport:
+    """Ranked scaling-loss candidates over a set of processor counts."""
+
+    procs: tuple[int, ...]
+    entries: tuple[ScalingEntry, ...]  # sorted: fastest-growing first
+
+    @property
+    def losses(self) -> tuple[ScalingEntry, ...]:
+        return tuple(e for e in self.entries if e.is_loss)
+
+
+def _fit_exponent(procs: list[int], totals: list[float]) -> float | None:
+    """Least-squares slope of log(total) against log(P)."""
+    points = [(math.log(p), math.log(t)) for p, t in zip(procs, totals) if t > 0]
+    if len(points) < 2:
+        return None
+    n = len(points)
+    mx = sum(x for x, _ in points) / n
+    my = sum(y for _, y in points) / n
+    sxx = sum((x - mx) ** 2 for x, _ in points)
+    if sxx == 0:
+        return None
+    sxy = sum((x - mx) * (y - my) for x, y in points)
+    return sxy / sxx
+
+
+def detect_scaling_loss(traces: dict[int, Trace]) -> ScalingLossReport:
+    """Diff *traces* (``{nprocs: Trace}``) and rank cost growth per kind.
+
+    Needs at least two processor counts.  Entries come back sorted by
+    absolute seconds added between the smallest and largest P (the time
+    actually lost to scaling), with the growth exponent alongside.
+    """
+    if len(traces) < 2:
+        raise ValueError(
+            f"scaling-loss detection needs traces at >= 2 processor counts, got {len(traces)}"
+        )
+    procs = sorted(traces)
+    per_kind: dict[str, dict[int, float]] = {}
+    for p in procs:
+        for ev in traces[p].events:
+            per_kind.setdefault(ev.kind, {}).setdefault(p, 0.0)
+            per_kind[ev.kind][p] += ev.end - ev.start
+    entries = []
+    for kind, totals in per_kind.items():
+        full = {p: totals.get(p, 0.0) for p in procs}
+        first, last = full[procs[0]], full[procs[-1]]
+        entries.append(
+            ScalingEntry(
+                kind=kind,
+                totals=full,
+                exponent=_fit_exponent(procs, [full[p] for p in procs]),
+                growth=(last / first) if first > 0 else None,
+                added=last - first,
+            )
+        )
+    entries.sort(key=lambda e: -e.added)
+    return ScalingLossReport(procs=tuple(procs), entries=tuple(entries))
+
+
+def format_scaling_loss(report: ScalingLossReport) -> str:
+    """Human-readable scaling-loss ranking."""
+    procs = report.procs
+    lines = [
+        "Scaling-loss report: aggregate virtual seconds per event kind, "
+        f"P = {list(procs)}"
+    ]
+    header = (
+        f"  {'kind':12s} "
+        + " ".join(f"P={p}".rjust(12) for p in procs)
+        + "  growth".rjust(9)
+        + "  exponent"
+        + "  verdict"
+    )
+    lines.append(header)
+    for e in report.entries:
+        cols = " ".join(f"{e.totals[p]:.6f}".rjust(12) for p in procs)
+        growth = f"{e.growth:.2f}x" if e.growth is not None else "new"
+        exponent = f"{e.exponent:+.2f}" if e.exponent is not None else "   -"
+        if e.added <= 0:
+            verdict = "scales"
+        elif e.exponent is not None and e.exponent > 0.5:
+            verdict = "SCALING LOSS"
+        else:
+            verdict = "grows"
+        lines.append(f"  {e.kind:12s} {cols} {growth:>8s} {exponent:>9s}  {verdict}")
+    worst = next(iter(report.losses), None)
+    if worst is not None:
+        lines.append(
+            f"  fastest-growing: {worst.kind!r} adds {worst.added:.6f}s "
+            f"from P={procs[0]} to P={procs[-1]}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Dual-clock span tracing: what the simulator costs vs what it predicts.
+
+A :class:`Span` records two clocks for one region of pipeline work:
+
+* **host time** — wall-clock seconds the simulator process itself spent
+  (``time.perf_counter``), i.e. what a run costs *us*;
+* **virtual time** — the simulated target's clock interval the region
+  covered (set by the instrumented code via :meth:`Span.set_virtual`),
+  i.e. what the run predicts the *target* costs.
+
+The module-level :data:`TRACER` is shared by every instrumented layer
+(kernel, workflow, compiler, measurement) and is **disabled by
+default**: ``TRACER.span(...)`` then returns a cached no-op context
+manager, so instrumentation adds one attribute test to uninstrumented
+runs.  The CLI's ``profile`` subcommand enables it around a run and
+renders or exports the recorded spans.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "TRACER", "format_spans"]
+
+
+@dataclass
+class Span:
+    """One traced region of work, on both clocks."""
+
+    sid: int
+    name: str
+    parent: int | None  # sid of the enclosing span, if any
+    host_start: float  # perf_counter at entry
+    host_end: float = 0.0  # perf_counter at exit (0 while open)
+    virtual_start: float | None = None
+    virtual_end: float | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def host_duration(self) -> float:
+        return max(0.0, self.host_end - self.host_start)
+
+    @property
+    def virtual_duration(self) -> float | None:
+        if self.virtual_start is None or self.virtual_end is None:
+            return None
+        return self.virtual_end - self.virtual_start
+
+    def set(self, **attrs) -> None:
+        """Attach key/value annotations to the span."""
+        self.attrs.update(attrs)
+
+    def set_virtual(self, start: float, end: float) -> None:
+        """Record the simulated virtual-time interval this span covered."""
+        self.virtual_start = start
+        self.virtual_end = end
+
+
+class _NoopSpan:
+    """Shared do-nothing span/context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs):
+        pass
+
+    def set_virtual(self, start, end):
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class _Recording:
+    """Context manager that opens/closes one real span on a tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: Tracer, span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span.sid)
+        return self._span
+
+    def __exit__(self, *exc):
+        self._span.host_end = time.perf_counter()
+        stack = self._tracer._stack
+        if stack and stack[-1] == self._span.sid:
+            stack.pop()
+        return False
+
+
+class Tracer:
+    """A span recorder; use the process-wide :data:`TRACER` unless isolating."""
+
+    def __init__(self):
+        self.enabled = False
+        self.spans: list[Span] = []
+        self._stack: list[int] = []
+
+    def span(self, name: str, **attrs):
+        """Context manager for one region; no-op while the tracer is disabled."""
+        if not self.enabled:
+            return _NOOP
+        sp = Span(
+            sid=len(self.spans),
+            name=name,
+            parent=self._stack[-1] if self._stack else None,
+            host_start=time.perf_counter(),
+            attrs=attrs,
+        )
+        self.spans.append(sp)
+        return _Recording(self, sp)
+
+    def enable(self, reset: bool = True) -> None:
+        if reset:
+            self.reset()
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self._stack.clear()
+
+
+#: The process-wide tracer all instrumented layers report to.
+TRACER = Tracer()
+
+
+def format_spans(spans: list[Span], title: str = "Pipeline spans") -> str:
+    """Render spans as an indented dual-clock table."""
+    depth: dict[int, int] = {}
+    for sp in spans:
+        depth[sp.sid] = depth[sp.parent] + 1 if sp.parent is not None else 0
+    rows = []
+    for sp in spans:
+        vdur = sp.virtual_duration
+        attrs = " ".join(f"{k}={v}" for k, v in sp.attrs.items())
+        rows.append(
+            (
+                "  " * depth[sp.sid] + sp.name,
+                f"{sp.host_duration * 1e3:.2f}",
+                f"{vdur:.6f}" if vdur is not None else "-",
+                attrs,
+            )
+        )
+    headers = ("span", "host (ms)", "virtual (s)", "attributes")
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+              for i in range(4)]
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+    return "\n".join(lines)

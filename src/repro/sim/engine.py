@@ -40,6 +40,9 @@ import numpy as np
 
 from ..machine import CpuModel, MachineParams, NetworkModel
 from ..mpi.matching import MatchQueues, MessageRecord, PostedRecv
+from ..obs.logging import get_logger
+from ..obs.metrics import METRICS
+from ..obs.spans import TRACER
 from .faults import DeadlockReport, FaultPlan, FaultState, RetryPolicy, WaitInfo
 from .memory import MemoryReport, MemoryTracker
 from .requests import (
@@ -73,6 +76,8 @@ __all__ = [
 ]
 
 ProgramFactory = Callable[[int, int], Iterator[Request]]
+
+_log = get_logger("sim.engine")
 
 
 class ExecMode(enum.Enum):
@@ -222,6 +227,7 @@ class Simulator:
         self.nprocs = nprocs
         self.machine = machine
         self.mode = mode
+        self.seed = seed
         if mode is ExecMode.MEASURED:
             rng = np.random.default_rng(seed)
             self.cpu = CpuModel(machine.cpu, machine.truth.cpu_noise_sigma, rng)
@@ -258,6 +264,27 @@ class Simulator:
         if the event queue drains while unfinished, uncrashed processes
         remain blocked.
         """
+        if self.mode is ExecMode.MEASURED:
+            # reproducibility breadcrumb: everything needed to replay
+            # this ground-truth run (MEASURED is the only noisy mode)
+            _log.info(
+                "measured run: machine=%s nprocs=%d seed=%d faults=%s timeout=%s",
+                self.machine.name, self.nprocs, self.seed,
+                "yes" if self._fault_state is not None else "no", self._default_timeout,
+            )
+        with TRACER.span("sim.run", mode=self.mode.value, nprocs=self.nprocs) as span:
+            result = self._run()
+            span.set_virtual(0.0, result.stats.elapsed)
+            span.set(
+                events=result.stats.total_events,
+                messages=result.stats.total_messages,
+                host_cost=result.stats.total_host_cost,
+            )
+        if METRICS.enabled:
+            METRICS.record_run(self.mode.value, result.stats)
+        return result
+
+    def _run(self) -> SimResult:
         if self._ran:
             raise RuntimeError("a Simulator instance is single-use; build a new one")
         self._ran = True

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 __all__ = ["ProcessStats", "SimStats"]
 
@@ -29,6 +29,10 @@ class ProcessStats:
     send_failures: int = 0  # sends abandoned after exhausting the retry budget
     crashed: bool = False  # this rank was crashed by the fault plan
     crash_time: float = 0.0  # virtual time of the crash (if crashed)
+
+    def to_dict(self) -> dict:
+        """Flat serializable form (metrics sinks, CSV reports)."""
+        return asdict(self)
 
 
 @dataclass
@@ -107,6 +111,33 @@ class SimStats:
             or self.total_send_failures
             or self.crashed_ranks
         )
+
+    def to_dict(self, include_procs: bool = False) -> dict:
+        """Serializable aggregate form, fault/resilience counters included.
+
+        Feeds the metrics sinks (:meth:`repro.obs.MetricsRegistry.record_run`)
+        and the per-run CSV/JSON reports; ``include_procs=True`` nests the
+        per-rank :meth:`ProcessStats.to_dict` rows.
+        """
+        d = {
+            "nprocs": self.nprocs,
+            "elapsed": self.elapsed,
+            "total_messages": self.total_messages,
+            "total_bytes": self.total_bytes,
+            "total_events": self.total_events,
+            "total_host_cost": self.total_host_cost,
+            "total_compute_time": self.total_compute_time,
+            "total_comm_time": self.total_comm_time,
+            "total_retries": self.total_retries,
+            "total_timeouts": self.total_timeouts,
+            "total_messages_lost": self.total_messages_lost,
+            "total_duplicates": self.total_duplicates,
+            "total_send_failures": self.total_send_failures,
+            "crashed_ranks": list(self.crashed_ranks),
+        }
+        if include_procs:
+            d["procs"] = [p.to_dict() for p in self.procs]
+        return d
 
     def summary(self) -> str:
         """Short human-readable description."""

@@ -1,14 +1,18 @@
 """Trace persistence: save/load dependency-annotated event traces.
 
 A trace is the interchange artifact between a simulation run and the
-offline analyses (host-performance replay, dynamic task-graph export),
-so it can be archived and reprocessed without re-simulating.  Format:
-one JSON header line plus one compact JSON array per event (JSONL —
-streams, diffs and compresses well).
+offline analyses (host-performance replay, dynamic task-graph export,
+the ``repro profile`` analyzers), so it can be archived and reprocessed
+without re-simulating.  Format: one JSON header line plus one compact
+JSON array per event (JSONL — streams, diffs and compresses well).
+Paths ending in ``.gz`` (e.g. ``run.jsonl.gz``) are transparently
+gzip-compressed on both save and load.  Malformed inputs raise
+:class:`ValueError` carrying the offending ``path:line`` location.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
 
@@ -19,9 +23,16 @@ __all__ = ["save_trace", "load_trace"]
 _FORMAT = 1
 
 
+def _open(path: str | Path, mode: str):
+    """Text-mode open that honours a ``.gz`` suffix."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
 def save_trace(trace: Trace, path: str | Path) -> None:
-    """Write *trace* to *path* as JSONL."""
-    with open(path, "w") as fh:
+    """Write *trace* to *path* as JSONL (gzip-compressed for ``.gz``)."""
+    with _open(path, "w") as fh:
         fh.write(json.dumps({"format": _FORMAT, "nprocs": trace.nprocs,
                              "events": len(trace.events)}) + "\n")
         for ev in trace.events:
@@ -38,16 +49,39 @@ def save_trace(trace: Trace, path: str | Path) -> None:
 
 
 def load_trace(path: str | Path) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
-    with open(path) as fh:
-        header = json.loads(fh.readline())
+    """Read a trace written by :func:`save_trace`.
+
+    Raises :class:`ValueError` with the offending line number on any
+    malformed header, event line, or id/count inconsistency.
+    """
+    with _open(path, "r") as fh:
+        try:
+            header = json.loads(fh.readline())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:1: malformed trace header: {exc}") from None
+        if not isinstance(header, dict):
+            raise ValueError(f"{path}:1: trace header is not a JSON object")
         if header.get("format") != _FORMAT:
-            raise ValueError(f"{path}: unsupported trace format {header.get('format')!r}")
+            raise ValueError(
+                f"{path}:1: unsupported trace format {header.get('format')!r}"
+            )
         trace = Trace(nprocs=int(header["nprocs"]))
-        for line in fh:
-            eid, proc, kind, start, end, cost, deps, coll_id, nbytes, nb = json.loads(line)
+        for lineno, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue  # tolerate a trailing blank line
+            try:
+                fields = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: malformed trace line: {exc}") from None
+            try:
+                eid, proc, kind, start, end, cost, deps, coll_id, nbytes, nb = fields
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace event "
+                    f"(expected 10 fields, got {fields!r})"
+                ) from None
             if eid != len(trace.events):
-                raise ValueError(f"{path}: event ids not contiguous at {eid}")
+                raise ValueError(f"{path}:{lineno}: event ids not contiguous at {eid}")
             trace.events.append(
                 TraceEvent(
                     eid=eid, proc=proc, kind=kind, start=start, end=end,

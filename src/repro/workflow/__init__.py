@@ -8,6 +8,7 @@ from .reporting import (
     format_table,
     format_validation,
     write_fault_sweep_csv,
+    write_stats_csv,
     write_validation_csv,
 )
 from .validation import (
@@ -34,4 +35,5 @@ __all__ = [
     "format_fault_sweep",
     "write_validation_csv",
     "write_fault_sweep_csv",
+    "write_stats_csv",
 ]

@@ -19,10 +19,14 @@ from ..ir.interp import make_factory
 from ..ir.nodes import Program
 from ..machine import MachineParams
 from ..measure import Calibration, measure_wparams
+from ..obs.logging import get_logger
+from ..obs.spans import TRACER
 from ..sim.engine import ExecMode, SimResult, Simulator
 from ..sim.faults import FaultPlan, RetryPolicy
 
 __all__ = ["ModelingWorkflow"]
+
+_log = get_logger("workflow")
 
 
 @dataclass
@@ -45,9 +49,12 @@ class ModelingWorkflow:
         """Run the timer-instrumented program at the calibration
         configuration (once; cached)."""
         if self._calibration is None:
-            self._calibration = measure_wparams(
-                self.program, self.calib_inputs, self.calib_nprocs, self.machine, self.seed
-            )
+            with TRACER.span(
+                "workflow.calibrate", program=self.program.name, nprocs=self.calib_nprocs
+            ):
+                self._calibration = measure_wparams(
+                    self.program, self.calib_inputs, self.calib_nprocs, self.machine, self.seed
+                )
         return self._calibration
 
     @property
@@ -55,9 +62,10 @@ class ModelingWorkflow:
         """The compiled application (branch profile from calibration)."""
         if self._compiled is None:
             cal = self.calibrate()
-            self._compiled = compile_program(
-                self.program, profile=cal.profile, directives=self.directives
-            )
+            with TRACER.span("workflow.compile", program=self.program.name):
+                self._compiled = compile_program(
+                    self.program, profile=cal.profile, directives=self.directives
+                )
         return self._compiled
 
     @property
@@ -70,20 +78,29 @@ class ModelingWorkflow:
     ) -> SimResult:
         """Ground truth: the application on the (modelled) real machine."""
         factory = make_factory(self.program, inputs)
-        return Simulator(
-            nprocs, factory, self.machine, mode=ExecMode.MEASURED,
-            seed=self.seed + 1 if seed is None else seed, **kw
-        ).run()
+        with TRACER.span("workflow.simulate", mode="measured", nprocs=nprocs) as sp:
+            result = Simulator(
+                nprocs, factory, self.machine, mode=ExecMode.MEASURED,
+                seed=self.seed + 1 if seed is None else seed, **kw
+            ).run()
+            sp.set_virtual(0.0, result.elapsed)
+        return result
 
     def run_de(self, inputs: dict[str, float], nprocs: int, **kw) -> SimResult:
         """MPI-SIM-DE: direct execution + nominal communication model."""
         factory = make_factory(self.program, inputs)
-        return Simulator(nprocs, factory, self.machine, mode=ExecMode.DE, **kw).run()
+        with TRACER.span("workflow.simulate", mode="de", nprocs=nprocs) as sp:
+            result = Simulator(nprocs, factory, self.machine, mode=ExecMode.DE, **kw).run()
+            sp.set_virtual(0.0, result.elapsed)
+        return result
 
     def run_am(self, inputs: dict[str, float], nprocs: int, **kw) -> SimResult:
         """MPI-SIM-AM: the simplified program with calibrated w_i."""
         factory = make_factory(self.compiled.simplified, inputs, wparams=self.wparams)
-        return Simulator(nprocs, factory, self.machine, mode=ExecMode.AM, **kw).run()
+        with TRACER.span("workflow.simulate", mode="am", nprocs=nprocs) as sp:
+            result = Simulator(nprocs, factory, self.machine, mode=ExecMode.AM, **kw).run()
+            sp.set_virtual(0.0, result.elapsed)
+        return result
 
     # -- resilience what-ifs ------------------------------------------------------
     def run_faulty(
@@ -112,14 +129,23 @@ class ModelingWorkflow:
             factory = make_factory(self.compiled.simplified, inputs, wparams=self.wparams)
         else:
             factory = make_factory(self.program, inputs)
-        return Simulator(
-            nprocs,
-            factory,
-            self.machine,
-            mode=mode,
-            seed=self.seed + 1 if seed is None else seed,
-            faults=plan,
-            retry=retry,
-            default_timeout=timeout,
-            **kw,
-        ).run()
+        _log.debug(
+            "faulty run: program=%s mode=%s nprocs=%d plan=%s retry=%s",
+            self.program.name, mode.value, nprocs, plan, retry,
+        )
+        with TRACER.span(
+            "workflow.simulate", mode=mode.value, nprocs=nprocs, faulty=True
+        ) as sp:
+            result = Simulator(
+                nprocs,
+                factory,
+                self.machine,
+                mode=mode,
+                seed=self.seed + 1 if seed is None else seed,
+                faults=plan,
+                retry=retry,
+                default_timeout=timeout,
+                **kw,
+            ).run()
+            sp.set_virtual(0.0, result.elapsed)
+        return result

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import csv
+import dataclasses
 from pathlib import Path
 
 from ..sim.engine import SimResult
+from ..sim.stats import ProcessStats, SimStats
 from .validation import FaultSweepSeries, ValidationSeries
 
 __all__ = [
@@ -16,6 +18,7 @@ __all__ = [
     "format_resilience",
     "format_fault_sweep",
     "write_fault_sweep_csv",
+    "write_stats_csv",
 ]
 
 
@@ -127,6 +130,21 @@ def write_fault_sweep_csv(series: FaultSweepSeries, path: str | Path) -> None:
                 p.loss_rate, p.elapsed, p.slowdown_pct(base), p.retries,
                 p.timeouts, p.messages_lost, p.send_failures, int(p.deadlocked),
             ])
+
+
+def write_stats_csv(stats: SimStats, path: str | Path) -> None:
+    """Write one run's per-rank statistics as CSV, one row per rank.
+
+    Every :class:`ProcessStats` field is a column — including the
+    fault/resilience counters (retries, timeouts, losses, duplicates,
+    send failures, crashes), which previously never reached any report.
+    """
+    fieldnames = [f.name for f in dataclasses.fields(ProcessStats)]
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        for p in stats.procs:
+            writer.writerow(p.to_dict())
 
 
 def format_bytes(nbytes: float) -> str:

@@ -1,0 +1,75 @@
+"""Tests for the communication-matrix report."""
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE
+from repro.obs import comm_matrix, format_comm_matrix
+from repro.sim import ExecMode, Simulator
+
+
+def run_traced(prog, nprocs=4):
+    return Simulator(
+        nprocs, prog, TESTING_MACHINE, mode=ExecMode.DE, collect_trace=True
+    ).run()
+
+
+def ring(rank, size):
+    yield mpi.send(dest=(rank + 1) % size, nbytes=128)
+    yield mpi.recv(source=(rank - 1) % size)
+
+
+class TestCommMatrix:
+    def test_ring_pattern(self):
+        res = run_traced(ring, nprocs=4)
+        cm = comm_matrix(res.trace)
+        assert cm.nprocs == 4
+        for src in range(4):
+            for dst in range(4):
+                expected = 1 if dst == (src + 1) % 4 else 0
+                assert cm.messages[src][dst] == expected
+                assert cm.bytes[src][dst] == expected * 128
+        assert cm.total_messages == 4
+        assert cm.total_bytes == 4 * 128
+
+    def test_totals_match_simstats(self):
+        res = run_traced(ring, nprocs=6)
+        cm = comm_matrix(res.trace)
+        assert cm.total_messages == res.stats.total_messages
+
+    def test_collectives_counted_per_rank(self):
+        def prog(rank, size):
+            yield mpi.barrier()
+            yield mpi.allreduce(nbytes=8, data=1, reduce_fn=lambda a, b: a + b)
+
+        cm = comm_matrix(run_traced(prog, nprocs=3).trace)
+        assert cm.collectives == [2, 2, 2]
+        assert cm.total_messages == 0
+
+    def test_top_pairs_sorted_by_bytes(self):
+        def lopsided(rank, size):
+            if rank == 0:
+                yield mpi.send(dest=1, nbytes=10_000)
+                yield mpi.send(dest=2, nbytes=10)
+            elif rank in (1, 2):
+                yield mpi.recv(source=0)
+            yield mpi.barrier()
+
+        cm = comm_matrix(run_traced(lopsided, nprocs=3).trace)
+        pairs = cm.top_pairs(2)
+        assert pairs[0][:2] == (0, 1)  # heaviest pair first
+        assert pairs[0][3] == 10_000
+        assert pairs[1][:2] == (0, 2)
+
+
+class TestFormat:
+    def test_small_world_full_matrix(self):
+        cm = comm_matrix(run_traced(ring, nprocs=4).trace)
+        text = format_comm_matrix(cm)
+        assert "4 ranks" in text
+        assert "d0" in text and "s3" in text  # tabulated
+        assert "bytes per destination" in text
+
+    def test_large_world_top_pairs(self):
+        cm = comm_matrix(run_traced(ring, nprocs=4).trace)
+        text = format_comm_matrix(cm, max_ranks=2)
+        assert "top pairs by bytes" in text
+        assert "->" in text

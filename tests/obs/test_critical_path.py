@@ -1,0 +1,97 @@
+"""Tests for the critical-path analyzer."""
+
+import pytest
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE
+from repro.obs import critical_path, format_critical_path
+from repro.sim import ExecMode, Simulator
+
+
+def run_traced(prog, nprocs=4, mode=ExecMode.DE):
+    return Simulator(
+        nprocs, prog, TESTING_MACHINE, mode=mode, collect_trace=True
+    ).run()
+
+
+def ring(rank, size):
+    yield mpi.compute(ops=2000 * (rank + 1))
+    yield mpi.send(dest=(rank + 1) % size, nbytes=512)
+    yield mpi.recv(source=(rank - 1) % size)
+    yield mpi.allreduce(nbytes=8, data=1, reduce_fn=lambda a, b: a + b)
+
+
+def nonblocking_ring(rank, size):
+    h = yield mpi.isend(dest=(rank + 1) % size, nbytes=256)
+    g = yield mpi.irecv(source=(rank - 1) % size)
+    yield mpi.compute(ops=5000)
+    yield mpi.waitall(h, g)
+    yield mpi.barrier()
+
+
+class TestExactSum:
+    @pytest.mark.parametrize("prog", [ring, nonblocking_ring])
+    @pytest.mark.parametrize("nprocs", [2, 4, 7])
+    def test_contributions_sum_to_elapsed(self, prog, nprocs):
+        result = run_traced(prog, nprocs=nprocs)
+        report = critical_path(result.trace)
+        total = sum(step.contribution for step in report.steps)
+        # the acceptance bar: critical-path decomposition accounts for
+        # SimStats.elapsed to within 1e-9
+        assert abs(total - result.stats.elapsed) < 1e-9
+        assert abs(report.total - result.stats.elapsed) < 1e-9
+
+    def test_by_kind_and_by_proc_sum_to_total(self):
+        report = critical_path(run_traced(ring).trace)
+        assert sum(report.by_kind.values()) == pytest.approx(report.total)
+        assert sum(report.by_proc.values()) == pytest.approx(report.total)
+
+
+class TestPathStructure:
+    def test_contributions_nonnegative_and_ordered(self):
+        report = critical_path(run_traced(nonblocking_ring).trace)
+        assert all(step.contribution >= 0 for step in report.steps)
+        ends = [step.end for step in report.steps]
+        assert ends == sorted(ends, reverse=True)  # walks backwards in time
+
+    def test_starts_at_last_event(self):
+        result = run_traced(ring)
+        report = critical_path(result.trace)
+        last = max(result.trace.events, key=lambda e: (e.end, e.eid))
+        assert report.steps[0].eid == last.eid
+
+    def test_serial_chain_dominated_by_slowest_rank(self):
+        # rank 2's compute is 100x everyone else's, so the path must run
+        # through rank 2 before the final barrier
+        def skew(rank, size):
+            yield mpi.compute(ops=100_000 if rank == 2 else 1000)
+            yield mpi.barrier()
+
+        report = critical_path(run_traced(skew).trace)
+        assert report.by_proc.get(2, 0.0) == pytest.approx(
+            max(report.by_proc.values())
+        )
+        assert "compute" in report.by_kind
+
+    def test_empty_trace(self):
+        from repro.sim.trace import Trace
+
+        report = critical_path(Trace(nprocs=2, events=[]))
+        assert report.steps == () and report.total == 0.0
+
+
+class TestFormat:
+    def test_renders_sections(self):
+        report = critical_path(run_traced(ring).trace)
+        text = format_critical_path(report)
+        assert "Critical path:" in text
+        assert "by kind:" in text and "by rank:" in text
+        assert "eid" in text
+
+    def test_empty(self):
+        from repro.obs.critical_path import CriticalPathReport
+
+        text = format_critical_path(
+            CriticalPathReport(steps=(), total=0.0, by_kind={}, by_proc={})
+        )
+        assert "0 event(s)" in text

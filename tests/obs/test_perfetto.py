@@ -1,0 +1,148 @@
+"""Tests for the Perfetto / Chrome trace-event exporter."""
+
+import json
+
+import pytest
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE
+from repro.obs import (
+    Tracer,
+    perfetto_document,
+    spans_to_events,
+    trace_to_events,
+    validate_perfetto,
+    write_perfetto,
+)
+from repro.sim import ExecMode, Simulator
+
+
+def traced_run(nprocs=4):
+    def prog(rank, size):
+        yield mpi.compute(ops=1000 * (rank + 1))
+        h = yield mpi.isend(dest=(rank + 1) % size, nbytes=256)
+        g = yield mpi.irecv(source=(rank - 1) % size)
+        yield mpi.waitall(h, g)
+        yield mpi.allreduce(nbytes=8, data=1, reduce_fn=lambda a, b: a + b)
+
+    return Simulator(
+        nprocs, prog, TESTING_MACHINE, mode=ExecMode.DE, collect_trace=True
+    ).run()
+
+
+class TestTraceExport:
+    def test_schema_valid_and_serializable(self):
+        res = traced_run()
+        doc = perfetto_document(trace=res.trace)
+        validate_perfetto(doc)  # does not raise
+        json.loads(json.dumps(doc))  # round-trips
+
+    def test_one_process_per_rank(self):
+        res = traced_run(4)
+        events = trace_to_events(res.trace)
+        names = [
+            ev for ev in events if ev["ph"] == "M" and ev["name"] == "process_name"
+        ]
+        assert {ev["args"]["name"] for ev in names} == {f"rank {r}" for r in range(4)}
+
+    def test_complete_events_microseconds(self):
+        res = traced_run()
+        events = trace_to_events(res.trace)
+        slices = [ev for ev in events if ev["ph"] == "X"]
+        assert len(slices) == len(res.trace.events)
+        by_eid = {ev["args"]["eid"]: ev for ev in slices}
+        for tev in res.trace.events:
+            ev = by_eid[tev.eid]
+            assert ev["ts"] == pytest.approx(tev.start * 1e6)
+            assert ev["dur"] == pytest.approx((tev.end - tev.start) * 1e6)
+            assert ev["pid"] == tev.proc
+
+    def test_flows_paired_per_dependency(self):
+        res = traced_run()
+        events = trace_to_events(res.trace)
+        starts = [ev for ev in events if ev["ph"] == "s"]
+        ends = [ev for ev in events if ev["ph"] == "f"]
+        ndeps = sum(len(ev.deps) for ev in res.trace.events)
+        assert len(starts) == len(ends) == ndeps
+        assert {ev["id"] for ev in starts} == {ev["id"] for ev in ends}
+
+    def test_nonblocking_completions_on_separate_track(self):
+        res = traced_run()
+        events = trace_to_events(res.trace)
+        nb = [ev for ev in res.trace.events if ev.nonblocking]
+        assert nb  # the program uses irecv, so completions exist
+        by_eid = {ev["args"]["eid"]: ev for ev in events if ev["ph"] == "X"}
+        assert all(by_eid[ev.eid]["tid"] == 1 for ev in nb)
+
+    def test_write_validates_and_creates_file(self, tmp_path):
+        res = traced_run()
+        path = tmp_path / "out.json"
+        doc = write_perfetto(path, trace=res.trace, meta={"app": "test"})
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(doc))
+        assert on_disk["otherData"]["app"] == "test"
+
+
+class TestSpanExport:
+    def test_spans_rebased_to_zero(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        events = spans_to_events(tracer.spans, pid=9)
+        slices = [ev for ev in events if ev["ph"] == "X"]
+        assert len(slices) == 2
+        assert min(ev["ts"] for ev in slices) == 0.0
+        assert all(ev["pid"] == 9 for ev in events)
+
+    def test_combined_document_hosts_after_ranks(self):
+        res = traced_run(3)
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("sim.run"):
+            pass
+        doc = perfetto_document(trace=res.trace, spans=tracer.spans)
+        validate_perfetto(doc)
+        host = [
+            ev for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["args"].get("name") == "simulator (host clock)"
+        ]
+        assert host and host[0]["pid"] == 3  # host pid sits past the rank pids
+
+    def test_empty_spans(self):
+        assert spans_to_events([]) == []
+
+
+class TestValidator:
+    def test_rejects_non_document(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_perfetto(["not a dict"])
+
+    def test_rejects_missing_dur(self):
+        doc = {"traceEvents": [{"ph": "X", "name": "e", "pid": 0, "tid": 0, "ts": 1.0}]}
+        with pytest.raises(ValueError, match="dur"):
+            validate_perfetto(doc)
+
+    def test_rejects_bad_phase(self):
+        doc = {"traceEvents": [{"ph": "Z", "name": "e", "pid": 0, "ts": 0.0}]}
+        with pytest.raises(ValueError, match="phase"):
+            validate_perfetto(doc)
+
+    def test_rejects_unpaired_flow(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "s", "name": "dep", "pid": 0, "ts": 0.0, "id": "a"},
+            ]
+        }
+        with pytest.raises(ValueError, match="unpaired"):
+            validate_perfetto(doc)
+
+    def test_rejects_nonfinite_ts(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "name": "e", "pid": 0, "ts": float("inf"), "dur": 1.0}
+            ]
+        }
+        with pytest.raises(ValueError, match="timestamp"):
+            validate_perfetto(doc)

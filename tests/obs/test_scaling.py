@@ -1,0 +1,68 @@
+"""Tests for the scaling-loss detector."""
+
+import pytest
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE
+from repro.obs import detect_scaling_loss, format_scaling_loss
+from repro.sim import ExecMode, Simulator
+
+
+def trace_at(prog, nprocs):
+    return (
+        Simulator(nprocs, prog, TESTING_MACHINE, mode=ExecMode.DE, collect_trace=True)
+        .run()
+        .trace
+    )
+
+
+def all_to_all_ish(rank, size):
+    # per-rank compute shrinks with P (strong scaling), but every rank
+    # joins size collectives — collective cost grows with P
+    yield mpi.compute(ops=80_000 // size)
+    for _ in range(size):
+        yield mpi.allreduce(nbytes=64, data=1, reduce_fn=lambda a, b: a + b)
+
+
+class TestDetection:
+    def test_requires_two_counts(self):
+        with pytest.raises(ValueError, match=">= 2 processor counts"):
+            detect_scaling_loss({4: trace_at(all_to_all_ish, 4)})
+
+    def test_collective_growth_outranks_compute(self):
+        traces = {p: trace_at(all_to_all_ish, p) for p in (2, 4, 8)}
+        report = detect_scaling_loss(traces)
+        assert report.procs == (2, 4, 8)
+        by_kind = {e.kind: e for e in report.entries}
+        coll, comp = by_kind["collective"], by_kind["compute"]
+        assert coll.is_loss and coll.added > 0
+        assert coll.exponent is not None and coll.exponent > 0.5
+        # aggregate compute stays flat under strong scaling, so the
+        # collective kind must rank first by added seconds
+        assert report.entries[0].kind == "collective"
+        assert coll.added > comp.added
+        assert report.losses[0].kind == "collective"
+
+    def test_totals_cover_every_count(self):
+        traces = {p: trace_at(all_to_all_ish, p) for p in (2, 8)}
+        report = detect_scaling_loss(traces)
+        for entry in report.entries:
+            assert set(entry.totals) == {2, 8}
+
+    def test_growth_ratio(self):
+        traces = {p: trace_at(all_to_all_ish, p) for p in (2, 4)}
+        report = detect_scaling_loss(traces)
+        for entry in report.entries:
+            if entry.growth is not None:
+                assert entry.growth == pytest.approx(
+                    entry.totals[4] / entry.totals[2]
+                )
+
+
+class TestFormat:
+    def test_renders_table_and_verdict(self):
+        traces = {p: trace_at(all_to_all_ish, p) for p in (2, 4, 8)}
+        text = format_scaling_loss(detect_scaling_loss(traces))
+        assert "P = [2, 4, 8]" in text
+        assert "SCALING LOSS" in text
+        assert "fastest-growing: 'collective'" in text

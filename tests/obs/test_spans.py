@@ -1,0 +1,112 @@
+"""Tests for dual-clock span tracing."""
+
+from repro.obs import TRACER, Tracer, format_spans
+from repro.obs.spans import _NOOP
+
+
+class TestTracer:
+    def test_disabled_is_noop(self):
+        tracer = Tracer()
+        cm = tracer.span("anything", key="value")
+        assert cm is _NOOP  # the cached singleton: no allocation per call
+        with cm as sp:
+            sp.set(ignored=1)
+            sp.set_virtual(0.0, 1.0)
+        assert tracer.spans == []
+
+    def test_records_when_enabled(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer", mode="de") as sp:
+            sp.set_virtual(0.0, 2.5)
+        tracer.disable()
+        assert len(tracer.spans) == 1
+        span = tracer.spans[0]
+        assert span.name == "outer"
+        assert span.attrs == {"mode": "de"}
+        assert span.host_duration >= 0.0
+        assert span.virtual_duration == 2.5
+        assert span.parent is None
+
+    def test_nesting_tracks_parents(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        names = {sp.name: sp for sp in tracer.spans}
+        assert names["b"].parent == a.sid
+        assert names["c"].parent == names["b"].sid
+        assert names["d"].parent == a.sid
+
+    def test_enable_resets_by_default(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("old"):
+            pass
+        tracer.enable()
+        assert tracer.spans == []
+
+    def test_span_survives_exception(self):
+        tracer = Tracer()
+        tracer.enable()
+        try:
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tracer.spans[0].host_end >= tracer.spans[0].host_start
+        assert tracer._stack == []
+
+    def test_virtual_duration_none_until_set(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("s") as sp:
+            assert sp.virtual_duration is None
+
+
+class TestEngineIntegration:
+    def test_sim_run_span_carries_both_clocks(self):
+        from repro import mpi
+        from repro.machine import TESTING_MACHINE
+        from repro.sim import ExecMode, Simulator
+
+        def prog(rank, size):
+            yield mpi.compute(ops=1000)
+            yield mpi.barrier()
+
+        TRACER.enable()
+        try:
+            result = Simulator(4, prog, TESTING_MACHINE, mode=ExecMode.DE).run()
+        finally:
+            TRACER.disable()
+        runs = [sp for sp in TRACER.spans if sp.name == "sim.run"]
+        assert len(runs) == 1
+        assert runs[0].virtual_duration == result.elapsed
+        assert runs[0].attrs["mode"] == "mpi-sim-de"
+        assert runs[0].attrs["events"] == result.stats.total_events
+        TRACER.reset()
+
+    def test_global_tracer_disabled_by_default(self):
+        assert TRACER.enabled is False
+
+
+class TestFormatSpans:
+    def test_renders_table(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("phase", detail="x") as sp:
+            sp.set_virtual(0.0, 1.25)
+            with tracer.span("inner"):
+                pass
+        text = format_spans(tracer.spans)
+        assert "phase" in text
+        assert "  inner" in text  # indented under its parent
+        assert "1.250000" in text
+        assert "detail=x" in text
+
+    def test_empty(self):
+        assert "span" in format_spans([])

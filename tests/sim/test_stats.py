@@ -41,6 +41,40 @@ class TestSimStats:
         assert "2 procs" in text and "msgs" in text and "events" in text
 
 
+class TestToDict:
+    def _stats(self):
+        return SimStats([
+            ProcessStats(0, compute_time=1.0, comm_time=0.5, finish_time=2.0,
+                         messages_sent=3, bytes_sent=300, events=10, host_cost=0.1),
+            ProcessStats(1, compute_time=2.0, comm_time=0.25, finish_time=3.5,
+                         messages_sent=1, bytes_sent=100, events=5, host_cost=0.2,
+                         retries=2, crashed=True, crash_time=3.5),
+        ])
+
+    def test_process_stats_flat_and_serializable(self):
+        import json
+
+        d = self._stats().procs[1].to_dict()
+        assert d["rank"] == 1
+        assert d["retries"] == 2
+        assert d["crashed"] is True
+        json.dumps(d)
+
+    def test_simstats_aggregates_and_fault_counters(self):
+        d = self._stats().to_dict()
+        assert d["nprocs"] == 2
+        assert d["elapsed"] == 3.5
+        assert d["total_messages"] == 4
+        assert d["total_retries"] == 2
+        assert d["crashed_ranks"] == [1]
+        assert "procs" not in d
+
+    def test_include_procs_nests_rows(self):
+        d = self._stats().to_dict(include_procs=True)
+        assert [p["rank"] for p in d["procs"]] == [0, 1]
+        assert d["procs"][0] == self._stats().procs[0].to_dict()
+
+
 class TestTraceHelpers:
     def test_len_and_host_cost(self):
         def prog(rank, size):

@@ -1,11 +1,16 @@
 """Tests for trace persistence and measurement statistics."""
 
+import gzip
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import mpi
 from repro.machine import TESTING_MACHINE, IBM_SP
 from repro.parallel import simulate_host_execution
 from repro.sim import ExecMode, Simulator, load_trace, save_trace
+from repro.sim.trace import Trace, TraceEvent
 
 
 def traced(nprocs, factory):
@@ -50,6 +55,109 @@ class TestTraceIO:
         path.write_text("\n".join(lines[:-2]) + "\n")
         with pytest.raises(ValueError, match="truncated"):
             load_trace(path)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        res = traced(4, self._prog)
+        path = tmp_path / "run.trace.jsonl.gz"
+        save_trace(res.trace, path)
+        # really gzip on disk, and meaningfully smaller than the plain form
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        plain = tmp_path / "run.trace.jsonl"
+        save_trace(res.trace, plain)
+        assert path.stat().st_size < plain.stat().st_size
+        loaded = load_trace(path)
+        assert loaded.nprocs == res.trace.nprocs
+        assert loaded.events == res.trace.events
+
+    def test_malformed_header_names_line_one(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match=rf"{path.name}:1: malformed trace header"):
+            load_trace(path)
+
+    def test_malformed_event_line_numbered(self, tmp_path):
+        res = traced(2, self._prog)
+        path = tmp_path / "run.jsonl"
+        save_trace(res.trace, path)
+        lines = path.read_text().splitlines()
+        lines[3] = "[1, 2, oops"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=rf"{path.name}:4: malformed trace line"):
+            load_trace(path)
+
+    def test_wrong_field_count_numbered(self, tmp_path):
+        res = traced(2, self._prog)
+        path = tmp_path / "run.jsonl"
+        save_trace(res.trace, path)
+        lines = path.read_text().splitlines()
+        lines[2] = "[1, 2, 3]"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=rf"{path.name}:3: .*expected 10 fields"):
+            load_trace(path)
+
+    def test_noncontiguous_eid_numbered(self, tmp_path):
+        res = traced(2, self._prog)
+        path = tmp_path / "run.jsonl"
+        save_trace(res.trace, path)
+        lines = path.read_text().splitlines()
+        del lines[2]  # drop event 1: eids jump from 0 to 2
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=rf"{path.name}:3: event ids not contiguous"):
+            load_trace(path)
+
+    def test_gzip_errors_also_numbered(self, tmp_path):
+        path = tmp_path / "bad.jsonl.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write('{"format": 1, "nprocs": 1, "events": 1}\n')
+            fh.write("garbage\n")
+        with pytest.raises(ValueError, match=rf"{path.name}:2: malformed trace line"):
+            load_trace(path)
+
+
+_KINDS = ("compute", "delay", "send", "recv", "wait", "collective")
+
+
+@st.composite
+def traces(draw):
+    """Arbitrary well-formed traces: contiguous eids, deps on earlier events."""
+    nprocs = draw(st.integers(min_value=1, max_value=5))
+    n = draw(st.integers(min_value=0, max_value=12))
+    events = []
+    for eid in range(n):
+        start = draw(st.floats(min_value=0, max_value=1e3, allow_nan=False))
+        dur = draw(st.floats(min_value=0, max_value=10, allow_nan=False))
+        deps = draw(
+            st.lists(st.integers(min_value=0, max_value=eid - 1), unique=True)
+            if eid else st.just([])
+        )
+        events.append(
+            TraceEvent(
+                eid=eid,
+                proc=draw(st.integers(min_value=0, max_value=nprocs - 1)),
+                kind=draw(st.sampled_from(_KINDS)),
+                start=start,
+                end=start + dur,
+                host_cost=draw(st.floats(min_value=0, max_value=1, allow_nan=False)),
+                deps=tuple(sorted(deps)),
+                coll_id=draw(st.none() | st.integers(min_value=0, max_value=3)),
+                nbytes=draw(st.integers(min_value=0, max_value=1 << 20)),
+                nonblocking=draw(st.booleans()),
+            )
+        )
+    return Trace(nprocs=nprocs, events=events)
+
+
+class TestTraceRoundtripProperties:
+    @given(trace=traces(), compress=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_save_load_identity(self, tmp_path_factory, trace, compress):
+        path = tmp_path_factory.mktemp("trace") / (
+            "t.jsonl.gz" if compress else "t.jsonl"
+        )
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.nprocs == trace.nprocs
+        assert loaded.events == trace.events
 
 
 class TestRateStats:

@@ -194,6 +194,156 @@ class TestFaultsCommand:
         assert "Resilience report" in capsys.readouterr().out
 
 
+class TestVersionAndLogging:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as ei:
+            main(["--version"])
+        assert ei.value.code == 0
+        from repro import __version__
+
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_verbose_sets_info_level(self):
+        import logging
+
+        assert main(["-v", "apps"]) == 0
+        assert logging.getLogger("repro").level == logging.INFO
+        main(["apps"])  # plain invocation restores the quiet default
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_log_level_overrides_verbose(self):
+        import logging
+
+        assert main(["-v", "--log-level", "debug", "apps"]) == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+        main(["apps"])
+
+    def test_unknown_log_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            main(["--log-level", "chatty", "apps"])
+
+    def test_measured_run_logs_seed_breadcrumb(self):
+        import io
+        import logging
+
+        from repro import mpi
+        from repro.machine import TESTING_MACHINE
+        from repro.obs.logging import configure_logging
+        from repro.sim import ExecMode, Simulator
+
+        stream = io.StringIO()
+        root = logging.getLogger("repro")
+        for handler in list(root.handlers):  # drop handlers bound to old streams
+            root.removeHandler(handler)
+        configure_logging(logging.INFO, stream=stream)
+        try:
+
+            def prog(rank, size):
+                yield mpi.compute(ops=100)
+
+            Simulator(
+                2, prog, TESTING_MACHINE, mode=ExecMode.MEASURED, seed=17
+            ).run()
+        finally:
+            text = stream.getvalue()
+            for handler in list(root.handlers):
+                root.removeHandler(handler)
+            configure_logging(logging.WARNING)
+        assert "measured run:" in text
+        assert "seed=17" in text
+        assert TESTING_MACHINE.name in text
+
+
+class TestFaultsCsv:
+    def test_csv_written_with_fault_columns(self, tmp_path, capsys):
+        import csv
+
+        out = tmp_path / "ranks.csv"
+        assert main(["faults", "sample_nearest_neighbor", "--nprocs", "4",
+                     "--loss", "0.05", "--retry", "8:1e-4",
+                     "--csv", str(out)]) == 0
+        assert "per-rank statistics written" in capsys.readouterr().out
+        with open(out) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 4
+        assert "retries" in rows[0] and "crashed" in rows[0]
+
+
+class TestProfileCommand:
+    APP = "sample_nearest_neighbor"
+    SMALL = ["--set", "grain=1000", "--set", "iters=2", "--nprocs", "4"]
+
+    def test_summary_and_spans(self, capsys):
+        assert main(["profile", self.APP, *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "Profile: sample_nearest_neighbor (de, 4 procs" in out
+        assert "4 procs" in out
+        assert "sim.run" in out  # the span table
+        assert "host (ms)" in out and "virtual (s)" in out
+
+    def test_critical_path_and_comm_matrix(self, capsys):
+        assert main(["profile", self.APP, *self.SMALL,
+                     "--critical-path", "--comm-matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "Critical path:" in out
+        assert "Communication matrix: 4 ranks" in out
+
+    def test_scaling_loss(self, capsys):
+        assert main(["profile", self.APP, "--set", "grain=1000", "--set", "iters=2",
+                     "--nprocs", "4", "--scaling-loss", "--procs", "2", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Scaling-loss report" in out
+        assert "P = [2, 4, 8]" in out
+
+    def test_perfetto_export_valid(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "profile.json"
+        assert main(["profile", self.APP, *self.SMALL, "--perfetto", str(path)]) == 0
+        assert "Perfetto trace written" in capsys.readouterr().out
+        from repro.obs import validate_perfetto
+
+        doc = json.loads(path.read_text())
+        validate_perfetto(doc)
+        assert doc["otherData"]["app"] == self.APP
+        # both clocks present: rank timelines plus the host-span process
+        pids = {ev["pid"] for ev in doc["traceEvents"]}
+        assert {0, 1, 2, 3, 4} <= pids
+
+    def test_metrics_trace_and_stats_outputs(self, tmp_path, capsys):
+        import csv
+        import json
+
+        metrics = tmp_path / "m.jsonl"
+        trace = tmp_path / "t.jsonl.gz"
+        stats = tmp_path / "s.csv"
+        assert main(["profile", self.APP, *self.SMALL,
+                     "--metrics", str(metrics), "--trace", str(trace),
+                     "--stats", str(stats)]) == 0
+        capsys.readouterr()
+        lines = [json.loads(x) for x in metrics.read_text().splitlines()]
+        assert any(s["name"] == "sim_runs_total" for s in lines)
+        from repro.sim import load_trace
+
+        assert load_trace(trace).nprocs == 4
+        with open(stats) as fh:
+            assert len(list(csv.DictReader(fh))) == 4
+
+    def test_profile_disables_instrumentation_after_run(self):
+        from repro.obs import METRICS, TRACER
+
+        assert main(["profile", self.APP, *self.SMALL]) == 0
+        assert TRACER.enabled is False
+        assert METRICS.enabled is False
+
+    def test_am_mode(self, capsys):
+        assert main(["profile", "tomcatv", "--nprocs", "4", "--mode", "am",
+                     "--calib-procs", "4", "--set", "n=64", "--set", "itmax=1"]) == 0
+        out = capsys.readouterr().out
+        assert "workflow.calibrate" in out  # AM profiles include the calibration span
+        assert "sim.run" in out
+
+
 class TestPredictMethods:
     def test_taskgraph_method(self, capsys):
         assert main(["predict", "tomcatv", "--procs", "4", "--calib-procs", "4",

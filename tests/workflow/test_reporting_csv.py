@@ -1,8 +1,17 @@
-"""Tests for CSV export of validation series."""
+"""Tests for CSV export of validation series and per-rank statistics."""
 
 import csv
 
-from repro.workflow import ValidationPoint, ValidationSeries, write_validation_csv
+import pytest
+
+from repro.sim import SimStats
+from repro.sim.stats import ProcessStats
+from repro.workflow import (
+    ValidationPoint,
+    ValidationSeries,
+    write_stats_csv,
+    write_validation_csv,
+)
 
 
 def test_csv_roundtrip(tmp_path):
@@ -21,3 +30,45 @@ def test_csv_roundtrip(tmp_path):
     assert rows[0]["nprocs"] == "4"
     assert abs(float(rows[0]["err_am_pct"]) - 10.0) < 1e-9
     assert rows[1]["de_s"] == ""  # skipped DE renders empty
+
+
+def test_stats_csv_includes_fault_counters(tmp_path):
+    stats = SimStats([
+        ProcessStats(0, compute_time=1.0, finish_time=2.0, messages_sent=3,
+                     events=10, host_cost=0.1),
+        ProcessStats(1, compute_time=2.0, finish_time=3.5, messages_sent=1,
+                     events=5, host_cost=0.2, retries=4, timeouts=1,
+                     crashed=True, crash_time=3.5),
+    ])
+    path = tmp_path / "stats.csv"
+    write_stats_csv(stats, path)
+    with open(path) as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 2
+    assert rows[0]["rank"] == "0"
+    # PR 1's fault counters must survive into the report layer
+    assert rows[1]["retries"] == "4"
+    assert rows[1]["timeouts"] == "1"
+    assert rows[1]["crashed"] == "True"
+    assert float(rows[1]["finish_time"]) == pytest.approx(3.5)
+
+
+def test_stats_csv_from_faulty_run(tmp_path):
+    from repro import mpi
+    from repro.machine import TESTING_MACHINE
+    from repro.sim import ExecMode, FaultPlan, RetryPolicy, Simulator
+
+    def prog(rank, size):
+        yield mpi.send(dest=(rank + 1) % size, nbytes=64)
+        yield mpi.recv(source=(rank - 1) % size)
+
+    res = Simulator(
+        4, prog, TESTING_MACHINE, mode=ExecMode.DE,
+        faults=FaultPlan(message_loss=0.5, seed=7),
+        retry=RetryPolicy(max_attempts=10, backoff=1e-6),
+    ).run()
+    path = tmp_path / "stats.csv"
+    write_stats_csv(res.stats, path)
+    with open(path) as fh:
+        rows = list(csv.DictReader(fh))
+    assert sum(int(r["retries"]) for r in rows) == res.stats.total_retries > 0
