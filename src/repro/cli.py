@@ -12,6 +12,8 @@ Examples::
     python -m repro faults tomcatv --nprocs 8 --sweep 0.01 0.05 0.1 --retry 5:1e-4
     python -m repro profile sweep3d --nprocs 16 --perfetto out.json --critical-path
     python -m repro -v profile tomcatv --scaling-loss --procs 4 16 64
+    python -m repro campaign --grid grid.json --out results/ --max-wall 60
+    python -m repro campaign --grid grid.json --out results/ --resume
 """
 
 from __future__ import annotations
@@ -367,6 +369,48 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    """Run (or resume) a crash-safe multi-run experiment campaign."""
+    from .obs import METRICS, TRACER
+    from .workflow.campaign import (
+        CampaignError,
+        CampaignRunner,
+        format_campaign_report,
+        load_grid,
+    )
+
+    try:
+        config = load_grid(args.grid)
+        if args.machine is not None:
+            config.machine = args.machine
+        if args.max_wall is not None:
+            config.max_wall_seconds = args.max_wall
+        if args.max_events is not None:
+            config.max_events = args.max_events
+        if args.max_virtual is not None:
+            config.max_virtual_time = args.max_virtual
+        if args.retries is not None:
+            config.retries = args.retries
+        runner = CampaignRunner(config, args.out)
+        TRACER.enable()
+        METRICS.enable()
+        try:
+            report = runner.execute(resume=args.resume, max_runs=args.max_runs)
+        finally:
+            TRACER.disable()
+            METRICS.disable()
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_campaign_report(report))
+    if report.interrupted or report.stopped:
+        print(
+            f"resume with: python -m repro campaign --grid {args.grid} "
+            f"--out {args.out} --resume"
+        )
+    return 130 if report.interrupted else 0
+
+
 def cmd_profile(args) -> int:
     """Profile one run: dual-clock spans, trace analyses, exports."""
     from .obs import (
@@ -533,6 +577,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run a fault sweep over these loss rates instead of one run")
     f.add_argument("--csv", metavar="FILE",
                    help="write per-rank statistics (fault counters included) as CSV")
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run (or resume) a crash-safe grid of experiments with a journal",
+    )
+    camp.add_argument("--grid", required=True, metavar="FILE",
+                      help="JSON grid file: apps x modes x nprocs x inputs x fault plans")
+    camp.add_argument("--out", default="campaign-out", metavar="DIR",
+                      help="output directory for the journal and results.csv")
+    camp.add_argument("--resume", action="store_true",
+                      help="replay the journal, skip completed runs, finish the rest")
+    camp.add_argument("--machine", default=None,
+                      help="override the grid's machine preset")
+    camp.add_argument("--max-wall", type=float, default=None, metavar="SECONDS",
+                      help="per-run wall-clock budget (outcome 'timeout' when exceeded)")
+    camp.add_argument("--max-events", type=_positive_int, default=None,
+                      help="per-run kernel-event budget (outcome 'budget')")
+    camp.add_argument("--max-virtual", type=float, default=None, metavar="SECONDS",
+                      help="per-run virtual-time budget (outcome 'budget')")
+    camp.add_argument("--retries", type=int, default=None,
+                      help="re-run attempts for 'error' outcomes (exponential backoff)")
+    camp.add_argument("--max-runs", type=_positive_int, default=None,
+                      help="execute at most this many runs, then stop (resumable)")
+    camp.set_defaults(fn=cmd_campaign)
 
     prof = add_app_command(
         "profile", cmd_profile,

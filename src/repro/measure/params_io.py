@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from ..util.atomic_io import atomic_write_text
 from .calibrate import Calibration
 
 __all__ = ["save_params", "load_params"]
@@ -28,7 +29,7 @@ def save_params(cal: Calibration, path: str | Path) -> None:
         "inputs": cal.inputs,
         "wparams": cal.wparams,
     }
-    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 
 def load_params(path: str | Path) -> dict[str, float]:

@@ -17,6 +17,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from ..util.atomic_io import atomic_append_lines
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -232,15 +234,21 @@ class InMemorySink:
 
 
 class JsonlSink:
-    """Appends one JSON object per sample to a file."""
+    """Appends one JSON object per sample to a file.
+
+    Appends are crash-consistent (full-file atomic replace via
+    :func:`repro.util.atomic_io.atomic_append_lines`): an interrupted
+    flush leaves the previous complete file, never a torn tail.
+    """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
 
     def write(self, samples: list[dict]) -> None:
-        with open(self.path, "a") as fh:
-            for sample in samples:
-                fh.write(json.dumps(sample, separators=(",", ":")) + "\n")
+        atomic_append_lines(
+            self.path,
+            (json.dumps(sample, separators=(",", ":")) for sample in samples),
+        )
 
 
 class TableSink:

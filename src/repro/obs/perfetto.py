@@ -20,6 +20,8 @@ import math
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from ..util.atomic_io import atomic_write
+
 if TYPE_CHECKING:  # avoid importing the kernel at runtime (layering)
     from ..sim.trace import Trace
     from .spans import Span
@@ -190,10 +192,14 @@ def write_perfetto(
     spans: list[Span] | None = None,
     meta: dict | None = None,
 ) -> dict:
-    """Validate and write the export; returns the document."""
+    """Validate and write the export; returns the document.
+
+    The write is atomic (tmp + fsync + rename): a crash mid-export can
+    never leave a truncated, unopenable trace under the final name.
+    """
     doc = perfetto_document(trace, spans, meta)
     validate_perfetto(doc)
-    with open(path, "w") as fh:
+    with atomic_write(path) as fh:
         json.dump(doc, fh, separators=(",", ":"))
     return doc
 

@@ -1,0 +1,114 @@
+"""Watchdog budgets: kill runaway simulations cleanly, with evidence.
+
+A pathological configuration — a livelocked retry storm, an
+accidentally huge problem size, an adversarial fault plan — can make a
+single :class:`repro.sim.Simulator` run consume unbounded kernel events,
+virtual time or host wall-clock time.  In a multi-run campaign that one
+run would otherwise hang the whole fleet.
+
+:class:`BudgetGuard` bounds a run along three independent axes:
+
+* ``max_events`` — kernel events executed (heap pops);
+* ``max_virtual_time`` — the simulated target clock (seconds);
+* ``max_wall_seconds`` — host wall-clock time spent simulating.
+
+When a limit trips, the engine raises :class:`BudgetExceededError`
+carrying the **partial** :class:`repro.sim.SimStats` accumulated so far,
+so the caller can classify the outcome and report how far the run got —
+instead of a hung process or a bare traceback.  With no limits set the
+engine pays a single ``is not None`` test per event (the same zero-cost
+guarantee the fault layer holds to).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+__all__ = ["BudgetExceededError", "BudgetGuard"]
+
+
+class BudgetExceededError(RuntimeError):
+    """A simulation run exceeded one of its watchdog budgets.
+
+    Attributes
+    ----------
+    kind:
+        Which axis tripped: ``"events"``, ``"virtual_time"`` or
+        ``"wall_time"``.
+    limit:
+        The configured budget along that axis.
+    observed:
+        The value that exceeded it.
+    stats:
+        Partial :class:`repro.sim.SimStats` at the moment the watchdog
+        fired (per-rank counters are valid; ``elapsed`` reflects only
+        finished processes).
+    """
+
+    def __init__(self, kind: str, limit: float, observed: float, stats=None):
+        super().__init__(
+            f"simulation exceeded its {kind} budget "
+            f"(observed {observed:.6g}, limit {limit:.6g})"
+        )
+        self.kind = kind
+        self.limit = limit
+        self.observed = observed
+        self.stats = stats
+
+
+def _check_limit(name: str, value: float | None) -> None:
+    if value is not None and (not math.isfinite(value) or value <= 0):
+        raise ValueError(f"{name} must be finite and > 0, got {value!r}")
+
+
+class BudgetGuard:
+    """Per-run budget state the kernel consults once per event."""
+
+    __slots__ = ("max_events", "max_virtual_time", "max_wall_seconds", "events", "_wall_start")
+
+    def __init__(
+        self,
+        max_events: int | None = None,
+        max_virtual_time: float | None = None,
+        max_wall_seconds: float | None = None,
+    ):
+        _check_limit("max_events", max_events)
+        _check_limit("max_virtual_time", max_virtual_time)
+        _check_limit("max_wall_seconds", max_wall_seconds)
+        self.max_events = max_events
+        self.max_virtual_time = max_virtual_time
+        self.max_wall_seconds = max_wall_seconds
+        self.events = 0
+        self._wall_start: float | None = None
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.max_events is not None
+            or self.max_virtual_time is not None
+            or self.max_wall_seconds is not None
+        )
+
+    def start(self) -> None:
+        """Arm the wall clock at the beginning of the run."""
+        self._wall_start = time.perf_counter()
+
+    def note_event(self, t: float) -> tuple[str, float, float] | None:
+        """Account one kernel event at virtual time *t*.
+
+        Returns ``(kind, limit, observed)`` on the first violation, else
+        ``None``.  The virtual clock check exploits the heap's timestamp
+        order: the first popped event past the limit proves every later
+        one is too.
+        """
+        self.events += 1
+        if self.max_events is not None and self.events > self.max_events:
+            return ("events", float(self.max_events), float(self.events))
+        if self.max_virtual_time is not None and t > self.max_virtual_time:
+            return ("virtual_time", self.max_virtual_time, t)
+        if self.max_wall_seconds is not None:
+            wall = time.perf_counter() - (self._wall_start or 0.0)
+            if wall > self.max_wall_seconds:
+                return ("wall_time", self.max_wall_seconds, wall)
+        return None

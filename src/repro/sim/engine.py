@@ -43,6 +43,7 @@ from ..mpi.matching import MatchQueues, MessageRecord, PostedRecv
 from ..obs.logging import get_logger
 from ..obs.metrics import METRICS
 from ..obs.spans import TRACER
+from .budget import BudgetExceededError, BudgetGuard
 from .faults import DeadlockReport, FaultPlan, FaultState, RetryPolicy, WaitInfo
 from .memory import MemoryReport, MemoryTracker
 from .requests import (
@@ -73,6 +74,7 @@ __all__ = [
     "SimResult",
     "DeadlockError",
     "CollectiveMismatchError",
+    "BudgetExceededError",
 ]
 
 ProgramFactory = Callable[[int, int], Iterator[Request]]
@@ -204,6 +206,11 @@ class Simulator:
         When set, blocking and non-blocking sends/receives without their
         own ``timeout`` complete with :class:`TimedOut` after this many
         virtual seconds unmatched (the kernel-level watchdog timeout).
+    max_events / max_virtual_time / max_wall_seconds:
+        Watchdog budgets (see :mod:`repro.sim.budget`).  The first limit
+        a run exceeds raises :class:`BudgetExceededError` carrying the
+        partial :class:`SimStats`, so a livelocked or pathological
+        configuration terminates cleanly instead of hanging the caller.
     """
 
     def __init__(
@@ -217,6 +224,9 @@ class Simulator:
         faults: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
         default_timeout: float | None = None,
+        max_events: int | None = None,
+        max_virtual_time: float | None = None,
+        max_wall_seconds: float | None = None,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
@@ -247,6 +257,8 @@ class Simulator:
             self._fault_state.crash_times(nprocs) if self._fault_state is not None else {}
         )
         self._timeouts_fired = 0
+        guard = BudgetGuard(max_events, max_virtual_time, max_wall_seconds)
+        self._budget = guard if guard.active else None
 
         self._procs = [_Proc(r, program_factory(r, nprocs)) for r in range(nprocs)]
         self._queues = [MatchQueues() for _ in range(nprocs)]
@@ -295,8 +307,19 @@ class Simulator:
         for proc in self._procs:
             self._push(0.0, proc.rank, ("resume", None))
         heap = self._heap
+        budget = self._budget
+        if budget is not None:
+            budget.start()
         while heap:
             t, _, rank, action = heapq.heappop(heap)
+            if budget is not None:
+                violation = budget.note_event(t)
+                if violation is not None:
+                    kind, limit, observed = violation
+                    raise BudgetExceededError(
+                        kind, limit, observed,
+                        stats=SimStats([p.stats for p in self._procs]),
+                    )
             kind = action[0]
             proc = self._procs[rank]
             if kind == "crash":

@@ -16,6 +16,7 @@ import gzip
 import json
 from pathlib import Path
 
+from ..util.atomic_io import atomic_write
 from .trace import Trace, TraceEvent
 
 __all__ = ["save_trace", "load_trace"]
@@ -31,8 +32,12 @@ def _open(path: str | Path, mode: str):
 
 
 def save_trace(trace: Trace, path: str | Path) -> None:
-    """Write *trace* to *path* as JSONL (gzip-compressed for ``.gz``)."""
-    with _open(path, "w") as fh:
+    """Write *trace* to *path* as JSONL (gzip-compressed for ``.gz``).
+
+    The write is atomic (tmp + fsync + rename), so an interrupted save
+    never leaves a truncated archive under the final name.
+    """
+    with atomic_write(path) as fh:
         fh.write(json.dumps({"format": _FORMAT, "nprocs": trace.nprocs,
                              "events": len(trace.events)}) + "\n")
         for ev in trace.events:

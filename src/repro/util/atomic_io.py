@@ -1,0 +1,169 @@
+"""Crash-consistent file writing: tmp + fsync + rename, everywhere.
+
+Every file-producing path in the system (Perfetto exports, CSV reports,
+metrics JSONL sinks, trace archives, campaign journals) funnels through
+this module so that a crash — OOM, SIGKILL, power loss — mid-write can
+never leave a truncated artifact under the final name.  The protocol is
+the classic one:
+
+1. write the full content to ``<name>.tmp.<pid>.<counter>`` in the
+   *same directory* (rename must not cross filesystems);
+2. flush and ``os.fsync`` the temporary file;
+3. ``os.replace`` it over the final name (atomic on POSIX and Windows).
+
+Readers therefore observe either the old complete file or the new
+complete file, never a torn intermediate.  On any exception the
+temporary file is removed and the final name untouched.
+
+:class:`AtomicJournal` builds an append-only JSONL journal on top of the
+same primitive: each appended record rewrites the journal atomically
+(tmp + fsync + rename per record), so the on-disk journal is a complete,
+parseable prefix of the logical one at every instant.  Journals are
+small (one line per experiment run), so the rewrite cost is noise next
+to the simulations they checkpoint.
+"""
+
+from __future__ import annotations
+
+import gzip
+import itertools
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+__all__ = [
+    "atomic_write",
+    "atomic_write_text",
+    "atomic_append_lines",
+    "AtomicJournal",
+]
+
+#: process-wide counter so concurrent writers in one process never collide
+_tmp_ids = itertools.count()
+
+
+def _tmp_path(path: Path) -> Path:
+    return path.with_name(f"{path.name}.tmp.{os.getpid()}.{next(_tmp_ids)}")
+
+
+def _fsync_and_replace(fh, tmp: Path, path: Path) -> None:
+    fh.flush()
+    os.fsync(fh.fileno())
+    fh.close()
+    os.replace(tmp, path)
+
+
+@contextmanager
+def atomic_write(
+    path: str | Path,
+    mode: str = "w",
+    newline: str | None = None,
+    opener: Callable[[Path], Any] | None = None,
+) -> Iterator[Any]:
+    """Context manager yielding a file handle whose contents replace
+    *path* atomically on success (and vanish without trace on error).
+
+    *mode* is a text mode (``"w"``); paths ending in ``.gz`` are
+    transparently gzip-compressed unless a custom *opener* is given.
+    *opener* receives the temporary path and must return an open,
+    writable handle backed by a real file descriptor (``fileno()``).
+    """
+    path = Path(path)
+    tmp = _tmp_path(path)
+    if opener is not None:
+        fh = opener(tmp)
+    elif str(path).endswith(".gz"):
+        fh = gzip.open(tmp, mode + "t")
+    else:
+        fh = open(tmp, mode, newline=newline)
+    try:
+        yield fh
+        _fsync_and_replace(fh, tmp, path)
+    except BaseException:
+        try:
+            fh.close()
+        finally:
+            tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Atomically replace *path*'s contents with *text*."""
+    with atomic_write(path) as fh:
+        fh.write(text)
+
+
+def atomic_append_lines(path: str | Path, lines: Iterable[str]) -> None:
+    """Append *lines* to *path* with full-file atomic replacement.
+
+    Semantically an append, mechanically a rewrite: the existing content
+    (if any) plus the new lines land under a temporary name and are
+    renamed over *path*, so a crash mid-append leaves the previous
+    complete file rather than a torn tail.  Lines must not contain
+    newlines; one is added per line.
+    """
+    path = Path(path)
+    existing = path.read_text() if path.exists() else ""
+    with atomic_write(path) as fh:
+        fh.write(existing)
+        for line in lines:
+            fh.write(line + "\n")
+
+
+class AtomicJournal:
+    """Append-only JSONL journal with per-record atomic durability.
+
+    Each record is one JSON object per line.  :meth:`append` makes the
+    record durable before returning (tmp + fsync + rename of the whole
+    journal), so after a crash the on-disk journal is exactly the
+    sequence of records whose ``append`` calls completed.
+
+    :meth:`load` is tolerant by construction — but since every write is
+    a full-file atomic replace, a torn trailing line can only come from
+    an externally-edited file, and is reported as corruption with its
+    line number rather than silently dropped.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lines: list[str] = []
+        if self.path.exists():
+            self._lines = [
+                line for line in self.path.read_text().splitlines() if line.strip()
+            ]
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (atomic rewrite + fsync)."""
+        self._lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        with atomic_write(self.path) as fh:
+            for line in self._lines:
+                fh.write(line + "\n")
+
+    def records(self) -> list[dict]:
+        """Parse and return every journal record.
+
+        Raises :class:`ValueError` with ``path:line`` on malformed JSON
+        or a non-object record.
+        """
+        out: list[dict] = []
+        for lineno, line in enumerate(self._lines, start=1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{self.path}:{lineno}: corrupt journal record: {exc}"
+                ) from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{self.path}:{lineno}: journal record is not a JSON object"
+                )
+            out.append(record)
+        return out

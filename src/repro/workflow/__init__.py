@@ -1,5 +1,17 @@
-"""End-to-end modeling workflow (Fig. 2), validation, faults, reporting."""
+"""End-to-end modeling workflow (Fig. 2), validation, faults, campaigns, reporting."""
 
+from .campaign import (
+    CampaignConfig,
+    CampaignError,
+    CampaignInterrupted,
+    CampaignReport,
+    CampaignRunner,
+    RunRecord,
+    RunSpec,
+    expand_grid,
+    format_campaign_report,
+    load_grid,
+)
 from .pipeline import ModelingWorkflow
 from .reporting import (
     format_bytes,
@@ -22,6 +34,16 @@ from .validation import (
 
 __all__ = [
     "ModelingWorkflow",
+    "CampaignConfig",
+    "CampaignError",
+    "CampaignInterrupted",
+    "CampaignReport",
+    "CampaignRunner",
+    "RunRecord",
+    "RunSpec",
+    "expand_grid",
+    "format_campaign_report",
+    "load_grid",
     "validate",
     "ValidationPoint",
     "ValidationSeries",

@@ -1,0 +1,735 @@
+"""Resumable experiment campaigns: checkpoint/restart for multi-run sweeps.
+
+The paper's headline experiments are *campaigns* — grids of simulation
+runs over processor counts × problem sizes × fault plans.  A single
+OOM, runaway configuration or Ctrl-C used to lose the whole sweep and
+could leave truncated artifacts behind.  This module makes campaigns
+crash-safe:
+
+* A campaign is a **declarative grid** (:func:`load_grid` /
+  :func:`expand_grid`) expanded into :class:`RunSpec` entries, each with
+  a content-hash ``run_id``; the whole configuration has a
+  ``config_hash`` so a journal can prove it belongs to this grid.
+* Progress is journaled to an append-only JSONL journal
+  (:class:`repro.util.atomic_io.AtomicJournal`, tmp + fsync + rename
+  per record), so the on-disk journal is a complete prefix of the
+  logical one at every instant.
+* ``resume=True`` replays the journal, verifies the config hash, skips
+  runs that already completed ``ok`` and re-runs only failed or missing
+  ones.  The engine is deterministic under a fixed seed, so a resumed
+  campaign's results are **bit-identical** to an uninterrupted one.
+* Each run executes under watchdog budgets
+  (:class:`repro.sim.BudgetGuard`) and bounded retry with exponential
+  backoff; outcomes are classified ``ok / deadlock / timeout / budget /
+  error`` (``timeout`` = the wall-clock budget tripped, ``budget`` = the
+  event or virtual-time budget tripped).
+* SIGINT/SIGTERM interrupt the campaign *between* journal records: the
+  journal stays consistent, an ``interrupted`` marker is appended, and
+  the CLI prints a resume hint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..machine import get_machine
+from ..obs.logging import get_logger
+from ..obs.metrics import METRICS
+from ..obs.spans import TRACER
+from ..sim.budget import BudgetExceededError
+from ..sim.engine import DeadlockError, ExecMode
+from ..sim.faults import FaultPlan, RetryPolicy
+from ..util.atomic_io import AtomicJournal, atomic_write
+from .pipeline import ModelingWorkflow
+
+__all__ = [
+    "CampaignError",
+    "CampaignInterrupted",
+    "RunSpec",
+    "CampaignConfig",
+    "RunRecord",
+    "CampaignReport",
+    "CampaignRunner",
+    "load_grid",
+    "expand_grid",
+    "format_campaign_report",
+    "JOURNAL_NAME",
+    "RESULTS_NAME",
+]
+
+_log = get_logger("workflow.campaign")
+
+JOURNAL_NAME = "campaign.journal.jsonl"
+RESULTS_NAME = "results.csv"
+_JOURNAL_VERSION = 1
+
+#: outcome classes a run record may carry
+OUTCOMES = ("ok", "deadlock", "timeout", "budget", "error")
+
+
+class CampaignError(RuntimeError):
+    """A campaign cannot proceed: bad grid, corrupt or foreign journal.
+
+    The CLI renders these as a one-line ``error: ...`` message."""
+
+
+class CampaignInterrupted(BaseException):
+    """Raised by the signal handlers to stop a campaign between runs.
+
+    Deliberately a ``BaseException`` so the per-run ``error`` classifier
+    (which catches ``Exception``) can never swallow an interrupt.
+    """
+
+    def __init__(self, signum: int):
+        super().__init__(f"interrupted by signal {signum}")
+        self.signum = signum
+
+
+def _canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# -- the declarative grid ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of the campaign grid, identified by its content hash."""
+
+    app: str
+    mode: str  # "de" | "am" | "measured"
+    nprocs: int
+    inputs: tuple[tuple[str, float], ...]  # input overrides, sorted
+    seed: int = 0
+    fault_plan: str | None = None  # canonical JSON of the plan, if any
+    timeout: float | None = None
+
+    @property
+    def run_id(self) -> str:
+        """Content-hash identity: same spec ⇒ same id, across processes."""
+        digest = hashlib.sha256(_canonical(self._identity()).encode()).hexdigest()
+        return digest[:16]
+
+    def _identity(self) -> dict:
+        return {
+            "app": self.app,
+            "mode": self.mode,
+            "nprocs": self.nprocs,
+            "inputs": dict(self.inputs),
+            "seed": self.seed,
+            "fault_plan": self.fault_plan,
+            "timeout": self.timeout,
+        }
+
+    def describe(self) -> str:
+        extras = [f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                  for k, v in self.inputs]
+        text = f"{self.app}/{self.mode} P={self.nprocs}"
+        if extras:
+            text += " " + ",".join(extras)
+        if self.fault_plan is not None:
+            text += " +faults"
+        return text
+
+
+@dataclass
+class CampaignConfig:
+    """A fully-expanded campaign: the runs plus how to execute them."""
+
+    name: str
+    machine: str
+    specs: list[RunSpec]
+    calib_procs: int | None = None
+    max_events: int | None = None
+    max_virtual_time: float | None = None
+    max_wall_seconds: float | None = None
+    retries: int = 0  # campaign-level re-run attempts for "error" outcomes
+    backoff: float = 0.1  # base seconds of the exponential backoff
+    retry_policy: str | None = None  # canonical JSON of the sim-level RetryPolicy
+
+    @property
+    def config_hash(self) -> str:
+        """Hash of everything that shapes the campaign's results."""
+        doc = {
+            "machine": self.machine,
+            "runs": [s.run_id for s in self.specs],
+            "budgets": [self.max_events, self.max_virtual_time, self.max_wall_seconds],
+            "calib_procs": self.calib_procs,
+            "retry_policy": self.retry_policy,
+        }
+        return hashlib.sha256(_canonical(doc).encode()).hexdigest()[:16]
+
+
+def load_grid(path: str | Path) -> CampaignConfig:
+    """Load and expand a JSON grid file; raise :class:`CampaignError`."""
+    path = Path(path)
+    try:
+        grid = json.loads(path.read_text())
+    except OSError as exc:
+        raise CampaignError(f"cannot read grid file {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise CampaignError(f"grid file {path} is not valid JSON: {exc}") from None
+    if not isinstance(grid, dict):
+        raise CampaignError(f"grid file {path} must contain a JSON object")
+    grid.setdefault("name", path.stem)
+    return expand_grid(grid)
+
+
+def expand_grid(grid: dict) -> CampaignConfig:
+    """Expand a grid dict into the cross-product of its axes.
+
+    Axes: ``apps`` × ``modes`` × ``nprocs`` × ``input_sets`` ×
+    ``fault_plans``; everything else configures execution.  Raises
+    :class:`CampaignError` on a malformed grid.
+    """
+
+    def bad(msg: str) -> CampaignError:
+        return CampaignError(f"invalid grid: {msg}")
+
+    known = {
+        "name", "machine", "app", "apps", "modes", "nprocs", "inputs",
+        "input_sets", "fault_plans", "seed", "timeout", "retry", "budgets",
+        "retries", "backoff", "calib_procs",
+    }
+    unknown = set(grid) - known
+    if unknown:
+        raise bad(f"unknown keys {sorted(unknown)}")
+    apps = grid.get("apps", grid.get("app"))
+    if apps is None:
+        raise bad("missing 'app' (or 'apps')")
+    if isinstance(apps, str):
+        apps = [apps]
+    nprocs_list = grid.get("nprocs")
+    if not isinstance(nprocs_list, list) or not nprocs_list:
+        raise bad("'nprocs' must be a non-empty list of processor counts")
+    for p in nprocs_list:
+        if not isinstance(p, int) or p < 1:
+            raise bad(f"bad processor count {p!r}")
+    modes = grid.get("modes", ["de"])
+    for m in modes:
+        if m not in ("de", "am", "measured"):
+            raise bad(f"unknown mode {m!r} (expected de/am/measured)")
+    common = grid.get("inputs", {})
+    input_sets = grid.get("input_sets", [{}])
+    if not isinstance(input_sets, list) or not input_sets:
+        raise bad("'input_sets' must be a non-empty list of override dicts")
+    fault_plans = grid.get("fault_plans", [None])
+    plans: list[str | None] = []
+    for fp in fault_plans:
+        if fp is None:
+            plans.append(None)
+            continue
+        try:
+            FaultPlan.from_dict(fp)  # validate now, fail before any run
+        except (TypeError, ValueError) as exc:
+            raise bad(f"bad fault plan {fp!r}: {exc}") from None
+        plans.append(_canonical(fp))
+    seed = int(grid.get("seed", 0))
+    timeout = grid.get("timeout")
+    retry = grid.get("retry")
+    if retry is not None:
+        try:
+            RetryPolicy(**retry)
+        except (TypeError, ValueError) as exc:
+            raise bad(f"bad retry policy {retry!r}: {exc}") from None
+        retry = _canonical(retry)
+    budgets = grid.get("budgets", {})
+    extra = set(budgets) - {"max_events", "max_virtual_time", "max_wall_seconds"}
+    if extra:
+        raise bad(f"unknown budget keys {sorted(extra)}")
+    specs = []
+    for app in apps:
+        for mode in modes:
+            for overrides in input_sets:
+                if not isinstance(overrides, dict):
+                    raise bad(f"input set {overrides!r} is not a dict")
+                merged = dict(common)
+                merged.update(overrides)
+                for nprocs in nprocs_list:
+                    for plan in plans:
+                        specs.append(
+                            RunSpec(
+                                app=app,
+                                mode=mode,
+                                nprocs=nprocs,
+                                inputs=tuple(sorted(merged.items())),
+                                seed=seed,
+                                fault_plan=plan,
+                                timeout=timeout,
+                            )
+                        )
+    ids = [s.run_id for s in specs]
+    if len(set(ids)) != len(ids):
+        raise bad("duplicate runs in the grid (identical spec cells)")
+    return CampaignConfig(
+        name=str(grid.get("name", "campaign")),
+        machine=str(grid.get("machine", "IBM-SP")),
+        specs=specs,
+        calib_procs=grid.get("calib_procs"),
+        max_events=budgets.get("max_events"),
+        max_virtual_time=budgets.get("max_virtual_time"),
+        max_wall_seconds=budgets.get("max_wall_seconds"),
+        retries=int(grid.get("retries", 0)),
+        backoff=float(grid.get("backoff", 0.1)),
+        retry_policy=retry,
+    )
+
+
+# -- journal records -----------------------------------------------------------
+
+
+@dataclass
+class RunRecord:
+    """One journaled run outcome (the unit of checkpointing)."""
+
+    run_id: str
+    index: int
+    outcome: str  # one of OUTCOMES
+    attempts: int
+    elapsed: float | None = None
+    stats: dict | None = None
+    error: str | None = None
+    budget_kind: str | None = None
+
+    def to_json(self) -> dict:
+        doc = {
+            "type": "run",
+            "run_id": self.run_id,
+            "index": self.index,
+            "outcome": self.outcome,
+            "attempts": self.attempts,
+            "elapsed": self.elapsed,
+            "stats": self.stats,
+            "error": self.error,
+        }
+        if self.budget_kind is not None:
+            doc["budget_kind"] = self.budget_kind
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> RunRecord:
+        try:
+            return cls(
+                run_id=doc["run_id"],
+                index=int(doc["index"]),
+                outcome=doc["outcome"],
+                attempts=int(doc["attempts"]),
+                elapsed=doc.get("elapsed"),
+                stats=doc.get("stats"),
+                error=doc.get("error"),
+                budget_kind=doc.get("budget_kind"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CampaignError(f"corrupt journal run record: {exc}") from None
+
+
+@dataclass
+class CampaignReport:
+    """What one :meth:`CampaignRunner.execute` call did and found."""
+
+    config: CampaignConfig
+    records: dict[str, RunRecord]  # run_id -> latest record
+    executed: int  # runs executed in *this* invocation
+    skipped: int  # runs skipped because the journal already had them ok
+    interrupted: bool = False  # a signal stopped the campaign
+    stopped: bool = False  # --max-runs stopped it early (smoke / incremental)
+    journal_path: Path | None = None
+    results_path: Path | None = None
+
+    @property
+    def outcomes(self) -> dict[str, int]:
+        counts = {o: 0 for o in OUTCOMES}
+        for rec in self.records.values():
+            counts[rec.outcome] = counts.get(rec.outcome, 0) + 1
+        return counts
+
+    @property
+    def complete(self) -> bool:
+        """Every grid cell has a journaled outcome."""
+        return len(self.records) == len(self.config.specs)
+
+
+def format_campaign_report(report: CampaignReport) -> str:
+    """Human-readable campaign summary for the CLI."""
+    cfg = report.config
+    counts = report.outcomes
+    lines = [
+        f"Campaign: {cfg.name} ({len(cfg.specs)} runs on {cfg.machine}, "
+        f"config {cfg.config_hash})"
+    ]
+    lines.append(
+        f"  executed {report.executed}, skipped {report.skipped} already-complete"
+    )
+    summary = ", ".join(f"{counts[o]} {o}" for o in OUTCOMES if counts.get(o))
+    lines.append(f"  outcomes: {summary or 'none'}")
+    if report.interrupted or report.stopped:
+        done = len(report.records)
+        why = "INTERRUPTED" if report.interrupted else "STOPPED (--max-runs)"
+        lines.append(
+            f"  {why} after {done}/{len(cfg.specs)} runs — "
+            f"re-run with --resume to continue"
+        )
+    elif report.results_path is not None:
+        lines.append(f"  results written to {report.results_path}")
+    return "\n".join(lines)
+
+
+# -- the runner ----------------------------------------------------------------
+
+
+class CampaignRunner:
+    """Execute a :class:`CampaignConfig` with journaling and budgets.
+
+    Parameters
+    ----------
+    config:
+        The expanded campaign.
+    out_dir:
+        Output directory; holds the journal (``campaign.journal.jsonl``)
+        and, once the campaign completes, ``results.csv``.
+    resolver:
+        ``resolver(app_name) -> (program, default_inputs_fn)`` where
+        ``default_inputs_fn(nprocs)`` returns the app's baseline inputs.
+        Defaults to the CLI's application registry.
+    sleep:
+        Injection point for the backoff sleep (tests pass a no-op).
+    """
+
+    def __init__(self, config: CampaignConfig, out_dir: str | Path,
+                 resolver=None, sleep=time.sleep):
+        self.config = config
+        self.out_dir = Path(out_dir)
+        self.resolver = resolver if resolver is not None else _cli_resolver
+        self.sleep = sleep
+        self._workflows: dict[tuple[str, int], ModelingWorkflow] = {}
+        self._stop_signal: int | None = None
+
+    @property
+    def journal_path(self) -> Path:
+        return self.out_dir / JOURNAL_NAME
+
+    @property
+    def results_path(self) -> Path:
+        return self.out_dir / RESULTS_NAME
+
+    # -- journal ----------------------------------------------------------------
+    def _open_journal(self, resume: bool) -> tuple[AtomicJournal, dict[str, RunRecord]]:
+        """Load or create the journal; return it plus completed records."""
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        journal = AtomicJournal(self.journal_path)
+        if not len(journal):
+            if resume and not journal.exists():
+                _log.warning(
+                    "--resume requested but no journal at %s; starting fresh",
+                    self.journal_path,
+                )
+            journal.append(
+                {
+                    "type": "campaign",
+                    "version": _JOURNAL_VERSION,
+                    "name": self.config.name,
+                    "config_hash": self.config.config_hash,
+                    "total_runs": len(self.config.specs),
+                }
+            )
+            return journal, {}
+        if not resume:
+            raise CampaignError(
+                f"journal {self.journal_path} already exists; "
+                f"pass --resume to continue it or choose a new --out directory"
+            )
+        try:
+            records = journal.records()
+        except ValueError as exc:
+            raise CampaignError(str(exc)) from None
+        header = records[0]
+        if header.get("type") != "campaign" or "config_hash" not in header:
+            raise CampaignError(
+                f"journal {self.journal_path} has no campaign header; "
+                f"it was not written by 'repro campaign'"
+            )
+        if header.get("version") != _JOURNAL_VERSION:
+            raise CampaignError(
+                f"journal {self.journal_path} has unsupported version "
+                f"{header.get('version')!r}"
+            )
+        if header["config_hash"] != self.config.config_hash:
+            raise CampaignError(
+                f"journal {self.journal_path} belongs to a different campaign "
+                f"(journal config {header['config_hash']}, "
+                f"grid config {self.config.config_hash}); "
+                f"refusing to mix results"
+            )
+        known = {s.run_id for s in self.config.specs}
+        done: dict[str, RunRecord] = {}
+        for doc in records[1:]:
+            if doc.get("type") != "run":
+                continue  # interruption markers and future record types
+            rec = RunRecord.from_json(doc)
+            if rec.run_id not in known:
+                raise CampaignError(
+                    f"journal {self.journal_path} records run {rec.run_id} "
+                    f"which is not in this grid (config hash collision?)"
+                )
+            done[rec.run_id] = rec  # last record for a run wins
+        return journal, done
+
+    # -- execution --------------------------------------------------------------
+    def execute(self, resume: bool = False, max_runs: int | None = None) -> CampaignReport:
+        """Run every pending grid cell; checkpoint each outcome.
+
+        *resume* replays an existing journal (config-hash-checked) and
+        skips runs already completed ``ok``.  *max_runs* bounds how many
+        runs this invocation executes (smoke tests, incremental fills);
+        stopping early is reported like an interruption so ``--resume``
+        picks up the rest.
+        """
+        journal, done = self._open_journal(resume)
+        skipped = sum(1 for rec in done.values() if rec.outcome == "ok")
+        records: dict[str, RunRecord] = dict(done)
+        executed = 0
+        interrupted = False
+        stopped = False
+        with TRACER.span("campaign", campaign=self.config.name, runs=len(self.config.specs)):
+            try:
+                with _signal_trap(self):
+                    for index, spec in enumerate(self.config.specs):
+                        prior = records.get(spec.run_id)
+                        if prior is not None and prior.outcome == "ok":
+                            continue  # checkpointed: already done
+                        if max_runs is not None and executed >= max_runs:
+                            stopped = True
+                            break
+                        if prior is not None:
+                            _log.info(
+                                "re-running %s (%s last time)",
+                                spec.describe(), prior.outcome,
+                            )
+                        rec = self._execute_one(spec, index)
+                        journal.append(rec.to_json())
+                        records[spec.run_id] = rec
+                        executed += 1
+            except CampaignInterrupted as exc:
+                interrupted = True
+                journal.append(
+                    {
+                        "type": "interrupted",
+                        "signal": exc.signum,
+                        "completed": len(records),
+                        "pending": len(self.config.specs) - len(records),
+                    }
+                )
+                _log.warning(
+                    "campaign interrupted by signal %d after %d/%d runs; "
+                    "journal is consistent at %s",
+                    exc.signum, len(records), len(self.config.specs), self.journal_path,
+                )
+        report = CampaignReport(
+            config=self.config,
+            records=records,
+            executed=executed,
+            skipped=skipped,
+            interrupted=interrupted,
+            stopped=stopped,
+            journal_path=self.journal_path,
+        )
+        if report.complete and not interrupted and not stopped:
+            self._write_results(records)
+            report.results_path = self.results_path
+        return report
+
+    def _execute_one(self, spec: RunSpec, index: int) -> RunRecord:
+        """One grid cell: budgets, bounded retry, outcome classification."""
+        attempts = 0
+        while True:
+            attempts += 1
+            with TRACER.span(
+                "campaign.run", app=spec.app, mode=spec.mode, nprocs=spec.nprocs,
+                run_id=spec.run_id, attempt=attempts,
+            ) as span:
+                try:
+                    result = self._simulate(spec)
+                except DeadlockError as exc:
+                    outcome, error, stats, elapsed, bkind = (
+                        "deadlock", _first_line(exc), None, None, None)
+                except BudgetExceededError as exc:
+                    outcome = "timeout" if exc.kind == "wall_time" else "budget"
+                    error = _first_line(exc)
+                    stats = exc.stats.to_dict() if exc.stats is not None else None
+                    elapsed, bkind = None, exc.kind
+                except CampaignInterrupted:
+                    raise
+                except Exception as exc:  # transient / unexpected: retryable
+                    outcome, error, stats, elapsed, bkind = (
+                        "error", f"{type(exc).__name__}: {_first_line(exc)}",
+                        None, None, None)
+                else:
+                    outcome, error, bkind = "ok", None, None
+                    stats = result.stats.to_dict()
+                    elapsed = result.elapsed
+                    span.set_virtual(0.0, elapsed)
+                span.set(outcome=outcome)
+            if METRICS.enabled:
+                METRICS.counter(
+                    "campaign_runs_total", "campaign runs by outcome"
+                ).inc(outcome=outcome, app=spec.app, mode=spec.mode)
+            if outcome == "error" and attempts <= self.config.retries:
+                delay = self.config.backoff * (2 ** (attempts - 1))
+                _log.warning(
+                    "run %s failed (%s); retry %d/%d in %.3gs",
+                    spec.describe(), error, attempts, self.config.retries, delay,
+                )
+                self.sleep(delay)
+                continue
+            if outcome != "ok":
+                _log.warning("run %s finished %s: %s", spec.describe(), outcome, error)
+            else:
+                _log.info("run %s ok: elapsed %.6gs", spec.describe(), elapsed)
+            return RunRecord(
+                run_id=spec.run_id, index=index, outcome=outcome,
+                attempts=attempts, elapsed=elapsed, stats=stats, error=error,
+                budget_kind=bkind,
+            )
+
+    def _simulate(self, spec: RunSpec):
+        """Dispatch one spec to the right estimator with budgets applied."""
+        cfg = self.config
+        wf = self._workflow_for(spec)
+        inputs = self._resolved_inputs(spec)
+        budget_kw = {}
+        if cfg.max_events is not None:
+            budget_kw["max_events"] = cfg.max_events
+        if cfg.max_virtual_time is not None:
+            budget_kw["max_virtual_time"] = cfg.max_virtual_time
+        if cfg.max_wall_seconds is not None:
+            budget_kw["max_wall_seconds"] = cfg.max_wall_seconds
+        if spec.fault_plan is not None:
+            plan = FaultPlan.from_dict(json.loads(spec.fault_plan))
+            retry = (
+                RetryPolicy(**json.loads(cfg.retry_policy))
+                if cfg.retry_policy is not None else None
+            )
+            mode = {"de": ExecMode.DE, "am": ExecMode.AM,
+                    "measured": ExecMode.MEASURED}[spec.mode]
+            return wf.run_faulty(
+                inputs, spec.nprocs, plan=plan, retry=retry, mode=mode,
+                timeout=spec.timeout, seed=spec.seed, **budget_kw,
+            )
+        if spec.timeout is not None:
+            budget_kw["default_timeout"] = spec.timeout
+        if spec.mode == "de":
+            return wf.run_de(inputs, spec.nprocs, **budget_kw)
+        if spec.mode == "am":
+            return wf.run_am(inputs, spec.nprocs, **budget_kw)
+        return wf.run_measured(inputs, spec.nprocs, seed=spec.seed, **budget_kw)
+
+    def _workflow_for(self, spec: RunSpec) -> ModelingWorkflow:
+        """One cached ModelingWorkflow per (app, seed): calibration reused."""
+        calib_procs = self.config.calib_procs or min(spec.nprocs, 16)
+        key = (spec.app, spec.seed)
+        wf = self._workflows.get(key)
+        if wf is None:
+            program, default_inputs = self.resolver(spec.app)
+            calib = default_inputs(calib_procs)
+            calib.update(dict(spec.inputs))
+            wf = ModelingWorkflow(
+                program, get_machine(self.config.machine),
+                calib_inputs=calib, calib_nprocs=calib_procs, seed=spec.seed,
+            )
+            self._workflows[key] = wf
+        return wf
+
+    def _resolved_inputs(self, spec: RunSpec) -> dict[str, float]:
+        _, default_inputs = self.resolver(spec.app)
+        inputs = default_inputs(spec.nprocs)
+        inputs.update(dict(spec.inputs))
+        return inputs
+
+    # -- the results artifact ----------------------------------------------------
+    def _write_results(self, records: dict[str, RunRecord]) -> None:
+        """Write ``results.csv`` atomically from the journal records.
+
+        Derived purely from spec order + journal contents, so a resumed
+        campaign writes a byte-identical file to an uninterrupted one.
+        """
+        import csv
+
+        stat_cols = [
+            "total_events", "total_messages", "total_bytes", "total_host_cost",
+            "total_retries", "total_timeouts", "total_messages_lost",
+            "total_send_failures",
+        ]
+        with atomic_write(self.results_path, newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                ["run_id", "app", "mode", "nprocs", "inputs", "fault_plan",
+                 "seed", "outcome", "attempts", "elapsed_s", "error"] + stat_cols
+            )
+            for spec in self.config.specs:
+                rec = records[spec.run_id]
+                stats = rec.stats or {}
+                writer.writerow(
+                    [
+                        spec.run_id, spec.app, spec.mode, spec.nprocs,
+                        _canonical(dict(spec.inputs)), spec.fault_plan or "",
+                        spec.seed, rec.outcome, rec.attempts,
+                        repr(rec.elapsed) if rec.elapsed is not None else "",
+                        rec.error or "",
+                    ]
+                    + [stats.get(c, "") for c in stat_cols]
+                )
+
+
+def _first_line(exc: BaseException) -> str:
+    return str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+
+
+def _cli_resolver(app: str):
+    """Default application resolver: the CLI registry (lazy import)."""
+    from ..cli import APPS  # deferred: cli imports workflow at module load
+
+    try:
+        builder, default_inputs = APPS[app]
+    except KeyError:
+        raise CampaignError(
+            f"unknown app {app!r} in grid; run 'python -m repro apps'"
+        ) from None
+    return builder(), default_inputs
+
+
+class _signal_trap:
+    """Install SIGINT/SIGTERM handlers that raise :class:`CampaignInterrupted`.
+
+    Restores the previous handlers on exit.  Off the main thread (or on
+    platforms without these signals) it degrades to a no-op — campaigns
+    then stop only between runs via ``max_runs``.
+    """
+
+    def __init__(self, runner: CampaignRunner):
+        self.runner = runner
+        self._old: dict[int, object] = {}
+
+    def __enter__(self):
+        if threading.current_thread() is not threading.main_thread():
+            return self
+
+        def handler(signum, frame):
+            raise CampaignInterrupted(signum)
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._old[sig] = signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover - exotic platforms
+                pass
+        return self
+
+    def __exit__(self, *exc):
+        for sig, old in self._old.items():
+            signal.signal(sig, old)
+        return False

@@ -8,6 +8,7 @@ from pathlib import Path
 
 from ..sim.engine import SimResult
 from ..sim.stats import ProcessStats, SimStats
+from ..util.atomic_io import atomic_write
 from .validation import FaultSweepSeries, ValidationSeries
 
 __all__ = [
@@ -67,7 +68,7 @@ def format_validation(series: ValidationSeries) -> str:
 
 def write_validation_csv(series: ValidationSeries, path: str | Path) -> None:
     """Write a validation series as CSV (for external plotting tools)."""
-    with open(path, "w", newline="") as fh:
+    with atomic_write(path, newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(["label", "nprocs", "measured_s", "de_s", "am_s", "err_de_pct", "err_am_pct"])
         for p in series.points:
@@ -119,7 +120,7 @@ def format_fault_sweep(series: FaultSweepSeries) -> str:
 def write_fault_sweep_csv(series: FaultSweepSeries, path: str | Path) -> None:
     """Write a fault-sweep series as CSV (for external plotting tools)."""
     base = series.baseline
-    with open(path, "w", newline="") as fh:
+    with atomic_write(path, newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow([
             "loss_rate", "elapsed_s", "slowdown_pct", "retries", "timeouts",
@@ -140,7 +141,7 @@ def write_stats_csv(stats: SimStats, path: str | Path) -> None:
     send failures, crashes), which previously never reached any report.
     """
     fieldnames = [f.name for f in dataclasses.fields(ProcessStats)]
-    with open(path, "w", newline="") as fh:
+    with atomic_write(path, newline="") as fh:
         writer = csv.DictWriter(fh, fieldnames=fieldnames)
         writer.writeheader()
         for p in stats.procs:

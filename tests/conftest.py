@@ -1,0 +1,51 @@
+"""Shared test configuration: a per-test wall-clock ceiling.
+
+A hung simulation (deadlock the watchdog misses, livelocked retry
+storm) must fail the suite fast, not stall it.  CI installs
+``pytest-timeout`` and every test gets a default ceiling; in minimal
+environments without the plugin, a ``SIGALRM`` fallback enforces the
+same ceiling, so the guarantee holds everywhere the suite runs.
+"""
+
+import pytest
+
+#: default per-test ceiling, seconds (CI passes the same via --timeout)
+TEST_TIMEOUT_SECONDS = 120
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PLUGIN = True
+except ImportError:
+    _HAVE_PLUGIN = False
+
+
+if _HAVE_PLUGIN:
+
+    def pytest_collection_modifyitems(config, items):
+        """Apply the default ceiling to tests without their own marker."""
+        for item in items:
+            if item.get_closest_marker("timeout") is None:
+                item.add_marker(pytest.mark.timeout(TEST_TIMEOUT_SECONDS))
+
+else:
+    import signal
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item):
+        if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+            return (yield)
+
+        def on_alarm(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {TEST_TIMEOUT_SECONDS}s ceiling "
+                f"(install pytest-timeout for richer diagnostics)"
+            )
+
+        old = signal.signal(signal.SIGALRM, on_alarm)
+        signal.alarm(TEST_TIMEOUT_SECONDS)
+        try:
+            return (yield)
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, old)

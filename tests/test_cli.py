@@ -360,3 +360,96 @@ class TestPredictMethods:
     def test_unknown_method_rejected(self):
         with pytest.raises(SystemExit):
             main(["predict", "tomcatv", "--procs", "4", "--method", "psychic"])
+
+
+class TestCampaign:
+    """The `repro campaign` subcommand: grids, resume, one-line errors."""
+
+    def grid_file(self, tmp_path, **overrides):
+        import json
+
+        grid = {
+            "name": "cli-tiny",
+            "machine": "testing",
+            "app": "sample_nearest_neighbor",
+            "nprocs": [2, 3],
+            "inputs": {"grain": 1000, "msg": 512, "iters": 2},
+        }
+        grid.update(overrides)
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(grid))
+        return str(path)
+
+    def test_campaign_runs_to_completion(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert main(["campaign", "--grid", self.grid_file(tmp_path),
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "2 ok" in text and "results written" in text
+        assert (out / "campaign.journal.jsonl").exists()
+        assert (out / "results.csv").exists()
+
+    def test_max_runs_then_resume_is_bit_identical(self, tmp_path, capsys):
+        grid = self.grid_file(tmp_path)
+        ref, out = tmp_path / "ref", tmp_path / "out"
+        assert main(["campaign", "--grid", grid, "--out", str(ref)]) == 0
+        assert main(["campaign", "--grid", grid, "--out", str(out),
+                     "--max-runs", "1"]) == 0
+        text = capsys.readouterr().out
+        assert "STOPPED" in text and "--resume" in text
+        assert main(["campaign", "--grid", grid, "--out", str(out),
+                     "--resume"]) == 0
+        text = capsys.readouterr().out
+        assert "skipped 1 already-complete" in text
+        assert (out / "results.csv").read_bytes() == (ref / "results.csv").read_bytes()
+
+    def test_corrupt_journal_one_line_error(self, tmp_path, capsys):
+        grid = self.grid_file(tmp_path)
+        out = tmp_path / "out"
+        assert main(["campaign", "--grid", grid, "--out", str(out)]) == 0
+        capsys.readouterr()
+        journal = out / "campaign.journal.jsonl"
+        journal.write_text(journal.read_text() + "{torn\n")
+        assert main(["campaign", "--grid", grid, "--out", str(out),
+                     "--resume"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert len(captured.err.strip().splitlines()) == 1  # no traceback
+
+    def test_config_hash_mismatch_one_line_error(self, tmp_path, capsys):
+        grid = self.grid_file(tmp_path)
+        out = tmp_path / "out"
+        assert main(["campaign", "--grid", grid, "--out", str(out)]) == 0
+        capsys.readouterr()
+        other = self.grid_file(tmp_path, nprocs=[2])
+        assert main(["campaign", "--grid", other, "--out", str(out),
+                     "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ") and "different campaign" in err
+
+    def test_resume_without_journal_starts_fresh(self, tmp_path, capsys):
+        grid = self.grid_file(tmp_path)
+        assert main(["campaign", "--grid", grid, "--out", str(tmp_path / "new"),
+                     "--resume"]) == 0
+        assert "2 ok" in capsys.readouterr().out
+
+    def test_missing_grid_one_line_error(self, tmp_path, capsys):
+        assert main(["campaign", "--grid", str(tmp_path / "nope.json"),
+                     "--out", str(tmp_path / "out")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ") and "cannot read grid" in err
+
+    def test_budget_flags_flow_into_outcomes(self, tmp_path, capsys):
+        grid = self.grid_file(tmp_path)
+        assert main(["campaign", "--grid", grid, "--out", str(tmp_path / "out"),
+                     "--max-events", "5"]) == 0
+        text = capsys.readouterr().out
+        assert "2 budget" in text
+
+    def test_campaign_disables_instrumentation_after_run(self, tmp_path):
+        from repro.obs import METRICS, TRACER
+
+        assert main(["campaign", "--grid", self.grid_file(tmp_path),
+                     "--out", str(tmp_path / "out")]) == 0
+        assert TRACER.enabled is False
+        assert METRICS.enabled is False

@@ -1,0 +1,123 @@
+"""Tests for the crash-consistent atomic-write helper."""
+
+import gzip
+import os
+
+import pytest
+
+from repro.util.atomic_io import (
+    AtomicJournal,
+    atomic_append_lines,
+    atomic_write,
+    atomic_write_text,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_write(path) as fh:
+            fh.write("hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_tmp_leftover_on_success(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_exception_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("precious")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as fh:
+                fh.write("half-writ")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "precious"
+        assert os.listdir(tmp_path) == ["out.txt"]  # tmp cleaned up
+
+    def test_exception_with_no_prior_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as fh:
+                fh.write("half")
+                raise RuntimeError("boom")
+        assert not path.exists()
+        assert os.listdir(tmp_path) == []
+
+    def test_gz_suffix_compresses(self, tmp_path):
+        path = tmp_path / "out.jsonl.gz"
+        with atomic_write(path) as fh:
+            fh.write("line\n")
+        with gzip.open(path, "rt") as fh:
+            assert fh.read() == "line\n"
+
+    def test_custom_opener(self, tmp_path):
+        path = tmp_path / "custom.gz"
+        with atomic_write(path, opener=lambda p: gzip.open(p, "wt")) as fh:
+            fh.write("via opener")
+        with gzip.open(path, "rt") as fh:
+            assert fh.read() == "via opener"
+
+
+class TestAtomicAppend:
+    def test_append_to_missing_file(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        atomic_append_lines(path, ["a", "b"])
+        assert path.read_text() == "a\nb\n"
+
+    def test_append_preserves_existing(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        atomic_append_lines(path, ["a"])
+        atomic_append_lines(path, ["b", "c"])
+        assert path.read_text() == "a\nb\nc\n"
+
+    def test_interrupted_append_keeps_old_content(self, tmp_path, monkeypatch):
+        path = tmp_path / "log.jsonl"
+        atomic_append_lines(path, ["a"])
+        monkeypatch.setattr(os, "replace", _raise_oserror)
+        with pytest.raises(OSError):
+            atomic_append_lines(path, ["b"])
+        monkeypatch.undo()
+        assert path.read_text() == "a\n"  # previous complete file survives
+
+
+def _raise_oserror(*a, **k):
+    raise OSError("simulated crash at rename")
+
+
+class TestAtomicJournal:
+    def test_append_and_reload(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = AtomicJournal(path)
+        j.append({"type": "campaign", "n": 1})
+        j.append({"type": "run", "id": "abc"})
+        reloaded = AtomicJournal(path)
+        assert len(reloaded) == 2
+        assert reloaded.records()[1]["id"] == "abc"
+
+    def test_every_append_is_durable_on_disk(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = AtomicJournal(path)
+        for i in range(3):
+            j.append({"i": i})
+            on_disk = [r["i"] for r in AtomicJournal(path).records()]
+            assert on_disk == list(range(i + 1))
+
+    def test_corrupt_record_reports_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        AtomicJournal(path).append({"ok": True})
+        path.write_text(path.read_text() + "{not json\n")
+        with pytest.raises(ValueError, match=r"j\.jsonl:2: corrupt"):
+            AtomicJournal(path).records()
+
+    def test_non_object_record_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("[1,2,3]\n")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            AtomicJournal(path).records()

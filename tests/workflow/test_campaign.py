@@ -1,0 +1,261 @@
+"""Tests for resumable campaigns: journaling, resume, budgets, outcomes."""
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.workflow.campaign import (
+    JOURNAL_NAME,
+    RESULTS_NAME,
+    CampaignError,
+    CampaignRunner,
+    RunSpec,
+    expand_grid,
+    format_campaign_report,
+    load_grid,
+)
+
+
+def tiny_grid(**overrides):
+    """A fast three-run grid on the noise-free testing machine."""
+    grid = {
+        "name": "tiny",
+        "machine": "testing",
+        "app": "sample_nearest_neighbor",
+        "modes": ["de"],
+        "nprocs": [2, 3, 4],
+        "inputs": {"grain": 1000, "msg": 512, "iters": 2},
+    }
+    grid.update(overrides)
+    return grid
+
+
+def run_campaign(tmp_path, grid=None, sub="out", **execute_kw):
+    runner = CampaignRunner(expand_grid(grid or tiny_grid()), tmp_path / sub)
+    return runner, runner.execute(**execute_kw)
+
+
+class TestGridExpansion:
+    def test_cross_product(self):
+        cfg = expand_grid(tiny_grid(modes=["de", "am"], fault_plans=[None, {"message_loss": 0.1}]))
+        assert len(cfg.specs) == 3 * 2 * 2
+
+    def test_missing_app_rejected(self):
+        grid = tiny_grid()
+        del grid["app"]
+        with pytest.raises(CampaignError, match="missing 'app'"):
+            expand_grid(grid)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(CampaignError, match="unknown keys"):
+            expand_grid(tiny_grid(frobnicate=True))
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(CampaignError, match="unknown mode"):
+            expand_grid(tiny_grid(modes=["turbo"]))
+
+    def test_bad_fault_plan_rejected(self):
+        with pytest.raises(CampaignError, match="bad fault plan"):
+            expand_grid(tiny_grid(fault_plans=[{"message_loss": 7.0}]))
+
+    def test_bad_nprocs_rejected(self):
+        with pytest.raises(CampaignError, match="processor count"):
+            expand_grid(tiny_grid(nprocs=[0]))
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(CampaignError, match="duplicate runs"):
+            expand_grid(tiny_grid(nprocs=[2, 2]))
+
+    def test_load_grid_errors_are_campaign_errors(self, tmp_path):
+        with pytest.raises(CampaignError, match="cannot read"):
+            load_grid(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(CampaignError, match="not valid JSON"):
+            load_grid(bad)
+
+
+class TestIdentity:
+    def test_run_id_is_content_hash(self):
+        a = RunSpec("app", "de", 4, (("n", 64),))
+        b = RunSpec("app", "de", 4, (("n", 64),))
+        c = RunSpec("app", "de", 8, (("n", 64),))
+        assert a.run_id == b.run_id
+        assert a.run_id != c.run_id
+
+    def test_config_hash_tracks_budgets(self):
+        plain = expand_grid(tiny_grid())
+        budgeted = expand_grid(tiny_grid(budgets={"max_events": 10}))
+        assert plain.config_hash != budgeted.config_hash
+        assert plain.config_hash == expand_grid(tiny_grid()).config_hash
+
+
+class TestExecution:
+    def test_full_campaign_completes(self, tmp_path):
+        runner, report = run_campaign(tmp_path)
+        assert report.complete and not report.interrupted
+        assert report.executed == 3 and report.skipped == 0
+        assert report.outcomes["ok"] == 3
+        assert (tmp_path / "out" / JOURNAL_NAME).exists()
+        assert report.results_path == tmp_path / "out" / RESULTS_NAME
+        assert report.results_path.exists()
+        assert "results written" in format_campaign_report(report)
+
+    def test_existing_journal_requires_resume(self, tmp_path):
+        run_campaign(tmp_path)
+        with pytest.raises(CampaignError, match="already exists"):
+            run_campaign(tmp_path)
+
+    def test_resume_without_journal_warns_and_runs(self, tmp_path, caplog, monkeypatch):
+        import logging
+
+        # the CLI may have installed a non-propagating handler on "repro"
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        with caplog.at_level(logging.WARNING, logger="repro.workflow.campaign"):
+            _, report = run_campaign(tmp_path, resume=True)
+        assert report.complete
+        assert any("starting fresh" in r.getMessage() for r in caplog.records)
+
+
+class TestKillAndResume:
+    def test_resume_skips_completed_and_is_bit_identical(self, tmp_path):
+        # uninterrupted reference campaign
+        _, ref = run_campaign(tmp_path, sub="ref")
+        # "crash" after 1 journal record, then resume
+        _, partial = run_campaign(tmp_path, sub="crashed", max_runs=1)
+        assert partial.stopped and not partial.complete
+        assert len(partial.records) == 1
+        _, resumed = run_campaign(tmp_path, sub="crashed", resume=True)
+        assert resumed.complete
+        assert resumed.skipped == 1  # the pre-crash run was not re-executed
+        assert resumed.executed == 2
+        # bit-identical artifacts: results.csv and the journal's run records
+        assert (
+            (tmp_path / "crashed" / RESULTS_NAME).read_bytes()
+            == (tmp_path / "ref" / RESULTS_NAME).read_bytes()
+        )
+        ref_runs = _run_records(tmp_path / "ref" / JOURNAL_NAME)
+        res_runs = _run_records(tmp_path / "crashed" / JOURNAL_NAME)
+        assert res_runs == ref_runs
+
+    def test_resume_after_truncated_campaign_journal(self, tmp_path):
+        # simulate a harder crash: journal cut back to header + first record
+        _, _ = run_campaign(tmp_path, sub="cut")
+        journal = tmp_path / "cut" / JOURNAL_NAME
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:2]) + "\n")
+        (tmp_path / "cut" / RESULTS_NAME).unlink()
+        _, resumed = run_campaign(tmp_path, sub="cut", resume=True)
+        assert resumed.complete and resumed.executed == 2 and resumed.skipped == 1
+
+    def test_config_hash_mismatch_refused(self, tmp_path):
+        run_campaign(tmp_path)
+        other = CampaignRunner(
+            expand_grid(tiny_grid(nprocs=[2, 3])), tmp_path / "out"
+        )
+        with pytest.raises(CampaignError, match="different campaign"):
+            other.execute(resume=True)
+
+    def test_corrupt_journal_is_a_campaign_error(self, tmp_path):
+        run_campaign(tmp_path)
+        journal = tmp_path / "out" / JOURNAL_NAME
+        journal.write_text(journal.read_text() + "{torn record\n")
+        with pytest.raises(CampaignError, match="corrupt journal"):
+            run_campaign(tmp_path, resume=True)
+
+    def test_sigterm_interrupts_between_runs_and_resumes(self, tmp_path):
+        cfg = expand_grid(tiny_grid())
+        runner = CampaignRunner(cfg, tmp_path / "out")
+        handler_before = signal.getsignal(signal.SIGTERM)
+        real = runner._simulate
+        calls = []
+
+        def deliver_sigterm_on_second_run(spec):
+            calls.append(spec.run_id)
+            if len(calls) == 2:
+                os.kill(os.getpid(), signal.SIGTERM)  # handler raises immediately
+            return real(spec)
+
+        runner._simulate = deliver_sigterm_on_second_run
+        report = runner.execute()
+        assert report.interrupted and not report.complete
+        assert len(report.records) == 1  # run 2 was in flight, not journaled
+        docs = [json.loads(line)
+                for line in (tmp_path / "out" / JOURNAL_NAME).read_text().splitlines()]
+        assert docs[-1]["type"] == "interrupted"
+        assert docs[-1]["signal"] == signal.SIGTERM
+        assert "INTERRUPTED" in format_campaign_report(report)
+        # previous handlers restored
+        assert signal.getsignal(signal.SIGTERM) == handler_before
+        # resume finishes the remaining runs
+        resumed = CampaignRunner(cfg, tmp_path / "out").execute(resume=True)
+        assert resumed.complete and resumed.executed == 2 and resumed.skipped == 1
+
+
+class TestOutcomeClassification:
+    def test_event_budget_classified_as_budget(self, tmp_path):
+        _, report = run_campaign(tmp_path, grid=tiny_grid(budgets={"max_events": 5}))
+        assert report.outcomes["budget"] == 3
+        rec = next(iter(report.records.values()))
+        assert rec.budget_kind == "events"
+        assert rec.stats is not None  # partial stats journaled
+
+    def test_wall_budget_classified_as_timeout(self, tmp_path):
+        _, report = run_campaign(
+            tmp_path, grid=tiny_grid(budgets={"max_wall_seconds": 1e-9})
+        )
+        assert report.outcomes["timeout"] == 3
+        assert all(r.budget_kind == "wall_time" for r in report.records.values())
+
+    def test_crash_fault_plan_classified_as_deadlock(self, tmp_path):
+        grid = tiny_grid(
+            nprocs=[3],
+            fault_plans=[{"crashes": [{"rank": 0, "time": 0.0}]}],
+        )
+        _, report = run_campaign(tmp_path, grid=grid)
+        assert report.outcomes["deadlock"] == 1
+        rec = next(iter(report.records.values()))
+        assert rec.error  # the deadlock diagnosis is journaled
+
+    def test_transient_error_retried_with_backoff(self, tmp_path):
+        cfg = expand_grid(tiny_grid(nprocs=[2], retries=2, backoff=0.01))
+        sleeps = []
+        runner = CampaignRunner(cfg, tmp_path / "out", sleep=sleeps.append)
+        real = runner._simulate
+        attempts = []
+
+        def flaky(spec):
+            attempts.append(spec.run_id)
+            if len(attempts) < 3:
+                raise OSError("transient filesystem hiccup")
+            return real(spec)
+
+        runner._simulate = flaky
+        report = runner.execute()
+        assert report.outcomes["ok"] == 1
+        rec = next(iter(report.records.values()))
+        assert rec.attempts == 3
+        assert sleeps == [0.01, 0.02]  # exponential backoff
+
+    def test_persistent_error_recorded_after_retries(self, tmp_path):
+        cfg = expand_grid(tiny_grid(nprocs=[2], retries=1, backoff=0.0))
+        runner = CampaignRunner(cfg, tmp_path / "out", sleep=lambda s: None)
+
+        def always_fails(spec):
+            raise OSError("stuck")
+
+        runner._simulate = always_fails
+        report = runner.execute()
+        rec = next(iter(report.records.values()))
+        assert rec.outcome == "error" and rec.attempts == 2
+        assert "OSError" in rec.error
+        # a later resume re-runs the failed cell (now healthy)
+        resumed = CampaignRunner(cfg, tmp_path / "out").execute(resume=True)
+        assert resumed.outcomes["ok"] == 1 and resumed.complete
+
+
+def _run_records(journal_path):
+    docs = [json.loads(line) for line in journal_path.read_text().splitlines()]
+    return [d for d in docs if d["type"] == "run"]
