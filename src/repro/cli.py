@@ -404,10 +404,22 @@ def cmd_campaign(args) -> int:
         return 2
     print(format_campaign_report(report))
     if report.interrupted or report.stopped:
-        print(
-            f"resume with: python -m repro campaign --grid {args.grid} "
-            f"--out {args.out} --resume"
-        )
+        # Rebuild the hint from the *effective* flags: machine and budget
+        # overrides feed the config hash, so a hint without them would be
+        # refused as a different campaign on resume.
+        hint = [f"python -m repro campaign --grid {args.grid}", f"--out {args.out}"]
+        if args.machine is not None:
+            hint.append(f"--machine {args.machine}")
+        if args.max_wall is not None:
+            hint.append(f"--max-wall {args.max_wall:g}")
+        if args.max_events is not None:
+            hint.append(f"--max-events {args.max_events}")
+        if args.max_virtual is not None:
+            hint.append(f"--max-virtual {args.max_virtual:g}")
+        if args.retries is not None:
+            hint.append(f"--retries {args.retries}")
+        hint.append("--resume")
+        print("resume with: " + " ".join(hint))
     return 130 if report.interrupted else 0
 
 

@@ -17,8 +17,6 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from ..util.atomic_io import atomic_append_lines
-
 __all__ = [
     "Counter",
     "Gauge",
@@ -236,19 +234,25 @@ class InMemorySink:
 class JsonlSink:
     """Appends one JSON object per sample to a file.
 
-    Appends are crash-consistent (full-file atomic replace via
-    :func:`repro.util.atomic_io.atomic_append_lines`): an interrupted
-    flush leaves the previous complete file, never a torn tail.
+    Flushes use a plain ``O_APPEND`` open with one buffered write per
+    flush: each append costs O(samples) regardless of file size, and
+    concurrent writers sharing the path interleave whole flushes
+    instead of losing each other's records.  A crash mid-flush can
+    tear at most the final line — readers skip it — which is the right
+    trade for a high-frequency telemetry stream; the full-file atomic
+    rewrite in :mod:`repro.util.atomic_io` would make periodic flushes
+    O(n²) and racy across processes.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
 
     def write(self, samples: list[dict]) -> None:
-        atomic_append_lines(
-            self.path,
-            (json.dumps(sample, separators=(",", ":")) for sample in samples),
+        payload = "".join(
+            json.dumps(sample, separators=(",", ":")) + "\n" for sample in samples
         )
+        with open(self.path, "a") as fh:
+            fh.write(payload)
 
 
 class TableSink:

@@ -108,7 +108,12 @@ class BudgetGuard:
         if self.max_virtual_time is not None and t > self.max_virtual_time:
             return ("virtual_time", self.max_virtual_time, t)
         if self.max_wall_seconds is not None:
-            wall = time.perf_counter() - (self._wall_start or 0.0)
+            if self._wall_start is None:
+                # Direct callers that skipped start(): arm the clock at the
+                # first event rather than measuring from the perf_counter
+                # epoch, which would trip the budget instantly.
+                self.start()
+            wall = time.perf_counter() - self._wall_start
             if wall > self.max_wall_seconds:
                 return ("wall_time", self.max_wall_seconds, wall)
         return None

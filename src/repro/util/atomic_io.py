@@ -1,15 +1,22 @@
 """Crash-consistent file writing: tmp + fsync + rename, everywhere.
 
-Every file-producing path in the system (Perfetto exports, CSV reports,
-metrics JSONL sinks, trace archives, campaign journals) funnels through
-this module so that a crash — OOM, SIGKILL, power loss — mid-write can
-never leave a truncated artifact under the final name.  The protocol is
-the classic one:
+Every whole-file artifact the system produces (Perfetto exports, CSV
+reports, trace archives, campaign journals) funnels through this module
+so that a crash — OOM, SIGKILL, power loss — mid-write can never leave
+a truncated artifact under the final name.  (The one deliberate
+exception is the high-frequency metrics JSONL sink, which uses plain
+``O_APPEND`` writes and tolerates a torn final line; see
+:class:`repro.obs.metrics.JsonlSink`.)  The protocol is the classic
+one:
 
 1. write the full content to ``<name>.tmp.<pid>.<counter>`` in the
    *same directory* (rename must not cross filesystems);
-2. flush and ``os.fsync`` the temporary file;
-3. ``os.replace`` it over the final name (atomic on POSIX and Windows).
+2. close the handle, then reopen and ``os.fsync`` the raw temporary
+   file — closing first matters for compressed streams, whose trailer
+   (e.g. the gzip CRC/length) is only written during ``close()``;
+3. ``os.replace`` it over the final name (atomic on POSIX and Windows);
+4. ``os.fsync`` the parent directory, so the rename itself survives
+   power loss.
 
 Readers therefore observe either the old complete file or the new
 complete file, never a torn intermediate.  On any exception the
@@ -48,11 +55,32 @@ def _tmp_path(path: Path) -> Path:
     return path.with_name(f"{path.name}.tmp.{os.getpid()}.{next(_tmp_ids)}")
 
 
+def _fsync_dir(dirpath: Path) -> None:
+    """Best-effort fsync of a directory, making a rename in it durable."""
+    try:
+        fd = os.open(dirpath, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without directory opens
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystems rejecting dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 def _fsync_and_replace(fh, tmp: Path, path: Path) -> None:
-    fh.flush()
-    os.fsync(fh.fileno())
+    # Close before syncing: GzipFile writes its CRC/length trailer during
+    # close(), so an fsync of the live handle would miss the file's tail.
+    # Reopening the raw tmp file syncs the complete bytes for any opener.
     fh.close()
+    fd = os.open(tmp, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
 
 
 @contextmanager
@@ -103,6 +131,11 @@ def atomic_append_lines(path: str | Path, lines: Iterable[str]) -> None:
     renamed over *path*, so a crash mid-append leaves the previous
     complete file rather than a torn tail.  Lines must not contain
     newlines; one is added per line.
+
+    Each call costs O(total file size), so this suits small files
+    appended occasionally; for high-frequency streams where a torn
+    final line is tolerable, a plain ``O_APPEND`` write is the right
+    tool (see :class:`repro.obs.metrics.JsonlSink`).
     """
     path = Path(path)
     existing = path.read_text() if path.exists() else ""

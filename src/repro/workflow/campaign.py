@@ -630,14 +630,28 @@ class CampaignRunner:
         return wf.run_measured(inputs, spec.nprocs, seed=spec.seed, **budget_kw)
 
     def _workflow_for(self, spec: RunSpec) -> ModelingWorkflow:
-        """One cached ModelingWorkflow per (app, seed): calibration reused."""
-        calib_procs = self.config.calib_procs or min(spec.nprocs, 16)
+        """One cached ModelingWorkflow per (app, seed): calibration reused.
+
+        The calibration configuration is a pure function of the grid,
+        never of execution order: the *first* grid cell with this
+        (app, seed) supplies the calibration nprocs and inputs.  A
+        resumed campaign — where completed runs are skipped, so a
+        different spec reaches here first — therefore calibrates
+        identically to an uninterrupted one, preserving the
+        bit-identical-resume guarantee for calibrating modes (am,
+        measured).
+        """
         key = (spec.app, spec.seed)
         wf = self._workflows.get(key)
         if wf is None:
+            base = next(
+                s for s in self.config.specs
+                if s.app == spec.app and s.seed == spec.seed
+            )
+            calib_procs = self.config.calib_procs or min(base.nprocs, 16)
             program, default_inputs = self.resolver(spec.app)
             calib = default_inputs(calib_procs)
-            calib.update(dict(spec.inputs))
+            calib.update(dict(base.inputs))
             wf = ModelingWorkflow(
                 program, get_machine(self.config.machine),
                 calib_inputs=calib, calib_nprocs=calib_procs, seed=spec.seed,

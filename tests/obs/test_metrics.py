@@ -99,6 +99,15 @@ class TestSamplesAndSinks:
         for line in lines:
             assert line["labels"] == {"mode": "am"}
 
+    def test_jsonl_sink_appends_across_flushes(self, registry, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        sink = JsonlSink(path)
+        registry.counter("runs").inc()
+        registry.flush(sink)
+        registry.flush(sink)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 2  # earlier flushes survive later ones
+
     def test_table_sink(self, registry, capsys):
         registry.counter("c").inc(4, mode="de")
         registry.histogram("h").observe(2.0)

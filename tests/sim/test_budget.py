@@ -50,6 +50,13 @@ class TestGuardValidation:
         kind, limit, observed = guard.note_event(0.7)
         assert kind == "events" and limit == 2.0 and observed == 3.0
 
+    def test_note_event_without_start_arms_wall_clock_lazily(self):
+        # a direct caller that skips start() must not get a spurious
+        # wall_time violation measured from the perf_counter epoch
+        guard = BudgetGuard(max_wall_seconds=60.0)
+        assert guard.note_event(0.0) is None
+        assert guard._wall_start is not None  # armed at the first event
+
 
 class TestEventsBudget:
     def test_fires_with_partial_stats(self):

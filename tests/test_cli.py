@@ -403,6 +403,25 @@ class TestCampaign:
         assert "skipped 1 already-complete" in text
         assert (out / "results.csv").read_bytes() == (ref / "results.csv").read_bytes()
 
+    def test_resume_hint_includes_overrides(self, tmp_path, capsys):
+        # budgets and machine feed the config hash: a hint without them
+        # would be refused as belonging to a different campaign
+        grid = self.grid_file(tmp_path)
+        out = tmp_path / "out"
+        assert main(["campaign", "--grid", grid, "--out", str(out),
+                     "--max-wall", "60", "--max-events", "100000",
+                     "--max-runs", "1"]) == 0
+        text = capsys.readouterr().out
+        hint = next(line for line in text.splitlines()
+                    if line.startswith("resume with: "))
+        assert "--max-wall 60" in hint and "--max-events 100000" in hint
+        assert hint.rstrip().endswith("--resume")
+        # the printed hint actually works: replay it through the CLI
+        argv = hint.removeprefix("resume with: ").split()
+        assert argv[:4] == ["python", "-m", "repro", "campaign"]
+        assert main(argv[3:]) == 0
+        assert "skipped 1 already-complete" in capsys.readouterr().out
+
     def test_corrupt_journal_one_line_error(self, tmp_path, capsys):
         grid = self.grid_file(tmp_path)
         out = tmp_path / "out"
