@@ -7,23 +7,90 @@ asserts the qualitative shape (who wins, by roughly what factor, where
 crossovers fall).  Absolute numbers differ from the paper — the
 substrate is a machine *model*, not the authors' IBM SP — but the
 shapes are the reproduced result.
+
+Timing data is persisted too: every ``run_experiment``/``bench_timed``
+call appends its pytest-benchmark statistics to
+``benchmarks/out/BENCH_experiments.json``, so a benchmark run leaves a
+machine-readable record alongside the tables (see docs/performance.md).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
+STATS_NAME = "BENCH_experiments.json"
 
 
-def run_experiment(benchmark, fn):
+def _capture_stats(benchmark, extra: dict | None = None) -> dict | None:
+    """Extract one benchmark's timing statistics as a plain dict.
+
+    Returns None when pytest-benchmark is disabled (``--benchmark-disable``
+    or ``-p no:benchmark``): the fixture then never builds a Stats object.
+    """
+    meta = getattr(benchmark, "stats", None)
+    stats = getattr(meta, "stats", None)
+    if stats is None or not getattr(stats, "data", None):
+        return None
+    entry = {
+        "name": getattr(benchmark, "name", "?"),
+        "group": getattr(benchmark, "group", None),
+        "rounds": stats.rounds,
+        "min_s": stats.min,
+        "max_s": stats.max,
+        "mean_s": stats.mean,
+        "stddev_s": stats.stddev if stats.rounds > 1 else 0.0,
+    }
+    if extra:
+        entry.update(extra)
+    return entry
+
+
+def record_stats(benchmark, extra: dict | None = None) -> dict | None:
+    """Append *benchmark*'s statistics to ``out/BENCH_experiments.json``.
+
+    The file is a name-keyed JSON object, rewritten atomically-enough for
+    a single pytest process (benchmarks never run in parallel workers).
+    """
+    entry = _capture_stats(benchmark, extra)
+    if entry is None:
+        return None
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / STATS_NAME
+    try:
+        book = json.loads(path.read_text())
+    except (OSError, ValueError):
+        book = {}
+    book[entry["name"]] = entry
+    path.write_text(json.dumps(book, indent=1, sort_keys=True) + "\n")
+    return entry
+
+
+def run_experiment(benchmark, fn, extra: dict | None = None):
     """Run *fn* exactly once under pytest-benchmark and return its result.
 
     The experiments are full simulation campaigns (tens of seconds); one
     timed round is both sufficient and what keeps ``--benchmark-only``
-    runs tractable.
+    runs tractable.  The measured statistics are persisted to
+    ``out/BENCH_experiments.json`` instead of being discarded — *extra*
+    lets callers attach workload metadata (event counts, nprocs) so the
+    JSON is interpretable on its own.
     """
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    result = benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    record_stats(benchmark, extra)
+    return result
+
+
+def bench_timed(benchmark, fn, extra: dict | None = None):
+    """Run *fn* under pytest-benchmark's adaptive timer (many rounds).
+
+    For microbenchmarks where a single round is too noisy; statistics
+    are persisted exactly like :func:`run_experiment`.
+    """
+    result = benchmark(fn)
+    record_stats(benchmark, extra)
+    return result
 
 
 def emit(name: str, text: str) -> None:

@@ -1,0 +1,151 @@
+"""Kernel performance smoke check: measure events/sec, gate regressions.
+
+Standalone (no pytest) so CI can run it cheaply and fail fast::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py --output BENCH_kernel.json
+
+It runs the same four workloads as ``test_micro_kernel.py`` — blocking
+point-to-point, non-blocking handles, collectives, and an end-to-end
+Sweep3D AM run — takes the best of ``--reps`` repetitions (the best is
+the least-noisy estimator of kernel cost on shared CI runners), writes a
+fresh ``BENCH_kernel.json`` artifact, and exits non-zero if any
+workload's events/sec drops more than ``--tolerance`` (default 30%)
+below the committed baseline at the repo root.
+
+The committed baseline also records the *pre*-fast-path throughput, so
+the speedup that motivated the fast path stays auditable:
+``post_events_per_sec / pre_events_per_sec`` is the claimed factor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import mpi  # noqa: E402
+from repro.apps import build_sweep3d, sweep3d_inputs  # noqa: E402
+from repro.codegen import compile_program  # noqa: E402
+from repro.ir import make_factory  # noqa: E402
+from repro.machine import IBM_SP, TESTING_MACHINE  # noqa: E402
+from repro.sim import ExecMode, Simulator  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_kernel.json"
+
+
+def _p2p_ring():
+    def prog(rank, size):
+        for i in range(50):
+            yield mpi.send(dest=(rank + 1) % size, nbytes=64, tag=i % 4)
+            yield mpi.recv(source=(rank - 1) % size, tag=i % 4)
+
+    return Simulator(32, prog, TESTING_MACHINE, mode=ExecMode.DE)
+
+
+def _nonblocking():
+    def prog(rank, size):
+        for i in range(30):
+            hs = []
+            hs.append((yield mpi.irecv(source=(rank - 1) % size, tag=i)))
+            hs.append((yield mpi.isend(dest=(rank + 1) % size, nbytes=256, tag=i)))
+            yield mpi.waitall(*hs)
+
+    return Simulator(16, prog, TESTING_MACHINE, mode=ExecMode.DE)
+
+
+def _collective():
+    def prog(rank, size):
+        for _ in range(40):
+            yield mpi.allreduce(nbytes=8, data=1, reduce_fn=lambda a, b: a + b)
+
+    return Simulator(32, prog, TESTING_MACHINE, mode=ExecMode.DE)
+
+
+def _sweep3d_am():
+    compiled = compile_program(build_sweep3d())
+    w = {n: 1e-7 for n in compiled.w_param_names}
+    inputs = sweep3d_inputs(48, 48, 48, 16, kb=2, ab=1, niter=1)
+    factory = make_factory(compiled.simplified, inputs, wparams=w)
+    return lambda: Simulator(16, factory, IBM_SP, mode=ExecMode.AM)
+
+
+#: label -> zero-arg callable returning a fresh Simulator
+WORKLOADS = {
+    "p2p_ring_de": lambda: _p2p_ring,
+    "nonblocking_de": lambda: _nonblocking,
+    "collective_de": lambda: _collective,
+    "sweep3d_am": _sweep3d_am,
+}
+
+
+def measure(label: str, reps: int) -> dict:
+    """Best-of-*reps* events/sec for one workload."""
+    make_sim = WORKLOADS[label]()  # one-time setup (compile etc.) excluded
+    best = float("inf")
+    events = 0
+    for _ in range(reps):
+        sim = make_sim()
+        t0 = time.perf_counter()
+        stats = sim.run().stats
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+        events = stats.total_events
+    return {
+        "label": label,
+        "events": events,
+        "best_s": round(best, 6),
+        "events_per_sec": int(events / best),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--output", default="BENCH_kernel.json",
+                    help="where to write the fresh measurement artifact")
+    ap.add_argument("--baseline", default=str(BASELINE_PATH),
+                    help="committed baseline file (repo-root BENCH_kernel.json)")
+    ap.add_argument("--reps", type=int, default=5,
+                    help="repetitions per workload; best-of is reported")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional drop below baseline (default 0.30)")
+    args = ap.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    results = {label: measure(label, args.reps) for label in WORKLOADS}
+
+    artifact = {
+        "description": "kernel events/sec measured by benchmarks/perf_smoke.py",
+        "reps": args.reps,
+        "workloads": results,
+    }
+    Path(args.output).write_text(json.dumps(artifact, indent=1) + "\n")
+
+    failed = False
+    print(f"{'workload':24s} {'baseline':>10s} {'measured':>10s} {'ratio':>7s}")
+    for label, res in results.items():
+        base = baseline["workloads"][label]["post_events_per_sec"]
+        ratio = res["events_per_sec"] / base
+        flag = ""
+        if ratio < 1.0 - args.tolerance:
+            flag = "  REGRESSION"
+            failed = True
+        print(f"{label:24s} {base:>10d} {res['events_per_sec']:>10d} {ratio:>6.2f}x{flag}")
+    if failed:
+        print(
+            f"\nFAIL: events/sec dropped more than {args.tolerance:.0%} below "
+            f"the committed baseline ({args.baseline}).\n"
+            "If the slowdown is intentional, re-measure on a quiet machine "
+            "and update the baseline in the same change."
+        )
+        return 1
+    print("\nOK: all workloads within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

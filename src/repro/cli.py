@@ -82,6 +82,17 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _jobs_count(text: str) -> int:
+    """argparse type for --jobs: worker processes, 0 meaning all cores."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"--jobs must be >= 0, got {value}")
+    return value
+
+
 def _parse_overrides(pairs: list[str]) -> dict[str, int]:
     out = {}
     for pair in pairs or []:
@@ -156,14 +167,28 @@ def cmd_stg(args) -> int:
 
 def cmd_validate(args) -> int:
     program, _ = _resolve(args, nprocs=max(args.procs))
-    wf = _workflow(args, program, calib_nprocs=args.calib_procs)
+    jobs = getattr(args, "jobs", 1)
+    # jobs != 1: points run in workers that calibrate for themselves, so
+    # skip the (expensive) eager calibration of the parent's workflow
+    wf = _workflow(args, program, calib_nprocs=args.calib_procs, calibrate=jobs == 1)
     _, default_inputs = APPS[args.app]
     configs = []
     for p in args.procs:
         inputs = default_inputs(p)
         inputs.update(_parse_overrides(args.set))
         configs.append((inputs, p))
-    series = validate(wf, configs, name=args.app, include_de=not args.no_de)
+    spec = None
+    if jobs != 1:
+        from .workflow.parallel import WorkflowSpec
+
+        spec = WorkflowSpec(
+            app=args.app, machine=args.machine, calib_nprocs=args.calib_procs,
+            overrides=tuple(sorted(_parse_overrides(args.set).items())),
+            seed=args.seed,
+        )
+    series = validate(
+        wf, configs, name=args.app, include_de=not args.no_de, jobs=jobs, spec=spec
+    )
     print(format_validation(series))
     return 0
 
@@ -395,7 +420,9 @@ def cmd_campaign(args) -> int:
         TRACER.enable()
         METRICS.enable()
         try:
-            report = runner.execute(resume=args.resume, max_runs=args.max_runs)
+            report = runner.execute(
+                resume=args.resume, max_runs=args.max_runs, jobs=args.jobs
+            )
         finally:
             TRACER.disable()
             METRICS.disable()
@@ -418,6 +445,8 @@ def cmd_campaign(args) -> int:
             hint.append(f"--max-virtual {args.max_virtual:g}")
         if args.retries is not None:
             hint.append(f"--retries {args.retries}")
+        if args.jobs != 1:
+            hint.append(f"--jobs {args.jobs}")
         hint.append("--resume")
         print("resume with: " + " ".join(hint))
     return 130 if report.interrupted else 0
@@ -547,6 +576,8 @@ def build_parser() -> argparse.ArgumentParser:
     stg_p.add_argument("--dot", metavar="FILE", help="write graphviz DOT instead of text")
     v = add_app_command("validate", cmd_validate, "measured vs DE vs AM", with_procs=True)
     v.add_argument("--no-de", action="store_true", help="skip the direct-execution simulator")
+    v.add_argument("--jobs", type=_jobs_count, default=1, metavar="N",
+                   help="worker processes for the sweep (0 = all cores, default 1)")
     pr = add_app_command("predict", cmd_predict, "performance predictions", with_procs=True)
     pr.add_argument("--method", choices=("am", "taskgraph", "sum"), default="am",
                     help="predictor: simulated AM (default), task-graph analysis, per-rank sum")
@@ -612,6 +643,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="re-run attempts for 'error' outcomes (exponential backoff)")
     camp.add_argument("--max-runs", type=_positive_int, default=None,
                       help="execute at most this many runs, then stop (resumable)")
+    camp.add_argument("--jobs", type=_jobs_count, default=1, metavar="N",
+                      help="worker processes for independent grid cells "
+                           "(0 = all cores, default 1); output is identical "
+                           "to a sequential run")
     camp.set_defaults(fn=cmd_campaign)
 
     prof = add_app_command(

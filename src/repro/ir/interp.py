@@ -237,14 +237,27 @@ def _working_set(state: _State, block: CompBlock) -> float:
     return ws
 
 
+def _cfn(expr):
+    """The compiled evaluator of *expr* (cached on the expression itself).
+
+    Statements re-evaluate the same expression objects on every loop
+    iteration and every rank; :meth:`repro.symbolic.Expr.compile` pays
+    the tree walk once per expression instead.
+    """
+    try:
+        return expr._compiled
+    except AttributeError:
+        return expr.compile()
+
+
 def _exec(stmts: list[Stmt], state: _State):
     env = state.env
     for s in stmts:
         ty = type(s)
         if ty is Assign:
-            env[s.var] = s.expr.evaluate(env)
+            env[s.var] = _cfn(s.expr)(env)
         elif ty is CompBlock:
-            work = s.work.evaluate(env)
+            work = _cfn(s.work)(env)
             if work < 0:
                 work = 0
             if s.kernel is not None:
@@ -258,32 +271,32 @@ def _exec(stmts: list[Stmt], state: _State):
             if state.collector is not None:
                 state.collector.record_work(s.name, work)
         elif ty is For:
-            lo = int(s.lo.evaluate(env))
-            hi = int(s.hi.evaluate(env))
+            lo = int(_cfn(s.lo)(env))
+            hi = int(_cfn(s.hi)(env))
             body = s.body
             for i in range(lo, hi + 1):
                 env[s.var] = i
                 yield from _exec(body, state)
         elif ty is If:
-            taken = bool(s.cond.evaluate(env))
+            taken = bool(_cfn(s.cond)(env))
             if state.profile is not None:
                 state.profile.record(s.profile_key, taken)
             yield from _exec(s.then if taken else s.orelse, state)
         elif ty is SendStmt:
-            dest = int(s.dest.evaluate(env))
-            nbytes = int(s.nbytes.evaluate(env))
+            dest = int(_cfn(s.dest)(env))
+            nbytes = int(_cfn(s.nbytes)(env))
             yield Send(dest=dest, nbytes=nbytes, tag=s.tag)
         elif ty is RecvStmt:
-            source = int(s.source.evaluate(env))
-            nbytes = int(s.nbytes.evaluate(env))
+            source = int(_cfn(s.source)(env))
+            nbytes = int(_cfn(s.nbytes)(env))
             yield Recv(source=source, tag=s.tag, nbytes_hint=nbytes)
         elif ty is IsendStmt:
-            dest = int(s.dest.evaluate(env))
-            nbytes = int(s.nbytes.evaluate(env))
+            dest = int(_cfn(s.dest)(env))
+            nbytes = int(_cfn(s.nbytes)(env))
             env[s.handle_var] = yield Isend(dest=dest, nbytes=nbytes, tag=s.tag)
         elif ty is IrecvStmt:
-            source = int(s.source.evaluate(env))
-            nbytes = int(s.nbytes.evaluate(env))
+            source = int(_cfn(s.source)(env))
+            nbytes = int(_cfn(s.nbytes)(env))
             env[s.handle_var] = yield Irecv(source=source, tag=s.tag, nbytes_hint=nbytes)
         elif ty is WaitAllStmt:
             handles = [env[v] for v in s.handle_vars if v in env]
@@ -294,7 +307,7 @@ def _exec(stmts: list[Stmt], state: _State):
         elif ty is CollectiveStmt:
             yield from _exec_collective(s, state)
         elif ty is DelayStmt:
-            amount = s.amount.evaluate(env)
+            amount = _cfn(s.amount)(env)
             yield Delay(seconds=max(float(amount), 0.0), task=s.task)
         elif ty is ReadParams:
             yield from _exec_read_params(s, state)
@@ -315,11 +328,11 @@ def _exec(stmts: list[Stmt], state: _State):
                     f"ArrayAssign target {s.array!r} is not a materialized array"
                 )
             s.kernel(env, state.arrays)
-            work = s.work.evaluate(env)
+            work = _cfn(s.work)(env)
             if work > 0:
                 yield Compute(ops=float(work), working_set_bytes=state.sizes[s.array])
         elif ty is AllocStmt:
-            nbytes = int(s.nbytes.evaluate(env))
+            nbytes = int(_cfn(s.nbytes)(env))
             yield Alloc(s.name, nbytes)
             state.sizes[s.name] = nbytes
         else:
@@ -328,9 +341,9 @@ def _exec(stmts: list[Stmt], state: _State):
 
 def _exec_collective(s: CollectiveStmt, state: _State):
     env = state.env
-    nbytes = int(s.nbytes.evaluate(env))
-    root = int(s.root.evaluate(env))
-    contrib = s.contrib.evaluate(env) if s.contrib is not None else None
+    nbytes = int(_cfn(s.nbytes)(env))
+    root = int(_cfn(s.root)(env))
+    contrib = _cfn(s.contrib)(env) if s.contrib is not None else None
     reduce_fn = _REDUCE_FNS[s.reduce_kind] if s.op in ("reduce", "allreduce") else None
     result = yield Collective(
         op=s.op, nbytes=nbytes, root=root, data=contrib, reduce_fn=reduce_fn

@@ -41,6 +41,10 @@ class CpuModel:
         self.params = params
         self.noise_sigma = noise_sigma
         self._rng = rng
+        # cache_factor is a pure function of the working-set size and
+        # programs touch only a handful of distinct sizes; memoize it
+        # (the bound keeps adversarial workloads from growing it forever)
+        self._cf_cache: dict[float, float] = {}
 
     def cache_factor(self, working_set_bytes: float) -> float:
         """Slowdown factor for a task touching *working_set_bytes* of data.
@@ -51,18 +55,26 @@ class CpuModel:
         that halving a per-process working set (by doubling processors)
         yields a modest, realistic speedup rather than a cliff.
         """
-        p = self.params
         ws = float(working_set_bytes)
+        factor = self._cf_cache.get(ws)
+        if factor is not None:
+            return factor
+        p = self.params
         if ws <= p.l1_bytes:
-            return 1.0
-        if ws <= p.l2_bytes:
+            factor = 1.0
+        elif ws <= p.l2_bytes:
             t = math.log(ws / p.l1_bytes) / math.log(p.l2_bytes / p.l1_bytes)
-            return 1.0 + t * (p.l2_factor - 1.0)
-        saturation = 16.0 * p.l2_bytes
-        if ws >= saturation:
-            return p.mem_factor
-        t = math.log(ws / p.l2_bytes) / math.log(saturation / p.l2_bytes)
-        return p.l2_factor + t * (p.mem_factor - p.l2_factor)
+            factor = 1.0 + t * (p.l2_factor - 1.0)
+        else:
+            saturation = 16.0 * p.l2_bytes
+            if ws >= saturation:
+                factor = p.mem_factor
+            else:
+                t = math.log(ws / p.l2_bytes) / math.log(saturation / p.l2_bytes)
+                factor = p.l2_factor + t * (p.mem_factor - p.l2_factor)
+        if len(self._cf_cache) < 4096:
+            self._cf_cache[ws] = factor
+        return factor
 
     def task_time(self, ops: float, working_set_bytes: float = 0.0) -> float:
         """Execution time of a sequential task performing *ops* operations."""

@@ -71,7 +71,7 @@ def send(
     virtual seconds resumes with a :class:`~repro.sim.requests.TimedOut`
     status instead of blocking forever.
     """
-    return Send(dest=dest, nbytes=nbytes, tag=tag, data=data, timeout=timeout)
+    return Send(dest, nbytes, tag, data, timeout)
 
 
 def recv(
@@ -82,14 +82,14 @@ def recv(
     With a *timeout*, yields a :class:`~repro.sim.requests.TimedOut`
     status if no message matches within *timeout* virtual seconds.
     """
-    return Recv(source=source, tag=tag, timeout=timeout)
+    return Recv(source, tag, 0, timeout)
 
 
 def isend(
     dest: int, nbytes: int, tag: int = 0, data: Any = None, timeout: float | None = None
 ) -> Isend:
     """Non-blocking send; yields a :class:`RequestHandle`."""
-    return Isend(dest=dest, nbytes=nbytes, tag=tag, data=data, timeout=timeout)
+    return Isend(dest, nbytes, tag, data, timeout)
 
 
 def irecv(
@@ -100,22 +100,22 @@ def irecv(
     With a *timeout*, the handle completes with
     :class:`~repro.sim.requests.TimedOut` if nothing matches in time.
     """
-    return Irecv(source=source, tag=tag, timeout=timeout)
+    return Irecv(source, tag, 0, timeout)
 
 
 def waitall(*handles: RequestHandle) -> Wait:
     """Block until every handle completes; yields per-handle results."""
-    return Wait(handles=tuple(handles))
+    return Wait(tuple(handles))
 
 
 def compute(ops: float, working_set_bytes: float = 0.0, task: str | None = None) -> Compute:
     """Local computation of *ops* abstract operations (direct execution)."""
-    return Compute(ops=ops, working_set_bytes=working_set_bytes, task=task)
+    return Compute(ops, working_set_bytes, task)
 
 
 def delay(seconds: float, task: str | None = None) -> Delay:
     """Advance this thread's clock by *seconds* (the simulator delay call)."""
-    return Delay(seconds=seconds, task=task)
+    return Delay(seconds, task)
 
 
 def barrier(group: tuple[int, ...] | None = None) -> Collective:

@@ -15,7 +15,7 @@ from ..sim.requests import ANY_SOURCE, ANY_TAG
 __all__ = ["MessageRecord", "PostedRecv", "MatchQueues"]
 
 
-@dataclass
+@dataclass(slots=True)
 class MessageRecord:
     """An in-flight or arrived message queued at the receiver.
 
@@ -43,7 +43,7 @@ class MessageRecord:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class PostedRecv:
     """A receive posted before its message arrived (the blocked process)."""
 
@@ -58,7 +58,7 @@ class PostedRecv:
         return msg.matches(self.source, self.tag)
 
 
-@dataclass
+@dataclass(slots=True)
 class MatchQueues:
     """Per-rank matching state: pending messages and posted receives."""
 

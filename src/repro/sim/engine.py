@@ -31,8 +31,8 @@ per-rank wait-chain diagnosis — instead of a bare error.
 from __future__ import annotations
 
 import enum
-import heapq
 import math
+from heapq import heappop, heappush
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
@@ -80,6 +80,17 @@ __all__ = [
 ProgramFactory = Callable[[int, int], Iterator[Request]]
 
 _log = get_logger("sim.engine")
+
+#: blocked-state label per communication request type (per-event fast
+#: lookup; doubles as the "is this a communication request?" test)
+_BLOCK_NAME = {
+    Send: "send",
+    Recv: "recv",
+    Collective: "collective",
+    Isend: "isend",
+    Irecv: "irecv",
+    Wait: "wait",
+}
 
 
 class ExecMode(enum.Enum):
@@ -260,6 +271,25 @@ class Simulator:
         guard = BudgetGuard(max_events, max_virtual_time, max_wall_seconds)
         self._budget = guard if guard.active else None
 
+        # per-run constants hoisted out of the event loop (fast path):
+        # every per-event cost formula below reduces to multiply-adds on
+        # these, with no attribute chains or model calls left per event
+        host = machine.host
+        self._event_overhead = host.event_overhead
+        self._compute_host_factor = machine.cpu.time_per_op * host.direct_exec_factor
+        self._delay_host_cost = host.delay_call_overhead + host.event_overhead
+        self._msg_host_base = host.message_overhead + host.event_overhead
+        self._msg_host_per_byte = host.message_per_byte
+        self._eager_limit = machine.net.eager_limit
+        self._task_time = self.cpu.task_time
+        # engine-side message-cost memos: one dict lookup replaces a bound
+        # model call per message (both caches are only consulted on paths
+        # where the underlying formula is deterministic)
+        self._ov_cache: dict[int, float] = {}
+        self._tr_cache: dict = {}
+        self._net_det = self.net._sigma == 0.0
+        self._net_flat = machine.net.per_hop == 0.0
+
         self._procs = [_Proc(r, program_factory(r, nprocs)) for r in range(nprocs)]
         self._queues = [MatchQueues() for _ in range(nprocs)]
         self._heap: list[tuple[float, int, int, object]] = []
@@ -284,6 +314,11 @@ class Simulator:
                 self.machine.name, self.nprocs, self.seed,
                 "yes" if self._fault_state is not None else "no", self._default_timeout,
             )
+        # observability dispatch, decided once per run: with both layers
+        # disabled (the default) the kernel runs with zero tracing or
+        # metrics indirection anywhere — not even no-op span objects
+        if not TRACER.enabled and not METRICS.enabled:
+            return self._run()
         with TRACER.span("sim.run", mode=self.mode.value, nprocs=self.nprocs) as span:
             result = self._run()
             span.set_virtual(0.0, result.stats.elapsed)
@@ -306,33 +341,10 @@ class Simulator:
             self._push(self._crash_times[rank], rank, ("crash", None))
         for proc in self._procs:
             self._push(0.0, proc.rank, ("resume", None))
-        heap = self._heap
-        budget = self._budget
-        if budget is not None:
-            budget.start()
-        while heap:
-            t, _, rank, action = heapq.heappop(heap)
-            if budget is not None:
-                violation = budget.note_event(t)
-                if violation is not None:
-                    kind, limit, observed = violation
-                    raise BudgetExceededError(
-                        kind, limit, observed,
-                        stats=SimStats([p.stats for p in self._procs]),
-                    )
-            kind = action[0]
-            proc = self._procs[rank]
-            if kind == "crash":
-                self._do_crash(proc, t)
-                continue
-            if proc.crashed:
-                continue  # events addressed to a crashed rank are discarded
-            if kind == "resume":
-                self._resume(proc, t, action[1])
-            elif kind == "timeout":
-                self._do_timeout(proc, t, action[1])
-            else:  # deferred communication op, processed in timestamp order
-                self._do_comm(proc, t, action[1])
+        if self._budget is not None:
+            self._drain_budgeted()
+        else:
+            self._drain()
         blocked = [p for p in self._procs if not p.done and not p.crashed]
         if blocked:
             report = self._deadlock_report()
@@ -344,10 +356,79 @@ class Simulator:
         stats = SimStats([p.stats for p in self._procs])
         return SimResult(self.mode, stats, self.memory.report(), self.trace)
 
+    def _drain(self) -> None:
+        """The event loop, no watchdog budget (the hot variant).
+
+        Events are dispatched by kind with the common case — "resume",
+        then "comm" — tested first; "crash"/"timeout" only ever appear
+        under a fault plan or explicit timeouts.
+        """
+        heap = self._heap
+        procs = self._procs
+        resume = self._resume
+        do_send = self._do_send
+        do_recv = self._do_recv
+        while heap:
+            t, _, rank, action = heappop(heap)
+            kind = action[0]
+            proc = procs[rank]
+            if kind == "resume":
+                if not proc.crashed:
+                    resume(proc, t, action[1])
+            elif kind == "comm":
+                # _do_comm, dispatched inline (one call saved per event)
+                if not proc.crashed:
+                    req = action[1]
+                    ty = type(req)
+                    if ty is Send:
+                        do_send(proc, t, req)
+                    elif ty is Recv:
+                        do_recv(proc, t, req)
+                    elif ty is Isend:
+                        do_send(proc, t, req, handle=proc.new_handle("send"))
+                    elif ty is Irecv:
+                        do_recv(proc, t, req, handle=proc.new_handle("recv"))
+                    elif ty is Wait:
+                        self._do_wait(proc, t, req)
+                    else:
+                        self._do_collective(proc, t, req)
+            elif kind == "crash":
+                self._do_crash(proc, t)
+            elif not proc.crashed:  # "timeout"
+                self._do_timeout(proc, t, action[1])
+
+    def _drain_budgeted(self) -> None:
+        """The event loop with a per-event watchdog-budget check."""
+        heap = self._heap
+        procs = self._procs
+        budget = self._budget
+        budget.start()
+        while heap:
+            t, _, rank, action = heappop(heap)
+            violation = budget.note_event(t)
+            if violation is not None:
+                kind, limit, observed = violation
+                raise BudgetExceededError(
+                    kind, limit, observed,
+                    stats=SimStats([p.stats for p in procs]),
+                )
+            kind = action[0]
+            proc = procs[rank]
+            if kind == "resume":
+                if not proc.crashed:
+                    self._resume(proc, t, action[1])
+            elif kind == "comm":
+                if not proc.crashed:
+                    self._do_comm(proc, t, action[1])
+            elif kind == "crash":
+                self._do_crash(proc, t)
+            elif not proc.crashed:  # "timeout"
+                self._do_timeout(proc, t, action[1])
+
     # -- kernel internals ---------------------------------------------------------
     def _push(self, t: float, rank: int, action: object) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (t, self._seq, rank, action))
+        heappush(self._heap, (t, self._seq, rank, action))
 
     def _transit(self, nbytes: int, src: int, dst: int, when: float) -> float:
         """Wire time of one message, including any link degradation at *when*."""
@@ -358,62 +439,84 @@ class Simulator:
 
     def _resume(self, proc: _Proc, t: float, value: object) -> None:
         """Deliver *value* to the process at time *t* and run it until it
-        blocks on communication or finishes."""
-        proc.clock = t
+        blocks on communication or finishes.
+
+        This is the kernel's hottest loop: everything it touches per
+        request is a local binding or a per-run constant from
+        ``__init__``; the clock and event count live in locals and are
+        flushed back to the process exactly once on exit.
+        """
         proc.blocked = None
-        host = self.machine.host
-        while True:
-            try:
-                req = proc.gen.send(value)
-            except StopIteration:
-                proc.done = True
-                proc.stats.finish_time = proc.clock
-                return
-            proc.stats.events += 1
-            if type(req) is Compute:
-                dt = self.cpu.task_time(req.ops, req.working_set_bytes)
-                start = proc.clock
-                proc.clock += dt
-                proc.stats.compute_time += dt
-                cost = req.ops * self.machine.cpu.time_per_op * host.direct_exec_factor
-                proc.stats.host_cost += cost + host.event_overhead
-                if self.trace is not None:
-                    eid = self.trace.add(
-                        proc=proc.rank, kind="compute", start=start, end=proc.clock,
-                        host_cost=cost + host.event_overhead,
-                    )
-                    proc.last_eid = eid
-                value = proc.clock
-            elif type(req) is Delay:
-                start = proc.clock
-                proc.clock += req.seconds
-                proc.stats.compute_time += req.seconds
-                proc.stats.host_cost += host.delay_call_overhead + host.event_overhead
-                if self.trace is not None:
-                    eid = self.trace.add(
-                        proc=proc.rank, kind="delay", start=start, end=proc.clock,
-                        host_cost=host.delay_call_overhead + host.event_overhead,
-                    )
-                    proc.last_eid = eid
-                value = proc.clock
-            elif type(req) is Alloc:
-                self.memory.allocate(proc.rank, req.name, req.nbytes)
-                value = proc.clock
-            elif type(req) is Free:
-                self.memory.free(proc.rank, req.name)
-                value = proc.clock
-            elif type(req) is Now:
-                if req.charge_timer:
-                    proc.clock += self.cpu.timer_cost()
-                value = proc.clock
-            elif isinstance(req, (Send, Recv, Collective, Isend, Irecv, Wait)):
-                # Communication serializes through the global event queue so
-                # matching decisions are made in virtual-timestamp order.
-                proc.blocked = type(req).__name__.lower()
-                self._push(proc.clock, proc.rank, ("comm", req))
-                return
-            else:
-                raise TypeError(f"rank {proc.rank} yielded unknown request {req!r}")
+        gen_send = proc.gen.send
+        stats = proc.stats
+        trace = self.trace
+        clock = t
+        events = 0
+        try:
+            while True:
+                try:
+                    req = gen_send(value)
+                except StopIteration:
+                    proc.done = True
+                    stats.finish_time = clock
+                    return
+                events += 1
+                ty = type(req)
+                if ty is Compute:
+                    dt = self._task_time(req.ops, req.working_set_bytes)
+                    start = clock
+                    clock += dt
+                    stats.compute_time += dt
+                    cost = req.ops * self._compute_host_factor + self._event_overhead
+                    stats.host_cost += cost
+                    if trace is not None:
+                        proc.last_eid = trace.add(
+                            proc=proc.rank, kind="compute", start=start, end=clock,
+                            host_cost=cost,
+                        )
+                    value = clock
+                elif ty is Delay:
+                    start = clock
+                    clock += req.seconds
+                    stats.compute_time += req.seconds
+                    stats.host_cost += self._delay_host_cost
+                    if trace is not None:
+                        proc.last_eid = trace.add(
+                            proc=proc.rank, kind="delay", start=start, end=clock,
+                            host_cost=self._delay_host_cost,
+                        )
+                    value = clock
+                else:
+                    blocked = _BLOCK_NAME.get(ty)
+                    if blocked is None and isinstance(
+                        req, (Send, Recv, Collective, Isend, Irecv, Wait)
+                    ):
+                        blocked = type(req).__name__.lower()
+                    if blocked is not None:
+                        # Communication serializes through the global event
+                        # queue so matching happens in virtual-timestamp order.
+                        proc.blocked = blocked
+                        seq = self._seq + 1
+                        self._seq = seq
+                        heappush(self._heap, (clock, seq, proc.rank, ("comm", req)))
+                        return
+                    if ty is Now:
+                        if req.charge_timer:
+                            clock += self.cpu.timer_cost()
+                        value = clock
+                    elif ty is Alloc:
+                        self.memory.allocate(proc.rank, req.name, req.nbytes)
+                        value = clock
+                    elif ty is Free:
+                        self.memory.free(proc.rank, req.name)
+                        value = clock
+                    else:
+                        raise TypeError(
+                            f"rank {proc.rank} yielded unknown request {req!r}"
+                        )
+        finally:
+            proc.clock = clock
+            stats.events += events
 
     # -- communication ----------------------------------------------------------
     def _do_comm(self, proc: _Proc, t: float, req: Request) -> None:
@@ -437,16 +540,20 @@ class Simulator:
                 f"rank {proc.rank} sends to nonexistent rank {req.dest} "
                 f"(world size {self.nprocs})"
             )
-        host = self.machine.host
-        overhead = self.net.send_overhead(req.nbytes)
-        cost = host.message_overhead + host.event_overhead + req.nbytes * host.message_per_byte
+        nbytes = req.nbytes
+        stats = proc.stats
+        overhead = self._ov_cache.get(nbytes)
+        if overhead is None:
+            overhead = self.net.send_overhead(nbytes)
+            self._ov_cache[nbytes] = overhead
+        cost = self._msg_host_base + nbytes * self._msg_host_per_byte
         fs = self._fault_state
         self._seq += 1
         seq = self._seq
         pre_delay = 0.0
         if fs is not None:
             injected, inj_retries, inj_delay = fs.injection(proc.rank, req.dest, seq)
-            proc.stats.retries += inj_retries
+            stats.retries += inj_retries
             pre_delay = inj_delay
             if not injected:
                 # transient send failure exhausted the retry budget: the
@@ -454,30 +561,34 @@ class Simulator:
                 self._fail_send(proc, t, overhead + pre_delay, cost, req, handle, inj_retries)
                 return
         t_inject = t + pre_delay + overhead
-        proc.stats.comm_time += overhead + pre_delay
-        proc.stats.messages_sent += 1
-        proc.stats.bytes_sent += req.nbytes
-        proc.stats.host_cost += cost
-        eager = self.net.is_eager(req.nbytes)
+        stats.comm_time += overhead + pre_delay
+        stats.messages_sent += 1
+        stats.bytes_sent += nbytes
+        stats.host_cost += cost
+        eager = nbytes <= self._eager_limit
         delivered, wire_retries, wire_delay = True, 0, 0.0
         if fs is not None:
             delivered, wire_retries, wire_delay = fs.delivery(proc.rank, req.dest, seq)
-            proc.stats.retries += wire_retries
+            stats.retries += wire_retries
+        if eager:
+            if fs is None:
+                if self._net_det:
+                    key = nbytes if self._net_flat else (nbytes, proc.rank, req.dest)
+                    transit = self._tr_cache.get(key)
+                    if transit is None:
+                        transit = self.net.transit_time(nbytes, proc.rank, req.dest, self.nprocs)
+                        self._tr_cache[key] = transit
+                else:
+                    transit = self.net.transit_time(nbytes, proc.rank, req.dest, self.nprocs)
+            else:
+                transit = self._transit(nbytes, proc.rank, req.dest, t_inject)
+            ready_time = t_inject + wire_delay + transit
+        else:
+            ready_time = None
+        # positional: MessageRecord(seq, source, tag, nbytes, data, eager,
+        # send_time, ready_time) — keyword passing is measurably slower here
         msg = MessageRecord(
-            seq=seq,
-            source=proc.rank,
-            tag=req.tag,
-            nbytes=req.nbytes,
-            data=req.data,
-            eager=eager,
-            send_time=t_inject,
-            ready_time=(
-                t_inject
-                + wire_delay
-                + self._transit(req.nbytes, proc.rank, req.dest, t_inject)
-            )
-            if eager
-            else None,
+            seq, proc.rank, req.tag, nbytes, req.data, eager, t_inject, ready_time,
             retry_delay=wire_delay,
         )
         send_eid = None
@@ -499,10 +610,7 @@ class Simulator:
             # discards it, but draining it costs host work
             receiver = self._procs[req.dest]
             receiver.stats.messages_duplicated += 1
-            receiver.stats.host_cost += (
-                host.message_overhead + host.event_overhead
-                + req.nbytes * host.message_per_byte
-            )
+            receiver.stats.host_cost += cost  # same drain cost as a real message
         matched = self._queues[req.dest].add_message(msg)
         if eager:
             if handle is not None:
@@ -511,7 +619,9 @@ class Simulator:
                 handle.result = t_inject
                 self._push(t_inject, proc.rank, ("resume", RequestHandle(handle.hid, "send")))
             else:
-                self._push(t_inject, proc.rank, ("resume", t_inject))
+                pseq = self._seq + 1
+                self._seq = pseq
+                heappush(self._heap, (t_inject, pseq, proc.rank, ("resume", t_inject)))
             if matched is not None:
                 self._complete_recv(matched, msg)
         else:
@@ -590,10 +700,12 @@ class Simulator:
                 f"rank {proc.rank} receives from nonexistent rank {req.source} "
                 f"(world size {self.nprocs})"
             )
-        self._seq += 1
+        seq = self._seq + 1
+        self._seq = seq
+        # positional: PostedRecv(seq, rank, source, tag, post_time, handle)
         posted = PostedRecv(
-            seq=self._seq, rank=proc.rank, source=req.source, tag=req.tag, post_time=t,
-            handle=handle.hid if handle is not None else None,
+            seq, proc.rank, req.source, req.tag, t,
+            handle.hid if handle is not None else None,
         )
         msg = self._queues[proc.rank].post_recv(posted)
         if handle is not None:
@@ -683,12 +795,18 @@ class Simulator:
         self._complete_recv(posted, msg)
 
     def _complete_recv(self, posted: PostedRecv, msg: MessageRecord) -> None:
-        host = self.machine.host
         recv_rank = posted.rank
         receiver = self._procs[recv_rank]
-        completion = max(posted.post_time, msg.ready_time) + self.net.recv_overhead(msg.nbytes)
+        nbytes = msg.nbytes
+        # recv_overhead == send_overhead (same deterministic formula), so
+        # the engine-side overhead memo serves both directions
+        overhead = self._ov_cache.get(nbytes)
+        if overhead is None:
+            overhead = self.net.recv_overhead(nbytes)
+            self._ov_cache[nbytes] = overhead
+        completion = max(posted.post_time, msg.ready_time) + overhead
         receiver.stats.messages_received += 1
-        cost = host.message_overhead + host.event_overhead + msg.nbytes * host.message_per_byte
+        cost = self._msg_host_base + nbytes * self._msg_host_per_byte
         receiver.stats.host_cost += cost
         eid = None
         if self.trace is not None:
@@ -698,9 +816,8 @@ class Simulator:
                 host_cost=cost, deps=deps, nbytes=msg.nbytes,
                 nonblocking=posted.handle is not None,
             )
-        result = ReceivedMessage(
-            data=msg.data, nbytes=msg.nbytes, source=msg.source, tag=msg.tag, now=completion
-        )
+        # positional: ReceivedMessage(data, nbytes, source, tag, now)
+        result = ReceivedMessage(msg.data, nbytes, msg.source, msg.tag, completion)
         if posted.handle is not None:
             # kernel-side completion: it does not advance the receiver's
             # program order (the matching Wait does)
@@ -711,7 +828,9 @@ class Simulator:
             if eid is not None:
                 receiver.last_eid = eid
             receiver.stats.comm_time += completion - posted.post_time
-            self._push(completion, recv_rank, ("resume", result))
+            pseq = self._seq + 1
+            self._seq = pseq
+            heappush(self._heap, (completion, pseq, recv_rank, ("resume", result)))
 
     # -- non-blocking completion ---------------------------------------------------
     def _complete_handle(self, proc: _Proc, hid: int, ready_time: float, result) -> None:
@@ -741,11 +860,12 @@ class Simulator:
             )
             proc.last_eid = eid
         results = [h.result for h in handles]
-        self._push(resume_at, proc.rank, ("resume", results))
+        pseq = self._seq + 1
+        self._seq = pseq
+        heappush(self._heap, (resume_at, pseq, proc.rank, ("resume", results)))
 
     def _do_wait(self, proc: _Proc, t: float, req: Wait) -> None:
-        host = self.machine.host
-        proc.stats.host_cost += host.event_overhead
+        proc.stats.host_cost += self._event_overhead
         hids = []
         for rh in req.handles:
             if rh.hid not in proc.handles:
@@ -811,28 +931,28 @@ class Simulator:
         del self._colls[key]
         idx = self._coll_trace_ids
         self._coll_trace_ids += 1
-        host = self.machine.host
         start_max = max(at for at, _ in state.arrivals.values())
         duration = self.net.collective_time(state.op, state.nbytes, len(members))
         completion = start_max + duration
         results = self._collective_results(state)
+        cost = self._msg_host_base + state.nbytes * self._msg_host_per_byte
+        trace = self.trace
+        procs = self._procs
+        heap = self._heap
         for rank, (arrival, _) in state.arrivals.items():
-            p = self._procs[rank]
+            p = procs[rank]
             p.stats.comm_time += completion - arrival
             p.stats.collectives += 1
-            cost = (
-                host.message_overhead
-                + host.event_overhead
-                + state.nbytes * host.message_per_byte
-            )
             p.stats.host_cost += cost
-            if self.trace is not None:
-                eid = self.trace.add(
+            if trace is not None:
+                p.last_eid = trace.add(
                     proc=rank, kind="collective", start=arrival, end=completion,
                     host_cost=cost, coll_id=idx, nbytes=state.nbytes,
                 )
-                p.last_eid = eid
-            self._push(completion, rank, ("resume", CollectiveResult(results[rank], completion)))
+            pseq = self._seq + 1
+            self._seq = pseq
+            heappush(heap, (completion, pseq, rank,
+                            ("resume", CollectiveResult(results[rank], completion))))
 
     def _collective_results(self, state: _CollState) -> dict[int, Any]:
         """Per-rank result payloads for a completed collective."""

@@ -50,6 +50,9 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 
+_INF = math.inf
+
+
 def _check_finite(name: str, value: float) -> None:
     if not math.isfinite(value):
         raise ValueError(f"{name} must be finite, got {value!r}")
@@ -73,7 +76,7 @@ class Request:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Compute(Request):
     """Execute local computation: *ops* abstract operations over a
     working set of *working_set_bytes*.  Priced by the CPU model; under
@@ -84,15 +87,17 @@ class Compute(Request):
     task: str | None = None  # STG task this computation belongs to (for timing)
 
     def __post_init__(self):
-        _check_finite("op count", self.ops)
-        if self.ops < 0:
-            raise ValueError(f"negative op count: {self.ops}")
-        _check_finite("working set", self.working_set_bytes)
-        if self.working_set_bytes < 0:
+        # one comparison chain accepts the valid case (NaN fails it too);
+        # the slow path re-checks to raise the precise error
+        if not (0 <= self.ops < _INF and 0 <= self.working_set_bytes < _INF):
+            _check_finite("op count", self.ops)
+            if self.ops < 0:
+                raise ValueError(f"negative op count: {self.ops}")
+            _check_finite("working set", self.working_set_bytes)
             raise ValueError(f"negative working set: {self.working_set_bytes}")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Delay(Request):
     """Advance the simulation clock of this thread by *seconds*.
 
@@ -104,12 +109,12 @@ class Delay(Request):
     task: str | None = None
 
     def __post_init__(self):
-        _check_finite("delay", self.seconds)
-        if self.seconds < 0:
+        if not (0 <= self.seconds < _INF):
+            _check_finite("delay", self.seconds)
             raise ValueError(f"negative delay: {self.seconds}")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Send(Request):
     """Blocking-buffered send of *nbytes* to *dest* with *tag*.
 
@@ -127,15 +132,16 @@ class Send(Request):
     timeout: float | None = None
 
     def __post_init__(self):
-        _check_finite("message size", self.nbytes)
-        if self.nbytes < 0:
-            raise ValueError(f"negative message size: {self.nbytes}")
-        if self.dest < 0:
+        if not (0 <= self.nbytes < _INF) or self.dest < 0:
+            _check_finite("message size", self.nbytes)
+            if self.nbytes < 0:
+                raise ValueError(f"negative message size: {self.nbytes}")
             raise ValueError(f"invalid destination rank: {self.dest}")
-        _check_timeout(self.timeout)
+        if self.timeout is not None:
+            _check_timeout(self.timeout)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Recv(Request):
     """Blocking receive matching (*source*, *tag*); wildcards allowed.
 
@@ -152,11 +158,14 @@ class Recv(Request):
     timeout: float | None = None
 
     def __post_init__(self):
-        _check_source(self.source)
-        _check_timeout(self.timeout)
+        source = self.source
+        if source < 0 and source != ANY_SOURCE:
+            _check_source(source)
+        if self.timeout is not None:
+            _check_timeout(self.timeout)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class RequestHandle:
     """Opaque handle to a pending non-blocking operation (MPI_Request)."""
 
@@ -164,7 +173,7 @@ class RequestHandle:
     kind: str  # "send" | "recv"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Isend(Request):
     """Non-blocking send: returns a :class:`RequestHandle` immediately.
 
@@ -182,15 +191,16 @@ class Isend(Request):
     timeout: float | None = None
 
     def __post_init__(self):
-        _check_finite("message size", self.nbytes)
-        if self.nbytes < 0:
-            raise ValueError(f"negative message size: {self.nbytes}")
-        if self.dest < 0:
+        if not (0 <= self.nbytes < _INF) or self.dest < 0:
+            _check_finite("message size", self.nbytes)
+            if self.nbytes < 0:
+                raise ValueError(f"negative message size: {self.nbytes}")
             raise ValueError(f"invalid destination rank: {self.dest}")
-        _check_timeout(self.timeout)
+        if self.timeout is not None:
+            _check_timeout(self.timeout)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Irecv(Request):
     """Non-blocking receive: posts the match and returns a handle.
 
@@ -204,11 +214,14 @@ class Irecv(Request):
     timeout: float | None = None
 
     def __post_init__(self):
-        _check_source(self.source)
-        _check_timeout(self.timeout)
+        source = self.source
+        if source < 0 and source != ANY_SOURCE:
+            _check_source(source)
+        if self.timeout is not None:
+            _check_timeout(self.timeout)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Wait(Request):
     """Block until every handle completes (MPI_Wait / MPI_Waitall).
 
@@ -225,7 +238,7 @@ class Wait(Request):
                 raise TypeError(f"Wait expects RequestHandle, got {h!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Collective(Request):
     """A collective operation over a communicator.
 
@@ -258,7 +271,7 @@ class Collective(Request):
                 raise ValueError(f"group must be sorted and duplicate-free: {self.group}")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Alloc(Request):
     """Account *nbytes* of target-program memory under *name*.
 
@@ -276,14 +289,14 @@ class Alloc(Request):
             raise ValueError(f"negative allocation: {self.nbytes}")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Free(Request):
     """Release a prior allocation by name."""
 
     name: str
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Now(Request):
     """Query the local virtual clock without advancing it (timer call).
 
@@ -295,7 +308,7 @@ class Now(Request):
     charge_timer: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class ReceivedMessage:
     """Result of a Recv: payload and envelope plus completion time."""
 
@@ -306,7 +319,7 @@ class ReceivedMessage:
     now: float
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class CollectiveResult:
     """Result of a Collective: op-dependent payload plus completion time."""
 
@@ -314,7 +327,7 @@ class CollectiveResult:
     now: float
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class TimedOut:
     """Completion status of an operation whose *timeout* expired.
 
@@ -326,7 +339,7 @@ class TimedOut:
     now: float
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class SendFailed:
     """Completion status of a send that exhausted its fault-retry budget.
 

@@ -7,7 +7,7 @@ from dataclasses import asdict, dataclass, field
 __all__ = ["ProcessStats", "SimStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessStats:
     """Virtual-time and host-cost accounting for one target process."""
 

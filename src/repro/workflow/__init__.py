@@ -12,6 +12,7 @@ from .campaign import (
     format_campaign_report,
     load_grid,
 )
+from .parallel import WorkflowSpec, calibrate_many, resolve_jobs
 from .pipeline import ModelingWorkflow
 from .reporting import (
     format_bytes,
@@ -44,6 +45,9 @@ __all__ = [
     "expand_grid",
     "format_campaign_report",
     "load_grid",
+    "WorkflowSpec",
+    "calibrate_many",
+    "resolve_jobs",
     "validate",
     "ValidationPoint",
     "ValidationSeries",

@@ -481,15 +481,22 @@ class CampaignRunner:
         return journal, done
 
     # -- execution --------------------------------------------------------------
-    def execute(self, resume: bool = False, max_runs: int | None = None) -> CampaignReport:
+    def execute(self, resume: bool = False, max_runs: int | None = None,
+                jobs: int = 1) -> CampaignReport:
         """Run every pending grid cell; checkpoint each outcome.
 
         *resume* replays an existing journal (config-hash-checked) and
         skips runs already completed ``ok``.  *max_runs* bounds how many
         runs this invocation executes (smoke tests, incremental fills);
         stopping early is reported like an interruption so ``--resume``
-        picks up the rest.
+        picks up the rest.  *jobs* > 1 fans pending cells across worker
+        processes; every artifact (journal records, ``results.csv``) is
+        identical to a sequential run because outputs are derived from
+        spec order, never completion order.
         """
+        from .parallel import resolve_jobs
+
+        jobs = resolve_jobs(jobs)
         journal, done = self._open_journal(resume)
         skipped = sum(1 for rec in done.values() if rec.outcome == "ok")
         records: dict[str, RunRecord] = dict(done)
@@ -499,22 +506,27 @@ class CampaignRunner:
         with TRACER.span("campaign", campaign=self.config.name, runs=len(self.config.specs)):
             try:
                 with _signal_trap(self):
-                    for index, spec in enumerate(self.config.specs):
-                        prior = records.get(spec.run_id)
-                        if prior is not None and prior.outcome == "ok":
-                            continue  # checkpointed: already done
-                        if max_runs is not None and executed >= max_runs:
-                            stopped = True
-                            break
-                        if prior is not None:
-                            _log.info(
-                                "re-running %s (%s last time)",
-                                spec.describe(), prior.outcome,
-                            )
-                        rec = self._execute_one(spec, index)
-                        journal.append(rec.to_json())
-                        records[spec.run_id] = rec
-                        executed += 1
+                    if jobs > 1:
+                        executed, stopped = self._execute_parallel(
+                            journal, records, max_runs, jobs
+                        )
+                    else:
+                        for index, spec in enumerate(self.config.specs):
+                            prior = records.get(spec.run_id)
+                            if prior is not None and prior.outcome == "ok":
+                                continue  # checkpointed: already done
+                            if max_runs is not None and executed >= max_runs:
+                                stopped = True
+                                break
+                            if prior is not None:
+                                _log.info(
+                                    "re-running %s (%s last time)",
+                                    spec.describe(), prior.outcome,
+                                )
+                            rec = self._execute_one(spec, index)
+                            journal.append(rec.to_json())
+                            records[spec.run_id] = rec
+                            executed += 1
             except CampaignInterrupted as exc:
                 interrupted = True
                 journal.append(
@@ -543,6 +555,59 @@ class CampaignRunner:
             self._write_results(records)
             report.results_path = self.results_path
         return report
+
+    def _execute_parallel(self, journal: AtomicJournal,
+                          records: dict[str, RunRecord],
+                          max_runs: int | None, jobs: int) -> tuple[int, bool]:
+        """Fan pending cells across worker processes.
+
+        Workers rebuild their own runner from the (picklable) config and
+        execute single cells via :meth:`_execute_one`; the parent
+        journals records as they complete.  Journal *order* may differ
+        from a sequential run, but the record set — and therefore
+        ``results.csv``, which is rebuilt in spec order — is identical:
+        each cell's outcome depends only on its spec and seed.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        from .parallel import run_campaign_cells
+
+        pending: list[tuple[int, RunSpec]] = []
+        for index, spec in enumerate(self.config.specs):
+            prior = records.get(spec.run_id)
+            if prior is not None and prior.outcome == "ok":
+                continue
+            pending.append((index, spec))
+        stopped = False
+        if max_runs is not None and len(pending) > max_runs:
+            pending = pending[:max_runs]
+            stopped = True
+        if not pending:
+            return 0, stopped
+        for _, spec in pending:
+            prior = records.get(spec.run_id)
+            if prior is not None:
+                _log.info("re-running %s (%s last time)", spec.describe(), prior.outcome)
+
+        def on_record(spec: RunSpec, rec: RunRecord) -> None:
+            journal.append(rec.to_json())
+            records[spec.run_id] = rec
+            if METRICS.enabled:
+                METRICS.counter(
+                    "campaign_runs_total", "campaign runs by outcome"
+                ).inc(outcome=rec.outcome, app=spec.app, mode=spec.mode)
+
+        try:
+            executed = run_campaign_cells(
+                self.config, pending, jobs, on_record,
+                resolver=self.resolver, sleep=self.sleep,
+            )
+        except BrokenProcessPool as exc:
+            raise CampaignError(
+                f"a campaign worker process died unexpectedly ({exc}); "
+                f"completed runs are journaled — re-run with --resume"
+            ) from None
+        return executed, stopped
 
     def _execute_one(self, spec: RunSpec, index: int) -> RunRecord:
         """One grid cell: budgets, bounded retry, outcome classification."""

@@ -1,0 +1,232 @@
+"""Parallel run executor: fan independent simulation runs across processes.
+
+The simulation kernel is single-threaded by design (one global event
+heap), but the *experiments* built on top of it are embarrassingly
+parallel: campaign grid cells, validation-sweep points and repeated
+calibration runs share nothing except read-only configuration.  This
+module fans such independent runs across a ``ProcessPoolExecutor``.
+
+Design rules (the determinism contract, see docs/robustness.md):
+
+* **Workers rebuild, parents aggregate.**  Programs are not picklable
+  (``nas_sp`` closes over numpy state), so a worker never receives live
+  objects — it receives the *recipe* (:class:`WorkflowSpec`, or a
+  :class:`~repro.workflow.campaign.CampaignConfig`) and rebuilds its own
+  workflow once per process, caching it in a module global.
+* **Completion order never shapes results.**  Parents journal records
+  in completion order but derive every artifact (``results.csv``,
+  validation series) in *spec order*, so ``--jobs 4`` output is
+  byte-identical to ``--jobs 1``.
+* **Every run is seeded by its spec, not by execution order.**  The
+  engine is deterministic under a fixed seed, so the same cell computes
+  the same record no matter which worker runs it, or when.
+* **Workers ignore SIGINT.**  Only the parent traps signals; it cancels
+  pending work and leaves the journal a consistent prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+__all__ = [
+    "resolve_jobs",
+    "WorkflowSpec",
+    "run_campaign_cells",
+    "run_validation_points",
+    "calibrate_many",
+]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means all cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class WorkflowSpec:
+    """Picklable recipe for a :class:`~repro.workflow.ModelingWorkflow`.
+
+    Carries only names and numbers; :meth:`build` resolves them against
+    the application registry and machine presets inside the worker.
+    """
+
+    app: str
+    machine: str
+    calib_nprocs: int
+    overrides: tuple[tuple[str, float], ...] = ()
+    seed: int = 0
+
+    def build(self):
+        from ..cli import APPS
+        from ..machine import get_machine
+        from .pipeline import ModelingWorkflow
+
+        try:
+            builder, default_inputs = APPS[self.app]
+        except KeyError:
+            raise ValueError(f"unknown app {self.app!r}") from None
+        calib = default_inputs(self.calib_nprocs)
+        calib.update(dict(self.overrides))
+        return ModelingWorkflow(
+            builder(), get_machine(self.machine),
+            calib_inputs=calib, calib_nprocs=self.calib_nprocs, seed=self.seed,
+        )
+
+
+# -- worker-process state ------------------------------------------------------
+# One rebuild per worker process, then reuse: the calibration and the
+# compiled program are the expensive parts, and they are pure functions
+# of the recipe, so caching them per process cannot change results.
+
+_STATE: dict = {}
+
+
+def _quiet_worker() -> None:
+    """Common worker setup: leave interrupts to the parent, and do not
+    accumulate observability state nobody will ever collect."""
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    from ..obs.metrics import METRICS
+    from ..obs.spans import TRACER
+
+    TRACER.disable()
+    METRICS.disable()
+
+
+def _campaign_init(config, resolver, sleep) -> None:
+    _quiet_worker()
+    from .campaign import CampaignRunner
+
+    _STATE["runner"] = CampaignRunner(
+        config, out_dir=os.devnull, resolver=resolver, sleep=sleep
+    )
+
+
+def _campaign_cell(index: int, spec):
+    """Execute one grid cell in a worker; return its RunRecord."""
+    return _STATE["runner"]._execute_one(spec, index)
+
+
+def _workflow_init(spec: WorkflowSpec) -> None:
+    _quiet_worker()
+    _STATE["workflow"] = spec.build()
+
+
+def _validation_point(i: int, inputs: dict, nprocs: int,
+                      include_de: bool, label: str):
+    from .validation import _run_point
+
+    return _run_point(_STATE["workflow"], i, inputs, nprocs, include_de, label)
+
+
+def _calibration_run(seed: int) -> dict:
+    from ..measure import measure_wparams
+
+    wf = _STATE["workflow"]
+    cal = measure_wparams(
+        wf.program, wf.calib_inputs, wf.calib_nprocs, wf.machine, seed
+    )
+    # BranchProfile is process-local detail; ship only the numbers
+    return {"seed": seed, "wparams": cal.wparams, "elapsed": cal.elapsed}
+
+
+# -- parent-side drivers -------------------------------------------------------
+
+
+def run_campaign_cells(config, pending, jobs, on_record,
+                       resolver=None, sleep=None):
+    """Fan *pending* ``(index, spec)`` cells across *jobs* workers.
+
+    ``on_record(spec, record)`` is called in **completion order** — the
+    campaign runner journals there; its ``results.csv`` is rebuilt in
+    spec order afterwards, which is what makes parallel output
+    byte-identical to sequential.  An interrupt raised while waiting is
+    allowed to propagate after pending work is cancelled; a worker crash
+    surfaces as ``BrokenProcessPool`` for the caller to classify.
+    """
+    import time
+
+    pool = ProcessPoolExecutor(
+        max_workers=min(jobs, len(pending)),
+        initializer=_campaign_init,
+        initargs=(config, resolver, sleep if sleep is not None else time.sleep),
+    )
+    try:
+        futures = {
+            pool.submit(_campaign_cell, index, spec): spec
+            for index, spec in pending
+        }
+        executed = 0
+        for fut in as_completed(futures):
+            rec = fut.result()
+            on_record(futures[fut], rec)
+            executed += 1
+        pool.shutdown()
+        return executed
+    except BaseException:
+        # interrupt or worker failure: cancel what has not started and
+        # abandon what has; the journal already holds every completed
+        # record, so --resume re-runs exactly the abandoned cells
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+
+
+def run_validation_points(spec: WorkflowSpec, configs, include_de,
+                          labels, jobs: int):
+    """All three estimators per config, fanned across workers.
+
+    Returns points in **config order** regardless of completion order;
+    each point's seed derives from its index (``seed + 101 + i``), so a
+    point computes identically wherever it runs.
+    """
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(configs)),
+        initializer=_workflow_init, initargs=(spec,),
+    ) as pool:
+        futures = [
+            pool.submit(
+                _validation_point, i, inputs, nprocs, include_de,
+                labels[i] if labels else str(nprocs),
+            )
+            for i, (inputs, nprocs) in enumerate(configs)
+        ]
+        return [f.result() for f in futures]
+
+
+def calibrate_many(spec: WorkflowSpec, seeds, jobs: int | None = None) -> list[dict]:
+    """Repeat the calibration run under different measurement seeds.
+
+    Calibration repetitions quantify the w_i measurement noise the paper
+    discusses in Sec. 4.2; each repetition is independent, so they fan
+    out like any other sweep.  Returns one
+    ``{"seed", "wparams", "elapsed"}`` dict per seed, in seed order.
+    """
+    seeds = list(seeds)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(seeds) <= 1:
+        _workflow_init_local = spec.build()
+        from ..measure import measure_wparams
+
+        out = []
+        for seed in seeds:
+            cal = measure_wparams(
+                _workflow_init_local.program, _workflow_init_local.calib_inputs,
+                _workflow_init_local.calib_nprocs, _workflow_init_local.machine, seed,
+            )
+            out.append({"seed": seed, "wparams": cal.wparams, "elapsed": cal.elapsed})
+        return out
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(seeds)),
+        initializer=_workflow_init, initargs=(spec,),
+    ) as pool:
+        futures = [pool.submit(_calibration_run, seed) for seed in seeds]
+        return [f.result() for f in futures]

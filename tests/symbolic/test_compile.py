@@ -1,0 +1,143 @@
+"""Tests for Expr.compile / BoolExpr.compile: the symbolic fast path.
+
+AM-mode runs evaluate condensed scaling functions per delayed task;
+``compile()`` lowers an expression tree to one Python closure.  The
+contract: the closure computes *exactly* what ``evaluate`` computes —
+same values, same errors — and is cached, composable, and rebuilt
+transparently after pickling.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import (
+    And,
+    Const,
+    Eq,
+    FloorDiv,
+    Ge,
+    Lt,
+    Max,
+    Min,
+    Mod,
+    Not,
+    Or,
+    UnboundVariableError,
+    Var,
+    ceil_div,
+)
+
+VARS = ("N", "P", "b", "myid")
+
+
+@st.composite
+def envs(draw):
+    return {name: draw(st.integers(min_value=1, max_value=1000)) for name in VARS}
+
+
+def exprs(max_leaves=6):
+    leaf = st.one_of(
+        st.integers(min_value=-50, max_value=50).map(Const),
+        st.sampled_from(VARS).map(Var),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda ab: ab[0] + ab[1]),
+            st.tuples(children, children).map(lambda ab: ab[0] - ab[1]),
+            st.tuples(children, children).map(lambda ab: ab[0] * ab[1]),
+            st.tuples(children, children).map(lambda ab: Min.make(ab[0], ab[1])),
+            st.tuples(children, children).map(lambda ab: Max.make(ab[0], ab[1])),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=max_leaves)
+
+
+N, P, b = Var("N"), Var("P"), Var("b")
+
+
+class TestExprCompile:
+    @given(exprs(), envs())
+    @settings(max_examples=200)
+    def test_compiled_matches_evaluate(self, e, env):
+        assert e.compile()(env) == e.evaluate(env)
+
+    def test_division_family_matches_evaluate(self):
+        env = {"N": 17, "P": 5}
+        for e in (N / P, FloorDiv.make(N, P), ceil_div(N, P), Mod.make(N, P)):
+            assert e.compile()(env) == e.evaluate(env)
+
+    def test_closure_is_cached(self):
+        e = N * P + Const(3)
+        assert e.compile() is e.compile()
+
+    def test_missing_binding_raises_same_error(self):
+        e = N * P + b
+        with pytest.raises(UnboundVariableError) as via_eval:
+            e.evaluate({"N": 4})
+        with pytest.raises(UnboundVariableError) as via_compiled:
+            e.compile()({"N": 4})
+        assert str(via_compiled.value) == str(via_eval.value)
+
+    def test_pickle_roundtrip_recompiles(self):
+        e = Max.make(N, P) + ceil_div(N, Const(4))
+        e.compile()  # populate the caches that must NOT be pickled
+        clone = pickle.loads(pickle.dumps(e))
+        assert clone == e
+        env = {"N": 9, "P": 2}
+        assert clone.compile()(env) == e.evaluate(env)
+
+
+class TestBoolExprCompile:
+    CASES = [
+        Lt(N, P),
+        Ge(N * Const(2), P + b),
+        Eq(Mod.make(N, P), Const(0)),
+        And.make(Lt(N, P), Lt(P, b)),
+        And.make(Lt(N, P), Lt(P, b), Lt(b, Const(100))),
+        Or.make(Ge(N, P), Ge(P, b)),
+        Or.make(Ge(N, P), Ge(P, b), Eq(N, b)),
+        Not.make(And.make(Lt(N, P), Ge(b, Const(3)))),
+        # 4-wide junctions exercise the general all()/any() fallback
+        And.make(Lt(N, Const(900)), Lt(P, Const(900)), Lt(b, Const(900)),
+                 Ge(N + P, Const(2))),
+        Or.make(Eq(N, Const(-1)), Eq(P, Const(-1)), Eq(b, Const(-1)),
+                Ge(N, Const(1))),
+    ]
+
+    @given(envs())
+    @settings(max_examples=100)
+    def test_compiled_matches_evaluate(self, env):
+        for c in self.CASES:
+            assert c.compile()(env) == c.evaluate(env)
+
+    def test_closure_is_cached(self):
+        c = And.make(Lt(N, P), Ge(b, Const(1)))
+        assert c.compile() is c.compile()
+
+    def test_missing_binding_raises_same_error(self):
+        c = And.make(Lt(N, P), Ge(b, Const(1)))
+        with pytest.raises(UnboundVariableError) as via_eval:
+            c.evaluate({"N": 1, "P": 2})
+        with pytest.raises(UnboundVariableError) as via_compiled:
+            c.compile()({"N": 1, "P": 2})
+        assert str(via_compiled.value) == str(via_eval.value)
+
+    def test_junction_shortcircuit_matches_evaluate(self):
+        # `and` must not evaluate past the first false operand — the
+        # unbound right-hand side is unreachable in both implementations
+        c = And.make(Lt(N, Const(0)), Lt(Var("missing"), Const(1)))
+        env = {"N": 5}
+        assert c.evaluate(env) is False
+        assert c.compile()(env) is False
+
+    def test_pickle_roundtrip_recompiles(self):
+        c = Or.make(Lt(N, P), Not.make(Eq(b, Const(7))))
+        c.compile()
+        clone = pickle.loads(pickle.dumps(c))
+        assert clone == c
+        env = {"N": 3, "P": 9, "b": 7}
+        assert clone.compile()(env) == c.evaluate(env)

@@ -1,0 +1,217 @@
+"""Tests for the parallel run executor: determinism, interrupts, recovery.
+
+The contract under test (docs/robustness.md): ``--jobs N`` may change
+*when* runs execute and in what order records reach the journal, but
+never *what* is computed — ``results.csv`` is byte-identical to a
+sequential run, resumes interoperate freely between jobs settings, and
+a worker crash degrades to an ordinary resumable interruption.
+"""
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.workflow.campaign import (
+    CampaignError,
+    CampaignInterrupted,
+    CampaignRunner,
+    expand_grid,
+)
+from repro.workflow.parallel import (
+    WorkflowSpec,
+    calibrate_many,
+    resolve_jobs,
+)
+from repro.workflow.validation import validate
+
+
+def tiny_grid(**overrides):
+    grid = {
+        "name": "tiny",
+        "machine": "testing",
+        "app": "sample_nearest_neighbor",
+        "modes": ["de"],
+        "nprocs": [2, 3, 4],
+        "inputs": {"grain": 1000, "msg": 512, "iters": 2},
+    }
+    grid.update(overrides)
+    return grid
+
+
+def run_campaign(tmp_path, grid=None, sub="out", **execute_kw):
+    runner = CampaignRunner(expand_grid(grid or tiny_grid()), tmp_path / sub)
+    return runner, runner.execute(**execute_kw)
+
+
+def _crash_cell(index, spec):  # pragma: no cover - runs inside a worker
+    """Submitted in place of parallel._campaign_cell: kills its worker.
+
+    Must be a named module-level function — the pool pickles submitted
+    callables by qualified name, and an unpicklable stand-in would wedge
+    the executor's feeder thread instead of crashing a worker.
+    """
+    os._exit(1)
+
+
+def journal_runs(runner):
+    """The journal's run records as {run_id: outcome-relevant fields}."""
+    docs = [json.loads(line) for line in
+            runner.journal_path.read_text().splitlines()]
+    return {
+        d["run_id"]: (d["outcome"], d["elapsed"], d["stats"], d["error"])
+        for d in docs if d.get("type") == "run"
+    }
+
+
+class TestResolveJobs:
+    def test_default_and_zero(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1  # all cores
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(-2)
+
+
+class TestParallelCampaign:
+    def test_results_csv_byte_identical(self, tmp_path):
+        _, seq_report = run_campaign(tmp_path, sub="seq", jobs=1)
+        _, par_report = run_campaign(tmp_path, sub="par", jobs=4)
+        assert seq_report.complete and par_report.complete
+        assert par_report.executed == seq_report.executed == 3
+        seq = (tmp_path / "seq" / "results.csv").read_bytes()
+        par = (tmp_path / "par" / "results.csv").read_bytes()
+        assert seq == par
+
+    def test_journals_record_equivalent_outcomes(self, tmp_path):
+        seq_runner, _ = run_campaign(tmp_path, sub="seq", jobs=1)
+        par_runner, _ = run_campaign(tmp_path, sub="par", jobs=4)
+        # journal order may differ (completion order); the record set,
+        # including stats and elapsed times, may not
+        assert journal_runs(seq_runner) == journal_runs(par_runner)
+
+    def test_fault_plans_survive_fanout(self, tmp_path):
+        grid = tiny_grid(fault_plans=[None, {"message_loss": 0.05, "seed": 7}],
+                         nprocs=[2, 3])
+        _, seq = run_campaign(tmp_path, grid=grid, sub="seq", jobs=1)
+        _, par = run_campaign(tmp_path, grid=grid, sub="par", jobs=4)
+        assert seq.complete and par.complete
+        assert (tmp_path / "seq" / "results.csv").read_bytes() == \
+               (tmp_path / "par" / "results.csv").read_bytes()
+
+    def test_max_runs_stops_then_parallel_resume_is_identical(self, tmp_path):
+        _, ref = run_campaign(tmp_path, sub="ref", jobs=1)
+        runner, report = run_campaign(tmp_path, sub="out", jobs=4, max_runs=1)
+        assert report.stopped and not report.complete
+        assert report.executed == 1
+        resumed = runner.execute(resume=True, jobs=4)
+        assert resumed.complete and resumed.skipped == 1
+        assert (tmp_path / "out" / "results.csv").read_bytes() == \
+               (tmp_path / "ref" / "results.csv").read_bytes()
+
+    def test_interrupt_mid_parallel_then_resume(self, tmp_path):
+        """An interrupt that lands between completions journals a marker
+        and leaves a prefix any later jobs setting can finish."""
+        import repro.workflow.parallel as parallel
+
+        real = parallel.run_campaign_cells
+
+        def interrupting(config, pending, jobs, on_record, **kw):
+            def wrapped(spec, rec):
+                on_record(spec, rec)
+                raise CampaignInterrupted(signal.SIGINT)
+
+            return real(config, pending, jobs, wrapped, **kw)
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(parallel, "run_campaign_cells", interrupting)
+            runner = CampaignRunner(expand_grid(tiny_grid()), tmp_path / "out")
+            report = runner.execute(jobs=4)
+        assert report.interrupted and not report.complete
+        docs = [json.loads(line) for line in
+                runner.journal_path.read_text().splitlines()]
+        assert docs[-1]["type"] == "interrupted"
+        assert docs[-1]["signal"] == signal.SIGINT
+        # finish sequentially: mixing jobs settings across resumes is fine
+        resumed = runner.execute(resume=True, jobs=1)
+        assert resumed.complete and not resumed.interrupted
+        _, ref = run_campaign(tmp_path, sub="ref", jobs=1)
+        assert (tmp_path / "out" / "results.csv").read_bytes() == \
+               (tmp_path / "ref" / "results.csv").read_bytes()
+
+    def test_worker_crash_is_resumable_campaign_error(self, tmp_path):
+        """A dead worker surfaces as CampaignError advising --resume, not
+        a raw BrokenProcessPool traceback; the journal stays usable."""
+        import repro.workflow.parallel as parallel
+
+        runner = CampaignRunner(expand_grid(tiny_grid()), tmp_path / "out")
+        with pytest.MonkeyPatch.context() as mp:
+            # every worker dies before completing a cell
+            mp.setattr(parallel, "_campaign_cell", _crash_cell)
+            with pytest.raises(CampaignError, match="--resume"):
+                runner.execute(jobs=2)
+        resumed = runner.execute(resume=True, jobs=2)
+        assert resumed.complete
+        _, ref = run_campaign(tmp_path, sub="ref", jobs=1)
+        assert (tmp_path / "out" / "results.csv").read_bytes() == \
+               (tmp_path / "ref" / "results.csv").read_bytes()
+
+    def test_jobs_one_uses_sequential_path(self, tmp_path, monkeypatch):
+        """jobs=1 must not pay process-pool overhead (and must keep
+        working where multiprocessing is unavailable)."""
+        import repro.workflow.parallel as parallel
+
+        def boom(*a, **kw):  # pragma: no cover - failure path
+            raise AssertionError("jobs=1 must not enter the parallel executor")
+
+        monkeypatch.setattr(parallel, "run_campaign_cells", boom)
+        _, report = run_campaign(tmp_path, jobs=1)
+        assert report.complete
+
+
+SPEC = WorkflowSpec(
+    app="sample_nearest_neighbor", machine="testing", calib_nprocs=4,
+    overrides=(("grain", 1000), ("iters", 2), ("msg", 512)), seed=0,
+)
+CONFIGS = [({"grain": 1000, "msg": 512, "iters": 2}, p) for p in (2, 3, 4)]
+
+
+class TestParallelValidation:
+    def test_series_identical_to_sequential(self):
+        seq = validate(SPEC.build(), CONFIGS, name="x")
+        par = validate(SPEC.build(), CONFIGS, name="x", jobs=4, spec=SPEC)
+        assert [(p.label, p.nprocs, p.measured, p.de, p.am) for p in seq.points] == \
+               [(p.label, p.nprocs, p.measured, p.de, p.am) for p in par.points]
+
+    def test_labels_and_no_de_respected(self):
+        labels = ["a", "b", "c"]
+        par = validate(SPEC.build(), CONFIGS, jobs=4, spec=SPEC,
+                       include_de=False, labels=labels)
+        assert [p.label for p in par.points] == labels
+        assert all(p.de is None for p in par.points)
+
+    def test_parallel_without_spec_rejected(self):
+        with pytest.raises(ValueError, match="WorkflowSpec"):
+            validate(SPEC.build(), CONFIGS, jobs=4)
+
+    def test_unknown_app_in_spec(self):
+        bad = WorkflowSpec(app="nope", machine="testing", calib_nprocs=4)
+        with pytest.raises(ValueError, match="unknown app"):
+            bad.build()
+
+
+class TestCalibrateMany:
+    def test_parallel_matches_sequential(self):
+        seq = calibrate_many(SPEC, seeds=[0, 1, 2], jobs=1)
+        par = calibrate_many(SPEC, seeds=[0, 1, 2], jobs=3)
+        assert seq == par
+        assert [c["seed"] for c in par] == [0, 1, 2]
+
+    def test_seed_zero_is_reference_calibration(self):
+        wf = SPEC.build()
+        wf.calibrate()
+        reps = calibrate_many(SPEC, seeds=[0], jobs=2)  # single seed: inline
+        assert reps[0]["wparams"] == wf.wparams
