@@ -1,0 +1,40 @@
+"""The committed regression corpus: minimized fuzz findings as data.
+
+Each ``*.json`` file in this directory is one :class:`RegressionCase`
+(the :mod:`repro.gen.corpus` format): a small, hand-verified program —
+usually the auto-minimized form of a divergence found by
+``python -m repro fuzz`` — plus the expectation the differential
+harness must uphold forever (``ok``, ``deadlock`` or ``mismatch``).
+
+``tests/gen/test_regressions.py`` auto-discovers every case here and
+replays it through the harness, so committing a new finding is just::
+
+    cp fuzz-out/minimized/seedNNNNNN_kind.json src/repro/apps/regressions/
+    python -m repro fuzz --check-corpus src/repro/apps/regressions
+
+The seed cases were produced by ``tools/make_regressions.py`` and
+reviewed by hand; the ``reason`` field of each file records why it is
+worth keeping.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["corpus_dir", "load_all"]
+
+_CORPUS_DIR = Path(__file__).resolve().parent
+
+
+def corpus_dir() -> Path:
+    """The directory holding the committed regression-case files."""
+    return _CORPUS_DIR
+
+
+def load_all():
+    """Load every committed case (raises CorpusError on a corrupt file)."""
+    # Imported lazily: repro.gen pulls in the workflow layer, which a
+    # plain `import repro.apps` must not do.
+    from ...gen.corpus import discover_corpus
+
+    return discover_corpus(_CORPUS_DIR)

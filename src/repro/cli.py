@@ -14,6 +14,9 @@ Examples::
     python -m repro -v profile tomcatv --scaling-loss --procs 4 16 64
     python -m repro campaign --grid grid.json --out results/ --max-wall 60
     python -m repro campaign --grid grid.json --out results/ --resume
+    python -m repro fuzz --seeds 100 --out fuzz-out/
+    python -m repro fuzz --seeds 500 --budget 120 --out fuzz-out/ --resume
+    python -m repro fuzz --check-corpus src/repro/apps/regressions
 """
 
 from __future__ import annotations
@@ -79,6 +82,39 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
     if value < 1:
         raise argparse.ArgumentTypeError(f"processor count must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for wall-clock budgets: strictly positive seconds."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {text!r}")
+    return value
+
+
+def _positive_count(text: str) -> int:
+    """argparse type for generic counts: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"count must be >= 1, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type for seeds/offsets: an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected an integer >= 0, got {value}")
     return value
 
 
@@ -452,6 +488,67 @@ def cmd_campaign(args) -> int:
     return 130 if report.interrupted else 0
 
 
+def cmd_fuzz(args) -> int:
+    """Differentially fuzz the compiler pipeline with generated programs."""
+    from .gen import FuzzConfig, FuzzError, FuzzRunner, GrammarConfig, GrammarError
+    from .gen.corpus import CorpusError, discover_corpus
+    from .gen.harness import DiffConfig
+
+    if args.check_corpus is not None:
+        try:
+            cases = discover_corpus(args.check_corpus)
+        except CorpusError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for case in cases:
+            print(f"  {case.name}: expect={case.expect} nprocs={case.nprocs}"
+                  + (f"  ({case.reason})" if case.reason else ""))
+        print(f"{len(cases)} regression case(s) OK")
+        return 0
+
+    try:
+        grammar = GrammarConfig.load(args.grammar) if args.grammar else GrammarConfig()
+        diff = DiffConfig(
+            nprocs=args.nprocs,
+            calib_nprocs=args.nprocs,
+            machine=args.machine,
+            tolerance_pct=args.tolerance,
+        )
+        config = FuzzConfig(
+            seeds=args.seeds,
+            seed0=args.seed0,
+            out_dir=args.out,
+            grammar=grammar,
+            diff=diff,
+            minimize=not args.no_minimize,
+            budget_seconds=args.budget,
+            inject_seed=args.inject_divergence,
+        )
+        runner = FuzzRunner(config)
+
+        def progress(seed, verdict):
+            if not verdict.ok:
+                print(f"  seed {seed}: {verdict.failure}: {verdict.detail}")
+
+        report = runner.run(resume=args.resume, progress=progress)
+    except (FuzzError, GrammarError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    print(f"report written to {runner.report_path}")
+    if report.stopped == "budget":
+        hint = [f"python -m repro fuzz --seeds {args.seeds}", f"--out {args.out}"]
+        if args.seed0:
+            hint.append(f"--seed0 {args.seed0}")
+        if args.grammar:
+            hint.append(f"--grammar {args.grammar}")
+        if args.budget is not None:
+            hint.append(f"--budget {args.budget:g}")
+        hint.append("--resume")
+        print("resume with: " + " ".join(hint))
+    return 1 if report.completed > report.ok else 0
+
+
 def cmd_profile(args) -> int:
     """Profile one run: dual-clock spans, trace analyses, exports."""
     from .obs import (
@@ -648,6 +745,41 @@ def build_parser() -> argparse.ArgumentParser:
                            "(0 = all cores, default 1); output is identical "
                            "to a sequential run")
     camp.set_defaults(fn=cmd_campaign)
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the pipeline with generated programs "
+             "(measured vs DE vs AM), auto-minimizing divergences",
+    )
+    fz.add_argument("--seeds", type=_positive_count, default=100,
+                    help="number of generated programs (default 100)")
+    fz.add_argument("--seed0", type=_nonneg_int, default=0,
+                    help="first seed of the contiguous range (default 0)")
+    fz.add_argument("--out", default="fuzz-out", metavar="DIR",
+                    help="output directory: journal.jsonl, report.json, minimized/")
+    fz.add_argument("--grammar", metavar="FILE",
+                    help="JSON grammar config (budgets, pattern weights, toggles)")
+    fz.add_argument("--budget", type=_positive_float, default=None, metavar="SECONDS",
+                    help="wall-clock budget; stop starting new seeds when exceeded")
+    fz.add_argument("--resume", action="store_true",
+                    help="replay the journal, skip completed seeds, finish the rest")
+    fz.add_argument("--no-minimize", action="store_true",
+                    help="skip delta-debugging of divergent programs")
+    fz.add_argument("--nprocs", type=_positive_int, default=4,
+                    help="simulated processor count per program (default 4)")
+    fz.add_argument("--machine", default="IBM-SP",
+                    help="machine preset (default IBM-SP)")
+    fz.add_argument("--tolerance", type=_positive_float, default=15.0,
+                    metavar="PCT",
+                    help="noise slack in percentage points on the AM >= DE "
+                         "error ordering (default 15)")
+    fz.add_argument("--check-corpus", metavar="DIR",
+                    help="validate a regression-corpus directory and exit")
+    fz.add_argument("--inject-divergence", type=_nonneg_int, default=None,
+                    metavar="SEED",
+                    help="force one seed to report a synthetic divergence "
+                         "(exercises the minimizer end-to-end)")
+    fz.set_defaults(fn=cmd_fuzz)
 
     prof = add_app_command(
         "profile", cmd_profile,

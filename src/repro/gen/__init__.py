@@ -1,0 +1,78 @@
+"""Scenario generation and differential fuzzing of the compiler pipeline.
+
+The paper's validation exercises the slicing/condensation/simulation
+pipeline with exactly four friendly benchmarks.  This package hardens
+the pipeline against the input space those benchmarks never touch:
+
+* :mod:`repro.gen.grammar` — the configurable grammar of generated
+  programs: size/depth budgets, message-size ranges, communication-
+  pattern weights (nearest-neighbour, wavefront, butterfly,
+  master/worker, random composition), feature toggles (collectives,
+  non-blocking pairs, wildcard receives, branches).
+* :mod:`repro.gen.generator` — a seeded, fully deterministic
+  property-based generator of valid :mod:`repro.ir` programs drawn from
+  the grammar, plus intentionally *faulty* programs (orphan sends,
+  collective mismatches, circular waits) for the fault subsystem.
+* :mod:`repro.gen.harness` — the differential harness: run one program
+  through measured ground truth, MPI-SIM-DE and MPI-SIM-AM and check
+  the paper's error structure (AM >= DE >= 0 within tolerance),
+  byte-identical replay under the same seed, ``SimStats`` conservation
+  invariants, and correct deadlock/mismatch classification of faulty
+  programs.
+* :mod:`repro.gen.minimize` — delta-debugging auto-minimizer: shrink a
+  divergent program (statements, loop trip counts, message sizes,
+  inputs) while it still reproduces the divergence.
+* :mod:`repro.gen.corpus` — JSON (de)serialization of generated
+  programs; the format of the committed regression corpus under
+  ``repro/apps/regressions/``.
+* :mod:`repro.gen.fuzz` — the resumable fuzz campaign driver behind
+  ``python -m repro fuzz`` (crash-consistent journal, wall-clock
+  budget, auto-minimized divergence artifacts).
+"""
+
+from .corpus import (
+    CorpusError,
+    RegressionCase,
+    discover_corpus,
+    load_case,
+    program_from_json,
+    program_to_json,
+    save_case,
+)
+from .generator import (
+    FAULT_KINDS,
+    PATTERNS,
+    GeneratedProgram,
+    generate_faulty_program,
+    generate_program,
+)
+from .grammar import GrammarConfig, GrammarError
+from .harness import DiffConfig, DiffVerdict, check_program, classify_faulty
+from .minimize import minimize_program
+from .fuzz import FuzzConfig, FuzzError, FuzzReport, FuzzRunner
+
+__all__ = [
+    "GrammarConfig",
+    "GrammarError",
+    "GeneratedProgram",
+    "generate_program",
+    "generate_faulty_program",
+    "PATTERNS",
+    "FAULT_KINDS",
+    "DiffConfig",
+    "DiffVerdict",
+    "check_program",
+    "classify_faulty",
+    "minimize_program",
+    "CorpusError",
+    "RegressionCase",
+    "program_to_json",
+    "program_from_json",
+    "save_case",
+    "load_case",
+    "discover_corpus",
+    "FuzzConfig",
+    "FuzzError",
+    "FuzzReport",
+    "FuzzRunner",
+]

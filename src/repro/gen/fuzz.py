@@ -1,0 +1,377 @@
+"""The resumable differential-fuzzing campaign behind ``repro fuzz``.
+
+A fuzz run walks a contiguous seed range through the grammar-driven
+generator and the differential harness, journaling one record per seed
+with the same crash-consistency machinery as experiment campaigns
+(:mod:`repro.util.atomic_io`): a header record pins the configuration
+hash, each completed seed appends one durable record, and re-running
+with ``--resume`` skips every seed the journal already holds.  A
+journal whose header hash disagrees with the current configuration is
+refused, never silently reused.
+
+Determinism contract: the report (``report.json``) is a pure function
+of (configuration, completed seed set) — it contains no timestamps, no
+wall-clock durations and no absolute paths, so two runs of the same
+configuration produce byte-identical reports.  Wall-clock state exists
+only in the optional ``--budget`` stop, which can truncate the seed
+range early (the report then says so in ``stopped``).
+
+Each divergence (a non-faulty program failing a harness invariant) is
+auto-minimized with :func:`repro.gen.minimize.minimize_program` against
+the predicate "still fails with the same failure kind", and the shrunk
+scenario is serialized via :mod:`repro.gen.corpus` into
+``<out>/minimized/`` — ready to be reviewed and promoted into the
+committed regression corpus under ``repro/apps/regressions/``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..ir.nodes import Program, walk
+from ..util.atomic_io import AtomicJournal, atomic_write_text
+from .corpus import RegressionCase, save_case
+from .generator import GeneratedProgram, generate_faulty_program, generate_program
+from .grammar import GrammarConfig
+from .harness import DiffConfig, DiffVerdict, check_program, run_case
+from .minimize import minimize_program
+
+__all__ = ["FuzzError", "FuzzConfig", "FuzzReport", "FuzzRunner", "REPORT_FORMAT"]
+
+REPORT_FORMAT = 1
+_JOURNAL_KIND = "repro-fuzz"
+
+
+class FuzzError(ValueError):
+    """A fuzz campaign cannot start or continue (CLI-surfaced, one line)."""
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Everything that determines a fuzz campaign's behaviour.
+
+    ``budget_seconds`` is the only wall-clock input; it bounds how long
+    the campaign keeps *starting* seeds and never affects any record's
+    content.  ``inject_seed`` forces one seed to report a synthetic
+    divergence — an end-to-end smoke of the minimize-and-serialize path
+    used by tests and the CI ``fuzz-smoke`` job.
+    """
+
+    seeds: int = 100
+    seed0: int = 0
+    out_dir: str = "fuzz-out"
+    grammar: GrammarConfig = field(default_factory=GrammarConfig)
+    diff: DiffConfig = field(default_factory=DiffConfig)
+    minimize: bool = True
+    budget_seconds: float | None = None
+    minimize_checks: int = 200
+    inject_seed: int | None = None
+
+    def __post_init__(self):
+        if self.seeds < 1:
+            raise FuzzError(f"seeds must be >= 1, got {self.seeds}")
+        if self.seed0 < 0:
+            raise FuzzError(f"seed0 must be >= 0, got {self.seed0}")
+        if self.budget_seconds is not None and self.budget_seconds <= 0:
+            raise FuzzError(f"budget must be positive seconds, got {self.budget_seconds}")
+        if self.minimize_checks < 1:
+            raise FuzzError(f"minimize_checks must be >= 1, got {self.minimize_checks}")
+
+    def config_hash(self) -> str:
+        """Hash of every report-determining field (resume compatibility)."""
+        payload = {
+            "seeds": self.seeds,
+            "seed0": self.seed0,
+            "grammar": self.grammar.to_dict(),
+            "diff": {
+                "nprocs": self.diff.nprocs,
+                "calib_nprocs": self.diff.calib_nprocs,
+                "machine": self.diff.machine,
+                "tolerance_pct": self.diff.tolerance_pct,
+                "max_err_de_pct": self.diff.max_err_de_pct,
+                "max_err_am_pct": self.diff.max_err_am_pct,
+                "check_replay": self.diff.check_replay,
+            },
+            "minimize": self.minimize,
+            "minimize_checks": self.minimize_checks,
+            "inject_seed": self.inject_seed,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Deterministic summary of a (possibly truncated) campaign."""
+
+    config_hash: str
+    seeds: int
+    seed0: int
+    completed: int
+    ok: int
+    stopped: str  # "complete" | "budget"
+    failures: dict[str, int]
+    patterns: dict[str, int]
+    divergences: list[dict]
+    minimized: list[dict]
+
+    def to_json(self) -> str:
+        data = {
+            "format": REPORT_FORMAT,
+            "config_hash": self.config_hash,
+            "seeds": self.seeds,
+            "seed0": self.seed0,
+            "completed": self.completed,
+            "ok": self.ok,
+            "stopped": self.stopped,
+            "failures": dict(sorted(self.failures.items())),
+            "patterns": dict(sorted(self.patterns.items())),
+            "divergences": self.divergences,
+            "minimized": self.minimized,
+        }
+        return json.dumps(data, sort_keys=True, indent=2) + "\n"
+
+    def summary(self) -> str:
+        """One-paragraph human summary for the CLI."""
+        lines = [
+            f"fuzz: {self.completed}/{self.seeds} seeds completed "
+            f"({self.stopped}), {self.ok} ok, "
+            f"{self.completed - self.ok} failing"
+        ]
+        for kind, count in sorted(self.failures.items()):
+            lines.append(f"  {kind}: {count}")
+        for entry in self.minimized:
+            lines.append(
+                f"  minimized seed {entry['seed']} ({entry['failure']}): "
+                f"{entry['original_stmts']} -> {entry['final_stmts']} stmts "
+                f"-> {entry['file']}"
+            )
+        return "\n".join(lines)
+
+
+def _is_faulty_seed(seed: int, grammar: GrammarConfig) -> bool:
+    """Deterministic, order-independent per-seed fault draw."""
+    if grammar.p_faulty <= 0.0:
+        return False
+    return random.Random(f"repro-fuzz-fault:{seed}").random() < grammar.p_faulty
+
+
+def _has_comm(program: Program) -> bool:
+    return any(s.is_comm() for s in walk(program.body))
+
+
+class FuzzRunner:
+    """Drives one campaign: generate -> check -> journal -> minimize."""
+
+    def __init__(self, config: FuzzConfig):
+        self.config = config
+        self.out_dir = Path(config.out_dir)
+        self.journal_path = self.out_dir / "journal.jsonl"
+        self.report_path = self.out_dir / "report.json"
+        self.minimized_dir = self.out_dir / "minimized"
+
+    # -- journal ---------------------------------------------------------------
+    def _open_journal(self, resume: bool) -> tuple[AtomicJournal, dict[int, dict]]:
+        try:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            self.minimized_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise FuzzError(f"cannot create output directory {self.out_dir}: {exc}") from None
+        if self.journal_path.exists() and not resume:
+            raise FuzzError(
+                f"{self.journal_path} already exists; pass --resume to continue it "
+                "or choose a fresh --out directory"
+            )
+        try:
+            journal = AtomicJournal(self.journal_path)
+            records = journal.records()
+        except OSError as exc:
+            raise FuzzError(f"cannot open journal {self.journal_path}: {exc}") from None
+        except ValueError as exc:
+            raise FuzzError(f"corrupt fuzz journal: {exc}") from None
+
+        done: dict[int, dict] = {}
+        want_hash = self.config.config_hash()
+        if records:
+            header = records[0]
+            if header.get("kind") != _JOURNAL_KIND:
+                raise FuzzError(
+                    f"{self.journal_path} is not a fuzz journal "
+                    f"(header kind {header.get('kind')!r})"
+                )
+            if header.get("config_hash") != want_hash:
+                raise FuzzError(
+                    f"{self.journal_path} belongs to a different fuzz configuration "
+                    f"(journal {header.get('config_hash')}, current {want_hash}); "
+                    "refusing to mix results"
+                )
+            for rec in records[1:]:
+                if rec.get("kind") == "case":
+                    done[int(rec["seed"])] = rec
+        else:
+            journal.append(
+                {
+                    "kind": _JOURNAL_KIND,
+                    "format": REPORT_FORMAT,
+                    "config_hash": want_hash,
+                    "seeds": self.config.seeds,
+                    "seed0": self.config.seed0,
+                    "grammar": self.config.grammar.to_dict(),
+                }
+            )
+        return journal, done
+
+    # -- one seed --------------------------------------------------------------
+    def _generate(self, seed: int) -> GeneratedProgram:
+        # The injected-divergence seed is always a valid program so the
+        # synthetic failure exercises the minimize-and-serialize path.
+        if seed != self.config.inject_seed and _is_faulty_seed(seed, self.config.grammar):
+            return generate_faulty_program(seed, self.config.grammar)
+        return generate_program(seed, self.config.grammar)
+
+    def _check(self, scenario: GeneratedProgram) -> DiffVerdict:
+        if scenario.seed == self.config.inject_seed and scenario.expect == "ok":
+            return DiffVerdict(
+                seed=scenario.seed,
+                pattern=scenario.pattern,
+                n_stmts=scenario.n_stmts,
+                ok=False,
+                failure="injected",
+                detail="synthetic divergence injected for minimizer smoke",
+                expect="ok",
+            )
+        return check_program(scenario, self.config.diff)
+
+    def _minimize(self, scenario: GeneratedProgram, verdict: DiffVerdict) -> dict | None:
+        """Shrink a divergent valid program; returns the report entry."""
+        if scenario.expect != "ok":
+            return None  # faulty-program misclassifications are already tiny
+
+        if verdict.failure == "injected":
+            # The synthetic divergence "reproduces" while any
+            # communication statement survives — a deterministic stand-in
+            # predicate that still exercises every reduction pass.
+            def reproduces(candidate: Program) -> bool:
+                return _has_comm(candidate)
+        else:
+            cfg = self.config.diff
+
+            def reproduces(candidate: Program) -> bool:
+                v = run_case(
+                    candidate, scenario.inputs, cfg,
+                    seed=scenario.seed, pattern=scenario.pattern,
+                )
+                return v.failure == verdict.failure
+
+        try:
+            result = minimize_program(
+                scenario.program, reproduces, max_checks=self.config.minimize_checks
+            )
+        except ValueError:
+            return None  # flaky repro: keep the unminimized divergence record
+
+        name = f"seed{scenario.seed:06d}_{verdict.failure}"
+        case = RegressionCase(
+            name=name,
+            program=result.program,
+            expect="ok",
+            nprocs=self.config.diff.nprocs,
+            inputs=dict(scenario.inputs),
+            seed=scenario.seed,
+            pattern=scenario.pattern,
+            reason=f"auto-minimized fuzz divergence: {verdict.failure}: {verdict.detail}",
+        )
+        path = self.minimized_dir / f"{name}.json"
+        save_case(case, path)
+        return {
+            "seed": scenario.seed,
+            "failure": verdict.failure,
+            "file": f"minimized/{name}.json",
+            "original_stmts": result.original_stmts,
+            "final_stmts": result.final_stmts,
+            "checks": result.checks,
+        }
+
+    # -- the campaign ----------------------------------------------------------
+    def run(self, resume: bool = False, progress=None) -> FuzzReport:
+        """Run (or resume) the campaign and write ``report.json``.
+
+        ``progress`` is an optional callable ``(seed, verdict)`` invoked
+        after each newly-completed seed (the CLI's live ticker).
+        """
+        journal, done = self._open_journal(resume)
+        t0 = time.monotonic()
+        stopped = "complete"
+        seed_range = range(self.config.seed0, self.config.seed0 + self.config.seeds)
+
+        for seed in seed_range:
+            if seed in done:
+                continue
+            if (
+                self.config.budget_seconds is not None
+                and time.monotonic() - t0 >= self.config.budget_seconds
+            ):
+                stopped = "budget"
+                break
+            scenario = self._generate(seed)
+            verdict = self._check(scenario)
+            minimized = None
+            if not verdict.ok and self.config.minimize:
+                minimized = self._minimize(scenario, verdict)
+            record = {"kind": "case", **verdict.to_record()}
+            if minimized is not None:
+                record["minimized"] = minimized
+            journal.append(record)
+            done[seed] = record
+            if progress is not None:
+                progress(seed, verdict)
+
+        report = self._build_report(done, stopped)
+        atomic_write_text(self.report_path, report.to_json())
+        return report
+
+    def _build_report(self, done: dict[int, dict], stopped: str) -> FuzzReport:
+        failures: dict[str, int] = {}
+        patterns: dict[str, int] = {}
+        divergences: list[dict] = []
+        minimized: list[dict] = []
+        ok = 0
+        for seed in sorted(done):
+            rec = done[seed]
+            patterns[rec["pattern"]] = patterns.get(rec["pattern"], 0) + 1
+            if rec["ok"]:
+                ok += 1
+                continue
+            kind = rec.get("failure") or "unknown"
+            failures[kind] = failures.get(kind, 0) + 1
+            divergences.append(
+                {
+                    "seed": rec["seed"],
+                    "pattern": rec["pattern"],
+                    "expect": rec.get("expect", "ok"),
+                    "failure": kind,
+                    "detail": rec.get("detail", ""),
+                    "n_stmts": rec.get("n_stmts"),
+                }
+            )
+            if rec.get("minimized"):
+                minimized.append(rec["minimized"])
+        if len(done) >= self.config.seeds:
+            stopped = "complete"
+        return FuzzReport(
+            config_hash=self.config.config_hash(),
+            seeds=self.config.seeds,
+            seed0=self.config.seed0,
+            completed=len(done),
+            ok=ok,
+            stopped=stopped,
+            failures=failures,
+            patterns=patterns,
+            divergences=divergences,
+            minimized=minimized,
+        )

@@ -1,0 +1,417 @@
+"""Seeded property-based generator of message-passing IR programs.
+
+``generate_program(seed, grammar)`` is a pure function: the same
+(seed, grammar) pair always produces the same :class:`GeneratedProgram`
+(all randomness flows through one ``random.Random(seed)``), so any
+fuzzing discovery is replayable from its seed alone.
+
+Valid programs are built exclusively from *deadlock-free communication
+idioms* — pipelined wavefront shifts, even/odd-ordered halo exchanges,
+non-blocking ring shifts, arithmetic butterfly stages, master/worker
+farms with wildcard receives, and rank-symmetric collectives — composed
+under loops and branches within the grammar's size/depth budgets.  Any
+generated program that completes the builder's static validation is
+guaranteed (by construction) to terminate for every ``P >= 1``.
+
+``generate_faulty_program`` deliberately breaks those idioms — orphan
+rendezvous sends, circular waits, collectives guarded by rank-dependent
+branches, mismatched collective ops — producing programs the fault
+subsystem (:mod:`repro.sim.faults`) must *classify* (deadlock report /
+collective mismatch) rather than hang on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..ir.builder import P, ProgramBuilder, myid
+from ..ir.nodes import Program, walk
+from ..symbolic import Eq, Gt, Le, Lt, Mod, Var
+from .grammar import GrammarConfig, GrammarError
+
+__all__ = [
+    "PATTERNS",
+    "FAULT_KINDS",
+    "GeneratedProgram",
+    "generate_program",
+    "generate_faulty_program",
+]
+
+#: Valid-program communication patterns (the MP-net-style taxonomy).
+PATTERNS = ("nearest_neighbour", "wavefront", "butterfly", "master_worker", "random_mix")
+
+#: Intentionally faulty idioms and the classification each must produce.
+FAULT_KINDS: dict[str, str] = {
+    "orphan_send": "deadlock",
+    "circular_wait": "deadlock",
+    "collective_arity": "deadlock",
+    "collective_op_mismatch": "mismatch",
+}
+
+#: Message size that always takes the rendezvous path (> every preset's
+#: eager limit), so an unmatched send blocks instead of buffering.
+RENDEZVOUS_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated scenario: the program plus how to run and judge it."""
+
+    seed: int
+    pattern: str  # pattern name, or fault kind for faulty programs
+    program: Program
+    inputs: dict[str, int] = field(default_factory=dict)
+    #: fault kind when intentionally faulty, else None
+    faulty: str | None = None
+    #: expected differential outcome: "ok" | "deadlock" | "mismatch"
+    expect: str = "ok"
+
+    @property
+    def n_stmts(self) -> int:
+        return sum(1 for _ in walk(self.program.body))
+
+
+class _Gen:
+    """Mutable generation state: builder + budgets + unique ids."""
+
+    def __init__(self, name: str, rng: random.Random, cfg: GrammarConfig):
+        self.rng = rng
+        self.cfg = cfg
+        self.b = ProgramBuilder(name, params=())
+        self.b.array("buf", size=(cfg.msg_max // 8) + 1)
+        self.b.array("wk", size=2048)
+        self.stmts = 0
+        self._tag = 0
+        self._uid = 0
+
+    # -- budgets ---------------------------------------------------------------
+    def room(self, n: int) -> bool:
+        """Is there budget for *n* more statements?"""
+        return self.stmts + n <= self.cfg.max_stmts
+
+    def spend(self, n: int) -> None:
+        self.stmts += n
+
+    def tag(self) -> int:
+        self._tag += 1
+        return self._tag
+
+    def uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    # -- random draws ----------------------------------------------------------
+    def msg(self) -> int:
+        return self.rng.randint(self.cfg.msg_min, self.cfg.msg_max)
+
+    def grain(self) -> int:
+        return self.rng.randint(self.cfg.grain_min, self.cfg.grain_max)
+
+    def trip(self) -> int:
+        return self.rng.randint(1, self.cfg.max_trip)
+
+    def coin(self, p: float) -> bool:
+        return self.rng.random() < p
+
+    # -- deadlock-free communication idioms ------------------------------------
+    # Each emits a self-contained exchange; `recv_source` honours the
+    # wildcard probability only where exactly one in-flight message can
+    # match the (source, tag) pair, so a wildcard never changes matching.
+    def recv_source(self, src):
+        return -1 if self.coin(self.cfg.p_wildcard) else src
+
+    def compute(self) -> None:
+        self.b.compute(
+            f"comp{self.uid()}",
+            work=self.grain(),
+            ops_per_iter=float(self.rng.randint(1, 4)),
+            arrays=("wk",),
+        )
+        self.spend(1)
+
+    def assign(self) -> None:
+        a = self.rng.randint(1, 7)
+        c = self.rng.randint(2, 5)
+        self.b.assign(f"s{self.uid()}", (myid * a + self.rng.randint(0, 9)) % c)
+        self.spend(1)
+
+    def collective(self) -> None:
+        kind = self.rng.choice(("barrier", "bcast", "allreduce", "reduce"))
+        u = self.uid()
+        if kind == "barrier":
+            self.b.barrier()
+        elif kind == "bcast":
+            self.b.bcast(self.msg(), root=0, array="buf")
+        elif kind == "allreduce":
+            self.b.allreduce(
+                8, contrib=myid + 1, result_var=f"red{u}",
+                reduce_kind=self.rng.choice(("sum", "max", "min")),
+            )
+        else:
+            self.b.reduce(
+                8, root=0, contrib=myid * 2 + 1, result_var=f"red{u}",
+                reduce_kind=self.rng.choice(("sum", "max", "min")),
+            )
+        self.spend(1)
+
+    def wavefront_shift(self) -> None:
+        """Guarded pipeline step: recv from the left, send to the right."""
+        t, nbytes = self.tag(), self.msg()
+        with self.b.if_(Gt(myid, 0)):
+            self.b.recv(source=self.recv_source(myid - 1), nbytes=nbytes, tag=t, array="buf")
+        with self.b.if_(Lt(myid, P - 1)):
+            self.b.send(dest=myid + 1, nbytes=nbytes, tag=t, array="buf")
+        self.spend(4)
+
+    def halo_exchange(self) -> None:
+        """Bidirectional neighbour exchange, even/odd ordered (blocking)
+        or via isend/irecv + waitall (non-blocking)."""
+        t, nbytes = self.tag(), self.msg()
+        if self.coin(self.cfg.p_nonblocking):
+            u = self.uid()
+            sl, sr, rl, rr = f"sl{u}", f"sr{u}", f"rl{u}", f"rr{u}"
+            with self.b.if_(Gt(myid, 0)):
+                self.b.isend(dest=myid - 1, nbytes=nbytes, tag=t, array="buf", handle=sl)
+            with self.b.if_(Lt(myid, P - 1)):
+                self.b.isend(dest=myid + 1, nbytes=nbytes, tag=t, array="buf", handle=sr)
+            with self.b.if_(Gt(myid, 0)):
+                self.b.irecv(source=myid - 1, nbytes=nbytes, tag=t, array="buf", handle=rl)
+            with self.b.if_(Lt(myid, P - 1)):
+                self.b.irecv(source=myid + 1, nbytes=nbytes, tag=t, array="buf", handle=rr)
+            self.b.waitall(sl, sr, rl, rr)
+            self.spend(9)
+        else:
+            # even ranks talk first to the right, then to the left —
+            # the classic deadlock-free ordering for blocking exchanges
+            even = Eq(Mod.make(myid, 2), 0)
+            with self.b.if_(even):
+                with self.b.if_(Lt(myid, P - 1)):
+                    self.b.send(dest=myid + 1, nbytes=nbytes, tag=t, array="buf")
+                    self.b.recv(source=myid + 1, nbytes=nbytes, tag=t, array="buf")
+            with self.b.if_(Eq(Mod.make(myid, 2), 1)):
+                self.b.recv(source=self.recv_source(myid - 1), nbytes=nbytes, tag=t, array="buf")
+                self.b.send(dest=myid - 1, nbytes=nbytes, tag=t, array="buf")
+            self.spend(7)
+
+    def ring_shift(self) -> None:
+        """Everyone isends to (myid+1) mod P, receives from the left."""
+        t, nbytes = self.tag(), self.msg()
+        h = f"ring{self.uid()}"
+        self.b.isend(dest=Mod.make(myid + 1, P), nbytes=nbytes, tag=t, array="buf", handle=h)
+        self.b.recv(source=Mod.make(myid - 1 + P, P), nbytes=nbytes, tag=t, array="buf")
+        self.b.waitall(h)
+        self.spend(3)
+
+    def butterfly_stage(self, dist: int) -> None:
+        """One hypercube stage: exchange with ``myid XOR dist`` — for
+        power-of-two *dist* the XOR is pure arithmetic on ``myid``."""
+        t, nbytes = self.tag(), self.msg()
+        u = self.uid()
+        lower = Eq(Mod.make(myid // dist, 2), 0)
+        with self.b.if_(lower):
+            with self.b.if_(Lt(myid + dist, P)):
+                self.b.isend(dest=myid + dist, nbytes=nbytes, tag=t, array="buf",
+                             handle=f"bf{u}")
+                self.b.recv(source=myid + dist, nbytes=nbytes, tag=t, array="buf")
+                self.b.waitall(f"bf{u}")
+        with self.b.else_():
+            self.b.isend(dest=myid - dist, nbytes=nbytes, tag=t, array="buf",
+                         handle=f"bg{u}")
+            self.b.recv(source=myid - dist, nbytes=nbytes, tag=t, array="buf")
+            self.b.waitall(f"bg{u}")
+        self.spend(9)
+
+    def master_worker_round(self) -> None:
+        """Workers compute and report to rank 0; the master drains them
+        (optionally with a wildcard receive) and broadcasts back."""
+        t, nbytes = self.tag(), self.msg()
+        wildcard = self.coin(self.cfg.p_wildcard)
+        wvar = f"w{self.uid()}"
+        with self.b.if_(Eq(myid, 0)):
+            with self.b.loop(wvar, 1, P - 1):
+                self.b.recv(source=-1 if wildcard else Var(wvar),
+                            nbytes=nbytes, tag=t, array="buf")
+        with self.b.else_():
+            self.compute()
+            self.b.send(dest=0, nbytes=nbytes, tag=t, array="buf")
+        self.spend(5)
+        if self.coin(0.6) and self.room(1):
+            self.b.bcast(nbytes, root=0, array="buf")
+            self.spend(1)
+
+
+# -- valid-program patterns ----------------------------------------------------
+
+
+def _gen_wavefront(g: _Gen) -> None:
+    with g.b.loop("step", 1, g.trip()):
+        g.spend(1)
+        g.wavefront_shift()
+        g.compute()
+        if g.coin(g.cfg.p_collective) and g.room(1):
+            g.collective()
+
+
+def _gen_nearest_neighbour(g: _Gen) -> None:
+    with g.b.loop("step", 1, g.trip()):
+        g.spend(1)
+        g.halo_exchange()
+        g.compute()
+        if g.coin(g.cfg.p_collective) and g.room(1):
+            g.collective()
+
+
+def _gen_butterfly(g: _Gen) -> None:
+    stages = g.rng.randint(1, 3)
+    with g.b.loop("step", 1, g.trip()):
+        g.spend(1)
+        g.compute()
+        for s in range(stages):
+            if g.room(9):
+                g.butterfly_stage(1 << s)
+    if g.room(1):
+        g.collective()
+
+
+def _gen_master_worker(g: _Gen) -> None:
+    with g.b.loop("round", 1, g.trip()):
+        g.spend(1)
+        g.master_worker_round()
+
+
+def _gen_random_mix(g: _Gen, depth: int = 0) -> None:
+    """Free composition of blocks under the depth/size budgets."""
+    n_blocks = g.rng.randint(2, 5)
+    for _ in range(n_blocks):
+        if not g.room(2):
+            return
+        roll = g.rng.random()
+        if depth < g.cfg.max_depth and roll < 0.2 and g.room(6):
+            with g.b.loop(f"i{g.uid()}", 1, g.trip()):
+                g.spend(1)
+                _gen_random_mix(g, depth + 1)
+        elif depth < g.cfg.max_depth and roll < 0.2 + g.cfg.p_branch and g.room(4):
+            # rank-dependent branches contain only *local* work — a
+            # collective or unpaired p2p in here would be a real bug
+            # (exactly what the faulty generator emits on purpose)
+            cond = g.rng.choice(
+                (Lt(myid, P - 1), Gt(myid, 0), Eq(Mod.make(myid, 2), 0),
+                 Le(myid, Mod.make(P, 3)))
+            )
+            with g.b.if_(cond):
+                g.spend(1)
+                g.compute()
+            with g.b.else_():
+                g.assign()
+        elif roll < 0.2 + g.cfg.p_branch + g.cfg.p_collective:
+            g.collective()
+        else:
+            choice = g.rng.choice(("wavefront", "halo", "ring", "compute", "assign"))
+            if choice == "wavefront" and g.room(4):
+                g.wavefront_shift()
+            elif choice == "halo" and g.room(9):
+                g.halo_exchange()
+            elif choice == "ring" and g.room(3):
+                g.ring_shift()
+            elif choice == "assign":
+                g.assign()
+            else:
+                g.compute()
+
+
+_PATTERN_FNS = {
+    "wavefront": _gen_wavefront,
+    "nearest_neighbour": _gen_nearest_neighbour,
+    "butterfly": _gen_butterfly,
+    "master_worker": _gen_master_worker,
+    "random_mix": _gen_random_mix,
+}
+
+
+def _pick_pattern(rng: random.Random, cfg: GrammarConfig) -> str:
+    names = sorted(cfg.pattern_weights)
+    weights = [cfg.pattern_weights[n] for n in names]
+    return rng.choices(names, weights=weights, k=1)[0]
+
+
+def generate_program(
+    seed: int, grammar: GrammarConfig | None = None, pattern: str | None = None
+) -> GeneratedProgram:
+    """Generate one valid program, fully determined by (seed, grammar).
+
+    *pattern* forces a specific communication pattern; by default it is
+    drawn from the grammar's pattern weights.
+    """
+    cfg = grammar if grammar is not None else GrammarConfig()
+    rng = random.Random(seed)
+    if pattern is None:
+        pattern = _pick_pattern(rng, cfg)
+    if pattern not in _PATTERN_FNS:
+        raise GrammarError(f"unknown pattern {pattern!r}; known: {sorted(_PATTERN_FNS)}")
+    g = _Gen(f"fuzz{seed:08d}_{pattern}", rng, cfg)
+    _PATTERN_FNS[pattern](g)
+    if g.stmts == 0:  # degenerate budget: never emit an empty program
+        g.compute()
+    return GeneratedProgram(seed=seed, pattern=pattern, program=g.b.build())
+
+
+# -- intentionally faulty programs ---------------------------------------------
+
+
+def generate_faulty_program(
+    seed: int, grammar: GrammarConfig | None = None, kind: str | None = None
+) -> GeneratedProgram:
+    """Generate a program with a deliberate communication bug.
+
+    The returned scenario's ``expect`` says how the kernel must classify
+    it: ``"deadlock"`` (a :class:`repro.sim.DeadlockError` whose report
+    names the broken idiom) or ``"mismatch"`` (a
+    :class:`repro.sim.CollectiveMismatchError`).  Classification needs
+    ``nprocs >= 2`` — on one rank several of these idioms degenerate to
+    valid programs.
+    """
+    cfg = grammar if grammar is not None else GrammarConfig()
+    rng = random.Random(seed)
+    if kind is None:
+        kind = rng.choice(sorted(FAULT_KINDS))
+    if kind not in FAULT_KINDS:
+        raise GrammarError(f"unknown fault kind {kind!r}; known: {sorted(FAULT_KINDS)}")
+    g = _Gen(f"faulty{seed:08d}_{kind}", rng, cfg)
+    g.compute()
+    if kind == "orphan_send":
+        # a rendezvous-sized send no rank ever receives: the sender
+        # blocks forever and must show up as an unmatched send
+        g.wavefront_shift()
+        with g.b.if_(Eq(myid, 0)):
+            g.b.send(dest=P - 1, nbytes=RENDEZVOUS_BYTES, tag=97, array="buf")
+        g.spend(2)
+    elif kind == "circular_wait":
+        # every rank receives from its right neighbour before sending:
+        # the wait-chain is one big cycle
+        t = g.tag()
+        g.b.recv(source=Mod.make(myid + 1, P), nbytes=g.msg(), tag=t, array="buf")
+        g.b.send(dest=Mod.make(myid + 1, P), nbytes=g.msg(), tag=t, array="buf")
+        g.spend(2)
+    elif kind == "collective_arity":
+        # a collective inside a rank-dependent branch: rank 0 never
+        # joins, the rest become collective stragglers
+        with g.b.if_(Gt(myid, 0)):
+            g.b.allreduce(8, contrib=myid, result_var="red_bad")
+        g.spend(2)
+        g.compute()
+    else:  # collective_op_mismatch
+        # ranks disagree on which collective comes next at the same
+        # call index — the kernel must refuse, not guess
+        with g.b.if_(Eq(Mod.make(myid, 2), 0)):
+            g.b.barrier()
+        with g.b.else_():
+            g.b.allreduce(8, contrib=myid, result_var="red_odd")
+        g.spend(3)
+    return GeneratedProgram(
+        seed=seed,
+        pattern=kind,
+        program=g.b.build(),
+        faulty=kind,
+        expect=FAULT_KINDS[kind],
+    )

@@ -1,0 +1,146 @@
+"""The grammar of generated programs: budgets, weights and toggles.
+
+A :class:`GrammarConfig` pins down *everything* the generator is allowed
+to emit, so a (seed, grammar) pair fully determines the generated
+program.  The config round-trips through JSON (``--grammar`` on the
+``repro fuzz`` CLI) with strict unknown-key rejection, matching the
+fault-plan schema convention.
+
+The pattern vocabulary follows the MP-net communication-model taxonomy
+and MPIrigen's MPI-idiom catalog (see PAPERS.md): pipelined wavefronts,
+halo exchanges, butterfly (hypercube) stages, master/worker farms with
+wildcard receives, and free compositions of those under loops, branches
+and collectives.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+
+__all__ = ["GrammarError", "GrammarConfig", "DEFAULT_PATTERN_WEIGHTS"]
+
+
+class GrammarError(ValueError):
+    """The grammar configuration is malformed."""
+
+
+#: Default sampling weight per communication pattern.
+DEFAULT_PATTERN_WEIGHTS: dict[str, float] = {
+    "nearest_neighbour": 1.0,
+    "wavefront": 1.0,
+    "butterfly": 1.0,
+    "master_worker": 1.0,
+    "random_mix": 2.0,
+}
+
+
+def _check_positive(name: str, value, *, minimum=1) -> None:
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise GrammarError(f"{name} must be an integer >= {minimum}, got {value!r}")
+
+
+def _check_prob(name: str, value) -> None:
+    if not isinstance(value, (int, float)) or not (0.0 <= float(value) <= 1.0):
+        raise GrammarError(f"{name} must be a probability in [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True)
+class GrammarConfig:
+    """Budgets and feature weights for one fuzzing grammar.
+
+    ``max_stmts`` bounds the statement count of a generated program
+    (communication scaffolding included); ``max_depth`` bounds loop /
+    branch nesting; ``max_trip`` bounds any generated loop trip count.
+    Message sizes are drawn from ``[msg_min, msg_max]`` — keep
+    ``msg_max`` above the machine's eager limit (16 KiB on the default
+    presets) so rendezvous-path sends get generated too.
+    """
+
+    max_stmts: int = 40
+    max_depth: int = 3
+    max_trip: int = 4
+    msg_min: int = 8
+    msg_max: int = 32768
+    grain_min: int = 200
+    grain_max: int = 20000
+    #: probability that a random_mix block is wrapped in a branch
+    p_branch: float = 0.3
+    #: probability that a random_mix block is a collective
+    p_collective: float = 0.35
+    #: probability that a point-to-point exchange uses isend/irecv+waitall
+    p_nonblocking: float = 0.4
+    #: probability that an always-determined receive uses ANY_SOURCE
+    p_wildcard: float = 0.25
+    #: fraction of fuzzed seeds that generate an intentionally faulty program
+    p_faulty: float = 0.15
+    pattern_weights: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_PATTERN_WEIGHTS)
+    )
+
+    def __post_init__(self):
+        _check_positive("max_stmts", self.max_stmts, minimum=4)
+        _check_positive("max_depth", self.max_depth)
+        _check_positive("max_trip", self.max_trip)
+        _check_positive("msg_min", self.msg_min)
+        _check_positive("msg_max", self.msg_max)
+        _check_positive("grain_min", self.grain_min)
+        _check_positive("grain_max", self.grain_max)
+        if self.msg_max < self.msg_min:
+            raise GrammarError(
+                f"msg_max ({self.msg_max}) must be >= msg_min ({self.msg_min})"
+            )
+        if self.grain_max < self.grain_min:
+            raise GrammarError(
+                f"grain_max ({self.grain_max}) must be >= grain_min ({self.grain_min})"
+            )
+        for name in ("p_branch", "p_collective", "p_nonblocking", "p_wildcard", "p_faulty"):
+            _check_prob(name, getattr(self, name))
+        if not isinstance(self.pattern_weights, dict) or not self.pattern_weights:
+            raise GrammarError("pattern_weights must be a non-empty mapping")
+        unknown = set(self.pattern_weights) - set(DEFAULT_PATTERN_WEIGHTS)
+        if unknown:
+            raise GrammarError(
+                f"unknown pattern(s) in pattern_weights: {sorted(unknown)}; "
+                f"known: {sorted(DEFAULT_PATTERN_WEIGHTS)}"
+            )
+        total = 0.0
+        for name, w in self.pattern_weights.items():
+            if not isinstance(w, (int, float)) or w < 0:
+                raise GrammarError(f"pattern weight for {name!r} must be >= 0, got {w!r}")
+            total += float(w)
+        if total <= 0:
+            raise GrammarError("pattern_weights must have positive total weight")
+
+    # -- (de)serialization: the --grammar file schema -------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GrammarConfig":
+        if not isinstance(data, dict):
+            raise GrammarError(f"grammar config must be a JSON object, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise GrammarError(f"unknown grammar key(s): {sorted(unknown)}")
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise GrammarError(f"bad grammar config: {exc}") from None
+
+    @classmethod
+    def load(cls, path: str) -> "GrammarConfig":
+        """Load a grammar config from a JSON file."""
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except OSError as exc:
+            raise GrammarError(f"cannot read grammar file {path!r}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise GrammarError(f"grammar file {path!r} is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def with_(self, **kwargs) -> "GrammarConfig":
+        """A copy with the given fields replaced (validated anew)."""
+        return replace(self, **kwargs)

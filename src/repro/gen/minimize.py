@@ -1,0 +1,235 @@
+"""Delta-debugging auto-minimizer for divergent generated programs.
+
+Given a program and a *reproduces* predicate (typically "the harness
+still returns this failure kind"), shrink the program while the
+predicate holds.  Three reduction passes run to a joint fixpoint:
+
+1. **Statement deletion** — classic ddmin over every statement list in
+   the program (top level and the bodies of ``For``/``If`` recursively):
+   try dropping chunks of geometrically decreasing size, keeping any
+   deletion that still reproduces.
+2. **Loop-trip reduction** — rewrite constant ``For`` bounds so loops
+   run fewer iterations (down to a single trip).
+3. **Constant shrinking** — message sizes and compute grains shrink
+   toward small round values.
+
+Every candidate is re-validated (``number()`` + ``validate()``) before
+the predicate sees it; candidates that no longer form a valid program
+are rejected outright, so the minimizer can never "reduce" a divergence
+into a different bug class by emitting garbage.
+
+The result is small enough to read and commit: the acceptance bar in
+ISSUE.md (an injected divergence reduced to <= 25% of its original
+statement count) is covered by ``tests/gen/test_minimize.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+from ..ir.nodes import For, If, Program, Stmt, walk
+from ..symbolic import Const
+
+__all__ = ["minimize_program", "MinimizeResult"]
+
+
+def _count_stmts(program: Program) -> int:
+    return sum(1 for _ in walk(program.body))
+
+
+def _revalidate(program: Program) -> Program | None:
+    """Renumber + re-validate a candidate; None if it is no longer well-formed."""
+    if not program.body:
+        return None
+    try:
+        program.number()
+        program.validate()
+    except Exception:  # noqa: BLE001 - any validation failure disqualifies the candidate
+        return None
+    return program
+
+
+def _stmt_lists(program: Program) -> list[list[Stmt]]:
+    """Every statement list in the program, outermost first."""
+    lists = [program.body]
+    for stmt in walk(program.body):
+        if isinstance(stmt, For):
+            lists.append(stmt.body)
+        elif isinstance(stmt, If):
+            lists.append(stmt.then)
+            if stmt.orelse:
+                lists.append(stmt.orelse)
+    return lists
+
+
+class _Minimizer:
+    def __init__(
+        self,
+        program: Program,
+        reproduces: Callable[[Program], bool],
+        max_checks: int,
+    ):
+        self.best = program
+        self.reproduces = reproduces
+        self.max_checks = max_checks
+        self.checks = 0
+
+    def _try(self, candidate: Program) -> bool:
+        """Accept ``candidate`` as the new best if it still reproduces."""
+        if self.checks >= self.max_checks:
+            return False
+        candidate = _revalidate(candidate)
+        if candidate is None:
+            return False
+        self.checks += 1
+        try:
+            ok = bool(self.reproduces(candidate))
+        except Exception:  # noqa: BLE001 - predicate crashes count as "does not reproduce"
+            ok = False
+        if ok:
+            self.best = candidate
+        return ok
+
+    # -- pass 1: ddmin over statement lists -----------------------------------
+    def _delete_statements(self) -> bool:
+        """One full ddmin sweep over every statement list; True if shrunk."""
+        shrunk = False
+        # Address lists by index so each candidate mutates a fresh deepcopy
+        # of `best`; _stmt_lists order is deterministic (DFS, outermost
+        # first), so index i names the same list in the copy.
+        list_idx = 0
+        while list_idx < len(_stmt_lists(self.best)):
+            chunk = max(len(_stmt_lists(self.best)[list_idx]) // 2, 1)
+            while chunk >= 1:
+                progressed = False
+                start = 0
+                while True:
+                    # An accepted deletion can remove a For/If and with it
+                    # a nested list, so re-check the index every pass.
+                    lists = _stmt_lists(self.best)
+                    if list_idx >= len(lists) or start >= len(lists[list_idx]):
+                        break
+                    candidate = copy.deepcopy(self.best)
+                    del _stmt_lists(candidate)[list_idx][start : start + chunk]
+                    if self._try(candidate):
+                        shrunk = progressed = True
+                        # keep `start`: the next chunk slid into this slot
+                    else:
+                        start += chunk
+                    if self.checks >= self.max_checks:
+                        return shrunk
+                if list_idx >= len(_stmt_lists(self.best)):
+                    break
+                if not progressed:
+                    if chunk == 1:
+                        break
+                    chunk //= 2
+            list_idx += 1
+        return shrunk
+
+    # -- pass 2: loop trip counts ---------------------------------------------
+    def _shrink_loops(self) -> bool:
+        shrunk = False
+        idx = 0
+        while True:
+            loops = [s for s in walk(self.best.body) if isinstance(s, For)]
+            if idx >= len(loops):
+                break
+            loop = loops[idx]
+            lo = loop.lo.value if isinstance(loop.lo, Const) else None
+            hi = loop.hi.value if isinstance(loop.hi, Const) else None
+            # Bounds are inclusive: hi == lo is already a single trip.
+            if lo is not None and hi is not None and hi > lo:
+                # Try collapsing to a single trip, then halving the range.
+                for new_hi in (lo, lo + (hi - lo) // 2):
+                    if new_hi >= hi:
+                        continue
+                    candidate = copy.deepcopy(self.best)
+                    cand_loop = [
+                        s for s in walk(candidate.body) if isinstance(s, For)
+                    ][idx]
+                    cand_loop.hi = Const(new_hi)
+                    if self._try(candidate):
+                        shrunk = True
+                        break
+            if self.checks >= self.max_checks:
+                return shrunk
+            idx += 1
+        return shrunk
+
+    # -- pass 3: shrink constants (message sizes, grains) ---------------------
+    _CONST_FLOOR = 8
+
+    def _shrink_constants(self) -> bool:
+        shrunk = False
+        attr_sites: list[tuple[int, str]] = []
+        for i, stmt in enumerate(walk(self.best.body)):
+            for attr in ("nbytes", "work"):
+                e = getattr(stmt, attr, None)
+                if isinstance(e, Const) and e.value > self._CONST_FLOOR:
+                    attr_sites.append((i, attr))
+        for site_i, attr in attr_sites:
+            while True:
+                stmts = list(walk(self.best.body))
+                value = getattr(stmts[site_i], attr).value
+                new_value = max(value // 4, self._CONST_FLOOR)
+                if new_value >= value:
+                    break
+                candidate = copy.deepcopy(self.best)
+                cand_stmt = list(walk(candidate.body))[site_i]
+                setattr(cand_stmt, attr, Const(new_value))
+                if not self._try(candidate):
+                    break
+                shrunk = True
+            if self.checks >= self.max_checks:
+                return shrunk
+        return shrunk
+
+
+class MinimizeResult:
+    """The outcome of a minimization: the reduced program plus bookkeeping."""
+
+    def __init__(self, program: Program, original_stmts: int, checks: int):
+        self.program = program
+        self.original_stmts = original_stmts
+        self.final_stmts = _count_stmts(program)
+        self.checks = checks
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of statements removed (0.0 when nothing shrank)."""
+        if self.original_stmts == 0:
+            return 0.0
+        return 1.0 - self.final_stmts / self.original_stmts
+
+
+def minimize_program(
+    program: Program,
+    reproduces: Callable[[Program], bool],
+    max_checks: int = 400,
+) -> MinimizeResult:
+    """Shrink ``program`` while ``reproduces(candidate)`` stays true.
+
+    ``reproduces`` must be true for ``program`` itself — the minimizer
+    asserts this up front (one predicate call) so a flaky repro fails
+    loudly instead of silently returning the input unshrunk.
+    ``max_checks`` bounds total predicate invocations across all passes.
+    """
+    original = _count_stmts(program)
+    work = _revalidate(copy.deepcopy(program))
+    if work is None:
+        raise ValueError("cannot minimize: input program does not validate")
+    if not reproduces(work):
+        raise ValueError("cannot minimize: input program does not reproduce the failure")
+
+    mm = _Minimizer(work, reproduces, max_checks)
+    # Run passes to a joint fixpoint: deletion opens up loop shrinks and
+    # vice versa (e.g. removing a recv lets the matching loop collapse).
+    while mm.checks < mm.max_checks:
+        changed = mm._delete_statements()
+        changed |= mm._shrink_loops()
+        changed |= mm._shrink_constants()
+        if not changed:
+            break
+    return MinimizeResult(mm.best, original, mm.checks)

@@ -30,10 +30,17 @@ from .graph import STG, STGNode
 __all__ = ["synthesize_stg"]
 
 
-def _rankify(expr_or_cond, mapping={"myid": RANK}):
+def _rankify(expr_or_cond, mapping=None):
     """Rewrite an expression over ``myid`` into one over the symbolic rank
-    variable ``p`` used in process sets and mappings."""
-    return expr_or_cond.subs({"myid": RANK})
+    variable ``p`` used in process sets and mappings.
+
+    ``mapping`` defaults to ``{"myid": RANK}`` and is built fresh per
+    call — a shared mutable default here would let one caller's edits
+    leak into every later substitution.
+    """
+    if mapping is None:
+        mapping = {"myid": RANK}
+    return expr_or_cond.subs(mapping)
 
 
 def synthesize_stg(program: Program) -> STG:

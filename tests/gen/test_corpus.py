@@ -1,0 +1,118 @@
+"""Unit tests for corpus (de)serialization and the regression-case format."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gen.corpus import (
+    CorpusError,
+    RegressionCase,
+    discover_corpus,
+    load_case,
+    program_from_json,
+    program_to_json,
+    save_case,
+)
+from repro.gen.generator import generate_faulty_program, generate_program
+from repro.ir.builder import ProgramBuilder
+from repro.symbolic import Const
+
+
+class TestProgramRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_generator_output_round_trips(self, seed):
+        """Property: any generated program survives print -> parse intact."""
+        program = generate_program(seed).program
+        blob = program_to_json(program)
+        again = program_to_json(program_from_json(blob))
+        assert blob == again
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_faulty_output_round_trips(self, seed):
+        program = generate_faulty_program(seed).program
+        blob = program_to_json(program)
+        assert program_to_json(program_from_json(blob)) == blob
+
+    def test_parsed_program_validates(self):
+        program = generate_program(9).program
+        program_from_json(program_to_json(program)).validate()
+
+    def test_python_kernel_rejected(self):
+        b = ProgramBuilder("k")
+        b.compute("custom", work=Const(10), kernel=lambda env: None)
+        with pytest.raises(CorpusError, match="kernel"):
+            program_to_json(b.build())
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CorpusError):
+            program_from_json({"name": "x"})  # no body
+
+
+class TestCaseFiles:
+    def _case(self):
+        return RegressionCase(
+            name="tiny",
+            program=generate_program(3).program,
+            expect="ok",
+            nprocs=4,
+            seed=3,
+            pattern="random_mix",
+            reason="unit-test fixture",
+        )
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "tiny.json"
+        save_case(self._case(), path)
+        loaded = load_case(path)
+        assert loaded.name == "tiny"
+        assert loaded.expect == "ok"
+        assert loaded.nprocs == 4
+        assert program_to_json(loaded.program) == program_to_json(self._case().program)
+
+    def test_save_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_case(self._case(), a)
+        save_case(self._case(), b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_load_missing_file_one_line(self, tmp_path):
+        with pytest.raises(CorpusError, match="cannot read"):
+            load_case(tmp_path / "absent.json")
+
+    def test_load_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        with pytest.raises(CorpusError, match="bad.json"):
+            load_case(path)
+
+    def test_load_bad_expect(self, tmp_path):
+        path = tmp_path / "weird.json"
+        save_case(self._case(), path)
+        data = json.loads(path.read_text())
+        data["expect"] = "explosion"
+        path.write_text(json.dumps(data))
+        with pytest.raises(CorpusError, match="expect"):
+            load_case(path)
+
+    def test_load_bad_nprocs(self, tmp_path):
+        path = tmp_path / "weird.json"
+        save_case(self._case(), path)
+        data = json.loads(path.read_text())
+        data["nprocs"] = 0
+        path.write_text(json.dumps(data))
+        with pytest.raises(CorpusError, match="nprocs"):
+            load_case(path)
+
+    def test_discover_sorted_and_strict(self, tmp_path):
+        for name in ("b_case", "a_case"):
+            case = RegressionCase(name=name, program=generate_program(1).program)
+            save_case(case, tmp_path / f"{name}.json")
+        cases = discover_corpus(tmp_path)
+        assert [c.name for c in cases] == ["a_case", "b_case"]
+        (tmp_path / "zz_bad.json").write_text("[]")
+        with pytest.raises(CorpusError):
+            discover_corpus(tmp_path)

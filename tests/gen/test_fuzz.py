@@ -1,0 +1,120 @@
+"""Unit tests for the resumable fuzz campaign driver."""
+
+import json
+
+import pytest
+
+from repro.gen.fuzz import FuzzConfig, FuzzError, FuzzRunner
+from repro.gen.grammar import GrammarConfig
+from repro.gen.harness import DiffConfig
+
+# A small but representative campaign: a few valid seeds, at least one
+# faulty seed (p_faulty draw), one injected divergence.
+def small_config(out_dir, **kwargs):
+    defaults = dict(
+        seeds=12,
+        out_dir=str(out_dir),
+        grammar=GrammarConfig(max_stmts=16),
+        diff=DiffConfig(check_replay=False),
+        inject_seed=3,
+    )
+    defaults.update(kwargs)
+    return FuzzConfig(**defaults)
+
+
+class TestConfig:
+    def test_bad_values_rejected(self):
+        with pytest.raises(FuzzError):
+            FuzzConfig(seeds=0)
+        with pytest.raises(FuzzError):
+            FuzzConfig(seed0=-1)
+        with pytest.raises(FuzzError):
+            FuzzConfig(budget_seconds=0)
+
+    def test_config_hash_tracks_grammar(self):
+        a = FuzzConfig(grammar=GrammarConfig(max_stmts=10))
+        b = FuzzConfig(grammar=GrammarConfig(max_stmts=11))
+        assert a.config_hash() != b.config_hash()
+
+
+class TestCampaign:
+    def test_report_is_byte_identical(self, tmp_path):
+        ra = FuzzRunner(small_config(tmp_path / "a")).run()
+        rb = FuzzRunner(small_config(tmp_path / "b")).run()
+        assert ra.to_json() == rb.to_json()
+        assert (tmp_path / "a" / "report.json").read_bytes() == (
+            tmp_path / "b" / "report.json"
+        ).read_bytes()
+
+    def test_injected_divergence_minimized_and_saved(self, tmp_path):
+        report = FuzzRunner(small_config(tmp_path / "o")).run()
+        assert report.failures.get("injected") == 1
+        (entry,) = [m for m in report.minimized if m["failure"] == "injected"]
+        saved = tmp_path / "o" / entry["file"]
+        assert saved.exists()
+        assert entry["final_stmts"] < entry["original_stmts"]
+        # The saved case replays through the corpus loader.
+        from repro.gen.corpus import load_case
+
+        case = load_case(saved)
+        case.program.validate()
+
+    def test_resume_skips_completed_seeds(self, tmp_path):
+        cfg = small_config(tmp_path / "o")
+        first = FuzzRunner(cfg).run()
+        journal = (tmp_path / "o" / "journal.jsonl").read_bytes()
+        second = FuzzRunner(cfg).run(resume=True)
+        assert second.completed == first.completed == cfg.seeds
+        # Nothing re-ran: the journal is untouched.
+        assert (tmp_path / "o" / "journal.jsonl").read_bytes() == journal
+
+    def test_existing_journal_requires_resume_flag(self, tmp_path):
+        cfg = small_config(tmp_path / "o")
+        FuzzRunner(cfg).run()
+        with pytest.raises(FuzzError, match="--resume"):
+            FuzzRunner(cfg).run()
+
+    def test_foreign_journal_refused(self, tmp_path):
+        cfg = small_config(tmp_path / "o")
+        FuzzRunner(cfg).run()
+        other = small_config(tmp_path / "o", seeds=13)
+        with pytest.raises(FuzzError, match="different fuzz configuration"):
+            FuzzRunner(other).run(resume=True)
+
+    def test_corrupt_journal_one_line_error(self, tmp_path):
+        cfg = small_config(tmp_path / "o")
+        FuzzRunner(cfg).run()
+        path = tmp_path / "o" / "journal.jsonl"
+        path.write_text(path.read_text() + "{torn\n")
+        with pytest.raises(FuzzError, match="corrupt fuzz journal"):
+            FuzzRunner(cfg).run(resume=True)
+
+    def test_budget_stop_is_resumable(self, tmp_path):
+        cfg = small_config(tmp_path / "o", budget_seconds=1e-9)
+        report = FuzzRunner(cfg).run()
+        assert report.stopped == "budget"
+        assert report.completed < cfg.seeds
+        # Resume without a budget finishes the range deterministically.
+        full = FuzzRunner(small_config(tmp_path / "o")).run(resume=True)
+        assert full.completed == cfg.seeds
+        assert full.stopped == "complete"
+        reference = FuzzRunner(small_config(tmp_path / "ref")).run()
+        assert full.to_json() == reference.to_json()
+
+    def test_unwritable_out_dir(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        cfg = small_config(blocker / "sub")
+        with pytest.raises(FuzzError, match="cannot create output directory"):
+            FuzzRunner(cfg).run()
+
+    def test_faulty_seeds_classified_in_campaign(self, tmp_path):
+        report = FuzzRunner(
+            small_config(tmp_path / "o", grammar=GrammarConfig(p_faulty=0.5))
+        ).run()
+        journal = (tmp_path / "o" / "journal.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in journal[1:]]
+        faulty = [r for r in records if r.get("expect") != "ok"]
+        assert faulty, "expected some faulty seeds at p_faulty=0.5"
+        for record in faulty:
+            assert record["ok"], record

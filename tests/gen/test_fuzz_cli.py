@@ -1,0 +1,119 @@
+"""CLI tests for ``repro fuzz``: happy paths and hardened error paths."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_small(tmp_path, *extra):
+    out = tmp_path / "fuzz-out"
+    return main(["fuzz", "--seeds", "8", "--out", str(out), *extra]), out
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        rc, out = run_small(tmp_path)
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "8/8 seeds completed" in stdout
+        assert (out / "report.json").exists()
+        assert (out / "journal.jsonl").exists()
+
+    def test_divergence_exits_one(self, tmp_path, capsys):
+        rc, out = run_small(tmp_path, "--inject-divergence", "1")
+        assert rc == 1
+        stdout = capsys.readouterr().out
+        assert "injected" in stdout
+        report = json.loads((out / "report.json").read_text())
+        assert report["failures"] == {"injected": 1}
+        assert report["minimized"]
+
+    def test_resume_after_budget(self, tmp_path, capsys):
+        rc, out = run_small(tmp_path, "--budget", "1e-9")
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "resume with:" in stdout and "--resume" in stdout
+        rc2, _ = run_small(tmp_path, "--resume")
+        assert rc2 == 0
+        assert "8/8 seeds completed" in capsys.readouterr().out
+
+    def test_grammar_file_respected(self, tmp_path, capsys):
+        grammar = tmp_path / "g.json"
+        grammar.write_text(json.dumps({"p_faulty": 0.0, "max_stmts": 12}))
+        rc, out = run_small(tmp_path, "--grammar", str(grammar))
+        assert rc == 0
+        header = json.loads((out / "journal.jsonl").read_text().splitlines()[0])
+        assert header["grammar"]["max_stmts"] == 12
+
+    def test_check_corpus_on_committed_cases(self, capsys):
+        assert main(["fuzz", "--check-corpus", "src/repro/apps/regressions"]) == 0
+        out = capsys.readouterr().out
+        assert "regression case(s) OK" in out
+        assert "wildcard_recv_order" in out
+
+
+class TestFuzzErrors:
+    """Every bad input is one line on stderr, never a traceback."""
+
+    def test_nonpositive_seeds(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--seeds", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_nonpositive_budget(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--seeds", "5", "--budget", "0"])
+        assert "positive number" in capsys.readouterr().err
+
+    def test_negative_seed0(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--seed0", "-4"])
+        assert ">= 0" in capsys.readouterr().err
+
+    def test_unwritable_out(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        rc = main(["fuzz", "--seeds", "2", "--out", str(blocker / "sub")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_bad_grammar_file(self, tmp_path, capsys):
+        grammar = tmp_path / "g.json"
+        grammar.write_text("{broken")
+        rc = main(["fuzz", "--seeds", "2", "--out", str(tmp_path / "o"),
+                   "--grammar", str(grammar)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "not valid JSON" in err
+
+    def test_unknown_grammar_key(self, tmp_path, capsys):
+        grammar = tmp_path / "g.json"
+        grammar.write_text(json.dumps({"max_statements": 10}))
+        rc = main(["fuzz", "--seeds", "2", "--out", str(tmp_path / "o"),
+                   "--grammar", str(grammar)])
+        assert rc == 2
+        assert "unknown grammar key" in capsys.readouterr().err
+
+    def test_journal_without_resume(self, tmp_path, capsys):
+        rc1, out = run_small(tmp_path)
+        assert rc1 == 0
+        rc2 = main(["fuzz", "--seeds", "8", "--out", str(out)])
+        assert rc2 == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_foreign_journal_refused(self, tmp_path, capsys):
+        rc1, out = run_small(tmp_path)
+        assert rc1 == 0
+        rc2 = main(["fuzz", "--seeds", "9", "--out", str(out), "--resume"])
+        assert rc2 == 2
+        assert "different fuzz configuration" in capsys.readouterr().err
+
+    def test_corrupt_corpus_file(self, tmp_path, capsys):
+        (tmp_path / "broken.json").write_text("{nope")
+        rc = main(["fuzz", "--check-corpus", str(tmp_path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "broken.json" in err

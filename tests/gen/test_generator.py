@@ -1,0 +1,130 @@
+"""Unit tests for the seeded scenario generator."""
+
+import pytest
+
+from repro.gen.corpus import program_to_json
+from repro.gen.generator import (
+    FAULT_KINDS,
+    PATTERNS,
+    generate_faulty_program,
+    generate_program,
+)
+from repro.gen.grammar import GrammarConfig
+from repro.ir.nodes import (
+    CollectiveStmt,
+    IrecvStmt,
+    IsendStmt,
+    RecvStmt,
+    SendStmt,
+    walk,
+)
+from repro.symbolic import Const
+
+SEEDS = range(25)
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        g = GrammarConfig()
+        for seed in SEEDS:
+            a = generate_program(seed, g)
+            b = generate_program(seed, g)
+            assert program_to_json(a.program) == program_to_json(b.program), seed
+            assert a.pattern == b.pattern
+
+    def test_different_seeds_differ_somewhere(self):
+        g = GrammarConfig()
+        blobs = {
+            str(program_to_json(generate_program(seed, g).program)) for seed in SEEDS
+        }
+        assert len(blobs) > 1
+
+    def test_faulty_same_seed_same_program(self):
+        for kind in FAULT_KINDS:
+            a = generate_faulty_program(3, kind=kind)
+            b = generate_faulty_program(3, kind=kind)
+            assert program_to_json(a.program) == program_to_json(b.program)
+
+
+class TestValidity:
+    def test_generated_programs_validate(self):
+        g = GrammarConfig()
+        for seed in SEEDS:
+            gp = generate_program(seed, g)
+            gp.program.validate()  # raises on scope violations
+            assert gp.expect == "ok"
+            assert gp.pattern in PATTERNS
+
+    def test_statement_budget_respected(self):
+        g = GrammarConfig(max_stmts=20)
+        for seed in SEEDS:
+            gp = generate_program(seed, g)
+            # The budget is a soft cap: one idiom may overshoot by its
+            # own (bounded) size, never by more than the largest idiom.
+            assert gp.n_stmts <= g.max_stmts + 10, f"seed {seed}: {gp.n_stmts}"
+
+    def test_pattern_forcing(self):
+        for pattern in PATTERNS:
+            gp = generate_program(11, pattern=pattern)
+            assert gp.pattern == pattern
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            generate_program(0, pattern="hypertorus")
+
+
+class TestFeatureCoverage:
+    """Across a modest seed sweep every grammar feature must appear."""
+
+    def _stmts(self, n=40, **grammar_kwargs):
+        g = GrammarConfig(**grammar_kwargs)
+        for seed in range(n):
+            yield from walk(generate_program(seed, g).program.body)
+
+    def test_collectives_generated(self):
+        assert any(isinstance(s, CollectiveStmt) for s in self._stmts())
+
+    def test_nonblocking_generated(self):
+        kinds = {type(s) for s in self._stmts(p_nonblocking=1.0)}
+        assert IsendStmt in kinds and IrecvStmt in kinds
+
+    def test_blocking_generated(self):
+        kinds = {type(s) for s in self._stmts()}
+        assert SendStmt in kinds and RecvStmt in kinds
+
+    def test_wildcard_receives_generated(self):
+        wildcards = [
+            s
+            for s in self._stmts(p_wildcard=1.0)
+            if isinstance(s, RecvStmt)
+            and isinstance(s.source, Const)
+            and s.source.value == -1
+        ]
+        assert wildcards
+
+    def test_no_wildcards_when_disabled(self):
+        wildcards = [
+            s
+            for s in self._stmts(p_wildcard=0.0)
+            if isinstance(s, RecvStmt)
+            and isinstance(s.source, Const)
+            and s.source.value == -1
+        ]
+        assert not wildcards
+
+
+class TestFaulty:
+    def test_kinds_and_expectations(self):
+        for kind, expect in FAULT_KINDS.items():
+            gp = generate_faulty_program(1, kind=kind)
+            assert gp.faulty == kind
+            assert gp.expect == expect
+            gp.program.validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            generate_faulty_program(0, kind="heisenbug")
+
+    def test_default_kind_drawn_from_seed(self):
+        kinds = {generate_faulty_program(seed).faulty for seed in range(20)}
+        assert kinds == set(FAULT_KINDS)

@@ -1,0 +1,77 @@
+"""Unit tests for the fuzzing grammar configuration."""
+
+import json
+
+import pytest
+
+from repro.gen.grammar import DEFAULT_PATTERN_WEIGHTS, GrammarConfig, GrammarError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        g = GrammarConfig()
+        assert g.max_stmts >= 4
+        assert set(g.pattern_weights) == set(DEFAULT_PATTERN_WEIGHTS)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_stmts": 0},
+            {"max_stmts": 3},
+            {"max_depth": 0},
+            {"max_trip": -1},
+            {"msg_min": 0},
+            {"msg_min": 100, "msg_max": 50},
+            {"grain_min": 100, "grain_max": 50},
+            {"p_branch": 1.5},
+            {"p_wildcard": -0.1},
+            {"p_faulty": "lots"},
+            {"pattern_weights": {}},
+            {"pattern_weights": {"torus": 1.0}},
+            {"pattern_weights": {"wavefront": -2.0}},
+            {"pattern_weights": {"wavefront": 0.0}},
+        ],
+    )
+    def test_bad_configs_rejected(self, kwargs):
+        with pytest.raises(GrammarError):
+            GrammarConfig(**kwargs)
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(GrammarError):
+            GrammarConfig(max_trip=True)
+
+    def test_with_revalidates(self):
+        g = GrammarConfig()
+        with pytest.raises(GrammarError):
+            g.with_(msg_max=g.msg_min - 1)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        g = GrammarConfig(max_stmts=12, p_wildcard=0.5)
+        assert GrammarConfig.from_dict(g.to_dict()) == g
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(GrammarError, match="unknown grammar key"):
+            GrammarConfig.from_dict({"max_stmts": 10, "max_stmt": 10})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(GrammarError, match="JSON object"):
+            GrammarConfig.from_dict([1, 2, 3])
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(GrammarError, match="cannot read grammar file"):
+            GrammarConfig.load(str(tmp_path / "nope.json"))
+
+    def test_load_bad_json(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text("{not json")
+        with pytest.raises(GrammarError, match="not valid JSON"):
+            GrammarConfig.load(str(path))
+
+    def test_load_good_file(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text(json.dumps({"max_stmts": 16, "p_faulty": 0.0}))
+        g = GrammarConfig.load(str(path))
+        assert g.max_stmts == 16
+        assert g.p_faulty == 0.0

@@ -1,0 +1,53 @@
+"""Replay the committed regression corpus through the differential harness.
+
+Auto-discovery: every ``*.json`` under ``src/repro/apps/regressions/``
+becomes one test case here — committing a minimized fuzz finding is all
+it takes to pin it forever.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.regressions import corpus_dir, load_all
+from repro.gen.generator import GeneratedProgram
+from repro.gen.harness import DiffConfig, classify_faulty, run_case
+
+CASES = load_all()
+
+
+def test_corpus_is_not_empty():
+    assert len(CASES) >= 2, f"expected committed cases in {corpus_dir()}"
+
+
+def test_required_seed_cases_present():
+    names = {c.name for c in CASES}
+    assert "wildcard_recv_order" in names
+    assert "collective_in_branch" in names
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_regression_case_replays(case):
+    cfg = DiffConfig(nprocs=case.nprocs, calib_nprocs=case.nprocs)
+    if case.expect == "ok":
+        verdict = run_case(
+            case.program, case.inputs, cfg, seed=case.seed, pattern=case.pattern
+        )
+    else:
+        scenario = GeneratedProgram(
+            seed=case.seed,
+            pattern=case.pattern or "regression",
+            program=case.program,
+            inputs=dict(case.inputs),
+            faulty=None,
+            expect=case.expect,
+        )
+        verdict = classify_faulty(scenario, cfg)
+    assert verdict.ok, f"{case.name}: {verdict.failure}: {verdict.detail}"
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_regression_case_documented(case):
+    """Every committed case must say why it exists."""
+    assert case.reason, f"{case.name} has an empty reason field"
+    assert dataclasses.is_dataclass(case)

@@ -96,3 +96,41 @@ class TestSynthesis:
     def test_str_smoke(self):
         text = str(synthesize_stg(shift_program()))
         assert "STG(shift)" in text and "send" in text
+
+
+class TestRankifyIsolation:
+    """Regression: _rankify's substitution mapping must be per-call.
+
+    It used to be a mutable default argument — one shared dict across
+    every call — so a caller passing (or mutating) a custom mapping
+    would silently poison all later rank substitutions.
+    """
+
+    def test_explicit_mapping_is_used(self):
+        from repro.stg.synthesis import _rankify
+        from repro.symbolic import RANK, Var
+
+        assert _rankify(Var("myid") + 1) == RANK + 1
+        # A custom mapping substitutes what it names, nothing more.
+        assert _rankify(Var("owner") + 1, {"owner": RANK}) == RANK + 1
+
+    def test_caller_mutation_does_not_leak(self):
+        from repro.stg.synthesis import _rankify
+        from repro.symbolic import RANK, Var
+
+        poisoned = {"myid": Var("other")}
+        assert _rankify(Var("myid"), poisoned) == Var("other")
+        # The default path must be unaffected by the call above.
+        assert _rankify(Var("myid")) == RANK
+
+    def test_default_not_shared(self):
+        import inspect
+
+        from repro.stg.synthesis import _rankify
+
+        (default,) = [
+            p.default
+            for p in inspect.signature(_rankify).parameters.values()
+            if p.default is not inspect.Parameter.empty
+        ]
+        assert default is None, "mapping default must not be a mutable object"

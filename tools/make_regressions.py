@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Regenerate the hand-verified seed cases of the regression corpus.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/make_regressions.py
+
+Each case is built with the ProgramBuilder, replayed through the
+differential harness (so a broken case can never be committed), and
+serialized into ``src/repro/apps/regressions/`` with the corpus
+writer.  The script is deterministic: re-running it reproduces the
+committed files byte for byte.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.gen.corpus import RegressionCase, save_case  # noqa: E402
+from repro.gen.harness import DiffConfig, run_case  # noqa: E402
+from repro.ir.builder import ProgramBuilder  # noqa: E402
+from repro.symbolic import Const, Eq, Ge, Var  # noqa: E402
+
+OUT = REPO / "src" / "repro" / "apps" / "regressions"
+
+
+def wildcard_recv_order() -> RegressionCase:
+    """Master/worker farm whose master receives in *arrival* order.
+
+    Every worker sends one 4 KiB result to rank 0 with the same tag and
+    the master posts ``P - 1`` wildcard (``MPI_ANY_SOURCE``) receives.
+    The per-worker compute grain scales with the rank, so arrival order
+    differs from rank order — the exact situation where an unstable
+    wildcard-matching policy in the simulation kernel would produce
+    run-to-run divergence.  Kept as the canonical guard for
+    deterministic wildcard matching.
+    """
+    b = ProgramBuilder("regress_wildcard_recv_order")
+    b.array("buf", size=1024, itemsize=8)
+    myid, P = Var("myid"), Var("P")
+    with b.if_(Eq(myid, Const(0))):
+        with b.loop("w", 1, P - 1):
+            b.recv(source=Const(-1), nbytes=Const(4096), tag=7, array="buf")
+    with b.else_():
+        b.compute("worker_grain", work=Const(3000) * myid)
+        b.send(dest=Const(0), nbytes=Const(4096), tag=7, array="buf")
+    b.bcast(nbytes=Const(64), root=0, array="buf")
+    return RegressionCase(
+        name="wildcard_recv_order",
+        program=b.build(),
+        expect="ok",
+        nprocs=4,
+        pattern="master_worker",
+        reason=(
+            "hand-verified: master drains P-1 same-tag results via "
+            "MPI_ANY_SOURCE while rank-skewed compute scrambles arrival "
+            "order; guards deterministic wildcard matching"
+        ),
+    )
+
+
+def collective_in_branch() -> RegressionCase:
+    """An allreduce nested in a (rank-uniform) branch inside a loop.
+
+    The branch condition ``P >= 2`` is uniform across ranks, so every
+    rank reaches the collective the same number of times — valid, but
+    exactly the shape where a branch-elimination or condensation bug
+    would drop the collective from some ranks' simplified programs and
+    turn a clean run into stragglers.  Kept as the canonical guard for
+    collective handling under control flow.
+    """
+    b = ProgramBuilder("regress_collective_in_branch")
+    b.array("buf", size=1024, itemsize=8)
+    with b.loop("it", 1, 3):
+        b.compute("stencil_sweep", work=Const(9000))
+        with b.if_(Ge(Var("P"), Const(2))):
+            b.allreduce(nbytes=Const(8), contrib=Const(1), result_var="rsum")
+            b.compute("use_sum", work=Const(500), reads=frozenset({"rsum"}))
+    return RegressionCase(
+        name="collective_in_branch",
+        program=b.build(),
+        expect="ok",
+        nprocs=4,
+        pattern="random_mix",
+        reason=(
+            "hand-verified: allreduce under a rank-uniform branch in a "
+            "loop; guards collective handling across control flow in "
+            "slicing/condensation"
+        ),
+    )
+
+
+def main() -> int:
+    cfg = DiffConfig()
+    for case in (wildcard_recv_order(), collective_in_branch()):
+        verdict = run_case(case.program, case.inputs, cfg, pattern=case.pattern)
+        if not verdict.ok:
+            print(f"REFUSING to write {case.name}: {verdict.failure}: {verdict.detail}")
+            return 1
+        path = OUT / f"{case.name}.json"
+        save_case(case, path)
+        print(f"wrote {path} (err_de {verdict.err_de:.2f}%, err_am {verdict.err_am:.2f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
