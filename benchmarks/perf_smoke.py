@@ -12,6 +12,12 @@ fresh ``BENCH_kernel.json`` artifact, and exits non-zero if any
 workload's events/sec drops more than ``--tolerance`` (default 30%)
 below the committed baseline at the repo root.
 
+Every invocation also *appends* one timestamped record per workload to
+``--history`` (default ``BENCH_history.jsonl``, crash-consistent
+O_APPEND writes), so throughput over time is a ``jq``-able series
+rather than a single overwritten snapshot.  CI uploads the file as an
+artifact next to ``BENCH_kernel.json``.
+
 The committed baseline also records the *pre*-fast-path throughput, so
 the speedup that motivated the fast path stays auditable:
 ``post_events_per_sec / pre_events_per_sec`` is the claimed factor.
@@ -35,7 +41,10 @@ from repro.ir import make_factory  # noqa: E402
 from repro.machine import IBM_SP, TESTING_MACHINE  # noqa: E402
 from repro.sim import ExecMode, Simulator  # noqa: E402
 
+from repro.util.atomic_io import append_jsonl  # noqa: E402
+
 BASELINE_PATH = REPO_ROOT / "BENCH_kernel.json"
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
 
 
 def _p2p_ring():
@@ -109,6 +118,9 @@ def main(argv=None) -> int:
                     help="where to write the fresh measurement artifact")
     ap.add_argument("--baseline", default=str(BASELINE_PATH),
                     help="committed baseline file (repo-root BENCH_kernel.json)")
+    ap.add_argument("--history", default=str(HISTORY_PATH),
+                    help="JSONL file to append one timestamped record per "
+                         "workload to (empty string disables)")
     ap.add_argument("--reps", type=int, default=5,
                     help="repetitions per workload; best-of is reported")
     ap.add_argument("--tolerance", type=float, default=0.30,
@@ -124,6 +136,15 @@ def main(argv=None) -> int:
         "workloads": results,
     }
     Path(args.output).write_text(json.dumps(artifact, indent=1) + "\n")
+
+    if args.history:
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        for label, res in results.items():
+            append_jsonl(Path(args.history), {
+                "timestamp": stamp,
+                "reps": args.reps,
+                **res,
+            })
 
     failed = False
     print(f"{'workload':24s} {'baseline':>10s} {'measured':>10s} {'ratio':>7s}")

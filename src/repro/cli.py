@@ -14,6 +14,10 @@ Examples::
     python -m repro -v profile tomcatv --scaling-loss --procs 4 16 64
     python -m repro campaign --grid grid.json --out results/ --max-wall 60
     python -m repro campaign --grid grid.json --out results/ --resume
+    python -m repro campaign --grid grid.json --out results/ --jobs 4 --live
+    python -m repro inspect results/
+    python -m repro inspect results/ --run 1a2b3c --last 20
+    python -m repro inspect flight.json
     python -m repro fuzz --seeds 100 --out fuzz-out/
     python -m repro fuzz --seeds 500 --budget 120 --out fuzz-out/ --resume
     python -m repro fuzz --check-corpus src/repro/apps/regressions
@@ -23,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from dataclasses import replace
@@ -413,6 +418,10 @@ def cmd_faults(args) -> int:
         )
         print(format_fault_sweep(series))
         return 0
+    if args.flight_dump:
+        from .sim import FLIGHT
+
+        FLIGHT.enable()
     try:
         result = wf.run_faulty(
             inputs, args.nprocs, plan=plan, retry=retry, mode=mode, timeout=args.timeout
@@ -420,7 +429,18 @@ def cmd_faults(args) -> int:
     except DeadlockError as exc:
         print(f"Resilience report: {args.app} deadlocked under the fault plan")
         print(exc.report.format() if exc.report is not None else str(exc))
+        if args.flight_dump:
+            _write_flight_dump(args.flight_dump, exc.flight or FLIGHT.dump(error=str(exc)))
         return 2
+    finally:
+        if args.flight_dump:
+            from .sim import FLIGHT
+
+            FLIGHT.disable()
+    if args.flight_dump:
+        from .sim import FLIGHT
+
+        _write_flight_dump(args.flight_dump, FLIGHT.dump())
     print(format_resilience(result, title=f"Resilience report: {args.app} ({args.mode})"))
     if args.csv:
         from .workflow import write_stats_csv
@@ -428,6 +448,78 @@ def cmd_faults(args) -> int:
         write_stats_csv(result.stats, args.csv)
         print(f"per-rank statistics written to {args.csv}")
     return 0
+
+
+class _LiveProgress:
+    """Single-line TTY campaign progress: counts, events/sec, ETA.
+
+    Fed by the runner's ``progress`` callback after every journaled run.
+    On a TTY the line redraws in place (``\\r``); piped output gets one
+    plain line per run, so logs stay greppable.
+    """
+
+    def __init__(self, stream=None):
+        import time
+
+        self.stream = stream if stream is not None else sys.stderr
+        self.t0 = time.monotonic()
+        self.executed = 0
+        self.ok = 0
+        self.failed = 0
+        self.retried = 0
+        self.events = 0
+        self.tty = getattr(self.stream, "isatty", lambda: False)()
+        self._last_len = 0
+        self._clock = time.monotonic
+
+    @staticmethod
+    def _fmt_eta(seconds: float) -> str:
+        if seconds >= 3600:
+            return f"{seconds / 3600:.1f}h"
+        if seconds >= 60:
+            return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+        return f"{seconds:.0f}s"
+
+    def __call__(self, spec, rec, done: int, total: int) -> None:
+        self.executed += 1
+        if rec.outcome == "ok":
+            self.ok += 1
+        else:
+            self.failed += 1
+        if rec.attempts > 1:
+            self.retried += 1
+        if rec.stats:
+            self.events += rec.stats.get("total_events", 0)
+        wall = max(self._clock() - self.t0, 1e-9)
+        eta = (total - done) * (wall / self.executed)
+        line = (
+            f"campaign: {done}/{total} runs | {self.ok} ok, "
+            f"{self.failed} failed, {self.retried} retried | "
+            f"{self.events / wall:,.0f} events/s | ETA {self._fmt_eta(eta)}"
+        )
+        if self.tty:
+            pad = " " * max(self._last_len - len(line), 0)
+            self.stream.write("\r" + line + pad)
+            self._last_len = len(line)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        """End the redrawn line so the report starts on a fresh one."""
+        if self.tty and self._last_len:
+            self._last_len = 0
+            self.stream.write("\n")
+            self.stream.flush()
+
+
+def _write_flight_dump(path: str, dump: dict) -> None:
+    """Atomically write a flight-recorder dump as JSON."""
+    from .util.atomic_io import atomic_write
+
+    with atomic_write(path) as fh:
+        json.dump(dump, fh, indent=1)
+    print(f"flight dump written to {path} (render with 'repro inspect {path}')")
 
 
 def cmd_campaign(args) -> int:
@@ -440,6 +532,7 @@ def cmd_campaign(args) -> int:
         load_grid,
     )
 
+    live = _LiveProgress() if args.live else None
     try:
         config = load_grid(args.grid)
         if args.machine is not None:
@@ -452,7 +545,10 @@ def cmd_campaign(args) -> int:
             config.max_virtual_time = args.max_virtual
         if args.retries is not None:
             config.retries = args.retries
-        runner = CampaignRunner(config, args.out)
+        runner = CampaignRunner(
+            config, args.out,
+            telemetry=not args.no_telemetry, progress=live,
+        )
         TRACER.enable()
         METRICS.enable()
         try:
@@ -462,10 +558,17 @@ def cmd_campaign(args) -> int:
         finally:
             TRACER.disable()
             METRICS.disable()
+            if live is not None:
+                live.close()
     except CampaignError as exc:
+        if live is not None:
+            live.close()
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(format_campaign_report(report))
+    if runner.telemetry and runner.merged_perfetto_path.exists():
+        print(f"  merged telemetry timeline: {runner.merged_perfetto_path} "
+              f"(open in ui.perfetto.dev; see 'repro inspect {args.out}')")
     if report.interrupted or report.stopped:
         # Rebuild the hint from the *effective* flags: machine and budget
         # overrides feed the config hash, so a hint without them would be
@@ -483,9 +586,139 @@ def cmd_campaign(args) -> int:
             hint.append(f"--retries {args.retries}")
         if args.jobs != 1:
             hint.append(f"--jobs {args.jobs}")
+        if args.no_telemetry:
+            hint.append("--no-telemetry")
         hint.append("--resume")
         print("resume with: " + " ".join(hint))
     return 130 if report.interrupted else 0
+
+
+def cmd_inspect(args) -> int:
+    """Post-mortem viewer: flight dumps, campaign timelines, telemetry."""
+    from pathlib import Path
+
+    target = Path(args.path)
+    if target.is_file():
+        return _inspect_file(target, args)
+    if target.is_dir():
+        return _inspect_dir(target, args)
+    print(f"error: no such file or directory: {target}", file=sys.stderr)
+    return 2
+
+
+def _inspect_file(path, args) -> int:
+    """Render one file: a flight dump, a record carrying one, or a
+    telemetry capsule journal."""
+    from .sim import format_flight_dump
+
+    if path.suffix == ".jsonl":
+        from .obs import load_capsules
+        from .obs.merge import format_campaign_timeline
+
+        try:
+            capsules = load_capsules(path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_campaign_timeline(capsules))
+        return 0
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(doc, dict) and isinstance(doc.get("flight"), dict):
+        doc = doc["flight"]  # a journal record wrapping a dump
+    if not (isinstance(doc, dict) and "events" in doc and "format" in doc):
+        print(f"error: {path} is not a flight dump "
+              f"(expected 'format' and 'events' keys)", file=sys.stderr)
+        return 2
+    print(format_flight_dump(doc, last=args.last))
+    return 0
+
+
+def _inspect_dir(path, args) -> int:
+    """Render a campaign output directory: header, per-run timeline,
+    aggregate metrics, and the flight dumps of failed runs."""
+    from .obs import TableSink, load_capsules
+    from .obs.merge import aggregate_metrics, format_campaign_timeline
+    from .sim import format_flight_dump
+    from .util.atomic_io import read_jsonl
+    from .workflow.campaign import JOURNAL_NAME, TELEMETRY_NAME
+
+    journal_path = path / JOURNAL_NAME
+    if not journal_path.exists():
+        print(f"error: {path} has no {JOURNAL_NAME}; "
+              f"not a campaign output directory", file=sys.stderr)
+        return 2
+    try:
+        docs = read_jsonl(journal_path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    header = docs[0] if docs and docs[0].get("type") == "campaign" else {}
+    runs: dict[str, dict] = {}
+    for doc in docs:
+        if doc.get("type") == "run":
+            runs[doc["run_id"]] = doc  # last record for a run wins
+    if args.run is not None:
+        matches = [d for rid, d in runs.items() if rid.startswith(args.run)]
+        if not matches:
+            print(f"error: no journaled run with id {args.run!r}", file=sys.stderr)
+            return 2
+        if len(matches) > 1:
+            print(f"error: run id {args.run!r} is ambiguous "
+                  f"({len(matches)} matches)", file=sys.stderr)
+            return 2
+        runs = {matches[0]["run_id"]: matches[0]}
+    failed = [d for d in runs.values() if d.get("outcome") != "ok"]
+    total = header.get("total_runs", len(runs))
+    print(f"Campaign: {header.get('name', path.name)} "
+          f"(config {header.get('config_hash', '?')}) — "
+          f"{len(runs)}/{total} runs journaled, "
+          f"{len(runs) - len(failed)} ok, {len(failed)} failed")
+
+    telemetry_path = path / TELEMETRY_NAME
+    if telemetry_path.exists():
+        try:
+            capsules = load_capsules(telemetry_path)
+        except ValueError as exc:
+            print(f"warning: unreadable telemetry journal: {exc}", file=sys.stderr)
+            capsules = []
+        latest = {cap.run_id: cap for cap in capsules}
+        if args.run is not None:
+            latest = {rid: c for rid, c in latest.items() if rid in runs}
+        capsules = list(latest.values())
+        if capsules:
+            print()
+            print(format_campaign_timeline(capsules))
+            print()
+            print("Aggregate campaign metrics (all workers merged):")
+            print(TableSink.render(aggregate_metrics(capsules)))
+            if args.perfetto:
+                from .obs.merge import write_merged_perfetto
+
+                write_merged_perfetto(
+                    args.perfetto, capsules,
+                    meta={"campaign": header.get("name", path.name)},
+                )
+                print(f"\nmerged Perfetto timeline written to {args.perfetto} "
+                      f"(open in ui.perfetto.dev)")
+    elif args.perfetto:
+        print("error: --perfetto needs a telemetry journal "
+              f"({TELEMETRY_NAME}); run the campaign with telemetry on",
+              file=sys.stderr)
+        return 2
+
+    for doc in sorted(failed, key=lambda d: d.get("index", 0)):
+        print()
+        print(f"Run {doc['run_id']} finished {doc['outcome']} "
+              f"(attempts {doc.get('attempts', 1)}): {doc.get('error') or ''}")
+        if isinstance(doc.get("flight"), dict):
+            print(format_flight_dump(doc["flight"], last=args.last))
+        else:
+            print("  (no flight dump journaled for this run)")
+    return 0
 
 
 def cmd_fuzz(args) -> int:
@@ -569,6 +802,17 @@ def cmd_profile(args) -> int:
     program, _ = _resolve(args, nprocs=args.nprocs)
     mode = {"am": ExecMode.AM, "de": ExecMode.DE, "measured": ExecMode.MEASURED}[args.mode]
     calib_procs = args.calib_procs or min(args.nprocs, 16)
+    if args.out:
+        # --out DIR: collect every artifact under one directory, using
+        # default names for whatever was not explicitly pointed elsewhere
+        from pathlib import Path
+
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        args.perfetto = args.perfetto or str(out_dir / "profile.perfetto.json")
+        args.metrics = args.metrics or str(out_dir / "metrics.jsonl")
+        args.trace = args.trace or str(out_dir / "trace.jsonl.gz")
+        args.stats = args.stats or str(out_dir / "stats.csv")
     wf = _workflow(args, program, calib_nprocs=calib_procs, calibrate=False)
     _, default_inputs = APPS[args.app]
     runner = {
@@ -626,6 +870,34 @@ def cmd_profile(args) -> int:
 
         write_stats_csv(result.stats, args.stats)
         print(f"per-rank statistics written to {args.stats}")
+    if args.out:
+        from pathlib import Path
+
+        from .util.atomic_io import atomic_write
+
+        out_dir = Path(args.out)
+        artifacts = {
+            "perfetto": args.perfetto,
+            "metrics": args.metrics,
+            "trace": args.trace,
+            "stats": args.stats,
+        }
+        manifest = {
+            "app": args.app,
+            "mode": args.mode,
+            "nprocs": args.nprocs,
+            "machine": args.machine,
+            "repro_version": __version__,
+            "elapsed_s": result.elapsed,
+            "artifacts": {
+                kind: (str(Path(path).relative_to(out_dir))
+                       if Path(path).is_relative_to(out_dir) else str(path))
+                for kind, path in artifacts.items() if path
+            },
+        }
+        with atomic_write(out_dir / "manifest.json") as fh:
+            json.dump(manifest, fh, indent=1, sort_keys=True)
+        print(f"profile artifacts collected in {out_dir} (manifest.json)")
     return 0
 
 
@@ -717,6 +989,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run a fault sweep over these loss rates instead of one run")
     f.add_argument("--csv", metavar="FILE",
                    help="write per-rank statistics (fault counters included) as CSV")
+    f.add_argument("--flight-dump", metavar="FILE",
+                   help="arm the flight recorder and write its dump as JSON "
+                        "(render with 'repro inspect FILE')")
 
     camp = sub.add_parser(
         "campaign",
@@ -744,7 +1019,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for independent grid cells "
                            "(0 = all cores, default 1); output is identical "
                            "to a sequential run")
+    camp.add_argument("--live", action="store_true",
+                      help="single-line live progress (runs done, ok/failed/"
+                           "retried, aggregate events/sec, ETA)")
+    camp.add_argument("--no-telemetry", action="store_true",
+                      help="skip per-run telemetry capsules and the merged "
+                           "Perfetto timeline (telemetry.jsonl, "
+                           "campaign.perfetto.json)")
     camp.set_defaults(fn=cmd_campaign)
+
+    ins = sub.add_parser(
+        "inspect",
+        help="post-mortem viewer: campaign out-dirs, flight dumps, telemetry",
+    )
+    ins.add_argument("path",
+                     help="campaign output directory, flight-dump JSON file, "
+                          "or telemetry .jsonl journal")
+    ins.add_argument("--run", metavar="RUN_ID", default=None,
+                     help="restrict to one run (unique run-id prefix)")
+    ins.add_argument("--last", type=_positive_count, default=10, metavar="N",
+                     help="flight-recorder events to show per rank (default 10)")
+    ins.add_argument("--perfetto", metavar="FILE",
+                     help="write the merged campaign timeline as Perfetto JSON")
+    ins.set_defaults(fn=cmd_inspect)
 
     fz = sub.add_parser(
         "fuzz",
@@ -809,6 +1106,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="save the raw event trace (.jsonl or .jsonl.gz)")
     prof.add_argument("--stats", metavar="FILE",
                       help="write per-rank statistics as CSV")
+    prof.add_argument("--out", metavar="DIR",
+                      help="collect all artifacts (Perfetto, metrics, trace, "
+                           "stats CSV) under DIR with a manifest.json")
     return parser
 
 
@@ -820,7 +1120,15 @@ def main(argv: list[str] | None = None) -> int:
         args.log_level if args.log_level is not None
         else verbosity_to_level(args.verbose)
     )
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. `repro inspect ... | head`): not an error,
+        # but Python would print a traceback at interpreter shutdown unless
+        # the dangling descriptor is replaced
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

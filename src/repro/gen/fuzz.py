@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..ir.nodes import Program, walk
+from ..sim.flightrec import FLIGHT
 from ..util.atomic_io import AtomicJournal, atomic_write_text
 from .corpus import RegressionCase, save_case
 from .generator import GeneratedProgram, generate_faulty_program, generate_program
@@ -319,11 +320,25 @@ class FuzzRunner:
                 stopped = "budget"
                 break
             scenario = self._generate(seed)
-            verdict = self._check(scenario)
+            # Arm the flight recorder across the differential check: its
+            # events are (virtual_time, rank, kind) tuples — pure
+            # functions of the seed — so attaching the dump to failure
+            # records keeps the report byte-deterministic.
+            FLIGHT.enable()
+            try:
+                verdict = self._check(scenario)
+                flight = (
+                    FLIGHT.dump(error=verdict.detail)
+                    if not verdict.ok and FLIGHT.events_seen else None
+                )
+            finally:
+                FLIGHT.disable()
             minimized = None
             if not verdict.ok and self.config.minimize:
                 minimized = self._minimize(scenario, verdict)
             record = {"kind": "case", **verdict.to_record()}
+            if flight is not None:
+                record["flight"] = flight
             if minimized is not None:
                 record["minimized"] = minimized
             journal.append(record)
@@ -349,16 +364,19 @@ class FuzzRunner:
                 continue
             kind = rec.get("failure") or "unknown"
             failures[kind] = failures.get(kind, 0) + 1
-            divergences.append(
-                {
-                    "seed": rec["seed"],
-                    "pattern": rec["pattern"],
-                    "expect": rec.get("expect", "ok"),
-                    "failure": kind,
-                    "detail": rec.get("detail", ""),
-                    "n_stmts": rec.get("n_stmts"),
-                }
-            )
+            entry = {
+                "seed": rec["seed"],
+                "pattern": rec["pattern"],
+                "expect": rec.get("expect", "ok"),
+                "failure": kind,
+                "detail": rec.get("detail", ""),
+                "n_stmts": rec.get("n_stmts"),
+            }
+            if rec.get("flight"):
+                # deterministic post-mortem context: virtual-time event
+                # tail recorded while the failing check ran
+                entry["flight"] = rec["flight"]
+            divergences.append(entry)
             if rec.get("minimized"):
                 minimized.append(rec["minimized"])
         if len(done) >= self.config.seeds:

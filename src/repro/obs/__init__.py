@@ -17,10 +17,16 @@ simulators are judged on their own time/memory trajectories):
 * :mod:`repro.obs.scaling` — ScalAna-style scaling-loss detection by
   diffing traces across processor counts.
 * :mod:`repro.obs.comm_matrix` — rank×rank message/byte matrix.
+* :mod:`repro.obs.capsule` — per-run telemetry capsules that ship
+  spans/metrics/stats across process boundaries (``--jobs`` workers).
+* :mod:`repro.obs.merge` — fuses capsules into one campaign-level
+  Perfetto timeline and aggregate metric snapshot.
 
-Surfaced on the command line as ``python -m repro profile``.
+Surfaced on the command line as ``python -m repro profile`` and
+``python -m repro inspect``.
 """
 
+from .capsule import CAPSULE_FORMAT, TelemetryCapsule, capture_run, load_capsules
 from .comm_matrix import CommMatrix, comm_matrix, format_comm_matrix
 from .critical_path import (
     CriticalPathReport,
@@ -38,6 +44,12 @@ from .metrics import (
     JsonlSink,
     MetricsRegistry,
     TableSink,
+)
+from .merge import (
+    aggregate_metrics,
+    format_campaign_timeline,
+    merge_capsules,
+    write_merged_perfetto,
 )
 from .perfetto import (
     perfetto_document,
@@ -86,4 +98,12 @@ __all__ = [
     "comm_matrix",
     "CommMatrix",
     "format_comm_matrix",
+    "TelemetryCapsule",
+    "capture_run",
+    "load_capsules",
+    "CAPSULE_FORMAT",
+    "merge_capsules",
+    "aggregate_metrics",
+    "write_merged_perfetto",
+    "format_campaign_timeline",
 ]

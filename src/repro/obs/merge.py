@@ -1,0 +1,172 @@
+"""Fuse per-worker telemetry capsules into one campaign-level picture.
+
+ScalAna's lesson (PAPERS.md) is that per-process performance data only
+becomes diagnosable once it is fused into a single program-wide view.
+This module is that fusion layer for campaigns: given the
+:class:`~repro.obs.capsule.TelemetryCapsule` stream a ``--jobs N``
+campaign journals, it produces
+
+* **one merged Perfetto timeline** — one Perfetto "process" (track
+  group) per worker OS process, one "thread" (track) per run executed
+  on that worker, every span rebased from the worker's private
+  ``perf_counter`` epoch onto the shared wall clock (the capsule's
+  ``wall_start``/``perf_start`` anchor) so concurrent workers line up
+  the way they actually overlapped;
+* **aggregate campaign metrics** — counters summed across workers,
+  gauges last-write, histograms merged from their raw observations
+  (capsules carry ``samples(include_raw=True)`` precisely so merged
+  percentiles are exact, not summary-of-summaries approximations).
+
+The merged document passes :func:`repro.obs.perfetto.validate_perfetto`
+and is written atomically — the same contracts the single-process
+exporter holds to.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..util.atomic_io import atomic_write
+from .capsule import TelemetryCapsule
+from .metrics import MetricsRegistry
+from .perfetto import validate_perfetto
+
+__all__ = [
+    "merge_capsules",
+    "aggregate_metrics",
+    "write_merged_perfetto",
+    "format_campaign_timeline",
+]
+
+_US = 1e6  # seconds -> microseconds
+
+
+def merge_capsules(
+    capsules: list[TelemetryCapsule], meta: dict | None = None
+) -> dict:
+    """Build the merged Perfetto trace-event document.
+
+    Workers become Perfetto processes (pid = worker pid), runs become
+    threads within their worker, ordered by start time.  Timestamps are
+    rebased to the earliest capture's wall clock, so ``ts`` 0 is the
+    first run's start and overlap between workers is faithful.
+    """
+    if not capsules:
+        raise ValueError("no telemetry capsules to merge")
+    events: list[dict] = []
+    if capsules:
+        base_wall = min(cap.wall_start for cap in capsules)
+        by_worker: dict[int, list[TelemetryCapsule]] = {}
+        for cap in capsules:
+            by_worker.setdefault(cap.worker, []).append(cap)
+        for worker in sorted(by_worker):
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": worker,
+                    "tid": 0,
+                    "args": {"name": f"worker {worker}"},
+                }
+            )
+            runs = sorted(by_worker[worker], key=lambda c: (c.wall_start, c.run_id))
+            for tid, cap in enumerate(runs):
+                label = f"run {cap.run_id}"
+                if cap.outcome:
+                    label += f" [{cap.outcome}]"
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": worker,
+                        "tid": tid,
+                        "args": {"name": label},
+                    }
+                )
+                rebase = cap.wall_start - base_wall - cap.perf_start
+                for sp in cap.span_objects():
+                    args = dict(sp.attrs)
+                    args["run_id"] = cap.run_id
+                    if sp.virtual_duration is not None:
+                        args["virtual_s"] = sp.virtual_duration
+                    events.append(
+                        {
+                            "ph": "X",
+                            "name": sp.name,
+                            "cat": "capsule",
+                            "pid": worker,
+                            "tid": tid,
+                            "ts": max(0.0, (sp.host_start + rebase) * _US),
+                            "dur": sp.host_duration * _US,
+                            "args": args,
+                        }
+                    )
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    other = {
+        "merged_capsules": len(capsules),
+        "workers": len({cap.worker for cap in capsules}),
+    }
+    if meta:
+        other.update(meta)
+    doc["otherData"] = other
+    return doc
+
+
+def aggregate_metrics(capsules: list[TelemetryCapsule]) -> list[dict]:
+    """Merge every capsule's metric samples into one snapshot.
+
+    Counters sum, gauges take the last capsule's value (capsule order),
+    histograms concatenate raw observations — so the merged summary is
+    what a single-process campaign would have recorded.
+    """
+    registry = MetricsRegistry()
+    registry.enable()
+    for cap in capsules:
+        registry.restore(cap.metrics)
+    return registry.samples()
+
+
+def write_merged_perfetto(
+    path: str | Path,
+    capsules: list[TelemetryCapsule],
+    meta: dict | None = None,
+) -> dict:
+    """Validate and atomically write the merged timeline; returns it."""
+    doc = merge_capsules(capsules, meta=meta)
+    validate_perfetto(doc)
+    with atomic_write(path) as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    return doc
+
+
+def format_campaign_timeline(capsules: list[TelemetryCapsule]) -> str:
+    """Human-readable per-run timeline table for ``repro inspect``."""
+    if not capsules:
+        return "no telemetry capsules"
+    base = min(cap.wall_start for cap in capsules)
+    rows = []
+    for cap in sorted(capsules, key=lambda c: (c.wall_start, c.run_id)):
+        host = sum(sp.host_duration for sp in cap.root_spans())
+        events = (cap.stats or {}).get("total_events", "")
+        rows.append(
+            (
+                cap.run_id,
+                str(cap.worker),
+                f"{cap.wall_start - base:.3f}",
+                f"{host * 1e3:.1f}",
+                f"{cap.elapsed:.6g}" if cap.elapsed is not None else "-",
+                str(events),
+                cap.outcome or "-",
+            )
+        )
+    headers = ("run", "worker", "start (s)", "host (ms)", "virtual (s)", "events", "outcome")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) for i in range(len(headers))
+    ]
+    lines = ["Campaign timeline (merged capsules)"]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+    return "\n".join(lines)

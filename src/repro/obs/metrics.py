@@ -152,8 +152,14 @@ class MetricsRegistry:
         self._instruments.clear()
 
     # -- snapshots and sinks --------------------------------------------------
-    def samples(self) -> list[dict]:
-        """Flatten every labeled series into sample dicts."""
+    def samples(self, include_raw: bool = False) -> list[dict]:
+        """Flatten every labeled series into sample dicts.
+
+        ``include_raw=True`` adds the raw observation list to histogram
+        samples (key ``"values"``) so snapshots from different processes
+        can be merged exactly instead of approximated from summaries
+        (see :mod:`repro.obs.merge`).
+        """
         out = []
         for name in sorted(self._instruments):
             inst = self._instruments[name]
@@ -162,10 +168,39 @@ class MetricsRegistry:
                 sample = {"name": name, "type": inst.kind, "labels": labels}
                 if inst.kind == "histogram":
                     sample.update(inst.summary(**labels))
+                    if include_raw:
+                        sample["values"] = list(inst._series[key])
                 else:
                     sample["value"] = inst._series[key]
                 out.append(sample)
         return out
+
+    def restore(self, samples: list[dict]) -> None:
+        """Merge *samples* (from :meth:`samples`) into this registry.
+
+        Counters add, gauges take the incoming value, histograms extend
+        with the sample's raw ``values`` (falling back to a single
+        synthetic observation per summary when raw values are absent).
+        Used by the capsule merge layer to rebuild one campaign-level
+        registry out of per-worker snapshots; requires ``enabled``.
+        """
+        for sample in samples:
+            labels = sample.get("labels", {})
+            kind = sample.get("type")
+            name = sample["name"]
+            if kind == "counter":
+                self.counter(name).inc(sample["value"], **labels)
+            elif kind == "gauge":
+                self.gauge(name).set(sample["value"], **labels)
+            elif kind == "histogram":
+                hist = self.histogram(name)
+                values = sample.get("values")
+                if values is None:
+                    values = [sample["mean"]] * int(sample.get("count", 0))
+                for v in values:
+                    hist.observe(v, **labels)
+            else:
+                raise ValueError(f"sample {name!r} has unknown type {kind!r}")
 
     def flush(self, sink) -> None:
         """Write a snapshot of every series through *sink*."""

@@ -44,7 +44,12 @@ class BudgetExceededError(RuntimeError):
         Partial :class:`repro.sim.SimStats` at the moment the watchdog
         fired (per-rank counters are valid; ``elapsed`` reflects only
         finished processes).
+    flight:
+        The flight recorder's dump when the recorder was enabled for
+        the run (see :mod:`repro.sim.flightrec`), else ``None``.
     """
+
+    flight: dict | None = None
 
     def __init__(self, kind: str, limit: float, observed: float, stats=None):
         super().__init__(
@@ -93,6 +98,22 @@ class BudgetGuard:
     def start(self) -> None:
         """Arm the wall clock at the beginning of the run."""
         self._wall_start = time.perf_counter()
+
+    def snapshot(self, virtual_time: float | None = None) -> dict:
+        """JSON-safe budget state (flight-recorder dumps, capsules)."""
+        wall = (
+            time.perf_counter() - self._wall_start
+            if self._wall_start is not None
+            else None
+        )
+        return {
+            "events": self.events,
+            "max_events": self.max_events,
+            "max_virtual_time": self.max_virtual_time,
+            "max_wall_seconds": self.max_wall_seconds,
+            "virtual_time": virtual_time,
+            "wall_seconds": wall,
+        }
 
     def note_event(self, t: float) -> tuple[str, float, float] | None:
         """Account one kernel event at virtual time *t*.

@@ -45,6 +45,7 @@ from ..obs.metrics import METRICS
 from ..obs.spans import TRACER
 from .budget import BudgetExceededError, BudgetGuard
 from .faults import DeadlockReport, FaultPlan, FaultState, RetryPolicy, WaitInfo
+from .flightrec import FLIGHT, deadlock_report_to_dict
 from .memory import MemoryReport, MemoryTracker
 from .requests import (
     Alloc,
@@ -106,8 +107,11 @@ class DeadlockError(RuntimeError):
 
     ``report`` carries the watchdog's :class:`DeadlockReport` (the
     per-rank wait-chain diagnosis) when one was built; the exception
-    message is its rendered form.
+    message is its rendered form.  ``flight`` carries the flight
+    recorder's dump when the recorder was enabled for the run.
     """
+
+    flight: dict | None = None
 
     def __init__(self, message: str, report: DeadlockReport | None = None):
         super().__init__(message)
@@ -314,10 +318,11 @@ class Simulator:
                 self.machine.name, self.nprocs, self.seed,
                 "yes" if self._fault_state is not None else "no", self._default_timeout,
             )
-        # observability dispatch, decided once per run: with both layers
-        # disabled (the default) the kernel runs with zero tracing or
-        # metrics indirection anywhere — not even no-op span objects
-        if not TRACER.enabled and not METRICS.enabled:
+        # observability dispatch, decided once per run: with every layer
+        # disabled (the default) the kernel runs with zero tracing,
+        # metrics or flight-recorder indirection anywhere — not even
+        # no-op span objects or ring-buffer appends
+        if not TRACER.enabled and not METRICS.enabled and not FLIGHT.enabled:
             return self._run()
         with TRACER.span("sim.run", mode=self.mode.value, nprocs=self.nprocs) as span:
             result = self._run()
@@ -341,18 +346,33 @@ class Simulator:
             self._push(self._crash_times[rank], rank, ("crash", None))
         for proc in self._procs:
             self._push(0.0, proc.rank, ("resume", None))
-        if self._budget is not None:
+        if FLIGHT.enabled:
+            FLIGHT.note(mode=self.mode.value, nprocs=self.nprocs, seed=self.seed)
+            self._drain_flight()
+        elif self._budget is not None:
             self._drain_budgeted()
         else:
             self._drain()
         blocked = [p for p in self._procs if not p.done and not p.crashed]
         if blocked:
             report = self._deadlock_report()
-            raise DeadlockError(report.format(), report=report)
+            exc = DeadlockError(report.format(), report=report)
+            if FLIGHT.enabled:
+                exc.flight = FLIGHT.dump(
+                    wait_chain=deadlock_report_to_dict(report),
+                    budget=self._budget_snapshot(),
+                    error=report.summary(),
+                )
+            raise exc
         if self._fault_state is None and self._timeouts_fired == 0:
             leftover = [r for r, q in enumerate(self._queues) if q.messages]
             if leftover:
-                raise DeadlockError(f"unconsumed messages at ranks {leftover}")
+                exc = DeadlockError(f"unconsumed messages at ranks {leftover}")
+                if FLIGHT.enabled:
+                    exc.flight = FLIGHT.dump(
+                        budget=self._budget_snapshot(), error=str(exc)
+                    )
+                raise exc
         stats = SimStats([p.stats for p in self._procs])
         return SimResult(self.mode, stats, self.memory.report(), self.trace)
 
@@ -424,6 +444,56 @@ class Simulator:
                 self._do_crash(proc, t)
             elif not proc.crashed:  # "timeout"
                 self._do_timeout(proc, t, action[1])
+
+    def _drain_flight(self) -> None:
+        """The event loop with flight recording (and budgets, if set).
+
+        Only reachable when :data:`FLIGHT` is enabled — the unrecorded
+        loops above never pay for the ring-buffer append.  A tripped
+        budget raises :class:`BudgetExceededError` with the dump
+        attached, so the black box survives the crash it explains.
+        """
+        heap = self._heap
+        procs = self._procs
+        budget = self._budget
+        if budget is not None:
+            budget.start()
+        record = FLIGHT.record
+        while heap:
+            t, _, rank, action = heappop(heap)
+            if budget is not None:
+                violation = budget.note_event(t)
+                if violation is not None:
+                    kind, limit, observed = violation
+                    exc = BudgetExceededError(
+                        kind, limit, observed,
+                        stats=SimStats([p.stats for p in procs]),
+                    )
+                    exc.flight = FLIGHT.dump(
+                        budget=budget.snapshot(virtual_time=t), error=str(exc)
+                    )
+                    raise exc
+            kind = action[0]
+            proc = procs[rank]
+            if kind == "resume":
+                record(t, rank, "resume")
+                if not proc.crashed:
+                    self._resume(proc, t, action[1])
+            elif kind == "comm":
+                record(t, rank, type(action[1]).__name__.lower())
+                if not proc.crashed:
+                    self._do_comm(proc, t, action[1])
+            elif kind == "crash":
+                record(t, rank, "crash")
+                self._do_crash(proc, t)
+            else:  # "timeout"
+                record(t, rank, "timeout")
+                if not proc.crashed:
+                    self._do_timeout(proc, t, action[1])
+
+    def _budget_snapshot(self) -> dict | None:
+        """The budget guard's state for dumps (None without budgets)."""
+        return self._budget.snapshot() if self._budget is not None else None
 
     # -- kernel internals ---------------------------------------------------------
     def _push(self, t: float, rank: int, action: object) -> None:

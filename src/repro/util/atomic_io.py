@@ -44,6 +44,8 @@ __all__ = [
     "atomic_write",
     "atomic_write_text",
     "atomic_append_lines",
+    "append_jsonl",
+    "read_jsonl",
     "AtomicJournal",
 ]
 
@@ -145,6 +147,77 @@ def atomic_append_lines(path: str | Path, lines: Iterable[str]) -> None:
             fh.write(line + "\n")
 
 
+def append_jsonl(path: str | Path, record: dict, fsync: bool = True) -> None:
+    """Durably append one JSON record to *path* in O(record).
+
+    The record lands in a single ``O_APPEND`` write (one line), followed
+    by an ``fsync`` — so a crash mid-append can tear at most the final
+    line, never an earlier one, and :func:`read_jsonl` drops exactly
+    that torn tail.  This is the right primitive for high-volume
+    streams (telemetry capsules, metrics) where the
+    :class:`AtomicJournal` full-rewrite would cost O(n²) over a
+    campaign; the trade is documented on the reader side.
+    """
+    line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    fd = os.open(Path(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode())
+        if fsync:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def read_jsonl(path: str | Path, strict: bool = False) -> list[dict]:
+    """Read a JSONL file, tolerating the documented torn-final-line hazard.
+
+    ``O_APPEND`` writers (:func:`append_jsonl`,
+    :class:`repro.obs.metrics.JsonlSink`) guarantee every line but the
+    last is complete; a crash mid-flush can leave one incomplete tail
+    line.  This reader drops an unparseable *final* line with a logged
+    warning and returns everything before it.  Corruption anywhere else
+    — or any corruption at all under ``strict=True`` — still raises
+    :class:`ValueError` with its ``path:line`` location, because a
+    mangled middle means something other than a torn append happened.
+    Non-object records raise in either mode.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text()
+    except OSError as exc:
+        raise ValueError(f"cannot read {path}: {exc}") from None
+    lines = raw.splitlines()
+    out: list[dict] = []
+    last = len(lines)
+    while last and not lines[last - 1].strip():
+        last -= 1  # ignore blank tails
+    for lineno, line in enumerate(lines[:last], start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == last and not strict:
+                _warn_torn_line(path, lineno)
+                break
+            raise ValueError(
+                f"{path}:{lineno}: corrupt JSONL record: {exc}"
+            ) from None
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}:{lineno}: JSONL record is not a JSON object")
+        out.append(record)
+    return out
+
+
+def _warn_torn_line(path: Path, lineno: int) -> None:
+    # local import: atomic_io must stay importable before logging config
+    from ..obs.logging import get_logger
+
+    get_logger("util.atomic_io").warning(
+        "%s:%d: skipping incomplete final line (torn O_APPEND write)", path, lineno
+    )
+
+
 class AtomicJournal:
     """Append-only JSONL journal with per-record atomic durability.
 
@@ -153,10 +226,14 @@ class AtomicJournal:
     journal), so after a crash the on-disk journal is exactly the
     sequence of records whose ``append`` calls completed.
 
-    :meth:`load` is tolerant by construction — but since every write is
-    a full-file atomic replace, a torn trailing line can only come from
-    an externally-edited file, and is reported as corruption with its
-    line number rather than silently dropped.
+    Since every write is a full-file atomic replace, a torn *final*
+    line can only come from outside — an external editor, a copy taken
+    mid-write, a foreign ``O_APPEND`` writer sharing the path.  That
+    one case is recovered, not fatal: the incomplete tail is dropped
+    with a logged warning at load time (so a later :meth:`append` never
+    re-persists it).  Corruption anywhere earlier is still reported by
+    :meth:`records` with its line number — a mangled middle means
+    something worse than a torn append happened.
     """
 
     def __init__(self, path: str | Path):
@@ -166,6 +243,12 @@ class AtomicJournal:
             self._lines = [
                 line for line in self.path.read_text().splitlines() if line.strip()
             ]
+            if self._lines:
+                try:
+                    json.loads(self._lines[-1])
+                except json.JSONDecodeError:
+                    _warn_torn_line(self.path, len(self._lines))
+                    self._lines.pop()
 
     def __len__(self) -> int:
         return len(self._lines)

@@ -26,6 +26,15 @@ crash-safe:
 * SIGINT/SIGTERM interrupt the campaign *between* journal records: the
   journal stays consistent, an ``interrupted`` marker is appended, and
   the CLI prints a resume hint.
+* With ``telemetry=True`` every run executes inside a
+  :class:`~repro.obs.capsule.capture_run` with the flight recorder armed:
+  the worker ships a :class:`~repro.obs.capsule.TelemetryCapsule` back to
+  the parent, which journals it to ``telemetry.jsonl`` (O_APPEND +
+  fsync, torn-tail tolerant) and, once the campaign completes, fuses all
+  capsules into ``campaign.perfetto.json`` — one merged timeline with a
+  track per worker process and per run.  Failed runs additionally attach
+  the flight-recorder dump (last-N kernel events, wait chains, budget
+  state) to their journal record for ``repro inspect``.
 """
 
 from __future__ import annotations
@@ -45,7 +54,8 @@ from ..obs.spans import TRACER
 from ..sim.budget import BudgetExceededError
 from ..sim.engine import DeadlockError, ExecMode
 from ..sim.faults import FaultPlan, RetryPolicy
-from ..util.atomic_io import AtomicJournal, atomic_write
+from ..sim.flightrec import FLIGHT
+from ..util.atomic_io import AtomicJournal, append_jsonl, atomic_write
 from .pipeline import ModelingWorkflow
 
 __all__ = [
@@ -61,12 +71,16 @@ __all__ = [
     "format_campaign_report",
     "JOURNAL_NAME",
     "RESULTS_NAME",
+    "TELEMETRY_NAME",
+    "MERGED_PERFETTO_NAME",
 ]
 
 _log = get_logger("workflow.campaign")
 
 JOURNAL_NAME = "campaign.journal.jsonl"
 RESULTS_NAME = "results.csv"
+TELEMETRY_NAME = "telemetry.jsonl"
+MERGED_PERFETTO_NAME = "campaign.perfetto.json"
 _JOURNAL_VERSION = 1
 
 #: outcome classes a run record may carry
@@ -296,6 +310,8 @@ class RunRecord:
     stats: dict | None = None
     error: str | None = None
     budget_kind: str | None = None
+    flight: dict | None = None  # flight-recorder dump, on failed runs
+    capsule: dict | None = None  # transient: journaled to telemetry.jsonl, not here
 
     def to_json(self) -> dict:
         doc = {
@@ -310,6 +326,8 @@ class RunRecord:
         }
         if self.budget_kind is not None:
             doc["budget_kind"] = self.budget_kind
+        if self.flight is not None:
+            doc["flight"] = self.flight
         return doc
 
     @classmethod
@@ -324,6 +342,7 @@ class RunRecord:
                 stats=doc.get("stats"),
                 error=doc.get("error"),
                 budget_kind=doc.get("budget_kind"),
+                flight=doc.get("flight"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CampaignError(f"corrupt journal run record: {exc}") from None
@@ -399,14 +418,25 @@ class CampaignRunner:
         Defaults to the CLI's application registry.
     sleep:
         Injection point for the backoff sleep (tests pass a no-op).
+    telemetry:
+        Capture a :class:`~repro.obs.capsule.TelemetryCapsule` per run
+        (spans, metrics, stats, flight dump) and journal it to
+        ``telemetry.jsonl``; on completion, fuse the capsules into the
+        merged ``campaign.perfetto.json`` timeline.
+    progress:
+        ``progress(spec, record, done, total)`` called after every
+        journaled run (completion order).  Drives ``--live``.
     """
 
     def __init__(self, config: CampaignConfig, out_dir: str | Path,
-                 resolver=None, sleep=time.sleep):
+                 resolver=None, sleep=time.sleep, telemetry: bool = False,
+                 progress=None):
         self.config = config
         self.out_dir = Path(out_dir)
         self.resolver = resolver if resolver is not None else _cli_resolver
         self.sleep = sleep
+        self.telemetry = telemetry
+        self.progress = progress
         self._workflows: dict[tuple[str, int], ModelingWorkflow] = {}
         self._stop_signal: int | None = None
 
@@ -417,6 +447,14 @@ class CampaignRunner:
     @property
     def results_path(self) -> Path:
         return self.out_dir / RESULTS_NAME
+
+    @property
+    def telemetry_path(self) -> Path:
+        return self.out_dir / TELEMETRY_NAME
+
+    @property
+    def merged_perfetto_path(self) -> Path:
+        return self.out_dir / MERGED_PERFETTO_NAME
 
     # -- journal ----------------------------------------------------------------
     def _open_journal(self, resume: bool) -> tuple[AtomicJournal, dict[str, RunRecord]]:
@@ -429,6 +467,10 @@ class CampaignRunner:
                     "--resume requested but no journal at %s; starting fresh",
                     self.journal_path,
                 )
+            # fresh campaign: a telemetry stream left by an earlier journal
+            # would pollute the merged timeline with foreign runs
+            self.telemetry_path.unlink(missing_ok=True)
+            self.merged_perfetto_path.unlink(missing_ok=True)
             journal.append(
                 {
                     "type": "campaign",
@@ -524,8 +566,7 @@ class CampaignRunner:
                                     spec.describe(), prior.outcome,
                                 )
                             rec = self._execute_one(spec, index)
-                            journal.append(rec.to_json())
-                            records[spec.run_id] = rec
+                            self._commit(journal, records, spec, rec)
                             executed += 1
             except CampaignInterrupted as exc:
                 interrupted = True
@@ -554,7 +595,48 @@ class CampaignRunner:
         if report.complete and not interrupted and not stopped:
             self._write_results(records)
             report.results_path = self.results_path
+            if self.telemetry:
+                self._write_merged_telemetry()
         return report
+
+    def _commit(self, journal: AtomicJournal, records: dict[str, RunRecord],
+                spec: RunSpec, rec: RunRecord) -> None:
+        """Journal one finished run: record, capsule, progress callback."""
+        journal.append(rec.to_json())
+        records[spec.run_id] = rec
+        if rec.capsule is not None:
+            append_jsonl(self.telemetry_path, rec.capsule)
+        if self.progress is not None:
+            self.progress(spec, rec, len(records), len(self.config.specs))
+
+    def _write_merged_telemetry(self) -> None:
+        """Fuse journaled capsules into the merged Perfetto timeline.
+
+        Resumed/re-run cells may have journaled several capsules for one
+        run_id; the latest wins, matching the journal's last-record-wins
+        rule.  Best-effort: a failure to merge never fails the campaign
+        (results.csv is already on disk)."""
+        from ..obs.capsule import load_capsules
+        from ..obs.merge import write_merged_perfetto
+
+        try:
+            capsules = load_capsules(self.telemetry_path)
+        except ValueError as exc:
+            _log.warning("cannot read telemetry journal: %s", exc)
+            return
+        latest = {cap.run_id: cap for cap in capsules}
+        ordered = [
+            latest[s.run_id] for s in self.config.specs if s.run_id in latest
+        ]
+        if not ordered:
+            return
+        write_merged_perfetto(
+            self.merged_perfetto_path, ordered,
+            meta={"campaign": self.config.name,
+                  "config_hash": self.config.config_hash},
+        )
+        _log.info("merged telemetry timeline written to %s",
+                  self.merged_perfetto_path)
 
     def _execute_parallel(self, journal: AtomicJournal,
                           records: dict[str, RunRecord],
@@ -590,8 +672,7 @@ class CampaignRunner:
                 _log.info("re-running %s (%s last time)", spec.describe(), prior.outcome)
 
         def on_record(spec: RunSpec, rec: RunRecord) -> None:
-            journal.append(rec.to_json())
-            records[spec.run_id] = rec
+            self._commit(journal, records, spec, rec)
             if METRICS.enabled:
                 METRICS.counter(
                     "campaign_runs_total", "campaign runs by outcome"
@@ -601,6 +682,7 @@ class CampaignRunner:
             executed = run_campaign_cells(
                 self.config, pending, jobs, on_record,
                 resolver=self.resolver, sleep=self.sleep,
+                telemetry=self.telemetry,
             )
         except BrokenProcessPool as exc:
             raise CampaignError(
@@ -610,6 +692,36 @@ class CampaignRunner:
         return executed, stopped
 
     def _execute_one(self, spec: RunSpec, index: int) -> RunRecord:
+        """One grid cell, optionally captured into a telemetry capsule.
+
+        With telemetry off this is exactly :meth:`_run_attempts`.  With
+        it on, the attempt loop runs inside :class:`capture_run` (fresh
+        tracer/metrics state, restored afterwards) with the flight
+        recorder armed; the finished capsule rides back to the parent on
+        the record's transient ``capsule`` field — dict, not dataclass,
+        so it pickles cheaply out of pool workers.
+        """
+        if not self.telemetry:
+            return self._run_attempts(spec, index)
+        from ..obs.capsule import capture_run
+
+        with capture_run(
+            spec.run_id, app=spec.app, mode=spec.mode, nprocs=spec.nprocs,
+            seed=spec.seed,
+        ) as cap:
+            FLIGHT.enable()
+            try:
+                rec = self._run_attempts(spec, index)
+            finally:
+                FLIGHT.disable()
+        capsule = cap.finish(
+            outcome=rec.outcome, stats=rec.stats, elapsed=rec.elapsed,
+            flight=rec.flight,
+        )
+        rec.capsule = {"type": "capsule", **capsule.to_json()}
+        return rec
+
+    def _run_attempts(self, spec: RunSpec, index: int) -> RunRecord:
         """One grid cell: budgets, bounded retry, outcome classification."""
         attempts = 0
         while True:
@@ -623,19 +735,22 @@ class CampaignRunner:
                 except DeadlockError as exc:
                     outcome, error, stats, elapsed, bkind = (
                         "deadlock", _first_line(exc), None, None, None)
+                    fdump = exc.flight
                 except BudgetExceededError as exc:
                     outcome = "timeout" if exc.kind == "wall_time" else "budget"
                     error = _first_line(exc)
                     stats = exc.stats.to_dict() if exc.stats is not None else None
                     elapsed, bkind = None, exc.kind
+                    fdump = exc.flight
                 except CampaignInterrupted:
                     raise
                 except Exception as exc:  # transient / unexpected: retryable
                     outcome, error, stats, elapsed, bkind = (
                         "error", f"{type(exc).__name__}: {_first_line(exc)}",
                         None, None, None)
+                    fdump = FLIGHT.dump(error=error) if FLIGHT.enabled else None
                 else:
-                    outcome, error, bkind = "ok", None, None
+                    outcome, error, bkind, fdump = "ok", None, None, None
                     stats = result.stats.to_dict()
                     elapsed = result.elapsed
                     span.set_virtual(0.0, elapsed)
@@ -659,7 +774,7 @@ class CampaignRunner:
             return RunRecord(
                 run_id=spec.run_id, index=index, outcome=outcome,
                 attempts=attempts, elapsed=elapsed, stats=stats, error=error,
-                budget_kind=bkind,
+                budget_kind=bkind, flight=fdump,
             )
 
     def _simulate(self, spec: RunSpec):

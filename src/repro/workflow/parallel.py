@@ -102,12 +102,16 @@ def _quiet_worker() -> None:
     METRICS.disable()
 
 
-def _campaign_init(config, resolver, sleep) -> None:
+def _campaign_init(config, resolver, sleep, telemetry=False) -> None:
     _quiet_worker()
     from .campaign import CampaignRunner
 
+    # telemetry=True makes _execute_one capture each run into a capsule
+    # (fresh per-run tracer/metrics state inside the otherwise-quiet
+    # worker); the capsule rides back to the parent on the record
     _STATE["runner"] = CampaignRunner(
-        config, out_dir=os.devnull, resolver=resolver, sleep=sleep
+        config, out_dir=os.devnull, resolver=resolver, sleep=sleep,
+        telemetry=telemetry,
     )
 
 
@@ -143,7 +147,7 @@ def _calibration_run(seed: int) -> dict:
 
 
 def run_campaign_cells(config, pending, jobs, on_record,
-                       resolver=None, sleep=None):
+                       resolver=None, sleep=None, telemetry=False):
     """Fan *pending* ``(index, spec)`` cells across *jobs* workers.
 
     ``on_record(spec, record)`` is called in **completion order** — the
@@ -152,13 +156,15 @@ def run_campaign_cells(config, pending, jobs, on_record,
     byte-identical to sequential.  An interrupt raised while waiting is
     allowed to propagate after pending work is cancelled; a worker crash
     surfaces as ``BrokenProcessPool`` for the caller to classify.
+    *telemetry* arms per-run capsule capture inside the workers.
     """
     import time
 
     pool = ProcessPoolExecutor(
         max_workers=min(jobs, len(pending)),
         initializer=_campaign_init,
-        initargs=(config, resolver, sleep if sleep is not None else time.sleep),
+        initargs=(config, resolver,
+                  sleep if sleep is not None else time.sleep, telemetry),
     )
     try:
         futures = {

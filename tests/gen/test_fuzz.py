@@ -82,12 +82,27 @@ class TestCampaign:
             FuzzRunner(other).run(resume=True)
 
     def test_corrupt_journal_one_line_error(self, tmp_path):
+        # Mid-journal corruption is never recoverable: it cannot come
+        # from a torn append, so resuming must refuse the journal.
         cfg = small_config(tmp_path / "o")
         FuzzRunner(cfg).run()
         path = tmp_path / "o" / "journal.jsonl"
-        path.write_text(path.read_text() + "{torn\n")
+        lines = path.read_text().splitlines()
+        lines[1] = '{"kind": "case", torn'
+        path.write_text("\n".join(lines) + "\n")
         with pytest.raises(FuzzError, match="corrupt fuzz journal"):
             FuzzRunner(cfg).run(resume=True)
+
+    def test_torn_final_line_is_recovered_on_resume(self, tmp_path):
+        # A torn *final* line is the documented crash hazard: the journal
+        # loader drops it with a warning and the resume proceeds, with
+        # the report identical to the untorn campaign's.
+        cfg = small_config(tmp_path / "o")
+        reference = FuzzRunner(cfg).run()
+        path = tmp_path / "o" / "journal.jsonl"
+        path.write_text(path.read_text() + '{"kind": "case", "seed"')
+        resumed = FuzzRunner(cfg).run(resume=True)
+        assert resumed.to_json() == reference.to_json()
 
     def test_budget_stop_is_resumable(self, tmp_path):
         cfg = small_config(tmp_path / "o", budget_seconds=1e-9)

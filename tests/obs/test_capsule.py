@@ -1,0 +1,183 @@
+"""Telemetry capsules: serialization round-trips and capture isolation."""
+
+import json
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE
+from repro.obs import METRICS, TRACER
+from repro.obs.capsule import TelemetryCapsule, capture_run, load_capsules
+from repro.sim import ExecMode, Simulator
+from repro.util.atomic_io import append_jsonl
+
+
+def simple_program(rank, size):
+    yield mpi.compute(ops=1000)
+    if size > 1:
+        if rank == 0:
+            yield mpi.send(dest=1, nbytes=64, tag=0)
+        elif rank == 1:
+            yield mpi.recv(source=0, tag=0)
+
+
+# -- hypothesis round-trip -----------------------------------------------------
+
+_attr_values = st.one_of(
+    st.integers(-(2**31), 2**31), st.booleans(), st.text(max_size=20),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.none(),
+)
+_labels = st.dictionaries(
+    st.text(st.characters(categories=("Ll",)), min_size=1, max_size=8),
+    _attr_values.filter(lambda v: v is not None),
+    max_size=3,
+)
+
+
+@st.composite
+def capsules(draw):
+    spans = []
+    for sid in range(draw(st.integers(0, 4))):
+        start = draw(st.floats(0, 1e6, allow_nan=False))
+        spans.append(
+            {
+                "sid": sid,
+                "name": draw(st.text(min_size=1, max_size=12)),
+                "parent": draw(st.sampled_from([None] + list(range(sid)))) if sid else None,
+                "host_start": start,
+                "host_end": start + draw(st.floats(0, 10, allow_nan=False)),
+                "virtual_start": draw(st.one_of(st.none(), st.floats(0, 100, allow_nan=False))),
+                "virtual_end": draw(st.one_of(st.none(), st.floats(0, 100, allow_nan=False))),
+                "attrs": draw(st.dictionaries(st.text(min_size=1, max_size=8), _attr_values, max_size=3)),
+            }
+        )
+    metrics = []
+    for name in draw(st.lists(st.text(min_size=1, max_size=10), max_size=3, unique=True)):
+        kind = draw(st.sampled_from(["counter", "gauge", "histogram"]))
+        sample = {"name": name, "type": kind, "labels": draw(_labels)}
+        if kind == "histogram":
+            values = draw(st.lists(st.floats(0, 1e3, allow_nan=False), min_size=1, max_size=5))
+            sample.update(
+                count=len(values), sum=sum(values), min=min(values),
+                max=max(values), mean=sum(values) / len(values),
+                p50=sorted(values)[len(values) // 2], values=values,
+            )
+        else:
+            sample["value"] = draw(st.floats(0, 1e9, allow_nan=False))
+        metrics.append(sample)
+    return TelemetryCapsule(
+        run_id=draw(st.text(min_size=1, max_size=16)),
+        worker=draw(st.integers(1, 2**22)),
+        wall_start=draw(st.floats(0, 2e9, allow_nan=False)),
+        perf_start=draw(st.floats(0, 1e6, allow_nan=False)),
+        outcome=draw(st.sampled_from([None, "ok", "deadlock", "timeout", "budget", "error"])),
+        elapsed=draw(st.one_of(st.none(), st.floats(0, 1e4, allow_nan=False))),
+        spans=spans,
+        metrics=metrics,
+        stats=draw(st.one_of(st.none(), st.just({"elapsed": 1.0, "total_events": 7}))),
+        budget=draw(st.one_of(st.none(), st.just({"events": 3, "max_events": 10}))),
+        flight=draw(st.one_of(st.none(), st.just({"format": 1, "events": [[0.0, 0, "resume"]]}))),
+        attrs=draw(st.dictionaries(st.text(min_size=1, max_size=8), _attr_values, max_size=3)),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(capsules())
+    def test_json_round_trip_is_lossless(self, cap):
+        doc = json.loads(json.dumps(cap.to_json()))
+        back = TelemetryCapsule.from_json(doc)
+        assert back == cap
+
+    @settings(max_examples=30, deadline=None)
+    @given(cap=capsules())
+    def test_journal_round_trip(self, cap):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "telemetry.jsonl"
+            append_jsonl(path, {"type": "capsule", **cap.to_json()})
+            append_jsonl(path, {"type": "header"})  # non-capsule records skipped
+            loaded = load_capsules(path)
+        assert loaded == [cap]
+
+    def test_corrupt_capsule_raises_value_error(self):
+        with pytest.raises(ValueError, match="corrupt telemetry capsule"):
+            TelemetryCapsule.from_json({"worker": 1})  # no run_id
+
+    def test_span_objects_rehydrate(self):
+        cap = TelemetryCapsule(
+            run_id="r", worker=1,
+            spans=[
+                {"sid": 0, "name": "root", "parent": None, "host_start": 1.0,
+                 "host_end": 3.0, "virtual_start": 0.0, "virtual_end": 2.0,
+                 "attrs": {"k": "v"}},
+                {"sid": 1, "name": "child", "parent": 0, "host_start": 1.5,
+                 "host_end": 2.0, "virtual_start": None, "virtual_end": None,
+                 "attrs": {}},
+            ],
+        )
+        roots = cap.root_spans()
+        assert [sp.name for sp in roots] == ["root"]
+        assert roots[0].host_duration == 2.0
+        assert roots[0].virtual_duration == 2.0
+
+
+class TestCaptureIsolation:
+    def run_once(self, nprocs=2):
+        return Simulator(
+            nprocs, simple_program, TESTING_MACHINE, mode=ExecMode.DE
+        ).run()
+
+    def test_capture_records_spans_and_metrics(self):
+        with capture_run("run-1", worker=42, mode="de") as cap:
+            result = self.run_once()
+            METRICS.record_run("de", result.stats)
+        capsule = cap.finish(outcome="ok", stats=result.stats.to_dict())
+        assert capsule.worker == 42
+        assert capsule.outcome == "ok"
+        assert capsule.elapsed == result.stats.to_dict()["elapsed"]
+        assert capsule.spans, "engine spans should land in the capsule"
+        names = {s["name"] for s in capsule.metrics}
+        assert "sim_runs_total" in names
+
+    def test_capture_restores_disabled_state(self):
+        assert not TRACER.enabled and not METRICS.enabled
+        with capture_run("run-1"):
+            assert TRACER.enabled and METRICS.enabled
+            self.run_once()
+        assert not TRACER.enabled and not METRICS.enabled
+        assert TRACER.spans == []
+
+    def test_capture_suspends_enclosing_recording(self):
+        TRACER.enable()
+        METRICS.enable()
+        try:
+            with TRACER.span("outer"):
+                METRICS.counter("outer_total").inc()
+                with capture_run("inner-run") as cap:
+                    self.run_once()
+                # outer state is back, untouched by the inner capture
+                assert METRICS.counter("outer_total").value() == 1
+                inner_names = {s["name"] for s in cap.capsule.spans}
+                assert "outer" not in inner_names
+            assert [s.name for s in TRACER.spans] == ["outer"]
+        finally:
+            TRACER.disable()
+            METRICS.disable()
+
+    def test_captured_root_span_telescopes_to_elapsed(self):
+        # the contract the merged timeline relies on: each capsule's
+        # root span carries the run's virtual duration
+        with capture_run("run-1") as cap:
+            with TRACER.span("campaign.run") as span:
+                result = self.run_once()
+                span.set_virtual(0.0, result.stats.elapsed)
+        capsule = cap.finish(outcome="ok", stats=result.stats.to_dict())
+        roots = capsule.root_spans()
+        assert len(roots) == 1
+        assert roots[0].virtual_duration == pytest.approx(capsule.elapsed)

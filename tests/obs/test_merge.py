@@ -1,0 +1,124 @@
+"""Merging per-run telemetry capsules into one campaign-level trace."""
+
+import json
+
+import pytest
+
+from repro.obs import validate_perfetto
+from repro.obs.capsule import TelemetryCapsule
+from repro.obs.merge import (
+    aggregate_metrics,
+    format_campaign_timeline,
+    merge_capsules,
+    write_merged_perfetto,
+)
+
+
+def make_capsule(run_id, worker, wall_start, perf_start=100.0, outcome="ok",
+                 elapsed=1.5, metrics=(), events=40):
+    return TelemetryCapsule(
+        run_id=run_id,
+        worker=worker,
+        wall_start=wall_start,
+        perf_start=perf_start,
+        outcome=outcome,
+        elapsed=elapsed,
+        spans=[
+            {"sid": 0, "name": "campaign.run", "parent": None,
+             "host_start": perf_start, "host_end": perf_start + 0.25,
+             "virtual_start": 0.0, "virtual_end": elapsed,
+             "attrs": {"run_id": run_id}},
+            {"sid": 1, "name": "sim.run", "parent": 0,
+             "host_start": perf_start + 0.01, "host_end": perf_start + 0.2,
+             "virtual_start": 0.0, "virtual_end": elapsed, "attrs": {}},
+        ],
+        metrics=list(metrics),
+        stats={"elapsed": elapsed, "total_events": events},
+    )
+
+
+class TestMergeCapsules:
+    def test_one_track_per_worker_and_run(self):
+        caps = [
+            make_capsule("run-a", worker=101, wall_start=1000.0),
+            make_capsule("run-b", worker=202, wall_start=1000.2),
+            make_capsule("run-c", worker=101, wall_start=1000.4),
+        ]
+        doc = merge_capsules(caps)
+        meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+        procs = {ev["pid"] for ev in meta if ev["name"] == "process_name"}
+        assert procs == {101, 202}
+        threads = [(ev["pid"], ev["tid"]) for ev in meta
+                   if ev["name"] == "thread_name"]
+        assert len(threads) == 3
+        assert len(set(threads)) == 3  # one distinct track per run
+
+    def test_spans_rebased_to_common_wall_clock(self):
+        # two workers with wildly different perf_counter epochs but
+        # overlapping wall-clock windows must land on a shared timeline
+        caps = [
+            make_capsule("run-a", worker=1, wall_start=5000.0, perf_start=7.0),
+            make_capsule("run-b", worker=2, wall_start=5000.1, perf_start=9999.0),
+        ]
+        doc = merge_capsules(caps)
+        xs = {ev["args"]["run_id"]: ev for ev in doc["traceEvents"]
+              if ev["ph"] == "X" and ev["name"] == "campaign.run"}
+        assert xs["run-a"]["ts"] == pytest.approx(0.0)
+        assert xs["run-b"]["ts"] == pytest.approx(0.1e6, rel=1e-6)
+
+    def test_merged_doc_passes_validator(self):
+        caps = [make_capsule(f"run-{i}", worker=10 + (i % 2), wall_start=100.0 + i)
+                for i in range(4)]
+        doc = merge_capsules(caps, meta={"campaign": "c"})
+        validate_perfetto(doc)
+        assert doc["otherData"]["merged_capsules"] == 4
+        assert doc["otherData"]["workers"] == 2
+        assert doc["otherData"]["campaign"] == "c"
+
+    def test_write_merged_perfetto_is_valid_json_on_disk(self, tmp_path):
+        caps = [make_capsule("run-a", worker=1, wall_start=10.0)]
+        out = tmp_path / "campaign.perfetto.json"
+        write_merged_perfetto(out, caps)
+        doc = json.loads(out.read_text())
+        validate_perfetto(doc)
+
+    def test_empty_capsule_list_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            merge_capsules([])
+
+
+class TestAggregateMetrics:
+    def test_counters_sum_and_histograms_merge_exactly(self):
+        caps = [
+            make_capsule("run-a", 1, 10.0, metrics=[
+                {"name": "sim_runs_total", "type": "counter",
+                 "labels": {"mode": "de"}, "value": 2},
+                {"name": "run_seconds", "type": "histogram", "labels": {},
+                 "count": 2, "sum": 3.0, "min": 1.0, "max": 2.0,
+                 "mean": 1.5, "p50": 1.0, "values": [1.0, 2.0]},
+            ]),
+            make_capsule("run-b", 2, 11.0, metrics=[
+                {"name": "sim_runs_total", "type": "counter",
+                 "labels": {"mode": "de"}, "value": 3},
+                {"name": "run_seconds", "type": "histogram", "labels": {},
+                 "count": 1, "sum": 5.0, "min": 5.0, "max": 5.0,
+                 "mean": 5.0, "p50": 5.0, "values": [5.0]},
+            ]),
+        ]
+        samples = {(s["name"], s["type"]): s for s in aggregate_metrics(caps)}
+        assert samples[("sim_runs_total", "counter")]["value"] == 5
+        hist = samples[("run_seconds", "histogram")]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(8.0)
+        assert hist["min"] == 1.0 and hist["max"] == 5.0
+
+
+class TestTimeline:
+    def test_rows_ordered_by_start_time(self):
+        caps = [
+            make_capsule("later", 1, wall_start=20.0, outcome="deadlock"),
+            make_capsule("early", 2, wall_start=10.0),
+        ]
+        text = format_campaign_timeline(caps)
+        assert text.index("early") < text.index("later")
+        assert "deadlock" in text

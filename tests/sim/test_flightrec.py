@@ -1,0 +1,173 @@
+"""Flight recorder: ring bounding, dump shape, engine auto-attach."""
+
+import json
+
+import pytest
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE
+from repro.sim import (
+    BudgetExceededError,
+    DeadlockError,
+    ExecMode,
+    Simulator,
+)
+from repro.sim.flightrec import (
+    DUMP_FORMAT,
+    FLIGHT,
+    FlightRecorder,
+    format_flight_dump,
+)
+
+M = TESTING_MACHINE
+
+
+def run(nprocs, factory, **kw):
+    return Simulator(nprocs, factory, M, mode=ExecMode.DE, **kw).run()
+
+
+def ring_program(rank, size):
+    yield mpi.compute(ops=100)
+    yield mpi.send(dest=(rank + 1) % size, nbytes=64, tag=0)
+    yield mpi.recv(source=(rank - 1) % size, tag=0)
+
+
+def deadlock_program(rank, size):
+    # everyone receives, nobody sends
+    yield mpi.recv(source=(rank + 1) % size, tag=0)
+
+
+@pytest.fixture(autouse=True)
+def _flight_off():
+    """Every test starts and ends with the shared recorder disabled."""
+    FLIGHT.disable()
+    FLIGHT.reset()
+    yield
+    FLIGHT.disable()
+    FLIGHT.reset()
+
+
+class TestRing:
+    def test_ring_is_bounded_and_counts_evictions(self):
+        rec = FlightRecorder(capacity=4)
+        rec.enable()
+        for i in range(10):
+            rec.record(float(i), 0, "resume")
+        assert len(rec.events) == 4
+        assert rec.events_seen == 10
+        dump = rec.dump()
+        assert dump["events_dropped"] == 6
+        # the newest events survive
+        assert [ev[0] for ev in dump["events"]] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+        rec = FlightRecorder()
+        with pytest.raises(ValueError, match="capacity"):
+            rec.enable(capacity=-1)
+
+    def test_enable_resets_by_default(self):
+        rec = FlightRecorder(capacity=8)
+        rec.enable()
+        rec.record(1.0, 0, "resume")
+        rec.note(seed=7)
+        rec.enable()
+        assert rec.events == []
+        assert rec.events_seen == 0
+        assert "meta" not in rec.dump()
+
+    def test_enable_can_preserve_and_regrow(self):
+        rec = FlightRecorder(capacity=2)
+        rec.enable()
+        rec.record(1.0, 0, "a")
+        rec.record(2.0, 0, "b")
+        rec.enable(capacity=4, reset=False)
+        rec.record(3.0, 0, "c")
+        assert [ev[2] for ev in rec.events] == ["a", "b", "c"]
+
+    def test_dump_is_json_safe(self):
+        rec = FlightRecorder(capacity=4)
+        rec.enable()
+        rec.note(mode="de", nprocs=2)
+        rec.record(0.5, 1, "send")
+        doc = json.loads(json.dumps(rec.dump(error="boom")))
+        assert doc["format"] == DUMP_FORMAT
+        assert doc["error"] == "boom"
+        assert doc["meta"] == {"mode": "de", "nprocs": 2}
+        assert doc["events"] == [[0.5, 1, "send"]]
+
+
+class TestEngineIntegration:
+    def test_disabled_run_attaches_nothing(self):
+        assert not FLIGHT.enabled
+        with pytest.raises(DeadlockError) as exc_info:
+            run(2, deadlock_program)
+        assert exc_info.value.flight is None
+        assert FLIGHT.events_seen == 0  # the unrecorded loop ran
+
+    def test_run_records_kernel_events_when_enabled(self):
+        FLIGHT.enable()
+        run(2, ring_program)
+        assert FLIGHT.events_seen > 0
+        kinds = {kind for _, _, kind in FLIGHT.events}
+        assert "resume" in kinds and "send" in kinds
+        meta = FLIGHT.dump()["meta"]
+        assert meta["mode"] == ExecMode.DE.value and meta["nprocs"] == 2
+
+    def test_deadlock_dump_carries_wait_chain(self):
+        FLIGHT.enable()
+        with pytest.raises(DeadlockError) as exc_info:
+            run(3, deadlock_program)
+        dump = exc_info.value.flight
+        assert dump is not None
+        assert dump["format"] == DUMP_FORMAT
+        blocked = {w["rank"] for w in dump["wait_chain"]["blocked"]}
+        assert blocked == {0, 1, 2}
+        assert dump["wait_chain"]["cycles"], "the all-recv ring is a cycle"
+        assert dump["error"]
+
+    def test_budget_trip_dump_carries_budget_state(self):
+        FLIGHT.enable()
+        with pytest.raises(BudgetExceededError) as exc_info:
+            run(4, ring_program, max_events=5)
+        dump = exc_info.value.flight
+        assert dump is not None
+        assert dump["budget"]["events"] >= 5
+        assert dump["events"], "the ring holds the lead-up to the trip"
+
+    def test_flight_events_deterministic_for_fixed_seed(self):
+        def capture():
+            FLIGHT.enable()
+            try:
+                run(3, ring_program, seed=11)
+                return list(FLIGHT.events)
+            finally:
+                FLIGHT.disable()
+
+        assert capture() == capture()
+
+
+class TestFormat:
+    def test_render_groups_by_rank_and_honours_last(self):
+        rec = FlightRecorder(capacity=32)
+        rec.enable()
+        for i in range(6):
+            rec.record(float(i), i % 2, "resume")
+        text = format_flight_dump(rec.dump(), last=2)
+        assert "rank 0: last 2 event(s)" in text
+        assert "rank 1: last 2 event(s)" in text
+        assert "6 events seen" in text
+
+    def test_render_includes_wait_chain_and_budget(self):
+        FLIGHT.enable()
+        with pytest.raises(DeadlockError) as exc_info:
+            run(2, deadlock_program, max_events=100)
+        text = format_flight_dump(exc_info.value.flight)
+        assert "wait chains:" in text
+        assert "circular wait:" in text
+        assert "budget state:" in text
+
+    def test_render_tolerates_minimal_dump(self):
+        text = format_flight_dump({"events": [], "format": DUMP_FORMAT})
+        assert text.startswith("Flight recorder dump")

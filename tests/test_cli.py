@@ -428,12 +428,26 @@ class TestCampaign:
         assert main(["campaign", "--grid", grid, "--out", str(out)]) == 0
         capsys.readouterr()
         journal = out / "campaign.journal.jsonl"
-        journal.write_text(journal.read_text() + "{torn\n")
+        lines = journal.read_text().splitlines()
+        lines.insert(1, "{torn")  # mid-journal corruption is unrecoverable
+        journal.write_text("\n".join(lines) + "\n")
         assert main(["campaign", "--grid", grid, "--out", str(out),
                      "--resume"]) == 2
         captured = capsys.readouterr()
         assert captured.err.startswith("error: ")
         assert len(captured.err.strip().splitlines()) == 1  # no traceback
+
+    def test_torn_final_journal_line_resumes(self, tmp_path, capsys):
+        # the documented torn-append hazard: dropped with a warning,
+        # resume completes instead of erroring
+        grid = self.grid_file(tmp_path)
+        out = tmp_path / "out"
+        assert main(["campaign", "--grid", grid, "--out", str(out)]) == 0
+        capsys.readouterr()
+        journal = out / "campaign.journal.jsonl"
+        journal.write_text(journal.read_text() + '{"type": "run", "run')
+        assert main(["campaign", "--grid", grid, "--out", str(out),
+                     "--resume"]) == 0
 
     def test_config_hash_mismatch_one_line_error(self, tmp_path, capsys):
         grid = self.grid_file(tmp_path)
@@ -472,3 +486,213 @@ class TestCampaign:
                      "--out", str(tmp_path / "out")]) == 0
         assert TRACER.enabled is False
         assert METRICS.enabled is False
+
+
+class TestCampaignTelemetryCli:
+    """`repro campaign --live` progress and the telemetry artifacts."""
+
+    def grid_file(self, tmp_path, **overrides):
+        import json
+
+        grid = {
+            "name": "cli-tiny",
+            "machine": "testing",
+            "app": "sample_nearest_neighbor",
+            "nprocs": [2, 3],
+            "inputs": {"grain": 1000, "msg": 512, "iters": 2},
+        }
+        grid.update(overrides)
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(grid))
+        return str(path)
+
+    def test_campaign_writes_telemetry_artifacts_by_default(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_perfetto
+
+        out = tmp_path / "out"
+        assert main(["campaign", "--grid", self.grid_file(tmp_path),
+                     "--out", str(out)]) == 0
+        assert "merged telemetry timeline" in capsys.readouterr().out
+        assert (out / "telemetry.jsonl").exists()
+        doc = json.loads((out / "campaign.perfetto.json").read_text())
+        validate_perfetto(doc)
+        assert doc["otherData"]["merged_capsules"] == 2
+
+    def test_no_telemetry_flag_suppresses_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert main(["campaign", "--grid", self.grid_file(tmp_path),
+                     "--out", str(out), "--no-telemetry"]) == 0
+        capsys.readouterr()
+        assert not (out / "telemetry.jsonl").exists()
+        assert not (out / "campaign.perfetto.json").exists()
+
+    def test_live_progress_reports_every_run(self, tmp_path, capsys):
+        assert main(["campaign", "--grid", self.grid_file(tmp_path),
+                     "--out", str(tmp_path / "out"), "--live"]) == 0
+        captured = capsys.readouterr()
+        # non-TTY: one plain progress line per completed run
+        lines = [ln for ln in captured.err.splitlines() if "ok" in ln]
+        assert len(lines) == 2
+        assert "1/2" in lines[0] and "2/2" in lines[1]
+        assert "events/s" in lines[-1] and "ETA" in lines[-1]
+
+    def test_live_progress_counts_failures(self, tmp_path, capsys):
+        grid = self.grid_file(
+            tmp_path, nprocs=[3],
+            fault_plans=[{"crashes": [{"rank": 0, "time": 0.0}]}])
+        assert main(["campaign", "--grid", grid,
+                     "--out", str(tmp_path / "out"), "--live"]) == 0
+        err = capsys.readouterr().err
+        assert "1 failed" in err
+
+
+class TestInspectCommand:
+    """`repro inspect` on campaign directories and flight-dump files."""
+
+    def _campaign(self, tmp_path, **overrides):
+        import json
+
+        grid = {
+            "name": "cli-tiny",
+            "machine": "testing",
+            "app": "sample_nearest_neighbor",
+            "nprocs": [2, 3],
+            "inputs": {"grain": 1000, "msg": 512, "iters": 2},
+        }
+        grid.update(overrides)
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text(json.dumps(grid))
+        out = tmp_path / "out"
+        assert main(["campaign", "--grid", str(grid_path), "--out", str(out)]) == 0
+        return out
+
+    def test_inspect_campaign_dir_renders_timeline_and_metrics(self, tmp_path, capsys):
+        out = self._campaign(tmp_path)
+        capsys.readouterr()
+        assert main(["inspect", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "Campaign: cli-tiny" in text
+        assert "2/2 runs journaled, 2 ok, 0 failed" in text
+        assert "Campaign timeline (merged capsules)" in text
+        assert "Aggregate campaign metrics" in text
+
+    def test_inspect_renders_failed_run_flight_dump(self, tmp_path, capsys):
+        out = self._campaign(
+            tmp_path, nprocs=[3],
+            fault_plans=[{"crashes": [{"rank": 0, "time": 0.0}]}])
+        capsys.readouterr()
+        assert main(["inspect", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "finished deadlock" in text
+        assert "Flight recorder dump" in text
+        assert "wait chains:" in text
+
+    def test_inspect_run_prefix_filter(self, tmp_path, capsys):
+        import json
+
+        out = self._campaign(tmp_path)
+        capsys.readouterr()
+        docs = [json.loads(x) for x in
+                (out / "campaign.journal.jsonl").read_text().splitlines()]
+        run_id = next(d["run_id"] for d in docs if d.get("type") == "run")
+        assert main(["inspect", str(out), "--run", run_id[:8]]) == 0
+        text = capsys.readouterr().out
+        assert "1/2 runs journaled" in text
+        assert main(["inspect", str(out), "--run", "zzzz"]) == 2
+        assert "no journaled run" in capsys.readouterr().err
+
+    def test_inspect_perfetto_export(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_perfetto
+
+        out = self._campaign(tmp_path)
+        trace = tmp_path / "merged.json"
+        capsys.readouterr()
+        assert main(["inspect", str(out), "--perfetto", str(trace)]) == 0
+        capsys.readouterr()
+        validate_perfetto(json.loads(trace.read_text()))
+
+    def test_inspect_flight_dump_file(self, tmp_path, capsys):
+        dump = tmp_path / "flight.json"
+        rc = main(["faults", "sample_nearest_neighbor", "--nprocs", "4",
+                   "--crash", "0@0.0", "--flight-dump", str(dump)])
+        assert rc == 2
+        capsys.readouterr()
+        assert main(["inspect", str(dump)]) == 0
+        text = capsys.readouterr().out
+        assert "Flight recorder dump" in text
+        assert "wait chains:" in text
+
+    def test_inspect_missing_path_errors(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope")]) == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_inspect_non_campaign_dir_errors(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path)]) == 2
+        assert "campaign.journal.jsonl" in capsys.readouterr().err
+
+
+class TestFaultsFlightDump:
+    APP = "sample_nearest_neighbor"
+
+    def test_deadlock_writes_dump_and_exits_2(self, tmp_path, capsys):
+        import json
+
+        dump_path = tmp_path / "flight.json"
+        rc = main(["faults", self.APP, "--nprocs", "4",
+                   "--crash", "1@0.01", "--flight-dump", str(dump_path)])
+        assert rc == 2
+        assert "flight dump written" in capsys.readouterr().out
+        dump = json.loads(dump_path.read_text())
+        assert dump["events"]
+        assert dump["wait_chain"]["crashed"]
+
+    def test_clean_run_still_writes_history(self, tmp_path):
+        import json
+
+        dump_path = tmp_path / "flight.json"
+        assert main(["faults", self.APP, "--nprocs", "4",
+                     "--flight-dump", str(dump_path)]) == 0
+        dump = json.loads(dump_path.read_text())
+        assert dump["events"] and "wait_chain" not in dump
+
+    def test_recorder_disabled_after_command(self, tmp_path):
+        from repro.sim.flightrec import FLIGHT
+
+        main(["faults", self.APP, "--nprocs", "4",
+              "--crash", "0@0.0", "--flight-dump", str(tmp_path / "f.json")])
+        assert FLIGHT.enabled is False
+
+
+class TestProfileOut:
+    APP = "sample_nearest_neighbor"
+    SMALL = ["--set", "grain=1000", "--set", "iters=2", "--nprocs", "4"]
+
+    def test_out_dir_collects_artifacts_with_manifest(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "prof"
+        assert main(["profile", self.APP, *self.SMALL, "--out", str(out)]) == 0
+        capsys.readouterr()
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["app"] == self.APP
+        assert manifest["nprocs"] == 4
+        for name in manifest["artifacts"].values():
+            assert (out / name).exists(), name
+        assert set(manifest["artifacts"]) >= {"perfetto", "metrics", "stats"}
+
+    def test_out_dir_respects_explicit_paths(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "prof"
+        elsewhere = tmp_path / "elsewhere.json"
+        assert main(["profile", self.APP, *self.SMALL, "--out", str(out),
+                     "--perfetto", str(elsewhere)]) == 0
+        capsys.readouterr()
+        assert elsewhere.exists()
+        manifest = json.loads((out / "manifest.json").read_text())
+        # an artifact redirected outside --out is recorded by absolute path
+        assert manifest["artifacts"]["perfetto"] == str(elsewhere)

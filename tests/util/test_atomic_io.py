@@ -110,11 +110,28 @@ class TestAtomicJournal:
             assert on_disk == list(range(i + 1))
 
     def test_corrupt_record_reports_line(self, tmp_path):
+        # mid-journal corruption (a valid record follows it) is never a
+        # torn append, so loading keeps it and records() reports the line
         path = tmp_path / "j.jsonl"
         AtomicJournal(path).append({"ok": True})
-        path.write_text(path.read_text() + "{not json\n")
-        with pytest.raises(ValueError, match=r"j\.jsonl:2: corrupt"):
+        path.write_text('{not json\n' + path.read_text())
+        with pytest.raises(ValueError, match=r"j\.jsonl:1: corrupt"):
             AtomicJournal(path).records()
+
+    def test_torn_final_line_dropped_at_load(self, tmp_path):
+        # the one recoverable corruption: an incomplete final line is
+        # dropped with a warning, and a later append never re-persists it
+        path = tmp_path / "j.jsonl"
+        journal = AtomicJournal(path)
+        journal.append({"seq": 1})
+        journal.append({"seq": 2})
+        path.write_text(path.read_text() + '{"seq": 3, "torn')
+        reloaded = AtomicJournal(path)
+        assert reloaded.records() == [{"seq": 1}, {"seq": 2}]
+        reloaded.append({"seq": 4})
+        final = AtomicJournal(path).records()
+        assert final == [{"seq": 1}, {"seq": 2}, {"seq": 4}]
+        assert "torn" not in path.read_text()
 
     def test_non_object_record_rejected(self, tmp_path):
         path = tmp_path / "j.jsonl"

@@ -180,9 +180,25 @@ class TestKillAndResume:
     def test_corrupt_journal_is_a_campaign_error(self, tmp_path):
         run_campaign(tmp_path)
         journal = tmp_path / "out" / JOURNAL_NAME
-        journal.write_text(journal.read_text() + "{torn record\n")
+        lines = journal.read_text().splitlines()
+        lines.insert(1, "{torn record")  # mid-journal: unrecoverable
+        journal.write_text("\n".join(lines) + "\n")
         with pytest.raises(CampaignError, match="corrupt journal"):
             run_campaign(tmp_path, resume=True)
+
+    def test_torn_final_journal_line_is_dropped_on_resume(self, tmp_path):
+        # A crash can tear only the *final* line; the loader drops it
+        # with a warning, and the resume re-runs just that lost record.
+        _, report = run_campaign(tmp_path)
+        journal = tmp_path / "out" / JOURNAL_NAME
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        _, resumed = run_campaign(tmp_path, resume=True)
+        assert resumed.complete
+        assert resumed.executed == 1  # exactly the torn record re-ran
+        assert {r.outcome for r in resumed.records.values()} == {
+            r.outcome for r in report.records.values()
+        }
 
     def test_sigterm_interrupts_between_runs_and_resumes(self, tmp_path):
         cfg = expand_grid(tiny_grid())

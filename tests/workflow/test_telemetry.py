@@ -1,0 +1,151 @@
+"""Campaign telemetry: capsules journaled per run, merged Perfetto trace.
+
+The acceptance contract: a ``--jobs N`` campaign journals one telemetry
+capsule per run, fuses them into a merged Perfetto timeline with one
+track group per worker process and one track per run, the per-run root
+spans telescope to ``SimStats.elapsed`` — and none of it perturbs the
+determinism contract (results.csv stays byte-identical to a run with
+telemetry off).
+"""
+
+import json
+
+from repro.obs import load_capsules, validate_perfetto
+from repro.workflow.campaign import (
+    MERGED_PERFETTO_NAME,
+    TELEMETRY_NAME,
+    CampaignRunner,
+    expand_grid,
+)
+
+
+def tiny_grid(**overrides):
+    grid = {
+        "name": "tiny",
+        "machine": "testing",
+        "app": "sample_nearest_neighbor",
+        "modes": ["de"],
+        "nprocs": [2, 3, 4],
+        "inputs": {"grain": 1000, "msg": 512, "iters": 2},
+    }
+    grid.update(overrides)
+    return grid
+
+
+def run_campaign(tmp_path, grid=None, sub="out", telemetry=True,
+                 progress=None, **execute_kw):
+    runner = CampaignRunner(expand_grid(grid or tiny_grid()), tmp_path / sub,
+                            telemetry=telemetry, progress=progress)
+    return runner, runner.execute(**execute_kw)
+
+
+def journal_records(runner):
+    docs = [json.loads(line) for line in
+            runner.journal_path.read_text().splitlines()]
+    return {d["run_id"]: d for d in docs if d.get("type") == "run"}
+
+
+class TestSequentialTelemetry:
+    def test_capsule_journaled_per_run(self, tmp_path):
+        runner, report = run_campaign(tmp_path)
+        assert report.complete
+        capsules = load_capsules(runner.out_dir / TELEMETRY_NAME)
+        assert len(capsules) == 3
+        assert {c.run_id for c in capsules} == set(journal_records(runner))
+        assert all(c.outcome == "ok" for c in capsules)
+
+    def test_root_spans_telescope_to_sim_elapsed(self, tmp_path):
+        runner, _ = run_campaign(tmp_path)
+        records = journal_records(runner)
+        for cap in load_capsules(runner.out_dir / TELEMETRY_NAME):
+            roots = cap.root_spans()
+            assert len(roots) == 1
+            elapsed = records[cap.run_id]["stats"]["elapsed"]
+            assert abs(roots[0].virtual_duration - elapsed) < 1e-9
+            assert abs(cap.elapsed - elapsed) < 1e-9
+
+    def test_merged_perfetto_written_and_valid(self, tmp_path):
+        runner, _ = run_campaign(tmp_path)
+        doc = json.loads((runner.out_dir / MERGED_PERFETTO_NAME).read_text())
+        validate_perfetto(doc)
+        assert doc["otherData"]["merged_capsules"] == 3
+        assert doc["otherData"]["campaign"] == "tiny"
+        assert doc["otherData"]["workers"] == 1  # sequential: one process
+
+    def test_telemetry_does_not_perturb_results(self, tmp_path):
+        _, on = run_campaign(tmp_path, sub="on", telemetry=True)
+        _, off = run_campaign(tmp_path, sub="off", telemetry=False)
+        assert on.complete and off.complete
+        assert (tmp_path / "on" / "results.csv").read_bytes() == \
+               (tmp_path / "off" / "results.csv").read_bytes()
+        assert not (tmp_path / "off" / TELEMETRY_NAME).exists()
+        assert not (tmp_path / "off" / MERGED_PERFETTO_NAME).exists()
+
+    def test_progress_callback_sees_every_run(self, tmp_path):
+        calls = []
+        run_campaign(
+            tmp_path,
+            progress=lambda spec, rec, done, total: calls.append(
+                (spec.run_id, rec.outcome, done, total)),
+        )
+        assert len(calls) == 3
+        assert [c[2] for c in calls] == [1, 2, 3]
+        assert all(c[3] == 3 and c[1] == "ok" for c in calls)
+
+
+class TestParallelTelemetry:
+    def test_jobs4_merged_trace_has_one_track_per_worker_and_run(self, tmp_path):
+        runner, report = run_campaign(tmp_path, jobs=4)
+        assert report.complete
+        capsules = load_capsules(runner.out_dir / TELEMETRY_NAME)
+        assert len(capsules) == 3
+        doc = json.loads((runner.out_dir / MERGED_PERFETTO_NAME).read_text())
+        validate_perfetto(doc)
+        meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+        worker_pids = {ev["pid"] for ev in meta if ev["name"] == "process_name"}
+        assert worker_pids == {c.worker for c in capsules}
+        threads = {(ev["pid"], ev["tid"]) for ev in meta
+                   if ev["name"] == "thread_name"}
+        assert len(threads) == 3  # one track per run
+        # every capsule's events landed under its own worker's track group
+        spans = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert {ev["pid"] for ev in spans} <= worker_pids
+
+    def test_jobs4_root_spans_telescope_and_results_match_sequential(self, tmp_path):
+        par_runner, par = run_campaign(tmp_path, sub="par", jobs=4)
+        _, seq = run_campaign(tmp_path, sub="seq", jobs=1)
+        assert par.complete and seq.complete
+        assert (tmp_path / "par" / "results.csv").read_bytes() == \
+               (tmp_path / "seq" / "results.csv").read_bytes()
+        records = journal_records(par_runner)
+        for cap in load_capsules(par_runner.out_dir / TELEMETRY_NAME):
+            (root,) = cap.root_spans()
+            elapsed = records[cap.run_id]["stats"]["elapsed"]
+            assert abs(root.virtual_duration - elapsed) < 1e-9
+
+
+class TestFailureTelemetry:
+    def test_deadlock_run_journals_flight_dump_and_capsule(self, tmp_path):
+        # rank 0 crashes at t=0: its neighbours block forever -> deadlock
+        grid = tiny_grid(nprocs=[3],
+                         fault_plans=[{"crashes": [{"rank": 0, "time": 0.0}]}])
+        runner, report = run_campaign(tmp_path, grid=grid, sub="faulty")
+        assert report.complete
+        (doc,) = journal_records(runner).values()
+        assert doc["outcome"] == "deadlock"
+        dump = doc["flight"]
+        assert isinstance(dump, dict) and dump["events"]
+        assert dump["wait_chain"]["crashed"], "crash must appear in the chain"
+        (cap,) = load_capsules(runner.out_dir / TELEMETRY_NAME)
+        assert cap.outcome == "deadlock"
+        assert cap.flight == dump
+
+    def test_resume_dedupes_capsules_latest_wins(self, tmp_path):
+        runner, report = run_campaign(tmp_path, max_runs=1)
+        assert report.stopped and not report.complete
+        resumed = runner.execute(resume=True)
+        assert resumed.complete and resumed.skipped == 1
+        capsules = load_capsules(runner.out_dir / TELEMETRY_NAME)
+        assert len({c.run_id for c in capsules}) == len(capsules) == 3
+        doc = json.loads((runner.out_dir / MERGED_PERFETTO_NAME).read_text())
+        assert doc["otherData"]["merged_capsules"] == 3
