@@ -545,6 +545,16 @@ def cmd_campaign(args) -> int:
             config.max_virtual_time = args.max_virtual
         if args.retries is not None:
             config.retries = args.retries
+        # supervision knobs are execution policy — they never feed the
+        # config hash, so overriding them on resume is always safe
+        if args.no_supervise:
+            config.supervise = False
+        if args.heartbeat_timeout is not None:
+            config.heartbeat_timeout = args.heartbeat_timeout
+        if args.poison_threshold is not None:
+            config.poison_threshold = args.poison_threshold
+        if args.checkpoint_interval is not None:
+            config.checkpoint_interval = args.checkpoint_interval
         runner = CampaignRunner(
             config, args.out,
             telemetry=not args.no_telemetry, progress=live,
@@ -588,6 +598,14 @@ def cmd_campaign(args) -> int:
             hint.append(f"--jobs {args.jobs}")
         if args.no_telemetry:
             hint.append("--no-telemetry")
+        if args.no_supervise:
+            hint.append("--no-supervise")
+        if args.heartbeat_timeout is not None:
+            hint.append(f"--heartbeat-timeout {args.heartbeat_timeout:g}")
+        if args.poison_threshold is not None:
+            hint.append(f"--poison-threshold {args.poison_threshold}")
+        if args.checkpoint_interval is not None:
+            hint.append(f"--checkpoint-interval {args.checkpoint_interval}")
         hint.append("--resume")
         print("resume with: " + " ".join(hint))
     return 130 if report.interrupted else 0
@@ -637,14 +655,32 @@ def _inspect_file(path, args) -> int:
     return 0
 
 
+def _format_cursor(cursor, indent="  ") -> str:
+    """One line for a heartbeat/checkpoint replay cursor."""
+    parts = [f"last cursor: event {cursor.get('events', '?')}"]
+    if cursor.get("virtual_time") is not None:
+        parts.append(f"t={cursor['virtual_time']:.6g}s virtual")
+    if cursor.get("wall_seconds") is not None:
+        parts.append(f"{cursor['wall_seconds']:.2f}s wall")
+    if cursor.get("staleness_s") is not None:
+        parts.append(f"stale for {cursor['staleness_s']:.1f}s at death")
+    return indent + ", ".join(parts)
+
+
 def _inspect_dir(path, args) -> int:
     """Render a campaign output directory: header, per-run timeline,
-    aggregate metrics, and the flight dumps of failed runs."""
+    aggregate metrics, checkpoint/heartbeat history, and the flight
+    dumps of failed runs."""
     from .obs import TableSink, load_capsules
     from .obs.merge import aggregate_metrics, format_campaign_timeline
     from .sim import format_flight_dump
     from .util.atomic_io import read_jsonl
-    from .workflow.campaign import JOURNAL_NAME, TELEMETRY_NAME
+    from .workflow.campaign import (
+        CHECKPOINT_DIR_NAME,
+        JOURNAL_NAME,
+        QUARANTINE_DIR_NAME,
+        TELEMETRY_NAME,
+    )
 
     journal_path = path / JOURNAL_NAME
     if not journal_path.exists():
@@ -714,10 +750,58 @@ def _inspect_dir(path, args) -> int:
         print()
         print(f"Run {doc['run_id']} finished {doc['outcome']} "
               f"(attempts {doc.get('attempts', 1)}): {doc.get('error') or ''}")
+        if isinstance(doc.get("cursor"), dict):
+            print(_format_cursor(doc["cursor"]))
         if isinstance(doc.get("flight"), dict):
             print(format_flight_dump(doc["flight"], last=args.last))
         else:
             print("  (no flight dump journaled for this run)")
+
+    # live replay cursors: checkpoints of runs that have not finished —
+    # a resume fast-forwards each from its last journaled event
+    ck_dir = path / CHECKPOINT_DIR_NAME
+    if ck_dir.is_dir():
+        from .sim import load_checkpoint
+
+        live = []
+        for ck_path in sorted(ck_dir.glob("*.json")):
+            ck = load_checkpoint(ck_path)
+            if ck is not None and (args.run is None
+                                   or ck.run_id.startswith(args.run)):
+                live.append(ck)
+        if live:
+            print()
+            print(f"Replay checkpoints ({len(live)} in-progress run(s); "
+                  f"--resume fast-forwards from these):")
+            for ck in live:
+                print(f"  {ck.run_id}: event {ck.events}, "
+                      f"t={ck.virtual_time:.6g}s virtual, "
+                      f"{ck.wall_seconds:.2f}s wall credited")
+
+    # quarantine artifacts: poison runs with their minimized reproducers
+    q_dir = path / QUARANTINE_DIR_NAME
+    if q_dir.is_dir():
+        for q_path in sorted(q_dir.glob("*.json")):
+            try:
+                q = json.loads(q_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if args.run is not None and \
+                    not str(q.get("run_id", "")).startswith(args.run):
+                continue
+            print()
+            print(f"Quarantined run {q.get('run_id')} "
+                  f"({q.get('strikes', '?')} strike(s)): {q.get('error') or ''}")
+            if isinstance(q.get("cursor"), dict):
+                print(_format_cursor(q["cursor"]))
+            repro_info = q.get("reproducer") or {}
+            if repro_info.get("minimized"):
+                print(f"  minimized reproducer: "
+                      f"{repro_info.get('original_stmts')} -> "
+                      f"{repro_info.get('final_stmts')} statements "
+                      f"({repro_info.get('checks')} probe(s)); see {q_path}")
+            elif repro_info.get("note"):
+                print(f"  reproducer: {repro_info['note']}")
     return 0
 
 
@@ -1026,6 +1110,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip per-run telemetry capsules and the merged "
                            "Perfetto timeline (telemetry.jsonl, "
                            "campaign.perfetto.json)")
+    camp.add_argument("--no-supervise", action="store_true",
+                      help="use the bare process pool instead of the "
+                           "supervised runtime (no heartbeats, hang "
+                           "detection, or poison quarantine)")
+    camp.add_argument("--heartbeat-timeout", type=_positive_float, default=None,
+                      metavar="SECONDS",
+                      help="kill a worker whose run has not emitted a "
+                           "heartbeat for this long and classify the run "
+                           "'hung' (default 30)")
+    camp.add_argument("--poison-threshold", type=_positive_count, default=None,
+                      metavar="N",
+                      help="quarantine a run as 'poison' after it kills or "
+                           "hangs N workers (default 2)")
+    camp.add_argument("--checkpoint-interval", type=_positive_int, default=None,
+                      metavar="EVENTS",
+                      help="write a replay-cursor checkpoint every EVENTS "
+                           "kernel events; --resume fast-forwards interrupted "
+                           "runs from the last cursor (default off)")
     camp.set_defaults(fn=cmd_campaign)
 
     ins = sub.add_parser(

@@ -31,6 +31,7 @@ per-rank wait-chain diagnosis — instead of a bare error.
 from __future__ import annotations
 
 import enum
+import json
 import math
 from heapq import heappop, heappush
 from dataclasses import dataclass
@@ -45,7 +46,9 @@ from ..obs.metrics import METRICS
 from ..obs.spans import TRACER
 from .budget import BudgetExceededError, BudgetGuard
 from .faults import DeadlockReport, FaultPlan, FaultState, RetryPolicy, WaitInfo
+from .checkpoint import CHECKPOINT
 from .flightrec import FLIGHT, deadlock_report_to_dict
+from .heartbeat import HEARTBEAT
 from .memory import MemoryReport, MemoryTracker
 from .requests import (
     Alloc,
@@ -257,9 +260,11 @@ class Simulator:
             rng = np.random.default_rng(seed)
             self.cpu = CpuModel(machine.cpu, machine.truth.cpu_noise_sigma, rng)
             self.net = NetworkModel(machine.net, machine.truth, rng)
+            self._rng = rng  # checkpoint cursors snapshot the generator state
         else:
             self.cpu = CpuModel(machine.cpu)
             self.net = NetworkModel(machine.net)
+            self._rng = None
         self.memory = MemoryTracker(nprocs, machine.host.thread_overhead_bytes)
         self.trace: Trace | None = Trace(nprocs) if collect_trace else None
 
@@ -320,9 +325,10 @@ class Simulator:
             )
         # observability dispatch, decided once per run: with every layer
         # disabled (the default) the kernel runs with zero tracing,
-        # metrics or flight-recorder indirection anywhere — not even
-        # no-op span objects or ring-buffer appends
-        if not TRACER.enabled and not METRICS.enabled and not FLIGHT.enabled:
+        # metrics, flight-recorder, heartbeat or checkpoint indirection
+        # anywhere — not even no-op span objects or ring-buffer appends
+        if not (TRACER.enabled or METRICS.enabled or FLIGHT.enabled
+                or HEARTBEAT.enabled or CHECKPOINT.enabled):
             return self._run()
         with TRACER.span("sim.run", mode=self.mode.value, nprocs=self.nprocs) as span:
             result = self._run()
@@ -349,6 +355,8 @@ class Simulator:
         if FLIGHT.enabled:
             FLIGHT.note(mode=self.mode.value, nprocs=self.nprocs, seed=self.seed)
             self._drain_flight()
+        elif HEARTBEAT.enabled or CHECKPOINT.enabled:
+            self._drain_supervised()
         elif self._budget is not None:
             self._drain_budgeted()
         else:
@@ -445,6 +453,54 @@ class Simulator:
             elif not proc.crashed:  # "timeout"
                 self._do_timeout(proc, t, action[1])
 
+    def _drain_supervised(self) -> None:
+        """The event loop with heartbeat / checkpoint ticks (and budgets).
+
+        Only reachable when :data:`HEARTBEAT` or :data:`CHECKPOINT` is
+        enabled (and :data:`FLIGHT` is not — that path carries its own
+        ticks); the bare loops above never pay for the per-event tick.
+        A tick is two integer compares when nothing is due, so
+        supervision stays cheap enough to leave always-on in campaign
+        workers.
+        """
+        heap = self._heap
+        procs = self._procs
+        budget = self._budget
+        if budget is not None:
+            budget.start()
+        hb = HEARTBEAT if HEARTBEAT.enabled else None
+        ck = CHECKPOINT if CHECKPOINT.enabled else None
+        if ck is not None:
+            ck.bind(self._stats_snapshot, self._rng_state)
+        events = 0
+        while heap:
+            t, _, rank, action = heappop(heap)
+            events += 1
+            if budget is not None:
+                violation = budget.note_event(t)
+                if violation is not None:
+                    kind, limit, observed = violation
+                    raise BudgetExceededError(
+                        kind, limit, observed,
+                        stats=SimStats([p.stats for p in procs]),
+                    )
+            if hb is not None:
+                hb.tick(events, t)
+            if ck is not None:
+                ck.tick(events, t)
+            kind = action[0]
+            proc = procs[rank]
+            if kind == "resume":
+                if not proc.crashed:
+                    self._resume(proc, t, action[1])
+            elif kind == "comm":
+                if not proc.crashed:
+                    self._do_comm(proc, t, action[1])
+            elif kind == "crash":
+                self._do_crash(proc, t)
+            elif not proc.crashed:  # "timeout"
+                self._do_timeout(proc, t, action[1])
+
     def _drain_flight(self) -> None:
         """The event loop with flight recording (and budgets, if set).
 
@@ -452,15 +508,27 @@ class Simulator:
         loops above never pay for the ring-buffer append.  A tripped
         budget raises :class:`BudgetExceededError` with the dump
         attached, so the black box survives the crash it explains.
+        Heartbeat / checkpoint ticks ride along when armed (telemetry
+        campaigns run the flight loop, supervised or not).
         """
         heap = self._heap
         procs = self._procs
         budget = self._budget
         if budget is not None:
             budget.start()
+        hb = HEARTBEAT if HEARTBEAT.enabled else None
+        ck = CHECKPOINT if CHECKPOINT.enabled else None
+        if ck is not None:
+            ck.bind(self._stats_snapshot, self._rng_state)
+        events = 0
         record = FLIGHT.record
         while heap:
             t, _, rank, action = heappop(heap)
+            events += 1
+            if hb is not None:
+                hb.tick(events, t)
+            if ck is not None:
+                ck.tick(events, t)
             if budget is not None:
                 violation = budget.note_event(t)
                 if violation is not None:
@@ -494,6 +562,19 @@ class Simulator:
     def _budget_snapshot(self) -> dict | None:
         """The budget guard's state for dumps (None without budgets)."""
         return self._budget.snapshot() if self._budget is not None else None
+
+    def _stats_snapshot(self) -> dict:
+        """Mid-run aggregate stats for checkpoint cursors (best effort:
+        per-process counters flush when a process yields, so the snapshot
+        trails the true totals by at most one in-flight resume)."""
+        return SimStats([p.stats for p in self._procs]).to_dict()
+
+    def _rng_state(self) -> dict | None:
+        """The numpy bit-generator state (MEASURED runs only)."""
+        if self._rng is None:
+            return None
+        state = self._rng.bit_generator.state
+        return json.loads(json.dumps(state)) if state is not None else None
 
     # -- kernel internals ---------------------------------------------------------
     def _push(self, t: float, rank: int, action: object) -> None:

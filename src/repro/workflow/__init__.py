@@ -12,8 +12,9 @@ from .campaign import (
     format_campaign_report,
     load_grid,
 )
-from .parallel import WorkflowSpec, calibrate_many, resolve_jobs
+from .parallel import WorkerPoolError, WorkflowSpec, calibrate_many, resolve_jobs
 from .pipeline import ModelingWorkflow
+from .supervisor import minimize_poison, run_supervised
 from .reporting import (
     format_bytes,
     format_fault_sweep,
@@ -46,8 +47,11 @@ __all__ = [
     "format_campaign_report",
     "load_grid",
     "WorkflowSpec",
+    "WorkerPoolError",
     "calibrate_many",
     "resolve_jobs",
+    "run_supervised",
+    "minimize_poison",
     "validate",
     "ValidationPoint",
     "ValidationSeries",

@@ -21,8 +21,17 @@ crash-safe:
 * Each run executes under watchdog budgets
   (:class:`repro.sim.BudgetGuard`) and bounded retry with exponential
   backoff; outcomes are classified ``ok / deadlock / timeout / budget /
-  error`` (``timeout`` = the wall-clock budget tripped, ``budget`` = the
-  event or virtual-time budget tripped).
+  error / hung / poison`` (``timeout`` = the wall-clock budget tripped,
+  ``budget`` = the event or virtual-time budget tripped, ``hung`` = the
+  supervisor killed a run whose heartbeats went stale, ``poison`` = a
+  spec that repeatedly killed or hung its worker was quarantined — see
+  :mod:`repro.workflow.supervisor`).
+* With ``checkpoint_interval`` set, every run writes periodic atomic
+  **replay cursors** (:mod:`repro.sim.checkpoint`) to
+  ``checkpoints/<run_id>.json``; a killed or preempted run resumes by
+  deterministic fast-forward — the replayed prefix is verified against
+  the cursor and the wall budget is credited with the wall time the
+  dead attempt already spent.
 * SIGINT/SIGTERM interrupt the campaign *between* journal records: the
   journal stays consistent, an ``interrupted`` marker is appended, and
   the CLI prints a resume hint.
@@ -41,6 +50,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import signal
 import threading
 import time
@@ -52,6 +62,7 @@ from ..obs.logging import get_logger
 from ..obs.metrics import METRICS
 from ..obs.spans import TRACER
 from ..sim.budget import BudgetExceededError
+from ..sim.checkpoint import CHECKPOINT, CheckpointMismatchError, load_checkpoint
 from ..sim.engine import DeadlockError, ExecMode
 from ..sim.faults import FaultPlan, RetryPolicy
 from ..sim.flightrec import FLIGHT
@@ -73,6 +84,10 @@ __all__ = [
     "RESULTS_NAME",
     "TELEMETRY_NAME",
     "MERGED_PERFETTO_NAME",
+    "CHECKPOINT_DIR_NAME",
+    "QUARANTINE_DIR_NAME",
+    "OUTCOMES",
+    "TERMINAL_OUTCOMES",
 ]
 
 _log = get_logger("workflow.campaign")
@@ -81,10 +96,18 @@ JOURNAL_NAME = "campaign.journal.jsonl"
 RESULTS_NAME = "results.csv"
 TELEMETRY_NAME = "telemetry.jsonl"
 MERGED_PERFETTO_NAME = "campaign.perfetto.json"
+CHECKPOINT_DIR_NAME = "checkpoints"
+QUARANTINE_DIR_NAME = "quarantine"
 _JOURNAL_VERSION = 1
 
-#: outcome classes a run record may carry
-OUTCOMES = ("ok", "deadlock", "timeout", "budget", "error")
+#: outcome classes a run record may carry; ``hung`` = the supervisor
+#: killed the run when its heartbeats went stale, ``poison`` = the spec
+#: repeatedly killed or hung its worker and was quarantined.  ``ok``
+#: and ``poison`` are terminal on resume; everything else re-runs.
+OUTCOMES = ("ok", "deadlock", "timeout", "budget", "error", "hung", "poison")
+
+#: outcomes a resumed campaign does not re-run
+TERMINAL_OUTCOMES = ("ok", "poison")
 
 
 class CampaignError(RuntimeError):
@@ -166,6 +189,14 @@ class CampaignConfig:
     retries: int = 0  # campaign-level re-run attempts for "error" outcomes
     backoff: float = 0.1  # base seconds of the exponential backoff
     retry_policy: str | None = None  # canonical JSON of the sim-level RetryPolicy
+    # -- supervision policy (execution-side, like ``jobs``: deliberately
+    # excluded from config_hash — it decides how pathological runs are
+    # scheduled/killed, never what a healthy run computes, and records
+    # are keyed by run_id so non-terminal outcomes simply re-run) -----------
+    supervise: bool = True  # jobs > 1: supervised pool vs bare executor
+    heartbeat_timeout: float | None = 30.0  # stale-cursor deadline; None = off
+    poison_threshold: int = 2  # worker deaths/hangs before quarantine
+    checkpoint_interval: int | None = None  # events between cursors; None = off
 
     @property
     def config_hash(self) -> str:
@@ -209,7 +240,7 @@ def expand_grid(grid: dict) -> CampaignConfig:
     known = {
         "name", "machine", "app", "apps", "modes", "nprocs", "inputs",
         "input_sets", "fault_plans", "seed", "timeout", "retry", "budgets",
-        "retries", "backoff", "calib_procs",
+        "retries", "backoff", "calib_procs", "supervision",
     }
     unknown = set(grid) - known
     if unknown:
@@ -257,6 +288,18 @@ def expand_grid(grid: dict) -> CampaignConfig:
     extra = set(budgets) - {"max_events", "max_virtual_time", "max_wall_seconds"}
     if extra:
         raise bad(f"unknown budget keys {sorted(extra)}")
+    sup = grid.get("supervision", {})
+    if not isinstance(sup, dict):
+        raise bad("'supervision' must be an object")
+    extra = set(sup) - {
+        "supervise", "heartbeat_timeout", "poison_threshold",
+        "checkpoint_interval",
+    }
+    if extra:
+        raise bad(f"unknown supervision keys {sorted(extra)}")
+    poison_threshold = int(sup.get("poison_threshold", 2))
+    if poison_threshold < 1:
+        raise bad(f"poison_threshold must be >= 1, got {poison_threshold}")
     specs = []
     for app in apps:
         for mode in modes:
@@ -292,6 +335,17 @@ def expand_grid(grid: dict) -> CampaignConfig:
         retries=int(grid.get("retries", 0)),
         backoff=float(grid.get("backoff", 0.1)),
         retry_policy=retry,
+        supervise=bool(sup.get("supervise", True)),
+        heartbeat_timeout=(
+            float(sup["heartbeat_timeout"])
+            if sup.get("heartbeat_timeout") is not None else
+            (None if "heartbeat_timeout" in sup else 30.0)
+        ),
+        poison_threshold=poison_threshold,
+        checkpoint_interval=(
+            int(sup["checkpoint_interval"])
+            if sup.get("checkpoint_interval") else None
+        ),
     )
 
 
@@ -311,6 +365,7 @@ class RunRecord:
     error: str | None = None
     budget_kind: str | None = None
     flight: dict | None = None  # flight-recorder dump, on failed runs
+    cursor: dict | None = None  # last heartbeat/checkpoint cursor (hung/poison)
     capsule: dict | None = None  # transient: journaled to telemetry.jsonl, not here
 
     def to_json(self) -> dict:
@@ -328,6 +383,8 @@ class RunRecord:
             doc["budget_kind"] = self.budget_kind
         if self.flight is not None:
             doc["flight"] = self.flight
+        if self.cursor is not None:
+            doc["cursor"] = self.cursor
         return doc
 
     @classmethod
@@ -343,6 +400,7 @@ class RunRecord:
                 error=doc.get("error"),
                 budget_kind=doc.get("budget_kind"),
                 flight=doc.get("flight"),
+                cursor=doc.get("cursor"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CampaignError(f"corrupt journal run record: {exc}") from None
@@ -430,13 +488,22 @@ class CampaignRunner:
 
     def __init__(self, config: CampaignConfig, out_dir: str | Path,
                  resolver=None, sleep=time.sleep, telemetry: bool = False,
-                 progress=None):
+                 progress=None, checkpoint_dir: str | Path | None = None):
         self.config = config
         self.out_dir = Path(out_dir)
         self.resolver = resolver if resolver is not None else _cli_resolver
         self.sleep = sleep
         self.telemetry = telemetry
         self.progress = progress
+        # replay-cursor checkpoints: supervised workers receive the dir
+        # explicitly (their out_dir is the null device); the sequential
+        # parent derives it from out_dir when checkpointing is on
+        if checkpoint_dir is not None:
+            self.checkpoint_dir: Path | None = Path(checkpoint_dir)
+        elif config.checkpoint_interval and str(out_dir) != os.devnull:
+            self.checkpoint_dir = self.out_dir / CHECKPOINT_DIR_NAME
+        else:
+            self.checkpoint_dir = None
         self._workflows: dict[tuple[str, int], ModelingWorkflow] = {}
         self._stop_signal: int | None = None
 
@@ -540,7 +607,9 @@ class CampaignRunner:
 
         jobs = resolve_jobs(jobs)
         journal, done = self._open_journal(resume)
-        skipped = sum(1 for rec in done.values() if rec.outcome == "ok")
+        skipped = sum(
+            1 for rec in done.values() if rec.outcome in TERMINAL_OUTCOMES
+        )
         records: dict[str, RunRecord] = dict(done)
         executed = 0
         interrupted = False
@@ -555,8 +624,8 @@ class CampaignRunner:
                     else:
                         for index, spec in enumerate(self.config.specs):
                             prior = records.get(spec.run_id)
-                            if prior is not None and prior.outcome == "ok":
-                                continue  # checkpointed: already done
+                            if prior is not None and prior.outcome in TERMINAL_OUTCOMES:
+                                continue  # journaled terminal: already done
                             if max_runs is not None and executed >= max_runs:
                                 stopped = True
                                 break
@@ -650,14 +719,10 @@ class CampaignRunner:
         ``results.csv``, which is rebuilt in spec order — is identical:
         each cell's outcome depends only on its spec and seed.
         """
-        from concurrent.futures.process import BrokenProcessPool
-
-        from .parallel import run_campaign_cells
-
         pending: list[tuple[int, RunSpec]] = []
         for index, spec in enumerate(self.config.specs):
             prior = records.get(spec.run_id)
-            if prior is not None and prior.outcome == "ok":
+            if prior is not None and prior.outcome in TERMINAL_OUTCOMES:
                 continue
             pending.append((index, spec))
         stopped = False
@@ -678,15 +743,35 @@ class CampaignRunner:
                     "campaign_runs_total", "campaign runs by outcome"
                 ).inc(outcome=rec.outcome, app=spec.app, mode=spec.mode)
 
+        if self.config.supervise:
+            from .supervisor import run_supervised
+
+            executed = run_supervised(
+                self.config, pending, jobs, on_record,
+                resolver=self.resolver, sleep=self.sleep,
+                telemetry=self.telemetry,
+                checkpoint_dir=(
+                    self.out_dir / CHECKPOINT_DIR_NAME
+                    if self.config.checkpoint_interval else None
+                ),
+                quarantine_dir=self.out_dir / QUARANTINE_DIR_NAME,
+                inline_run=self._execute_one,
+            )
+            return executed, stopped
+
+        from .parallel import WorkerPoolError, run_campaign_cells
+
         try:
             executed = run_campaign_cells(
                 self.config, pending, jobs, on_record,
                 resolver=self.resolver, sleep=self.sleep,
                 telemetry=self.telemetry,
             )
-        except BrokenProcessPool as exc:
+        except WorkerPoolError as exc:
+            in_flight = ", ".join(exc.run_ids) if exc.run_ids else "unknown"
             raise CampaignError(
-                f"a campaign worker process died unexpectedly ({exc}); "
+                f"a campaign worker process died unexpectedly ({exc.cause}); "
+                f"runs in flight: {in_flight}; "
                 f"completed runs are journaled — re-run with --resume"
             ) from None
         return executed, stopped
@@ -722,16 +807,58 @@ class CampaignRunner:
         return rec
 
     def _run_attempts(self, spec: RunSpec, index: int) -> RunRecord:
-        """One grid cell: budgets, bounded retry, outcome classification."""
+        """One grid cell: budgets, bounded retry, outcome classification.
+
+        With checkpointing armed, the run writes periodic replay cursors
+        to ``checkpoints/<run_id>.json``; a cursor left behind by a
+        killed/preempted attempt fast-forwards this one — the replayed
+        prefix is verified against the cursor (determinism is the
+        contract) and the wall budget is credited with the wall time the
+        dead attempt had genuinely spent.  A cursor that does not replay
+        is discarded and the run restarts once from zero.
+        """
+        ck_path, resume_from = self._load_cursor(spec)
         attempts = 0
+        replay_retried = False
         while True:
             attempts += 1
+            mismatch = None
             with TRACER.span(
                 "campaign.run", app=spec.app, mode=spec.mode, nprocs=spec.nprocs,
                 run_id=spec.run_id, attempt=attempts,
             ) as span:
                 try:
-                    result = self._simulate(spec)
+                    if ck_path is not None:
+                        CHECKPOINT.configure(
+                            ck_path, run_id=spec.run_id,
+                            config_hash=self.config.config_hash,
+                            seed=spec.seed,
+                            interval_events=self.config.checkpoint_interval,
+                            resume_from=resume_from,
+                        )
+                        CHECKPOINT.enable()
+                    try:
+                        result = (
+                            self._simulate(
+                                spec, wall_credit=resume_from.wall_seconds)
+                            if resume_from is not None
+                            else self._simulate(spec)
+                        )
+                        if ck_path is not None and CHECKPOINT.verifying:
+                            raise CheckpointMismatchError(
+                                f"run {spec.run_id} finished before reaching "
+                                f"its checkpointed cursor "
+                                f"(event {resume_from.events})"
+                            )
+                    finally:
+                        if ck_path is not None:
+                            CHECKPOINT.disable()
+                except CheckpointMismatchError as exc:
+                    mismatch = exc
+                    outcome, error, stats, elapsed, bkind = (
+                        "error", f"{type(exc).__name__}: {_first_line(exc)}",
+                        None, None, None)
+                    fdump = FLIGHT.dump(error=error) if FLIGHT.enabled else None
                 except DeadlockError as exc:
                     outcome, error, stats, elapsed, bkind = (
                         "deadlock", _first_line(exc), None, None, None)
@@ -755,6 +882,19 @@ class CampaignRunner:
                     elapsed = result.elapsed
                     span.set_virtual(0.0, elapsed)
                 span.set(outcome=outcome)
+            if mismatch is not None and not replay_retried:
+                # a divergent replay is a bad checkpoint, not a bad run:
+                # discard the cursor and restart once from zero without
+                # consuming a campaign retry
+                replay_retried = True
+                attempts -= 1
+                resume_from = None
+                ck_path.unlink(missing_ok=True)
+                _log.warning(
+                    "checkpoint for %s did not replay (%s); restarting from zero",
+                    spec.describe(), _first_line(mismatch),
+                )
+                continue
             if METRICS.enabled:
                 METRICS.counter(
                     "campaign_runs_total", "campaign runs by outcome"
@@ -771,14 +911,52 @@ class CampaignRunner:
                 _log.warning("run %s finished %s: %s", spec.describe(), outcome, error)
             else:
                 _log.info("run %s ok: elapsed %.6gs", spec.describe(), elapsed)
+            if ck_path is not None:
+                # the journal record supersedes the cursor; a stale
+                # cursor left behind would fast-forward a future re-run
+                # of a *failed* outcome against the wrong attempt
+                ck_path.unlink(missing_ok=True)
             return RunRecord(
                 run_id=spec.run_id, index=index, outcome=outcome,
                 attempts=attempts, elapsed=elapsed, stats=stats, error=error,
                 budget_kind=bkind, flight=fdump,
             )
 
-    def _simulate(self, spec: RunSpec):
-        """Dispatch one spec to the right estimator with budgets applied."""
+    def _load_cursor(self, spec: RunSpec):
+        """The checkpoint path for *spec* plus a validated resume cursor.
+
+        Returns ``(None, None)`` with checkpointing off.  A cursor whose
+        identity (run, config hash, seed) does not match is a crash
+        artifact from another campaign — discarded, never trusted.
+        """
+        if self.checkpoint_dir is None or not self.config.checkpoint_interval:
+            return None, None
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        ck_path = self.checkpoint_dir / f"{spec.run_id}.json"
+        cursor = load_checkpoint(ck_path)
+        if cursor is not None and (
+                cursor.run_id != spec.run_id
+                or cursor.config_hash != self.config.config_hash
+                or cursor.seed != spec.seed):
+            _log.warning("discarding foreign checkpoint %s", ck_path)
+            ck_path.unlink(missing_ok=True)
+            cursor = None
+        if cursor is not None:
+            _log.info(
+                "fast-forwarding %s from checkpoint cursor "
+                "(%d events, t=%.6g, %.3gs wall credited)",
+                spec.describe(), cursor.events, cursor.virtual_time,
+                cursor.wall_seconds,
+            )
+        return ck_path, cursor
+
+    def _simulate(self, spec: RunSpec, wall_credit: float = 0.0):
+        """Dispatch one spec to the right estimator with budgets applied.
+
+        *wall_credit* extends the wall budget by the seconds a killed
+        previous attempt already spent (replay-cursor fast-forward must
+        re-execute the prefix without double-charging it).
+        """
         cfg = self.config
         wf = self._workflow_for(spec)
         inputs = self._resolved_inputs(spec)
@@ -788,7 +966,7 @@ class CampaignRunner:
         if cfg.max_virtual_time is not None:
             budget_kw["max_virtual_time"] = cfg.max_virtual_time
         if cfg.max_wall_seconds is not None:
-            budget_kw["max_wall_seconds"] = cfg.max_wall_seconds
+            budget_kw["max_wall_seconds"] = cfg.max_wall_seconds + wall_credit
         if spec.fault_plan is not None:
             plan = FaultPlan.from_dict(json.loads(spec.fault_plan))
             retry = (

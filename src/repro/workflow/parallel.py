@@ -34,10 +34,29 @@ from dataclasses import dataclass
 __all__ = [
     "resolve_jobs",
     "WorkflowSpec",
+    "WorkerPoolError",
     "run_campaign_cells",
     "run_validation_points",
     "calibrate_many",
 ]
+
+
+class WorkerPoolError(RuntimeError):
+    """The bare process pool broke under us (a worker died).
+
+    Carries the ``run_ids`` that were in flight when the pool failed so
+    the campaign's one-line error can say exactly which cells were
+    abandoned, and ``cause`` — the underlying pool failure text.  Only
+    raised on the unsupervised (``supervise=False``) path; the
+    supervised pool retries and degrades instead
+    (:mod:`repro.workflow.supervisor`).
+    """
+
+    def __init__(self, cause: str, run_ids: list[str]):
+        ids = ", ".join(run_ids) if run_ids else "unknown"
+        super().__init__(f"{cause} (runs in flight: {ids})")
+        self.cause = cause
+        self.run_ids = run_ids
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -155,10 +174,11 @@ def run_campaign_cells(config, pending, jobs, on_record,
     spec order afterwards, which is what makes parallel output
     byte-identical to sequential.  An interrupt raised while waiting is
     allowed to propagate after pending work is cancelled; a worker crash
-    surfaces as ``BrokenProcessPool`` for the caller to classify.
-    *telemetry* arms per-run capsule capture inside the workers.
+    surfaces as :class:`WorkerPoolError` naming the run ids that were in
+    flight.  *telemetry* arms per-run capsule capture inside the workers.
     """
     import time
+    from concurrent.futures.process import BrokenProcessPool
 
     pool = ProcessPoolExecutor(
         max_workers=min(jobs, len(pending)),
@@ -178,10 +198,20 @@ def run_campaign_cells(config, pending, jobs, on_record,
             executed += 1
         pool.shutdown()
         return executed
+    except BrokenProcessPool as exc:
+        # in-flight = submitted but never produced a record (the pool
+        # marks every pending future failed when it breaks); collect
+        # before shutdown and report them by run id
+        in_flight = sorted(
+            spec.run_id for fut, spec in futures.items()
+            if fut.cancelled() or not fut.done() or fut.exception() is not None
+        )
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise WorkerPoolError(str(exc) or type(exc).__name__, in_flight) from None
     except BaseException:
-        # interrupt or worker failure: cancel what has not started and
-        # abandon what has; the journal already holds every completed
-        # record, so --resume re-runs exactly the abandoned cells
+        # interrupt: cancel what has not started and abandon what has;
+        # the journal already holds every completed record, so --resume
+        # re-runs exactly the abandoned cells
         pool.shutdown(wait=False, cancel_futures=True)
         raise
 

@@ -1,0 +1,132 @@
+"""Heartbeat emitter: throttles, cursor shape, engine integration."""
+
+import json
+
+import pytest
+
+from repro import mpi
+from repro.machine import TESTING_MACHINE
+from repro.sim import ExecMode, Simulator
+from repro.sim.flightrec import FLIGHT
+from repro.sim.heartbeat import CURSOR_FORMAT, HEARTBEAT, HeartbeatEmitter
+
+M = TESTING_MACHINE
+
+
+def run(nprocs, factory, **kw):
+    return Simulator(nprocs, factory, M, mode=ExecMode.DE, **kw).run()
+
+
+def ring_program(rank, size):
+    for _ in range(4):
+        yield mpi.compute(ops=100)
+        yield mpi.send(dest=(rank + 1) % size, nbytes=64, tag=0)
+        yield mpi.recv(source=(rank - 1) % size, tag=0)
+
+
+@pytest.fixture(autouse=True)
+def _quiet():
+    """Every test starts and ends with the shared singletons disabled."""
+    HEARTBEAT.disable()
+    FLIGHT.disable()
+    FLIGHT.reset()
+    yield
+    HEARTBEAT.disable()
+    FLIGHT.disable()
+    FLIGHT.reset()
+
+
+class TestEmitter:
+    def test_enable_requires_sink(self):
+        hb = HeartbeatEmitter()
+        with pytest.raises(ValueError, match="sink"):
+            hb.enable()
+
+    def test_throttle_validation(self):
+        hb = HeartbeatEmitter()
+        with pytest.raises(ValueError, match="interval_events"):
+            hb.configure(lambda c: None, interval_events=0)
+        with pytest.raises(ValueError, match="min_interval_s"):
+            hb.configure(lambda c: None, min_interval_s=-1)
+
+    def test_event_stride_gates_emission(self):
+        got = []
+        hb = HeartbeatEmitter()
+        hb.configure(got.append, interval_events=10, min_interval_s=0.0)
+        hb.enable()
+        for events in range(1, 35):
+            hb.tick(events, float(events))
+        # due at events 10, 20, 30 (stride resets from the emission point)
+        assert [c["events"] for c in got] == [10, 20, 30]
+        assert hb.emitted == 3
+
+    def test_cursor_shape_and_meta(self):
+        got = []
+        hb = HeartbeatEmitter()
+        hb.configure(got.append, interval_events=1, min_interval_s=0.0,
+                     run_id="r-1")
+        hb.enable()
+        hb.tick(1, 0.5)
+        (cursor,) = got
+        assert cursor["format"] == CURSOR_FORMAT
+        assert cursor["events"] == 1
+        assert cursor["virtual_time"] == 0.5
+        assert cursor["wall_seconds"] >= 0.0
+        assert cursor["run_id"] == "r-1"
+        json.dumps(cursor)  # cursors must survive a pipe / journal
+
+    def test_flight_tail_rides_cursor_when_armed(self):
+        FLIGHT.enable()
+        FLIGHT.record(1.0, 0, "send")
+        FLIGHT.record(2.0, 1, "recv")
+        got = []
+        hb = HeartbeatEmitter()
+        hb.configure(got.append, interval_events=1, min_interval_s=0.0)
+        hb.enable()
+        hb.tick(1, 2.0)
+        assert got[0]["flight_tail"] == [[1.0, 0, "send"], [2.0, 1, "recv"]]
+
+    def test_raising_sink_disables_emitter(self):
+        def bad_sink(cursor):
+            raise BrokenPipeError("parent died")
+
+        hb = HeartbeatEmitter()
+        hb.configure(bad_sink, interval_events=1, min_interval_s=0.0)
+        hb.enable()
+        hb.tick(1, 0.0)  # must not raise into the event loop
+        assert not hb.enabled
+        assert hb.emitted == 0
+
+    def test_wall_throttle_suppresses_bursts(self):
+        got = []
+        hb = HeartbeatEmitter()
+        hb.configure(got.append, interval_events=1, min_interval_s=3600.0)
+        hb.enable()
+        for events in range(1, 100):
+            hb.tick(events, 0.0)
+        assert got == []  # the hour has not elapsed
+
+
+class TestEngineIntegration:
+    def test_run_results_identical_with_heartbeats_armed(self):
+        plain = run(3, ring_program, seed=7)
+        got = []
+        HEARTBEAT.configure(got.append, interval_events=1, min_interval_s=0.0)
+        HEARTBEAT.enable()
+        try:
+            beating = run(3, ring_program, seed=7)
+        finally:
+            HEARTBEAT.disable()
+        assert beating.elapsed == plain.elapsed
+        assert beating.stats.to_dict() == plain.stats.to_dict()
+        assert got, "the supervised drain must tick the emitter"
+        # cursors advance monotonically in both coordinates
+        events = [c["events"] for c in got]
+        assert events == sorted(events)
+
+    def test_disabled_run_never_consults_emitter(self):
+        calls = []
+        HEARTBEAT.configure(calls.append, interval_events=1, min_interval_s=0.0)
+        assert not HEARTBEAT.enabled
+        run(2, ring_program)
+        assert calls == []

@@ -635,6 +635,108 @@ class TestInspectCommand:
         assert "campaign.journal.jsonl" in capsys.readouterr().err
 
 
+class TestSupervisionCli:
+    """New campaign flags and the inspect rendering of supervision state."""
+
+    def test_campaign_parser_accepts_supervision_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--grid", "g.json", "--no-supervise",
+             "--heartbeat-timeout", "5", "--poison-threshold", "3",
+             "--checkpoint-interval", "100000"]
+        )
+        assert args.no_supervise
+        assert args.heartbeat_timeout == 5.0
+        assert args.poison_threshold == 3
+        assert args.checkpoint_interval == 100000
+
+    def _campaign(self, tmp_path):
+        import json
+
+        grid = {
+            "name": "cli-sup",
+            "machine": "testing",
+            "app": "sample_nearest_neighbor",
+            "nprocs": [2, 3],
+            "inputs": {"grain": 1000, "msg": 512, "iters": 2},
+        }
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text(json.dumps(grid))
+        out = tmp_path / "out"
+        assert main(["campaign", "--grid", str(grid_path), "--out", str(out),
+                     "--no-telemetry", "--heartbeat-timeout", "30"]) == 0
+        return out
+
+    def test_inspect_renders_hung_cursor_checkpoint_and_quarantine(
+            self, tmp_path, capsys):
+        import json
+
+        from repro.util.atomic_io import append_jsonl
+
+        out = self._campaign(tmp_path)
+        capsys.readouterr()
+        docs = [json.loads(x) for x in
+                (out / "campaign.journal.jsonl").read_text().splitlines()]
+        runs = [d for d in docs if d.get("type") == "run"]
+        hung_id, poison_id = runs[0]["run_id"], runs[1]["run_id"]
+        config_hash = docs[0]["config_hash"]
+        # a later hung record supersedes run 0 (last record wins)
+        append_jsonl(out / "campaign.journal.jsonl", {
+            "type": "run", "run_id": hung_id, "index": 0, "outcome": "hung",
+            "attempts": 1, "elapsed": None, "stats": None,
+            "error": "no heartbeat for 31.0s (deadline 30s); killed worker",
+            "cursor": {"events": 4096, "virtual_time": 1.5,
+                       "wall_seconds": 12.0, "staleness_s": 31.0},
+        })
+        # a live replay cursor for run 1, as a killed campaign leaves it
+        ck_dir = out / "checkpoints"
+        ck_dir.mkdir()
+        (ck_dir / f"{poison_id}.json").write_text(json.dumps({
+            "format": 1, "run_id": poison_id, "config_hash": config_hash,
+            "seed": 0, "events": 200000, "virtual_time": 2.5,
+            "wall_seconds": 40.0, "rng_state": None, "stats": None,
+        }))
+        q_dir = out / "quarantine"
+        q_dir.mkdir()
+        (q_dir / f"{poison_id}.json").write_text(json.dumps({
+            "format": 1, "run_id": poison_id, "strikes": 2,
+            "error": "quarantined after 2 worker strike(s)",
+            "reproducer": {"minimized": True, "original_stmts": 12,
+                           "final_stmts": 3, "checks": 7},
+        }))
+        assert main(["inspect", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "finished hung" in text
+        assert "last cursor: event 4096" in text
+        assert "stale for 31.0s at death" in text
+        assert "Replay checkpoints (1 in-progress run(s)" in text
+        assert f"{poison_id}: event 200000" in text
+        assert f"Quarantined run {poison_id} (2 strike(s))" in text
+        assert "minimized reproducer: 12 -> 3 statements" in text
+
+    def test_inspect_run_filter_applies_to_supervision_artifacts(
+            self, tmp_path, capsys):
+        import json
+
+        out = self._campaign(tmp_path)
+        docs = [json.loads(x) for x in
+                (out / "campaign.journal.jsonl").read_text().splitlines()]
+        runs = [d for d in docs if d.get("type") == "run"]
+        keep_id, drop_id = runs[0]["run_id"], runs[1]["run_id"]
+        q_dir = out / "quarantine"
+        q_dir.mkdir()
+        for rid in (keep_id, drop_id):
+            (q_dir / f"{rid}.json").write_text(json.dumps({
+                "format": 1, "run_id": rid, "strikes": 2, "error": "boom",
+                "reproducer": {"minimized": False, "note": "skipped"},
+            }))
+        capsys.readouterr()
+        assert main(["inspect", str(out), "--run", keep_id[:8]]) == 0
+        text = capsys.readouterr().out
+        assert f"Quarantined run {keep_id}" in text
+        assert f"Quarantined run {drop_id}" not in text
+        assert "reproducer: skipped" in text
+
+
 class TestFaultsFlightDump:
     APP = "sample_nearest_neighbor"
 

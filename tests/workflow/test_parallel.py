@@ -128,7 +128,10 @@ class TestParallelCampaign:
 
         with pytest.MonkeyPatch.context() as mp:
             mp.setattr(parallel, "run_campaign_cells", interrupting)
-            runner = CampaignRunner(expand_grid(tiny_grid()), tmp_path / "out")
+            runner = CampaignRunner(
+                expand_grid(tiny_grid(supervision={"supervise": False})),
+                tmp_path / "out",
+            )
             report = runner.execute(jobs=4)
         assert report.interrupted and not report.complete
         docs = [json.loads(line) for line in
@@ -143,16 +146,21 @@ class TestParallelCampaign:
                (tmp_path / "ref" / "results.csv").read_bytes()
 
     def test_worker_crash_is_resumable_campaign_error(self, tmp_path):
-        """A dead worker surfaces as CampaignError advising --resume, not
-        a raw BrokenProcessPool traceback; the journal stays usable."""
+        """On the unsupervised pool, a dead worker surfaces as a
+        CampaignError advising --resume — naming the in-flight run ids —
+        not a raw BrokenProcessPool traceback; the journal stays usable."""
         import repro.workflow.parallel as parallel
 
-        runner = CampaignRunner(expand_grid(tiny_grid()), tmp_path / "out")
+        config = expand_grid(tiny_grid(supervision={"supervise": False}))
+        runner = CampaignRunner(config, tmp_path / "out")
         with pytest.MonkeyPatch.context() as mp:
             # every worker dies before completing a cell
             mp.setattr(parallel, "_campaign_cell", _crash_cell)
-            with pytest.raises(CampaignError, match="--resume"):
+            with pytest.raises(CampaignError, match="--resume") as exc_info:
                 runner.execute(jobs=2)
+        # the one-line error names the abandoned cells by run id
+        assert "runs in flight" in str(exc_info.value)
+        assert any(s.run_id in str(exc_info.value) for s in config.specs)
         resumed = runner.execute(resume=True, jobs=2)
         assert resumed.complete
         _, ref = run_campaign(tmp_path, sub="ref", jobs=1)

@@ -1,0 +1,324 @@
+"""Supervised execution runtime: hang kills, poison quarantine, degradation.
+
+The contract under test (docs/robustness.md): supervision may change
+*how fast* a campaign learns about sick workers, never *what* it
+computes — a wedged run is journaled ``hung`` within the heartbeat
+deadline, a repeat offender is quarantined ``poison`` with a forensics
+artifact while the rest of the campaign completes, pool breakage
+degrades to in-process execution, and in every case ``results.csv``
+for the healthy cells is byte-identical to a sequential run.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+from types import SimpleNamespace
+
+import pytest
+
+import repro.workflow.supervisor as supervisor
+from repro.sim.checkpoint import RunCheckpoint
+from repro.workflow.campaign import (
+    CHECKPOINT_DIR_NAME,
+    QUARANTINE_DIR_NAME,
+    CampaignInterrupted,
+    CampaignRunner,
+    _cli_resolver,
+    expand_grid,
+)
+from repro.workflow.supervisor import minimize_poison
+
+from .test_parallel import run_campaign, tiny_grid
+
+pytestmark = pytest.mark.skipif(
+    multiprocessing.get_start_method(allow_none=False) != "fork",
+    reason="supervisor tests monkeypatch worker hooks, which requires fork",
+)
+
+
+def journal_docs(runner):
+    return [json.loads(line) for line in
+            runner.journal_path.read_text().splitlines()]
+
+
+def _sigint_probe(conn):  # pragma: no cover - runs in a child process
+    """Satellite regression: a quieted worker must survive its own SIGINT."""
+    from repro.workflow.parallel import _quiet_worker
+
+    _quiet_worker()
+    os.kill(os.getpid(), signal.SIGINT)
+    conn.send("alive")
+    conn.close()
+
+
+class TestWorkerSignalMask:
+    def test_quiet_worker_ignores_sigint(self):
+        ctx = multiprocessing.get_context("fork")
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(target=_sigint_probe, args=(child,), daemon=True)
+        proc.start()
+        child.close()
+        assert parent.poll(10), "worker died instead of ignoring SIGINT"
+        assert parent.recv() == "alive"
+        proc.join(timeout=10)
+        assert proc.exitcode == 0
+        parent.close()
+
+
+class TestHangDetection:
+    def test_wedged_run_is_killed_and_classified_hung(self, tmp_path, monkeypatch):
+        """A run that stops beating is journaled ``hung`` within the
+        heartbeat deadline, retried, and the campaign stays byte-identical."""
+        flag = tmp_path / "wedged-once"
+        real = supervisor._execute_cell
+
+        def wedge_once(runner, conn, spec, index, config):
+            if spec.nprocs == 3 and not flag.exists():
+                flag.write_text("x")
+                conn.send(("hb", spec.run_id, {
+                    "events": 123, "virtual_time": 1.5, "wall_seconds": 0.2,
+                    "flight_tail": [[1.0, 0, "send"]], "run_id": spec.run_id,
+                }))
+                time.sleep(60)  # killed long before this returns
+            return real(runner, conn, spec, index, config)
+
+        monkeypatch.setattr(supervisor, "_execute_cell", wedge_once)
+        grid = tiny_grid(supervision={"heartbeat_timeout": 0.5})
+        t0 = time.monotonic()
+        runner, report = run_campaign(tmp_path, grid=grid, jobs=2)
+        assert report.complete and not report.interrupted
+        assert time.monotonic() - t0 < 30, "hang must not wait out a wall budget"
+        hung = [d for d in journal_docs(runner)
+                if d.get("type") == "run" and d.get("outcome") == "hung"]
+        assert len(hung) == 1
+        assert "no heartbeat" in hung[0]["error"]
+        # the last cursor and its staleness ride the strike record
+        assert hung[0]["cursor"]["events"] == 123
+        assert hung[0]["cursor"]["staleness_s"] >= 0.5
+        # the worker is dead, but its heartbeat carried the flight tail
+        assert hung[0]["flight"]["events"] == [[1.0, 0, "send"]]
+        assert hung[0]["flight"]["meta"]["source"] == "heartbeat"
+        # last record wins: the retry succeeded
+        assert all(r.outcome == "ok" for r in report.records.values())
+        _, ref = run_campaign(tmp_path, sub="ref", jobs=1)
+        assert (tmp_path / "out" / "results.csv").read_bytes() == \
+               (tmp_path / "ref" / "results.csv").read_bytes()
+
+
+def _crash_nprocs3(runner, conn, spec, index, config):
+    """Poison stand-in: one spec hard-kills every worker it touches."""
+    if spec.nprocs == 3:
+        os._exit(1)
+    return supervisor.__dict__["_real_execute_cell"](runner, conn, spec, index, config)
+
+
+class TestPoisonQuarantine:
+    def test_repeat_killer_is_quarantined_and_campaign_completes(
+            self, tmp_path, monkeypatch):
+        real = supervisor._execute_cell
+        monkeypatch.setitem(supervisor.__dict__, "_real_execute_cell", real)
+        monkeypatch.setattr(supervisor, "_execute_cell", _crash_nprocs3)
+        grid = tiny_grid(supervision={"poison_threshold": 2})
+        runner, report = run_campaign(tmp_path, grid=grid, jobs=2)
+        assert report.complete
+        assert report.outcomes["poison"] == 1 and report.outcomes["ok"] == 2
+        docs = journal_docs(runner)
+        strikes = [d for d in docs if d.get("type") == "run"
+                   and d.get("outcome") == "error"
+                   and "worker process died" in (d.get("error") or "")]
+        assert strikes, "each worker death must be journaled before quarantine"
+        poison = [d for d in docs if d.get("outcome") == "poison"]
+        assert len(poison) == 1 and poison[0]["attempts"] == 2
+        # quarantine artifact: spec identity + reproducer attempt
+        q_path = runner.out_dir / QUARANTINE_DIR_NAME / f"{poison[0]['run_id']}.json"
+        assert q_path.exists()
+        q = json.loads(q_path.read_text())
+        assert q["strikes"] == 2 and q["spec"]["nprocs"] == 3
+        assert "reproducer" in q  # tried, even if the crash was synthetic
+        # poison is terminal: a resume re-runs nothing
+        resumed = runner.execute(resume=True)
+        assert resumed.complete and resumed.executed == 0
+        assert resumed.skipped == 3
+
+    def test_poison_row_lands_in_results_csv(self, tmp_path, monkeypatch):
+        real = supervisor._execute_cell
+        monkeypatch.setitem(supervisor.__dict__, "_real_execute_cell", real)
+        monkeypatch.setattr(supervisor, "_execute_cell", _crash_nprocs3)
+        grid = tiny_grid(supervision={"poison_threshold": 2})
+        runner, report = run_campaign(tmp_path, grid=grid, jobs=2)
+        assert report.complete
+        text = (runner.out_dir / "results.csv").read_text()
+        assert "poison" in text
+
+
+def _crash_once(runner, conn, spec, index, config):
+    flag = supervisor.__dict__["_crash_once_flag"]
+    if spec.nprocs == 3 and not os.path.exists(flag):
+        with open(flag, "w") as fh:
+            fh.write("x")
+        os._exit(1)
+    return supervisor.__dict__["_real_execute_cell"](runner, conn, spec, index, config)
+
+
+class TestCrashRetry:
+    def test_crash_once_then_recover_is_byte_identical(self, tmp_path, monkeypatch):
+        monkeypatch.setitem(supervisor.__dict__, "_real_execute_cell",
+                            supervisor._execute_cell)
+        monkeypatch.setitem(supervisor.__dict__, "_crash_once_flag",
+                            str(tmp_path / "crashed-once"))
+        monkeypatch.setattr(supervisor, "_execute_cell", _crash_once)
+        runner, report = run_campaign(tmp_path, jobs=2)
+        assert report.complete
+        assert all(r.outcome == "ok" for r in report.records.values())
+        strikes = [d for d in journal_docs(runner)
+                   if d.get("type") == "run" and d.get("outcome") == "error"]
+        assert len(strikes) == 1
+        assert "worker process died" in strikes[0]["error"]
+        assert strikes[0]["error"].count("run ") == 1  # names the cell
+        _, ref = run_campaign(tmp_path, sub="ref", jobs=1)
+        assert (tmp_path / "out" / "results.csv").read_bytes() == \
+               (tmp_path / "ref" / "results.csv").read_bytes()
+
+
+class TestGracefulDegradation:
+    def test_unspawnable_pool_degrades_to_inline_execution(
+            self, tmp_path, monkeypatch):
+        """When workers cannot even be spawned, the supervisor falls back
+        to in-process sequential execution with byte-identical outputs."""
+
+        class FailingCtx:
+            def Pipe(self):
+                raise OSError("no more processes")
+
+        monkeypatch.setattr(
+            supervisor, "multiprocessing",
+            SimpleNamespace(get_context=lambda: FailingCtx()),
+        )
+        monkeypatch.setattr(supervisor, "RESPAWN_BACKOFF", 0.001)
+        runner, report = run_campaign(tmp_path, jobs=2)
+        assert report.complete
+        assert all(r.outcome == "ok" for r in report.records.values())
+        _, ref = run_campaign(tmp_path, sub="ref", jobs=1)
+        assert (tmp_path / "out" / "results.csv").read_bytes() == \
+               (tmp_path / "ref" / "results.csv").read_bytes()
+
+
+class TestMinimizePoison:
+    def spec(self):
+        return expand_grid(tiny_grid()).specs[0]
+
+    def test_reproducing_failure_is_minimized(self):
+        info = minimize_poison(self.spec(), "testing", _cli_resolver,
+                               probe=lambda candidate: True)
+        assert info["minimized"] is True
+        assert info["final_stmts"] <= info["original_stmts"]
+        assert info["checks"] >= 1
+        assert isinstance(info["program"], str) and info["program"]
+
+    def test_non_reproducing_failure_is_declined_with_note(self):
+        info = minimize_poison(self.spec(), "testing", _cli_resolver,
+                               probe=lambda candidate: False)
+        assert info["minimized"] is False
+        assert "declined" in info["note"]
+
+    def test_resolver_failure_is_recorded_not_raised(self):
+        def bad_resolver(app):
+            raise RuntimeError("registry unavailable")
+
+        info = minimize_poison(self.spec(), "testing", bad_resolver)
+        assert info["minimized"] is False
+        assert "resolver failed" in info["note"]
+
+
+class TestCampaignCheckpointing:
+    def grid(self):
+        return tiny_grid(supervision={"checkpoint_interval": 10})
+
+    @pytest.fixture(autouse=True)
+    def _eager_checkpoints(self, monkeypatch):
+        """Tiny runs finish in < 1s wall; drop the write throttle."""
+        from repro.sim.checkpoint import CHECKPOINT
+
+        monkeypatch.setattr(CHECKPOINT, "min_interval_s", 0.0)
+
+    def test_interrupted_run_leaves_cursor_and_resume_fast_forwards(
+            self, tmp_path, monkeypatch):
+        config = expand_grid(self.grid())
+        real = CampaignRunner._simulate
+        state = {"n": 0}
+
+        def sim_then_die(self, spec, wall_credit=0.0):
+            result = real(self, spec, wall_credit)
+            state["n"] += 1
+            if state["n"] == 1:
+                raise CampaignInterrupted(signal.SIGTERM)
+            return result
+
+        monkeypatch.setattr(CampaignRunner, "_simulate", sim_then_die)
+        runner = CampaignRunner(config, tmp_path / "out")
+        report = runner.execute(jobs=1)
+        assert report.interrupted and not report.complete
+        ck_path = (tmp_path / "out" / CHECKPOINT_DIR_NAME
+                   / f"{config.specs[0].run_id}.json")
+        assert ck_path.exists(), "the killed attempt must leave its cursor"
+        monkeypatch.setattr(CampaignRunner, "_simulate", real)
+
+        # spy on the cursor the resume loads
+        loaded = {}
+        orig_load = CampaignRunner._load_cursor
+
+        def spying_load(self, spec):
+            path, cursor = orig_load(self, spec)
+            loaded[spec.run_id] = cursor
+            return path, cursor
+
+        monkeypatch.setattr(CampaignRunner, "_load_cursor", spying_load)
+        resumed = runner.execute(resume=True, jobs=1)
+        assert resumed.complete and not resumed.interrupted
+        assert loaded[config.specs[0].run_id] is not None, \
+            "the resume must fast-forward from the cursor"
+        assert all(r.outcome == "ok" and r.attempts == 1
+                   for r in resumed.records.values())
+        assert not ck_path.exists(), "terminal records clear their cursor"
+        _, ref = run_campaign(tmp_path, sub="ref", jobs=1)
+        assert (tmp_path / "out" / "results.csv").read_bytes() == \
+               (tmp_path / "ref" / "results.csv").read_bytes()
+
+    def test_tampered_cursor_restarts_from_zero(self, tmp_path):
+        config = expand_grid(self.grid())
+        spec = config.specs[0]
+        ck_dir = tmp_path / "out" / CHECKPOINT_DIR_NAME
+        ck_dir.mkdir(parents=True)
+        bogus = RunCheckpoint(
+            run_id=spec.run_id, config_hash=config.config_hash,
+            seed=spec.seed, events=10, virtual_time=-1.0, wall_seconds=0.5,
+        )
+        (ck_dir / f"{spec.run_id}.json").write_text(
+            json.dumps(bogus.to_json()))
+        runner = CampaignRunner(config, tmp_path / "out")
+        report = runner.execute(jobs=1)
+        assert report.complete
+        # the divergent replay consumed neither a retry nor the outcome
+        assert all(r.outcome == "ok" and r.attempts == 1
+                   for r in report.records.values())
+        _, ref = run_campaign(tmp_path, sub="ref", jobs=1)
+        assert (tmp_path / "out" / "results.csv").read_bytes() == \
+               (tmp_path / "ref" / "results.csv").read_bytes()
+
+    def test_foreign_cursor_is_discarded(self, tmp_path):
+        config = expand_grid(self.grid())
+        spec = config.specs[0]
+        ck_dir = tmp_path / "out" / CHECKPOINT_DIR_NAME
+        ck_dir.mkdir(parents=True)
+        foreign = RunCheckpoint(
+            run_id=spec.run_id, config_hash="someone-elses-campaign",
+            seed=spec.seed, events=10, virtual_time=1.0, wall_seconds=0.5,
+        )
+        ck_path = ck_dir / f"{spec.run_id}.json"
+        ck_path.write_text(json.dumps(foreign.to_json()))
+        runner = CampaignRunner(config, tmp_path / "out")
+        report = runner.execute(jobs=1)
+        assert report.complete
+        assert all(r.outcome == "ok" for r in report.records.values())
