@@ -1,0 +1,37 @@
+"""``repro.api`` — the typed facade every layer speaks.
+
+See :mod:`repro.api.types` for the contract dataclasses and
+:mod:`repro.api.compat` for the deprecated dict adapters.
+"""
+
+from .compat import (
+    campaign_config_from_dict,
+    run_spec_from_dict,
+    workflow_spec_from_dict,
+)
+from .types import (
+    MODES,
+    SCHEMA_VERSION,
+    ApiError,
+    CampaignRequest,
+    CampaignResult,
+    RunRequest,
+    RunResult,
+    canonical_json,
+    content_hash,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MODES",
+    "canonical_json",
+    "content_hash",
+    "ApiError",
+    "RunRequest",
+    "RunResult",
+    "CampaignRequest",
+    "CampaignResult",
+    "run_spec_from_dict",
+    "campaign_config_from_dict",
+    "workflow_spec_from_dict",
+]

@@ -1,0 +1,85 @@
+"""Deprecation shims: the old dict-shaped entry points, for one release.
+
+Before ``repro.api`` existed, callers handed bare dicts to the workflow
+layer — run-spec dicts mirroring ``RunSpec``'s fields, grid dicts for
+campaigns, and ``WorkflowSpec``-style recipe dicts for the parallel
+executor.  These adapters keep those call shapes working while steering
+callers to the typed replacements: each emits a single
+:class:`DeprecationWarning` naming the ``repro.api`` construct to use
+instead, then delegates.  Identity is preserved exactly — a run spec
+adapted here hashes to the same id as the :class:`~repro.api.RunRequest`
+built directly (the compat test asserts it) — so downstream journals
+and stores cannot tell the difference.
+
+Scheduled for removal one release after ``repro.api`` ships.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from .types import RunRequest, _normalize_inputs
+
+__all__ = [
+    "run_spec_from_dict",
+    "campaign_config_from_dict",
+    "workflow_spec_from_dict",
+]
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; build a {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_spec_from_dict(doc: dict) -> RunRequest:
+    """Adapt an old run-spec dict to a :class:`repro.api.RunRequest`.
+
+    .. deprecated:: use :meth:`repro.api.RunRequest.from_json`.
+    """
+    _deprecated("run_spec_from_dict()", "repro.api.RunRequest (from_json)")
+    return RunRequest.from_json(doc)
+
+
+def campaign_config_from_dict(doc: dict):
+    """Adapt an old grid dict to an expanded campaign configuration.
+
+    .. deprecated:: use :func:`repro.workflow.campaign.expand_grid` for
+       grids, or :meth:`repro.api.CampaignRequest.from_json` for
+       explicit run lists.
+    """
+    _deprecated(
+        "campaign_config_from_dict()",
+        "repro.api.CampaignRequest (from_json), or expand_grid for grids",
+    )
+    from ..workflow.campaign import expand_grid
+
+    return expand_grid(doc)
+
+
+def workflow_spec_from_dict(doc: dict):
+    """Adapt an old workflow-recipe dict to a ``WorkflowSpec``.
+
+    .. deprecated:: construct
+       :class:`repro.workflow.parallel.WorkflowSpec` directly (its
+       fields are the ``repro.api`` vocabulary).
+    """
+    _deprecated(
+        "workflow_spec_from_dict()", "repro.workflow.parallel.WorkflowSpec"
+    )
+    from ..workflow.parallel import WorkflowSpec
+
+    known = {"app", "machine", "calib_nprocs", "overrides", "seed"}
+    unknown = set(doc) - known
+    if unknown:
+        raise ValueError(f"unknown workflow-spec keys {sorted(unknown)}")
+    return WorkflowSpec(
+        app=doc["app"],
+        machine=doc["machine"],
+        calib_nprocs=int(doc["calib_nprocs"]),
+        overrides=_normalize_inputs(doc.get("overrides", ())),
+        seed=int(doc.get("seed", 0)),
+    )

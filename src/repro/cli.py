@@ -21,6 +21,10 @@ Examples::
     python -m repro fuzz --seeds 100 --out fuzz-out/
     python -m repro fuzz --seeds 500 --budget 120 --out fuzz-out/ --resume
     python -m repro fuzz --check-corpus src/repro/apps/regressions
+    python -m repro serve --store store/ --port 8642 --jobs 4
+    python -m repro query sweep3d --nprocs 64 --server 127.0.0.1:8642
+    python -m repro query sweep3d --nprocs 64 --store store/
+    python -m repro inspect store/
 """
 
 from __future__ import annotations
@@ -145,6 +149,77 @@ def _parse_overrides(pairs: list[str]) -> dict[str, int]:
         except ValueError:
             out[key] = float(value)
     return out
+
+
+# -- shared argparse fragments -------------------------------------------------
+#
+# Every subcommand that names a machine, an input override, a budget or
+# a worker count adds the flag through one of these helpers, so the
+# flags (names, types, defaults, help text) cannot drift apart between
+# subcommands — they are the argparse face of the repro.api vocabulary.
+
+
+def add_machine_args(parser, with_set: bool = True) -> None:
+    """``--machine`` (and ``--set``): the execution-context flags."""
+    parser.add_argument("--machine", default="IBM-SP",
+                        help="machine preset (default IBM-SP)")
+    if with_set:
+        parser.add_argument("--set", action="append", metavar="KEY=VALUE",
+                            help="override an application input parameter")
+
+
+def add_budget_args(parser) -> None:
+    """``--max-wall/--max-events/--max-virtual``: per-run watchdog budgets."""
+    parser.add_argument("--max-wall", type=_positive_float, default=None,
+                        metavar="SECONDS",
+                        help="per-run wall-clock budget (outcome 'timeout' "
+                             "when exceeded)")
+    parser.add_argument("--max-events", type=_positive_int, default=None,
+                        help="per-run kernel-event budget (outcome 'budget')")
+    parser.add_argument("--max-virtual", type=_positive_float, default=None,
+                        metavar="SECONDS",
+                        help="per-run virtual-time budget (outcome 'budget')")
+
+
+def add_jobs_arg(parser, help_: str | None = None) -> None:
+    parser.add_argument("--jobs", type=_jobs_count, default=1, metavar="N",
+                        help=help_ or "worker processes "
+                             "(0 = all cores, default 1)")
+
+
+def add_seed_arg(parser, help_: str | None = None) -> None:
+    parser.add_argument("--seed", type=int, default=0,
+                        help=help_ or "noise seed for measured-mode runs "
+                             "(reproducibility)")
+
+
+def _budget_kwargs(args) -> dict:
+    """The budget flags as :class:`repro.api.CampaignRequest` kwargs."""
+    return {
+        "max_wall_seconds": getattr(args, "max_wall", None),
+        "max_events": getattr(args, "max_events", None),
+        "max_virtual_time": getattr(args, "max_virtual", None),
+    }
+
+
+def request_from_args(args, *, nprocs: int | None = None,
+                      mode: str | None = None):
+    """Build the validated :class:`repro.api.RunRequest` a subcommand
+    names — the single constructor path from flags to run identity."""
+    from .api import ApiError, RunRequest
+
+    try:
+        return RunRequest.from_json({
+            "kind": "run_request",
+            "app": args.app,
+            "mode": mode if mode is not None else getattr(args, "mode", "de"),
+            "nprocs": nprocs if nprocs is not None else args.nprocs,
+            "inputs": _parse_overrides(getattr(args, "set", None)),
+            "seed": getattr(args, "seed", 0),
+            "timeout": getattr(args, "timeout", None),
+        })
+    except ApiError as exc:
+        raise SystemExit(f"error: {exc.message}")
 
 
 def _resolve(args, nprocs: int):
@@ -395,6 +470,7 @@ def cmd_faults(args) -> int:
     from .sim import DeadlockError, ExecMode
     from .workflow import fault_sweep, format_fault_sweep, format_resilience
 
+    request_from_args(args, nprocs=args.nprocs, mode=args.mode)  # validate early
     program, _ = _resolve(args, nprocs=args.nprocs)
     mode = {"am": ExecMode.AM, "de": ExecMode.DE, "measured": ExecMode.MEASURED}[args.mode]
     calib_procs = args.calib_procs or min(args.nprocs, 16)
@@ -667,6 +743,20 @@ def _format_cursor(cursor, indent="  ") -> str:
     return indent + ", ".join(parts)
 
 
+def _inspect_store(path, stats: dict) -> int:
+    """Render result-store statistics (serve-side `repro inspect STORE`)."""
+    total = stats["hits"] + stats["misses"]
+    rate = f"{stats['hits'] / total:.0%}" if total else "n/a"
+    print(f"Result store: {path}")
+    print(f"  {stats['entries']} entries ({stats['bytes']:,} bytes) "
+          f"across {stats['contexts']} execution context(s)")
+    print(f"  {stats['warm_calibrations']} warm calibration(s)")
+    print(f"  lifetime: {stats['hits']} hits, {stats['misses']} misses "
+          f"(hit rate {rate}), {stats['puts']} puts, "
+          f"{stats['evictions']} evictions")
+    return 0
+
+
 def _inspect_dir(path, args) -> int:
     """Render a campaign output directory: header, per-run timeline,
     aggregate metrics, checkpoint/heartbeat history, and the flight
@@ -684,8 +774,14 @@ def _inspect_dir(path, args) -> int:
 
     journal_path = path / JOURNAL_NAME
     if not journal_path.exists():
-        print(f"error: {path} has no {JOURNAL_NAME}; "
-              f"not a campaign output directory", file=sys.stderr)
+        # not a campaign directory — maybe a result store (`repro serve`)
+        from .store import scan_store
+
+        stats = scan_store(path)
+        if stats is not None:
+            return _inspect_store(path, stats)
+        print(f"error: {path} has no {JOURNAL_NAME} and no result store; "
+              f"not a campaign or store directory", file=sys.stderr)
         return 2
     try:
         docs = read_jsonl(journal_path)
@@ -866,6 +962,81 @@ def cmd_fuzz(args) -> int:
     return 1 if report.completed > report.ok else 0
 
 
+def cmd_serve(args) -> int:
+    """Run the simulation service until SIGTERM/SIGINT."""
+    from .serve import run_server
+
+    return run_server(
+        args.store,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        max_bytes=args.max_store_bytes,
+        max_inflight=args.max_inflight,
+        events_per_second=args.tenant_quota,
+    )
+
+
+def cmd_query(args) -> int:
+    """One what-if query: against a server, a local store, or inline."""
+    from .api import ApiError, RunResult
+
+    run = request_from_args(args, nprocs=args.nprocs, mode=args.mode)
+    context = {
+        "machine": args.machine,
+        "calib_procs": args.calib_procs,
+        **{k: v for k, v in _budget_kwargs(args).items() if v is not None},
+    }
+    doc = {"run": run.to_json(), **context}
+    try:
+        if args.server:
+            from .serve import ServiceClient
+
+            host, _, port = args.server.partition(":")
+            client = ServiceClient(host or "127.0.0.1", int(port or 8642),
+                                   tenant=args.tenant)
+            out = client._request("POST", "/v1/run", doc)
+        elif args.store:
+            from .serve import SimulationService
+            from .store import ResultStore
+
+            store = ResultStore(args.store)
+            try:
+                out = SimulationService(store, jobs=args.jobs).handle_run(doc)
+            finally:
+                store.close()
+        else:  # no cache anywhere: execute inline
+            from .workflow.campaign import execute_request
+
+            rec = execute_request(
+                run, machine=args.machine, calib_procs=args.calib_procs,
+                **_budget_kwargs(args),
+            )
+            out = {"result": RunResult.from_record(rec).to_json(),
+                   "cached": False, "context": None}
+    except ApiError as exc:
+        print(f"error [{exc.code}]: {exc.message}", file=sys.stderr)
+        if exc.retry_after is not None:
+            print(f"retry after {exc.retry_after:g}s", file=sys.stderr)
+        return 3 if exc.http_status == 429 else 2
+    except ValueError as exc:  # bad --server syntax, unknown machine/app
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(out, indent=1, sort_keys=True))
+        return 0
+    result = RunResult.from_json(out["result"])
+    source = "cache hit" if out.get("cached") else "executed"
+    line = f"{run.describe()}: {result.outcome}"
+    if result.elapsed is not None:
+        line += f" in {result.elapsed:.6g}s virtual"
+    line += f" ({result.events} events, {source})"
+    print(line)
+    print(f"  run {result.run_id}"
+          + (f", context {out['context']}" if out.get("context") else ""))
+    return 0 if result.ok else 1
+
+
 def cmd_profile(args) -> int:
     """Profile one run: dual-clock spans, trace analyses, exports."""
     from .obs import (
@@ -883,6 +1054,7 @@ def cmd_profile(args) -> int:
     )
     from .sim import ExecMode
 
+    request_from_args(args, nprocs=args.nprocs, mode=args.mode)  # validate early
     program, _ = _resolve(args, nprocs=args.nprocs)
     mode = {"am": ExecMode.AM, "de": ExecMode.DE, "measured": ExecMode.MEASURED}[args.mode]
     calib_procs = args.calib_procs or min(args.nprocs, 16)
@@ -1011,16 +1183,13 @@ def build_parser() -> argparse.ArgumentParser:
     def add_app_command(name, fn, help_, with_procs=False):
         p = sub.add_parser(name, help=help_)
         p.add_argument("app", help="application name (see 'apps')")
-        p.add_argument("--machine", default="IBM-SP", help="machine preset (default IBM-SP)")
-        p.add_argument("--set", action="append", metavar="KEY=VALUE",
-                       help="override an application input parameter")
+        add_machine_args(p)
         if with_procs:
             p.add_argument("--procs", type=_positive_int, nargs="+", default=[4, 16, 64],
                            help="target processor counts")
             p.add_argument("--calib-procs", type=_positive_int, default=16,
                            help="calibration processor count (default 16)")
-            p.add_argument("--seed", type=int, default=0,
-                           help="noise seed for MEASURED-mode runs (reproducibility)")
+            add_seed_arg(p, "noise seed for MEASURED-mode runs (reproducibility)")
         p.set_defaults(fn=fn)
         return p
 
@@ -1029,8 +1198,7 @@ def build_parser() -> argparse.ArgumentParser:
     stg_p.add_argument("--dot", metavar="FILE", help="write graphviz DOT instead of text")
     v = add_app_command("validate", cmd_validate, "measured vs DE vs AM", with_procs=True)
     v.add_argument("--no-de", action="store_true", help="skip the direct-execution simulator")
-    v.add_argument("--jobs", type=_jobs_count, default=1, metavar="N",
-                   help="worker processes for the sweep (0 = all cores, default 1)")
+    add_jobs_arg(v, "worker processes for the sweep (0 = all cores, default 1)")
     pr = add_app_command("predict", cmd_predict, "performance predictions", with_procs=True)
     pr.add_argument("--method", choices=("am", "taskgraph", "sum"), default="am",
                     help="predictor: simulated AM (default), task-graph analysis, per-rank sum")
@@ -1065,8 +1233,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default watchdog timeout for blocking sends/receives")
     f.add_argument("--fault-seed", type=int, default=None,
                    help="fault plan seed (deterministic replay)")
-    f.add_argument("--seed", type=int, default=0,
-                   help="noise seed for --mode measured runs")
+    add_seed_arg(f, "noise seed for --mode measured runs")
     f.add_argument("--calib-procs", type=_positive_int, default=None,
                    help="calibration processor count for --mode am")
     f.add_argument("--sweep", type=float, nargs="+", metavar="LOSS",
@@ -1089,20 +1256,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="replay the journal, skip completed runs, finish the rest")
     camp.add_argument("--machine", default=None,
                       help="override the grid's machine preset")
-    camp.add_argument("--max-wall", type=float, default=None, metavar="SECONDS",
-                      help="per-run wall-clock budget (outcome 'timeout' when exceeded)")
-    camp.add_argument("--max-events", type=_positive_int, default=None,
-                      help="per-run kernel-event budget (outcome 'budget')")
-    camp.add_argument("--max-virtual", type=float, default=None, metavar="SECONDS",
-                      help="per-run virtual-time budget (outcome 'budget')")
+    add_budget_args(camp)
     camp.add_argument("--retries", type=int, default=None,
                       help="re-run attempts for 'error' outcomes (exponential backoff)")
     camp.add_argument("--max-runs", type=_positive_int, default=None,
                       help="execute at most this many runs, then stop (resumable)")
-    camp.add_argument("--jobs", type=_jobs_count, default=1, metavar="N",
-                      help="worker processes for independent grid cells "
-                           "(0 = all cores, default 1); output is identical "
-                           "to a sequential run")
+    add_jobs_arg(camp, "worker processes for independent grid cells "
+                      "(0 = all cores, default 1); output is identical "
+                      "to a sequential run")
     camp.add_argument("--live", action="store_true",
                       help="single-line live progress (runs done, ok/failed/"
                            "retried, aggregate events/sec, ETA)")
@@ -1130,9 +1291,67 @@ def build_parser() -> argparse.ArgumentParser:
                            "runs from the last cursor (default off)")
     camp.set_defaults(fn=cmd_campaign)
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the simulation service: HTTP/JSON campaigns and what-ifs "
+             "deduplicated against a content-addressed result store",
+    )
+    srv.add_argument("--store", required=True, metavar="DIR",
+                     help="result-store directory (created if missing)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=_nonneg_int, default=8642,
+                     help="TCP port (default 8642; 0 = ephemeral)")
+    add_jobs_arg(srv, "worker processes per cache-miss batch "
+                      "(0 = all cores, default 1)")
+    srv.add_argument("--max-inflight", type=_positive_count, default=4,
+                     metavar="N",
+                     help="per-tenant concurrent-request cap; requests over "
+                          "it get 429 (default 4)")
+    srv.add_argument("--tenant-quota", type=_positive_float, default=None,
+                     metavar="EVENTS_PER_SEC",
+                     help="per-tenant simulator-event budget: a token bucket "
+                          "refilled at this rate, charged post-paid; "
+                          "overdrawn tenants get 429 + Retry-After")
+    srv.add_argument("--max-store-bytes", type=_positive_int, default=None,
+                     metavar="BYTES",
+                     help="LRU-evict stored results beyond this many bytes")
+    srv.set_defaults(fn=cmd_serve)
+
+    q = sub.add_parser(
+        "query",
+        help="one what-if query: ask a running server, or answer from a "
+             "local store, or execute inline",
+    )
+    q.add_argument("app", help="application name (see 'apps')")
+    add_machine_args(q)
+    q.add_argument("--mode", choices=("am", "de", "measured"), default="de",
+                   help="estimator to query (default de)")
+    q.add_argument("--nprocs", type=_positive_int, default=16,
+                   help="target processor count (default 16)")
+    add_seed_arg(q)
+    q.add_argument("--timeout", type=_positive_float, default=None,
+                   metavar="SECONDS",
+                   help="watchdog timeout for blocking sends/receives")
+    q.add_argument("--calib-procs", type=_positive_int, default=2,
+                   help="calibration processor count (default 2)")
+    add_budget_args(q)
+    add_jobs_arg(q, "worker processes for a --store cache miss (default 1)")
+    q.add_argument("--server", metavar="HOST:PORT",
+                   help="query a running 'repro serve' instance")
+    q.add_argument("--store", metavar="DIR",
+                   help="serverless mode: answer from this result store, "
+                        "executing and filling it on a miss")
+    q.add_argument("--tenant", default=None,
+                   help="tenant name sent as X-Tenant (admission control)")
+    q.add_argument("--json", action="store_true",
+                   help="print the raw JSON response document")
+    q.set_defaults(fn=cmd_query)
+
     ins = sub.add_parser(
         "inspect",
-        help="post-mortem viewer: campaign out-dirs, flight dumps, telemetry",
+        help="post-mortem viewer: campaign out-dirs, result stores, "
+             "flight dumps, telemetry",
     )
     ins.add_argument("path",
                      help="campaign output directory, flight-dump JSON file, "
@@ -1166,8 +1385,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip delta-debugging of divergent programs")
     fz.add_argument("--nprocs", type=_positive_int, default=4,
                     help="simulated processor count per program (default 4)")
-    fz.add_argument("--machine", default="IBM-SP",
-                    help="machine preset (default IBM-SP)")
+    add_machine_args(fz, with_set=False)
     fz.add_argument("--tolerance", type=_positive_float, default=15.0,
                     metavar="PCT",
                     help="noise slack in percentage points on the AM >= DE "
@@ -1188,8 +1406,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="target processor count (default 16)")
     prof.add_argument("--mode", choices=("am", "de", "measured"), default="de",
                       help="estimator to profile (default de)")
-    prof.add_argument("--seed", type=int, default=0,
-                      help="noise seed for --mode measured runs")
+    add_seed_arg(prof, "noise seed for --mode measured runs")
     prof.add_argument("--calib-procs", type=_positive_int, default=None,
                       help="calibration processor count for --mode am")
     prof.add_argument("--perfetto", metavar="FILE",

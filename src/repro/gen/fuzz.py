@@ -26,13 +26,13 @@ committed regression corpus under ``repro/apps/regressions/``.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..api import content_hash
 from ..ir.nodes import Program, walk
 from ..sim.flightrec import FLIGHT
 from ..util.atomic_io import AtomicJournal, atomic_write_text
@@ -102,8 +102,7 @@ class FuzzConfig:
             "minimize_checks": self.minimize_checks,
             "inject_seed": self.inject_seed,
         }
-        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+        return content_hash(payload)
 
 
 @dataclass(frozen=True)

@@ -159,6 +159,18 @@ class BranchProfile:
     def observed(self, sid: int) -> bool:
         return self._counts.get(sid, (0, 0))[1] > 0
 
+    def to_dict(self) -> dict[str, list[int]]:
+        """JSON form: ``{statement id: [taken, total]}`` (warm start)."""
+        return {str(sid): list(c) for sid, c in sorted(self._counts.items())}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "BranchProfile":
+        profile = cls()
+        for sid, pair in doc.items():
+            taken, total = pair
+            profile._counts[int(sid)] = [int(taken), int(total)]
+        return profile
+
 
 def make_factory(
     program: Program,

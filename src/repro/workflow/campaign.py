@@ -48,7 +48,6 @@ crash-safe:
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import signal
@@ -57,6 +56,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..api import CampaignRequest, RunRequest, canonical_json
 from ..machine import get_machine
 from ..obs.logging import get_logger
 from ..obs.metrics import METRICS
@@ -79,6 +79,7 @@ __all__ = [
     "CampaignRunner",
     "load_grid",
     "expand_grid",
+    "execute_request",
     "format_campaign_report",
     "JOURNAL_NAME",
     "RESULTS_NAME",
@@ -128,51 +129,17 @@ class CampaignInterrupted(BaseException):
         self.signum = signum
 
 
-def _canonical(obj) -> str:
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+#: the one canonical JSON encoding, shared with :mod:`repro.api`
+_canonical = canonical_json
 
 
 # -- the declarative grid ------------------------------------------------------
 
-
-@dataclass(frozen=True)
-class RunSpec:
-    """One cell of the campaign grid, identified by its content hash."""
-
-    app: str
-    mode: str  # "de" | "am" | "measured"
-    nprocs: int
-    inputs: tuple[tuple[str, float], ...]  # input overrides, sorted
-    seed: int = 0
-    fault_plan: str | None = None  # canonical JSON of the plan, if any
-    timeout: float | None = None
-
-    @property
-    def run_id(self) -> str:
-        """Content-hash identity: same spec ⇒ same id, across processes."""
-        digest = hashlib.sha256(_canonical(self._identity()).encode()).hexdigest()
-        return digest[:16]
-
-    def _identity(self) -> dict:
-        return {
-            "app": self.app,
-            "mode": self.mode,
-            "nprocs": self.nprocs,
-            "inputs": dict(self.inputs),
-            "seed": self.seed,
-            "fault_plan": self.fault_plan,
-            "timeout": self.timeout,
-        }
-
-    def describe(self) -> str:
-        extras = [f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
-                  for k, v in self.inputs]
-        text = f"{self.app}/{self.mode} P={self.nprocs}"
-        if extras:
-            text += " " + ",".join(extras)
-        if self.fault_plan is not None:
-            text += " +faults"
-        return text
+#: One cell of the campaign grid.  ``RunSpec`` is now exactly the typed
+#: :class:`repro.api.RunRequest` — same fields, same content-hash
+#: identity (``run_id``/``content_hash()``), so journals written by
+#: earlier releases resume unchanged.  The alias stays for one release.
+RunSpec = RunRequest
 
 
 @dataclass
@@ -197,18 +164,61 @@ class CampaignConfig:
     heartbeat_timeout: float | None = 30.0  # stale-cursor deadline; None = off
     poison_threshold: int = 2  # worker deaths/hangs before quarantine
     checkpoint_interval: int | None = None  # events between cursors; None = off
+    # -- serving policy (set by repro.serve / execute_request, never by
+    # the grid CLI): calib_from_spec makes every run calibrate from its
+    # *own* spec (single-cell semantics) instead of the first grid cell
+    # of its (app, seed) group, so a run's result is a pure function of
+    # (request, context) — the property the content-addressed store
+    # needs; warm_dir points at the store's warm-start calibration
+    # cache.  Like the supervision knobs these never feed config_hash.
+    calib_from_spec: bool = False
+    warm_dir: str | None = None
 
     @property
     def config_hash(self) -> str:
-        """Hash of everything that shapes the campaign's results."""
-        doc = {
-            "machine": self.machine,
-            "runs": [s.run_id for s in self.specs],
-            "budgets": [self.max_events, self.max_virtual_time, self.max_wall_seconds],
-            "calib_procs": self.calib_procs,
-            "retry_policy": self.retry_policy,
-        }
-        return hashlib.sha256(_canonical(doc).encode()).hexdigest()[:16]
+        """Hash of everything that shapes the campaign's results.
+
+        Delegates to :meth:`repro.api.CampaignRequest.content_hash` —
+        the single source of campaign identity."""
+        return self.to_request().content_hash()
+
+    def to_request(self) -> CampaignRequest:
+        """The result-shaping core of this config, as the typed API."""
+        return CampaignRequest(
+            name=self.name,
+            machine=self.machine,
+            runs=tuple(self.specs),
+            calib_procs=self.calib_procs,
+            max_events=self.max_events,
+            max_virtual_time=self.max_virtual_time,
+            max_wall_seconds=self.max_wall_seconds,
+            retries=self.retries,
+            backoff=self.backoff,
+            retry_policy=self.retry_policy,
+        )
+
+    @classmethod
+    def from_request(cls, request: CampaignRequest, **policy) -> CampaignConfig:
+        """Build a config from the typed API plus execution policy.
+
+        *policy* takes the execution-side knobs (``supervise``,
+        ``heartbeat_timeout``, ``poison_threshold``,
+        ``checkpoint_interval``, ``calib_from_spec``, ``warm_dir``) —
+        everything result-shaping comes from *request*.
+        """
+        return cls(
+            name=request.name,
+            machine=request.machine,
+            specs=list(request.runs),
+            calib_procs=request.calib_procs,
+            max_events=request.max_events,
+            max_virtual_time=request.max_virtual_time,
+            max_wall_seconds=request.max_wall_seconds,
+            retries=request.retries,
+            backoff=request.backoff,
+            retry_policy=request.retry_policy,
+            **policy,
+        )
 
 
 def load_grid(path: str | Path) -> CampaignConfig:
@@ -504,7 +514,8 @@ class CampaignRunner:
             self.checkpoint_dir = self.out_dir / CHECKPOINT_DIR_NAME
         else:
             self.checkpoint_dir = None
-        self._workflows: dict[tuple[str, int], ModelingWorkflow] = {}
+        self._workflows: dict[tuple, ModelingWorkflow] = {}
+        self._warm_pending: dict[tuple, tuple[str, str]] = {}
         self._stop_signal: int | None = None
 
     @property
@@ -634,7 +645,7 @@ class CampaignRunner:
                                     "re-running %s (%s last time)",
                                     spec.describe(), prior.outcome,
                                 )
-                            rec = self._execute_one(spec, index)
+                            rec = self.run_one(spec, index)
                             self._commit(journal, records, spec, rec)
                             executed += 1
             except CampaignInterrupted as exc:
@@ -713,7 +724,7 @@ class CampaignRunner:
         """Fan pending cells across worker processes.
 
         Workers rebuild their own runner from the (picklable) config and
-        execute single cells via :meth:`_execute_one`; the parent
+        execute single cells via :meth:`run_one`; the parent
         journals records as they complete.  Journal *order* may differ
         from a sequential run, but the record set — and therefore
         ``results.csv``, which is rebuilt in spec order — is identical:
@@ -755,7 +766,7 @@ class CampaignRunner:
                     if self.config.checkpoint_interval else None
                 ),
                 quarantine_dir=self.out_dir / QUARANTINE_DIR_NAME,
-                inline_run=self._execute_one,
+                inline_run=self.run_one,
             )
             return executed, stopped
 
@@ -787,7 +798,10 @@ class CampaignRunner:
         so it pickles cheaply out of pool workers.
         """
         if not self.telemetry:
-            return self._run_attempts(spec, index)
+            rec = self._run_attempts(spec, index)
+            if self.config.warm_dir:
+                self._save_warm(spec)
+            return rec
         from ..obs.capsule import capture_run
 
         with capture_run(
@@ -799,6 +813,8 @@ class CampaignRunner:
                 rec = self._run_attempts(spec, index)
             finally:
                 FLIGHT.disable()
+        if self.config.warm_dir:
+            self._save_warm(spec)
         capsule = cap.finish(
             outcome=rec.outcome, stats=rec.stats, elapsed=rec.elapsed,
             flight=rec.flight,
@@ -987,25 +1003,50 @@ class CampaignRunner:
             return wf.run_am(inputs, spec.nprocs, **budget_kw)
         return wf.run_measured(inputs, spec.nprocs, seed=spec.seed, **budget_kw)
 
-    def _workflow_for(self, spec: RunSpec) -> ModelingWorkflow:
-        """One cached ModelingWorkflow per (app, seed): calibration reused.
+    def run_one(self, spec: RunSpec, index: int = 0) -> RunRecord:
+        """Execute one request inline and return its record.
 
-        The calibration configuration is a pure function of the grid,
-        never of execution order: the *first* grid cell with this
-        (app, seed) supplies the calibration nprocs and inputs.  A
-        resumed campaign — where completed runs are skipped, so a
-        different spec reaches here first — therefore calibrates
-        identically to an uninterrupted one, preserving the
-        bit-identical-resume guarantee for calibrating modes (am,
-        measured).
+        The public single-run entry point used by the parallel workers,
+        the serving layer's batch callback path and
+        :func:`execute_request`; applies the same budgets, retries and
+        outcome classification as a full campaign.
         """
-        key = (spec.app, spec.seed)
+        return self._execute_one(spec, index)
+
+    def _workflow_for(self, spec: RunSpec) -> ModelingWorkflow:
+        """One cached ModelingWorkflow per calibration group.
+
+        Grid semantics (the default): the calibration configuration is
+        a pure function of the grid, never of execution order — the
+        *first* grid cell with this (app, seed) supplies the
+        calibration nprocs and inputs.  A resumed campaign — where
+        completed runs are skipped, so a different spec reaches here
+        first — therefore calibrates identically to an uninterrupted
+        one, preserving the bit-identical-resume guarantee for
+        calibrating modes (am, measured).
+
+        Serving semantics (``calib_from_spec=True``): each run
+        calibrates from its *own* spec, so its result is a pure
+        function of (request, context) regardless of which other cells
+        share the batch — the invariant the content-addressed store
+        relies on.  With ``warm_dir`` set, a stored calibration for
+        the group is loaded instead of measured, and a freshly
+        measured one is saved back after the run (atomic writes; a
+        concurrent saver writes identical bytes).
+        """
+        if self.config.calib_from_spec:
+            key = (spec.app, spec.seed, spec.inputs)
+            base = spec
+        else:
+            key = (spec.app, spec.seed)
+            base = None
         wf = self._workflows.get(key)
         if wf is None:
-            base = next(
-                s for s in self.config.specs
-                if s.app == spec.app and s.seed == spec.seed
-            )
+            if base is None:
+                base = next(
+                    s for s in self.config.specs
+                    if s.app == spec.app and s.seed == spec.seed
+                )
             calib_procs = self.config.calib_procs or min(base.nprocs, 16)
             program, default_inputs = self.resolver(spec.app)
             calib = default_inputs(calib_procs)
@@ -1014,8 +1055,48 @@ class CampaignRunner:
                 program, get_machine(self.config.machine),
                 calib_inputs=calib, calib_nprocs=calib_procs, seed=spec.seed,
             )
+            if self.config.warm_dir:
+                self._try_warm_start(key, wf, spec.app)
             self._workflows[key] = wf
         return wf
+
+    # -- warm start (serving): stored calibrations skip the measurement run --
+    def _try_warm_start(self, key, wf: ModelingWorkflow, app: str) -> None:
+        from ..store import load_warm_calibration, warm_calibration_key
+
+        wkey = warm_calibration_key(
+            app=app, machine=self.config.machine,
+            calib_nprocs=wf.calib_nprocs, calib_inputs=wf.calib_inputs,
+            seed=wf.seed,
+        )
+        cal = load_warm_calibration(self.config.warm_dir, wkey, program=app)
+        if cal is not None:
+            wf.prime(calibration=cal)
+            _log.info("warm start: calibration %s loaded for %s", wkey, app)
+        else:
+            self._warm_pending[key] = (wkey, app)
+
+    def _save_warm(self, spec: RunSpec) -> None:
+        """Persist a freshly measured calibration for future warm starts."""
+        key = (
+            (spec.app, spec.seed, spec.inputs)
+            if self.config.calib_from_spec else (spec.app, spec.seed)
+        )
+        pending = self._warm_pending.get(key)
+        if pending is None:
+            return
+        wf = self._workflows.get(key)
+        if wf is None or wf.calibration is None:
+            return  # the run never calibrated (de mode); keep pending
+        from ..store import save_warm_calibration
+
+        wkey, app = pending
+        try:
+            save_warm_calibration(self.config.warm_dir, wkey, wf.calibration)
+        except OSError as exc:  # warm cache is an optimization, never fatal
+            _log.warning("cannot save warm calibration %s: %s", wkey, exc)
+        del self._warm_pending[key]
+        _log.info("warm start: calibration %s saved for %s", wkey, app)
 
     def _resolved_inputs(self, spec: RunSpec) -> dict[str, float]:
         _, default_inputs = self.resolver(spec.app)
@@ -1060,6 +1141,46 @@ class CampaignRunner:
 
 def _first_line(exc: BaseException) -> str:
     return str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+
+
+def execute_request(
+    request: RunRequest,
+    machine: str = "IBM-SP",
+    *,
+    calib_procs: int | None = None,
+    max_events: int | None = None,
+    max_virtual_time: float | None = None,
+    max_wall_seconds: float | None = None,
+    retries: int = 0,
+    retry_policy: str | None = None,
+    resolver=None,
+    warm_dir: str | None = None,
+) -> RunRecord:
+    """Execute one :class:`repro.api.RunRequest` inline, no journal.
+
+    Single-cell campaign semantics: the run calibrates from its own
+    spec (``calib_from_spec``), runs under the given budgets with
+    bounded retry, and comes back as a classified :class:`RunRecord`.
+    This is the local-execution path behind ``repro query`` and the
+    serving layer's cache misses — results are pure functions of
+    (request, machine, calib_procs, budgets), which is what makes them
+    safe to memoize in the content-addressed store.
+    """
+    config = CampaignConfig(
+        name="adhoc",
+        machine=machine,
+        specs=[request],
+        calib_procs=calib_procs,
+        max_events=max_events,
+        max_virtual_time=max_virtual_time,
+        max_wall_seconds=max_wall_seconds,
+        retries=retries,
+        retry_policy=retry_policy,
+        calib_from_spec=True,
+        warm_dir=warm_dir,
+    )
+    runner = CampaignRunner(config, out_dir=os.devnull, resolver=resolver)
+    return runner.run_one(request, 0)
 
 
 def _cli_resolver(app: str):

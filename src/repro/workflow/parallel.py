@@ -125,7 +125,7 @@ def _campaign_init(config, resolver, sleep, telemetry=False) -> None:
     _quiet_worker()
     from .campaign import CampaignRunner
 
-    # telemetry=True makes _execute_one capture each run into a capsule
+    # telemetry=True makes run_one capture each run into a capsule
     # (fresh per-run tracer/metrics state inside the otherwise-quiet
     # worker); the capsule rides back to the parent on the record
     _STATE["runner"] = CampaignRunner(
@@ -136,7 +136,7 @@ def _campaign_init(config, resolver, sleep, telemetry=False) -> None:
 
 def _campaign_cell(index: int, spec):
     """Execute one grid cell in a worker; return its RunRecord."""
-    return _STATE["runner"]._execute_one(spec, index)
+    return _STATE["runner"].run_one(spec, index)
 
 
 def _workflow_init(spec: WorkflowSpec) -> None:

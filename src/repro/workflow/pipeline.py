@@ -58,6 +58,27 @@ class ModelingWorkflow:
         return self._calibration
 
     @property
+    def calibration(self) -> Calibration | None:
+        """The cached calibration, or ``None`` if none has run yet."""
+        return self._calibration
+
+    def prime(self, calibration: Calibration | None = None,
+              compiled: CompiledProgram | None = None) -> None:
+        """Inject precomputed front-half artifacts (warm start).
+
+        A primed calibration (and optionally the compiled program)
+        skips the measurement run — the expensive front half of the
+        Fig. 2 pipeline — entirely.  The caller vouches that the
+        artifacts were produced for this exact (program, machine,
+        calibration configuration, seed); the serving layer keys its
+        warm cache by precisely that tuple.
+        """
+        if calibration is not None:
+            self._calibration = calibration
+        if compiled is not None:
+            self._compiled = compiled
+
+    @property
     def compiled(self) -> CompiledProgram:
         """The compiled application (branch profile from calibration)."""
         if self._compiled is None:

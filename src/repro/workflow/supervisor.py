@@ -60,7 +60,8 @@ from pathlib import Path
 from ..obs.logging import get_logger
 from ..sim.heartbeat import HEARTBEAT
 from ..util.atomic_io import atomic_write
-from .campaign import CampaignConfig, RunRecord, RunSpec
+from ..api import RunRequest as RunSpec
+from .campaign import CampaignConfig, RunRecord
 
 __all__ = ["run_supervised", "minimize_poison"]
 
@@ -143,7 +144,7 @@ def _execute_cell(runner, conn, spec: RunSpec, index: int,
         )
         HEARTBEAT.enable()
     try:
-        return runner._execute_one(spec, index)
+        return runner.run_one(spec, index)
     finally:
         HEARTBEAT.disable()
 

@@ -1,0 +1,64 @@
+"""The deprecation shims keep old dict entry points working, warn once
+per call, and preserve run identity exactly."""
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    RunRequest,
+    campaign_config_from_dict,
+    run_spec_from_dict,
+    workflow_spec_from_dict,
+)
+
+
+def test_run_spec_from_dict_warns_and_matches_typed_hash():
+    doc = {"app": "sweep3d", "mode": "am", "nprocs": 64,
+           "inputs": {"it": 64, "jt": 64}, "seed": 3}
+    with pytest.warns(DeprecationWarning, match="repro.api.RunRequest"):
+        old = run_spec_from_dict(dict(doc))
+    new = RunRequest.from_json(dict(doc))
+    # identical identity: journals and stores cannot tell the paths apart
+    assert old == new
+    assert old.content_hash() == new.content_hash()
+
+
+def test_run_spec_from_dict_warns_exactly_once():
+    doc = {"app": "x", "mode": "de", "nprocs": 2}
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        run_spec_from_dict(doc)
+    assert sum(issubclass(w.category, DeprecationWarning) for w in caught) == 1
+
+
+def test_campaign_config_from_dict_matches_expand_grid():
+    from repro.workflow.campaign import expand_grid
+
+    grid = {"name": "shim", "app": "sample_nearest_neighbor",
+            "modes": ["de"], "nprocs": [2, 4], "calib_procs": 2}
+    with pytest.warns(DeprecationWarning, match="CampaignRequest"):
+        old = campaign_config_from_dict(dict(grid))
+    new = expand_grid(dict(grid))
+    assert old.config_hash == new.config_hash
+    assert [s.run_id for s in old.specs] == [s.run_id for s in new.specs]
+
+
+def test_workflow_spec_from_dict_adapts_and_validates():
+    with pytest.warns(DeprecationWarning, match="WorkflowSpec"):
+        spec = workflow_spec_from_dict({
+            "app": "tomcatv", "machine": "IBM-SP", "calib_nprocs": 16,
+            "overrides": {"n": 256}, "seed": 1,
+        })
+    assert spec.app == "tomcatv"
+    assert spec.overrides == (("n", 256),)
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="unknown workflow-spec keys"):
+            workflow_spec_from_dict({"app": "x", "machine": "m",
+                                     "calib_nprocs": 2, "bogus": 1})
+
+
+def test_runspec_alias_is_the_api_type():
+    from repro.workflow.campaign import RunSpec
+
+    assert RunSpec is RunRequest

@@ -1,0 +1,123 @@
+"""End-to-end service tests against a real ``repro serve`` subprocess:
+crash consistency under SIGKILL mid-campaign, and clean SIGTERM exit."""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.api import RunResult
+from repro.store import ResultStore
+
+APP = "sample_nearest_neighbor"
+
+#: a grid slow enough to kill partway through (several seconds total)
+SLOW_GRID = {
+    "name": "e2e", "app": APP, "modes": ["de"],
+    "nprocs": [2, 4, 8, 16], "calib_procs": 2,
+    "inputs": {"iters": 4000},
+}
+
+
+def _start_server(store_dir) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--store", str(store_dir), "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        cwd=str(Path(__file__).resolve().parents[2]),
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+    assert match, f"no listening line, got {line!r}"
+    return proc, match.group(1)
+
+
+def _post(base: str, path: str, doc: dict, timeout: float = 120.0) -> dict:
+    req = urllib.request.Request(
+        f"{base}{path}", data=json.dumps(doc).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def test_sigterm_is_a_clean_exit(tmp_path):
+    proc, base = _start_server(tmp_path)
+    try:
+        _post(base, "/v1/campaign",
+              {"app": APP, "modes": ["de"], "nprocs": [2], "calib_procs": 2})
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=30)
+        tail = proc.stdout.read()
+        assert rc == 0, f"exit {rc}: {tail}"
+        assert "shutdown complete" in tail
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    # the store flushed its counters on the way out
+    stats = ResultStore(tmp_path).stats()
+    assert stats["entries"] == 1 and stats["puts"] == 1
+
+
+def test_sigkill_mid_campaign_leaves_store_consistent(tmp_path):
+    """Kill -9 the server mid-campaign: every entry on disk is complete,
+    and a restarted server serves the finished prefix as cache hits."""
+    import threading
+
+    proc, base = _start_server(tmp_path)
+    submitted = threading.Thread(
+        target=lambda: _try_post(base, "/v1/campaign", SLOW_GRID),
+        daemon=True)
+    submitted.start()
+    # wait until at least one result landed, then kill without ceremony
+    store_glob = tmp_path / "store"
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        done = list(store_glob.glob("*/*.json"))
+        if done:
+            break
+        if proc.poll() is not None:
+            pytest.fail(f"server died early: {proc.stdout.read()}")
+        time.sleep(0.02)
+    else:
+        pytest.fail("no result reached the store before the deadline")
+    proc.kill()
+    proc.wait(timeout=30)
+
+    # crash consistency: the store loads, every surviving entry parses
+    store = ResultStore(tmp_path)
+    survivors = {}
+    for path in store.store_dir.glob("*/*.json"):
+        doc = json.loads(path.read_text())  # atomic writes: never torn
+        res = RunResult.from_json(doc)
+        assert res.ok
+        survivors[res.run_id] = res
+    assert survivors, "the completed prefix must have survived the kill"
+    store.close()
+
+    # a restarted server answers the prefix from cache
+    proc2, base2 = _start_server(tmp_path)
+    try:
+        out = _post(base2, "/v1/campaign", SLOW_GRID, timeout=240)
+        assert out["hits"] == len(survivors)
+        assert out["misses"] == 4 - len(survivors)
+        assert out["outcomes"] == {"ok": 4}
+        # and a third submission is then fully warm: zero simulator events
+        warm = _post(base2, "/v1/campaign", SLOW_GRID, timeout=60)
+        assert warm["hits"] == 4 and warm["executed_events"] == 0
+    finally:
+        proc2.send_signal(signal.SIGTERM)
+        assert proc2.wait(timeout=30) == 0
+
+
+def _try_post(base, path, doc):
+    try:
+        _post(base, path, doc)
+    except Exception:
+        pass  # the server is killed mid-request by design

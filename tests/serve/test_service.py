@@ -1,0 +1,215 @@
+"""In-process tests of the serving core: dedupe, purity, admission
+control, and the HTTP layer over a real socket (no subprocess)."""
+
+import threading
+
+import pytest
+
+from repro.api import ApiError, CampaignRequest, RunRequest
+from repro.serve import (
+    ReproServer,
+    ServiceClient,
+    SimulationService,
+    TenantGovernor,
+    run_server,
+)
+from repro.store import ResultStore
+
+APP = "sample_nearest_neighbor"
+
+
+def _request(nprocs=(2, 4), mode="de", name="t"):
+    return CampaignRequest(
+        name=name, machine="IBM-SP", calib_procs=2,
+        runs=tuple(RunRequest(app=APP, mode=mode, nprocs=p,
+                              inputs=(("n", 64),)) for p in nprocs),
+    )
+
+
+@pytest.fixture
+def service(tmp_path):
+    return SimulationService(ResultStore(tmp_path), jobs=1)
+
+
+def test_second_submission_is_all_hits_zero_events(service):
+    req = _request()
+    first = service.serve_campaign(req)
+    assert (first.hits, first.misses) == (0, 2)
+    assert first.executed_events > 0
+    assert all(r.ok for r in first.results)
+    second = service.serve_campaign(req)
+    assert (second.hits, second.misses) == (2, 0)
+    assert second.executed_events == 0  # zero simulator events on a warm hit
+    assert [r.to_json() for r in first.results] == \
+        [r.to_json() for r in second.results]
+
+
+def test_overlapping_grids_share_context_entries(service):
+    service.serve_campaign(_request(nprocs=(2, 4)))
+    executed_before = service.executed_runs
+    # different grid, same context: the overlapping cell must be a hit
+    mixed = service.serve_campaign(_request(nprocs=(4, 8), name="other"))
+    assert mixed.hits == 1 and mixed.misses == 1
+    assert service.executed_runs == executed_before + 1
+
+
+def test_results_ride_the_request_order(service):
+    req = _request(nprocs=(8, 2, 4))
+    result = service.serve_campaign(req)
+    assert [r.run_id for r in result.results] == [r.run_id for r in req.runs]
+
+
+def test_different_context_never_shares_results(service):
+    service.serve_campaign(_request())
+    other = CampaignRequest(
+        name="budgeted", machine="IBM-SP", calib_procs=2, max_events=10 ** 7,
+        runs=_request().runs,
+    )
+    out = service.serve_campaign(other)
+    assert out.misses == 2  # same runs, different context hash: cold
+
+
+def test_handle_run_single_query_and_cache(service):
+    doc = {"run": RunRequest(app=APP, mode="de", nprocs=2,
+                             inputs=(("n", 64),)).to_json(),
+           "machine": "IBM-SP", "calib_procs": 2}
+    first = service.handle_run(dict(doc))
+    assert first["cached"] is False
+    assert first["result"]["outcome"] == "ok"
+    second = service.handle_run(dict(doc))
+    assert second["cached"] is True
+    assert second["result"] == first["result"]
+
+
+def test_handle_campaign_accepts_raw_grid(service):
+    grid = {"app": APP, "modes": ["de"], "nprocs": [2], "calib_procs": 2}
+    out = service.handle_campaign(dict(grid))
+    assert out["misses"] == 1 and out["outcomes"] == {"ok": 1}
+    again = service.handle_campaign(dict(grid))
+    assert again["hits"] == 1 and again["executed_events"] == 0
+
+
+def test_handle_campaign_rejects_bad_grid(service):
+    with pytest.raises(ApiError, match="nprocs"):
+        service.handle_campaign({"app": APP, "nprocs": []})
+    with pytest.raises(ApiError, match="JSON object"):
+        service.handle_run([1, 2, 3])
+
+
+# -- admission control ---------------------------------------------------------
+
+
+def test_governor_inflight_cap():
+    gov = TenantGovernor(max_inflight=1)
+    gov.admit("a")
+    with pytest.raises(ApiError) as exc:
+        gov.admit("a")
+    assert exc.value.http_status == 429
+    assert exc.value.retry_after is not None
+    gov.admit("b")  # other tenants unaffected
+    gov.release("a")
+    gov.admit("a")  # released slot admits again
+
+
+def test_governor_event_bucket_post_paid():
+    clock = [0.0]
+    gov = TenantGovernor(max_inflight=8, events_per_second=100.0,
+                         burst_seconds=1.0, clock=lambda: clock[0])
+    gov.admit("a")
+    gov.charge("a", 600)  # burn far past the 100-token burst
+    gov.release("a")
+    with pytest.raises(ApiError) as exc:
+        gov.admit("a")
+    assert exc.value.code == "quota_events"
+    assert exc.value.retry_after == pytest.approx(5.0)  # 500 deficit / 100 eps
+    clock[0] += 5.5  # refill clears the debt
+    gov.admit("a")
+
+
+# -- the HTTP layer ------------------------------------------------------------
+
+
+class _Server:
+    """run_server on a daemon thread, bound to an ephemeral port."""
+
+    def __init__(self, tmp_path, **kw):
+        self.ready = threading.Event()
+        self.server = None
+
+        def on_ready(server):
+            self.server = server
+            self.ready.set()
+
+        self.thread = threading.Thread(
+            target=run_server,
+            kwargs=dict(store_dir=tmp_path, port=0, ready=on_ready, **kw),
+            daemon=True)
+        self.thread.start()
+        assert self.ready.wait(15), "server failed to start"
+
+    def client(self, **kw) -> ServiceClient:
+        return ServiceClient(port=self.server.port, **kw)
+
+    def stop(self):
+        # trip the same event the SIGTERM handler sets
+        if self.server.loop is not None and self.server.loop.is_running():
+            self.server.loop.call_soon_threadsafe(self.server.stopping.set)
+        self.thread.join(15)
+
+
+def test_http_round_trip_and_stats(tmp_path):
+    srv = _Server(tmp_path)
+    try:
+        client = srv.client()
+        assert client.health() == {"status": "ok"}
+        req = _request()
+        first = client.campaign(req)
+        assert first.misses == 2 and all(r.ok for r in first.results)
+        second = client.campaign(req)
+        assert second.hits == 2 and second.executed_events == 0
+        stats = client.stats()
+        assert stats["store"]["entries"] == 2
+        assert stats["server"]["executed_runs"] == 2
+        # content-addressed GET of one stored result
+        res = client.result(req.context_hash(), req.runs[0].run_id)
+        assert res.ok
+        with pytest.raises(ApiError) as exc:
+            client.result(req.context_hash(), "0" * 16)
+        assert exc.value.http_status == 404
+    finally:
+        srv.stop()
+
+
+def test_http_quota_returns_429_with_retry_after(tmp_path):
+    srv = _Server(tmp_path, events_per_second=1.0)
+    try:
+        client = srv.client(tenant="greedy")
+        client.campaign(_request())  # post-paid: drives the bucket negative
+        with pytest.raises(ApiError) as exc:
+            client.campaign(_request(nprocs=(8,)))
+        assert exc.value.http_status == 429
+        assert exc.value.code == "quota_events"
+        assert exc.value.retry_after > 0
+        # an unrelated tenant is not throttled
+        other = srv.client(tenant="frugal")
+        assert other.campaign(_request(name="frugal")).hits == 2
+    finally:
+        srv.stop()
+
+
+def test_http_bad_requests(tmp_path):
+    srv = _Server(tmp_path)
+    try:
+        client = srv.client()
+        with pytest.raises(ApiError) as exc:
+            client._request("POST", "/v1/run", {"app": "", "mode": "de",
+                                                "nprocs": 2})
+        assert exc.value.http_status == 400
+        with pytest.raises(ApiError) as exc:
+            client._request("GET", "/nope")
+        assert exc.value.http_status == 404
+        with pytest.raises(ApiError) as exc:
+            client._request("POST", "/v1/campaign", None)
+        assert exc.value.http_status == 400
+    finally:
+        srv.stop()
