@@ -234,6 +234,7 @@ class SimulationService:
             "result": result.results[0].to_json(),
             "cached": result.hits == 1,
             "context": request.context_hash(),
+            "executed_events": result.executed_events,
         }
 
     def handle_campaign(self, doc: dict) -> dict:
@@ -368,7 +369,15 @@ async def _read_request(reader: asyncio.StreamReader):
             continue
         name, _, value = line.partition(":")
         headers[name.strip().lower()] = value.strip()
-    length = int(headers.get("content-length", "0") or "0")
+    raw_length = headers.get("content-length", "0") or "0"
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise ApiError(
+            "bad_request", f"invalid Content-Length {raw_length!r}") from None
+    if length < 0:
+        raise ApiError(
+            "bad_request", f"invalid Content-Length {raw_length!r}")
     if length > _MAX_BODY:
         raise ApiError("payload_too_large", f"request body {length} bytes "
                        f"exceeds cap {_MAX_BODY}", http_status=413)
@@ -444,14 +453,17 @@ class ReproServer:
             governor = self.service.governor
             if governor is not None:
                 governor.admit(tenant)
-            events_before = self.service.executed_events
+            events = 0
             try:
                 # to_thread: batches simulate for seconds; never block the loop
                 out = await asyncio.to_thread(handler, doc)
+                # post-paid charge from this request's own result — a
+                # global-counter delta would bill concurrently admitted
+                # tenants for each other's batches
+                events = int(out.get("executed_events") or 0)
             finally:
                 if governor is not None:
-                    governor.charge(
-                        tenant, self.service.executed_events - events_before)
+                    governor.charge(tenant, events)
                     governor.release(tenant)
             return _response(200, out)
         except ApiError as exc:

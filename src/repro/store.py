@@ -21,6 +21,12 @@ that function's graph:
     reconciled against the filesystem: entry files are the source of
     truth, the journal only contributes ordering and counters, and a
     torn final line is dropped (see :func:`~repro.util.atomic_io.read_jsonl`).
+    The journal is *compacted* — atomically rewritten as one ``put``
+    record per live entry (in LRU order) plus a trailing ``counters``
+    record — on :meth:`ResultStore.close` and whenever it outgrows a
+    small multiple of the live entry count, so a busy server's stream
+    of touch records never makes the journal (or the next startup's
+    replay) grow without bound.
 
 ``<base>/warm/<wkey>.json``
     warm-start calibrations — the expensive front half of the Fig. 2
@@ -107,6 +113,10 @@ class ResultStore:
     about recency, never about content).
     """
 
+    #: journal records tolerated beyond ``4 × live entries`` before an
+    #: in-line compaction; class attribute so tests can shrink it
+    COMPACT_MIN_OPS = 4096
+
     def __init__(self, base_dir: str | Path, max_bytes: int | None = None):
         self.base = Path(base_dir)
         self.store_dir = self.base / STORE_DIR_NAME
@@ -118,6 +128,7 @@ class ResultStore:
         #: rel path -> size in bytes, in least-recently-used-first order
         self._entries: OrderedDict[str, int] = OrderedDict()
         self._bytes = 0
+        self._journal_ops = 0  # records currently in index.jsonl
         self.counters = StoreStats()
         for d in (self.store_dir, self.warm_dir, self.work_dir):
             d.mkdir(parents=True, exist_ok=True)
@@ -128,6 +139,7 @@ class ResultStore:
         order: OrderedDict[str, None] = OrderedDict()
         if self.index_path.exists():
             for rec in read_jsonl(self.index_path):
+                self._journal_ops += 1
                 op = rec.get("op")
                 rel = rec.get("entry")
                 if op in ("put", "touch") and isinstance(rel, str):
@@ -177,7 +189,7 @@ class ResultStore:
             self.counters.hits += 1
             # recency hint only — no fsync, a lost touch costs nothing
             try:
-                append_jsonl(self.index_path, {"op": "touch", "entry": rel}, fsync=False)
+                self._journal({"op": "touch", "entry": rel}, fsync=False)
             except OSError:  # pragma: no cover - read-only store
                 pass
             return doc
@@ -207,7 +219,7 @@ class ResultStore:
             self._entries[rel] = size
             self._bytes += size
             self.counters.puts += 1
-            append_jsonl(self.index_path, {"op": "put", "entry": rel, "bytes": size})
+            self._journal({"op": "put", "entry": rel, "bytes": size})
             self._evict_over_budget()
         return path
 
@@ -215,6 +227,38 @@ class ResultStore:
         size = self._entries.pop(rel, None)
         if size is not None:
             self._bytes -= size
+
+    # -- the index journal ---------------------------------------------------
+    def _journal(self, rec: dict, fsync: bool = True) -> None:
+        # caller holds the lock
+        append_jsonl(self.index_path, rec, fsync=fsync)
+        self._journal_ops += 1
+        if self._journal_ops >= max(self.COMPACT_MIN_OPS,
+                                    4 * (len(self._entries) + 1)):
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        """Atomically rewrite the journal as its minimal equivalent.
+
+        One ``put`` record per live entry in LRU order (preserving
+        recency), then the counters — exactly what ``_load`` and
+        :func:`scan_store` would distill the full history down to.
+        Best-effort: on read-only media the oversized journal is kept
+        rather than failing the operation that triggered compaction.
+        """
+        recs = [{"op": "put", "entry": rel, "bytes": size}
+                for rel, size in self._entries.items()]
+        tail: dict = {"op": "counters", "ts": time.time()}
+        tail.update(self.counters.to_dict())
+        recs.append(tail)
+        try:
+            with atomic_write(self.index_path) as fh:
+                for rec in recs:
+                    fh.write(json.dumps(
+                        rec, sort_keys=True, separators=(",", ":")) + "\n")
+        except OSError:  # pragma: no cover - read-only store
+            return
+        self._journal_ops = len(recs)
 
     def _evict_over_budget(self) -> None:
         # caller holds the lock
@@ -226,7 +270,7 @@ class ResultStore:
             self._bytes -= size
             (self.store_dir / rel).unlink(missing_ok=True)
             self.counters.evictions += 1
-            append_jsonl(self.index_path, {"op": "evict", "entry": rel})
+            self._journal({"op": "evict", "entry": rel})
             _log.info("evicted %s (%d bytes) over %d-byte budget", rel, size, self.max_bytes)
 
     # -- introspection -------------------------------------------------------
@@ -244,14 +288,9 @@ class ResultStore:
             return out
 
     def close(self) -> None:
-        """Persist the counters so a restarted store resumes them."""
+        """Compact the journal, persisting counters for a restart."""
         with self._lock:
-            rec = {"op": "counters", "ts": time.time()}
-            rec.update(self.counters.to_dict())
-            try:
-                append_jsonl(self.index_path, rec)
-            except OSError:  # pragma: no cover - read-only store
-                pass
+            self._compact_locked()
 
 
 def scan_store(base_dir: str | Path) -> dict | None:

@@ -1013,6 +1013,18 @@ class CampaignRunner:
         """
         return self._execute_one(spec, index)
 
+    def _calib_key(self, spec: RunSpec) -> tuple:
+        """The calibration-group key for *spec* (see :meth:`_workflow_for`).
+
+        In serving mode the key carries the effective calibration
+        nprocs, so the choice of calibration is a pure function of
+        (spec, context) — never of which other specs share the batch.
+        """
+        if self.config.calib_from_spec:
+            return (spec.app, spec.seed, spec.inputs,
+                    self.config.calib_procs or min(spec.nprocs, 16))
+        return (spec.app, spec.seed)
+
     def _workflow_for(self, spec: RunSpec) -> ModelingWorkflow:
         """One cached ModelingWorkflow per calibration group.
 
@@ -1029,24 +1041,23 @@ class CampaignRunner:
         calibrates from its *own* spec, so its result is a pure
         function of (request, context) regardless of which other cells
         share the batch — the invariant the content-addressed store
-        relies on.  With ``warm_dir`` set, a stored calibration for
-        the group is loaded instead of measured, and a freshly
-        measured one is saved back after the run (atomic writes; a
-        concurrent saver writes identical bytes).
+        relies on.  The group key therefore includes the *effective*
+        calibration nprocs (which defaults from ``spec.nprocs`` when
+        the context pins no ``calib_procs``): two cells differing only
+        in nprocs must never share one calibration, or the stored
+        result would depend on batch composition.  With ``warm_dir``
+        set, a stored calibration for the group is loaded instead of
+        measured, and a freshly measured one is saved back after the
+        run (atomic writes; a concurrent saver writes identical
+        bytes).
         """
-        if self.config.calib_from_spec:
-            key = (spec.app, spec.seed, spec.inputs)
-            base = spec
-        else:
-            key = (spec.app, spec.seed)
-            base = None
+        key = self._calib_key(spec)
         wf = self._workflows.get(key)
         if wf is None:
-            if base is None:
-                base = next(
-                    s for s in self.config.specs
-                    if s.app == spec.app and s.seed == spec.seed
-                )
+            base = spec if self.config.calib_from_spec else next(
+                s for s in self.config.specs
+                if s.app == spec.app and s.seed == spec.seed
+            )
             calib_procs = self.config.calib_procs or min(base.nprocs, 16)
             program, default_inputs = self.resolver(spec.app)
             calib = default_inputs(calib_procs)
@@ -1078,10 +1089,7 @@ class CampaignRunner:
 
     def _save_warm(self, spec: RunSpec) -> None:
         """Persist a freshly measured calibration for future warm starts."""
-        key = (
-            (spec.app, spec.seed, spec.inputs)
-            if self.config.calib_from_spec else (spec.app, spec.seed)
-        )
+        key = self._calib_key(spec)
         pending = self._warm_pending.get(key)
         if pending is None:
             return

@@ -1,6 +1,7 @@
 """In-process tests of the serving core: dedupe, purity, admission
 control, and the HTTP layer over a real socket (no subprocess)."""
 
+import asyncio
 import threading
 
 import pytest
@@ -11,6 +12,7 @@ from repro.serve import (
     ServiceClient,
     SimulationService,
     TenantGovernor,
+    _read_request,
     run_server,
 )
 from repro.store import ResultStore
@@ -67,6 +69,26 @@ def test_different_context_never_shares_results(service):
     )
     out = service.serve_campaign(other)
     assert out.misses == 2  # same runs, different context hash: cold
+
+
+def test_batch_composition_never_shapes_results(tmp_path):
+    """An nprocs sweep served as one batch stores the same numbers as
+    each cell served alone: with no pinned calib_procs the calibration
+    defaults from each run's *own* nprocs, never from whichever cell
+    reached the batch first (the content-addressed purity invariant)."""
+    def request(nprocs, name):
+        return CampaignRequest(
+            name=name, machine="testing",
+            runs=tuple(RunRequest(app=APP, mode="am", nprocs=p,
+                                  inputs=(("iters", 2),)) for p in nprocs),
+        )
+
+    batch = SimulationService(ResultStore(tmp_path / "a"), jobs=1) \
+        .serve_campaign(request((2, 4), "sweep"))
+    solo = SimulationService(ResultStore(tmp_path / "b"), jobs=1) \
+        .serve_campaign(request((4,), "solo"))
+    assert batch.results[1].run_id == solo.results[0].run_id
+    assert batch.results[1].stats == solo.results[0].stats
 
 
 def test_handle_run_single_query_and_cache(service):
@@ -126,7 +148,41 @@ def test_governor_event_bucket_post_paid():
     gov.admit("a")
 
 
+def test_charge_is_per_request_not_a_global_delta(tmp_path):
+    """Events another tenant's concurrent batch adds to the service-wide
+    counter while this request is in flight must not be billed here."""
+    governor = TenantGovernor(max_inflight=4, events_per_second=100.0,
+                              burst_seconds=1.0, clock=lambda: 0.0)
+    service = SimulationService(ResultStore(tmp_path), governor=governor)
+    server = ReproServer(service)
+
+    def handler(doc):
+        service.executed_events += 10_000  # the other tenant's batch lands
+        return {"hits": 1, "misses": 0, "executed_events": 0}
+
+    service.handle_campaign = handler
+    raw = asyncio.run(server._dispatch(
+        "POST", "/v1/campaign", {"x-tenant": "bystander"}, b"{}"))
+    assert raw.startswith(b"HTTP/1.1 200")
+    governor.admit("bystander")  # charged zero: still fully admitted
+
+
 # -- the HTTP layer ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("value", ["banana", "-1", "12abc"])
+def test_read_request_rejects_bad_content_length(value):
+    async def parse():
+        reader = asyncio.StreamReader()
+        reader.feed_data(
+            f"POST /v1/run HTTP/1.1\r\nContent-Length: {value}\r\n\r\n".encode())
+        reader.feed_eof()
+        return await _read_request(reader)
+
+    with pytest.raises(ApiError) as exc:
+        asyncio.run(parse())
+    assert exc.value.http_status == 400
+    assert "Content-Length" in exc.value.message
 
 
 class _Server:

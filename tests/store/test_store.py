@@ -95,6 +95,30 @@ def test_corrupt_entry_degrades_to_miss(tmp_path):
     assert not store.contains(CTX, "r0000")
 
 
+def test_index_journal_is_compacted(tmp_path):
+    """Touch records must never grow the journal (or the next startup's
+    replay) without bound; close() leaves the minimal equivalent."""
+    store = ResultStore(tmp_path)
+    store.COMPACT_MIN_OPS = 16  # shrink the threshold for the test
+    for i in range(3):
+        store.put(CTX, f"r{i:04d}", _doc(i))
+    for _ in range(40):  # a busy server: cache hits pile up touches
+        assert store.get(CTX, "r0001") is not None
+    live = (tmp_path / "index.jsonl").read_text().splitlines()
+    assert len(live) <= 16  # compacted in-line while serving
+    store.close()
+    compacted = (tmp_path / "index.jsonl").read_text().splitlines()
+    assert len(compacted) == 4  # one put per live entry + the counters
+    # the compacted journal preserves counters and LRU order exactly
+    again = ResultStore(tmp_path)
+    stats = again.stats()
+    assert (stats["hits"], stats["misses"], stats["puts"]) == (40, 0, 3)
+    assert stats["entries"] == 3
+    order = list(again._entries)
+    assert order[0] == f"{CTX}/r0000.json"  # least recently used first
+    assert order[-1] == f"{CTX}/r0001.json"  # the touched entry is newest
+
+
 def test_scan_store_is_nonmutating(tmp_path):
     store = ResultStore(tmp_path)
     store.put(CTX, "r0000", _doc(0))

@@ -92,6 +92,37 @@ class TestIdentity:
         assert plain.config_hash == expand_grid(tiny_grid()).config_hash
 
 
+class TestServingCalibrationGroups:
+    """calib_from_spec: the calibration is a pure function of the spec."""
+
+    def _runner(self, tmp_path, calib_procs=None):
+        cfg = expand_grid(tiny_grid(modes=["am"], nprocs=[2, 4]))
+        cfg.calib_from_spec = True
+        cfg.calib_procs = calib_procs
+        return CampaignRunner(cfg, tmp_path / "out"), cfg.specs
+
+    def test_default_calib_nprocs_follows_each_spec(self, tmp_path):
+        # an nprocs sweep with no pinned calib_procs: whichever cell
+        # executes first must not donate its calibration to the others
+        runner, (s2, s4) = self._runner(tmp_path)
+        wf2 = runner._workflow_for(s2)
+        wf4 = runner._workflow_for(s4)
+        assert wf2 is not wf4
+        assert (wf2.calib_nprocs, wf4.calib_nprocs) == (2, 4)
+
+    def test_pinned_calib_procs_shares_one_group(self, tmp_path):
+        runner, (s2, s4) = self._runner(tmp_path, calib_procs=3)
+        wf2 = runner._workflow_for(s2)
+        assert runner._workflow_for(s4) is wf2
+        assert wf2.calib_nprocs == 3
+
+    def test_grid_mode_still_groups_by_app_and_seed(self, tmp_path):
+        cfg = expand_grid(tiny_grid(modes=["am"], nprocs=[2, 4]))
+        runner = CampaignRunner(cfg, tmp_path / "out")
+        s2, s4 = cfg.specs
+        assert runner._workflow_for(s4) is runner._workflow_for(s2)
+
+
 class TestExecution:
     def test_full_campaign_completes(self, tmp_path):
         runner, report = run_campaign(tmp_path)
