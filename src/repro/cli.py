@@ -193,6 +193,16 @@ def add_seed_arg(parser, help_: str | None = None) -> None:
                              "(reproducibility)")
 
 
+def add_backend_arg(parser, default: str | None = None) -> None:
+    """``--backend``: simulation-kernel choice (results byte-identical)."""
+    parser.add_argument("--backend", choices=("interpreted", "compiled", "auto"),
+                        default=default,
+                        help="simulation kernel: generator interpreter, "
+                             "per-program compiled event loop, or auto with "
+                             "per-program fallback (results are byte-identical; "
+                             "default interpreted, or $REPRO_BACKEND)")
+
+
 def _budget_kwargs(args) -> dict:
     """The budget flags as :class:`repro.api.CampaignRequest` kwargs."""
     return {
@@ -241,6 +251,7 @@ def _workflow(args, program, calib_nprocs: int, calibrate: bool = True) -> Model
     wf = ModelingWorkflow(
         program, machine, calib_inputs=calib, calib_nprocs=calib_nprocs,
         seed=getattr(args, "seed", 0),
+        backend=getattr(args, "backend", None),
     )
     if calibrate:
         wf.calibrate()
@@ -631,6 +642,8 @@ def cmd_campaign(args) -> int:
             config.poison_threshold = args.poison_threshold
         if args.checkpoint_interval is not None:
             config.checkpoint_interval = args.checkpoint_interval
+        if args.backend is not None:
+            config.backend = args.backend
         runner = CampaignRunner(
             config, args.out,
             telemetry=not args.no_telemetry, progress=live,
@@ -682,6 +695,8 @@ def cmd_campaign(args) -> int:
             hint.append(f"--poison-threshold {args.poison_threshold}")
         if args.checkpoint_interval is not None:
             hint.append(f"--checkpoint-interval {args.checkpoint_interval}")
+        if args.backend is not None:
+            hint.append(f"--backend {args.backend}")
         hint.append("--resume")
         print("resume with: " + " ".join(hint))
     return 130 if report.interrupted else 0
@@ -750,7 +765,8 @@ def _inspect_store(path, stats: dict) -> int:
     print(f"Result store: {path}")
     print(f"  {stats['entries']} entries ({stats['bytes']:,} bytes) "
           f"across {stats['contexts']} execution context(s)")
-    print(f"  {stats['warm_calibrations']} warm calibration(s)")
+    print(f"  {stats['warm_calibrations']} warm calibration(s), "
+          f"{stats.get('warm_kernels', 0)} warm compiled kernel(s)")
     print(f"  lifetime: {stats['hits']} hits, {stats['misses']} misses "
           f"(hit rate {rate}), {stats['puts']} puts, "
           f"{stats['evictions']} evictions")
@@ -926,6 +942,7 @@ def cmd_fuzz(args) -> int:
             calib_nprocs=args.nprocs,
             machine=args.machine,
             tolerance_pct=args.tolerance,
+            backend=args.backend,
         )
         config = FuzzConfig(
             seeds=args.seeds,
@@ -957,6 +974,8 @@ def cmd_fuzz(args) -> int:
             hint.append(f"--grammar {args.grammar}")
         if args.budget is not None:
             hint.append(f"--budget {args.budget:g}")
+        if args.backend != "interpreted":
+            hint.append(f"--backend {args.backend}")
         hint.append("--resume")
         print("resume with: " + " ".join(hint))
     return 1 if report.completed > report.ok else 0
@@ -974,6 +993,7 @@ def cmd_serve(args) -> int:
         max_bytes=args.max_store_bytes,
         max_inflight=args.max_inflight,
         events_per_second=args.tenant_quota,
+        backend=args.backend,
     )
 
 
@@ -1002,7 +1022,9 @@ def cmd_query(args) -> int:
 
             store = ResultStore(args.store)
             try:
-                out = SimulationService(store, jobs=args.jobs).handle_run(doc)
+                out = SimulationService(
+                    store, jobs=args.jobs, backend=args.backend,
+                ).handle_run(doc)
             finally:
                 store.close()
         else:  # no cache anywhere: execute inline
@@ -1010,6 +1032,7 @@ def cmd_query(args) -> int:
 
             rec = execute_request(
                 run, machine=args.machine, calib_procs=args.calib_procs,
+                backend=args.backend,
                 **_budget_kwargs(args),
             )
             out = {"result": RunResult.from_record(rec).to_json(),
@@ -1093,8 +1116,40 @@ def cmd_profile(args) -> int:
         TRACER.disable()
         METRICS.disable()
 
+    backend_lines = []
+    if args.backend in ("compiled", "auto"):
+        # One untraced run with observability off: the only state the
+        # fast bucket-queue runtime engages in, so its wave/cache
+        # counters (reset first) describe exactly this profile.
+        import time as _time
+
+        from .kernel import cache_stats, clear_cache
+
+        clear_cache()
+        inputs = default_inputs(args.nprocs)
+        inputs.update(_parse_overrides(args.set))
+        t0 = _time.perf_counter()
+        fast = runner(inputs, args.nprocs)
+        fast_wall = _time.perf_counter() - t0
+        ks = cache_stats()
+        active = "compiled"
+        if args.backend == "auto" and ks["fallbacks"]:
+            active = "interpreted (auto fell back)"
+        backend_lines = [
+            f"  backend: requested={args.backend} active={active}; "
+            f"lowered {ks['lowered']} program(s) in {ks['lowering_seconds'] * 1e3:.1f} ms, "
+            f"cache {ks['cache_hits']} hit(s) / {ks['cache_misses']} miss(es), "
+            f"{ks['warm_loads']} warm load(s)",
+            f"  vectorized delay waves: {ks['waves']} "
+            f"({ks['vector_delays']} delays batched, {ks['static_batches']} static site(s))",
+            f"  fast run: {fast.stats.total_events} events in {fast_wall:.3f} s wall "
+            f"({fast.stats.total_events / fast_wall:,.0f} events/s)",
+        ]
+
     print(f"Profile: {args.app} ({args.mode}, {args.nprocs} procs, {args.machine})")
     print(f"  {result.stats.summary()}")
+    for line in backend_lines:
+        print(line)
     print()
     print(format_spans(TRACER.spans))
     if args.critical_path:
@@ -1289,6 +1344,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write a replay-cursor checkpoint every EVENTS "
                            "kernel events; --resume fast-forwards interrupted "
                            "runs from the last cursor (default off)")
+    add_backend_arg(camp)
     camp.set_defaults(fn=cmd_campaign)
 
     srv = sub.add_parser(
@@ -1316,6 +1372,7 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-store-bytes", type=_positive_int, default=None,
                      metavar="BYTES",
                      help="LRU-evict stored results beyond this many bytes")
+    add_backend_arg(srv)
     srv.set_defaults(fn=cmd_serve)
 
     q = sub.add_parser(
@@ -1346,6 +1403,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tenant name sent as X-Tenant (admission control)")
     q.add_argument("--json", action="store_true",
                    help="print the raw JSON response document")
+    add_backend_arg(q)
     q.set_defaults(fn=cmd_query)
 
     ins = sub.add_parser(
@@ -1396,6 +1454,11 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="SEED",
                     help="force one seed to report a synthetic divergence "
                          "(exercises the minimizer end-to-end)")
+    fz.add_argument("--backend", choices=("interpreted", "compiled", "auto"),
+                    default="interpreted",
+                    help="also run every valid program on this kernel backend "
+                         "and fail on any stats/trace divergence from the "
+                         "interpreted kernel (default interpreted = off)")
     fz.set_defaults(fn=cmd_fuzz)
 
     prof = add_app_command(
@@ -1428,6 +1491,7 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--out", metavar="DIR",
                       help="collect all artifacts (Perfetto, metrics, trace, "
                            "stats CSV) under DIR with a manifest.json")
+    add_backend_arg(prof)
     return parser
 
 

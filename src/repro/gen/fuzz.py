@@ -97,6 +97,9 @@ class FuzzConfig:
                 "max_err_de_pct": self.diff.max_err_de_pct,
                 "max_err_am_pct": self.diff.max_err_am_pct,
                 "check_replay": self.diff.check_replay,
+                # backend shapes which checks run (and thus the report),
+                # so unlike campaign journals it must feed the hash
+                "backend": self.diff.backend,
             },
             "minimize": self.minimize,
             "minimize_checks": self.minimize_checks,

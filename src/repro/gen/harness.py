@@ -49,6 +49,7 @@ FAILURES = (
     "nondeterministic",  # same seed, different stats
     "conservation",      # messages or virtual time not conserved
     "misclassified",     # faulty program not diagnosed as expected
+    "backend_divergence",  # compiled backend disagrees with interpreted
 )
 
 
@@ -71,10 +72,18 @@ class DiffConfig:
     max_err_de_pct: float = 35.0
     max_err_am_pct: float = 60.0
     check_replay: bool = True
+    #: "interpreted" checks one kernel; "compiled"/"auto" additionally
+    #: re-runs DE and AM on that backend and demands byte-identical
+    #: statistics and traces (failure kind ``backend_divergence``).
+    backend: str = "interpreted"
 
     def __post_init__(self):
         if self.nprocs < 1 or self.calib_nprocs < 1:
             raise ValueError("nprocs and calib_nprocs must be >= 1")
+        if self.backend not in ("interpreted", "compiled", "auto"):
+            raise ValueError(
+                f"backend must be 'interpreted', 'compiled' or 'auto', got {self.backend!r}"
+            )
         for name in ("tolerance_pct", "max_err_de_pct", "max_err_am_pct"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
@@ -141,14 +150,57 @@ def _conservation_violation(result: SimResult) -> str | None:
     return None
 
 
-def _workflow(program: Program, inputs: dict, config: DiffConfig, seed: int) -> ModelingWorkflow:
+def _workflow(
+    program: Program, inputs: dict, config: DiffConfig, seed: int,
+    backend: str | None = None,
+) -> ModelingWorkflow:
     return ModelingWorkflow(
         program,
         get_machine(config.machine),
         calib_inputs=dict(inputs),
         calib_nprocs=config.calib_nprocs,
         seed=seed,
+        backend=backend,
     )
+
+
+def _backend_divergence(
+    program: Program, inputs: dict, config: DiffConfig, seed: int,
+    de: SimResult, am: SimResult,
+) -> str | None:
+    """Re-run DE and AM on the configured backend; describe any divergence.
+
+    Three things count: different statistics bytes, a different event
+    trace, or the compiled path crashing on a program the interpreted
+    kernel just completed.  The statistics runs exercise the fast
+    bucket-queue runtime (observability off); the trace run exercises
+    the request-replay path through the tracing engine.  A strict
+    ``compiled`` backend refusing a non-lowerable program is not a
+    divergence — ``auto`` covers that program via its fallback.
+    """
+    try:
+        wf = _workflow(program, inputs, config, seed, backend=config.backend)
+        de_c = wf.run_de(inputs, config.nprocs)
+        am_c = wf.run_am(inputs, config.nprocs)
+    except ValueError as exc:
+        if config.backend == "compiled" and "cannot run this program" in str(exc):
+            return None
+        return f"{config.backend} backend crashed: {type(exc).__name__}: {exc}"
+    except Exception as exc:  # noqa: BLE001 - crash parity is the invariant
+        return f"{config.backend} backend crashed: {type(exc).__name__}: {exc}"
+    if _stats_fingerprint(de_c) != _stats_fingerprint(de):
+        return "DE statistics differ between interpreted and compiled backends"
+    if _stats_fingerprint(am_c) != _stats_fingerprint(am):
+        return "AM statistics differ between interpreted and compiled backends"
+    try:
+        tr_i = _workflow(program, inputs, config, seed).run_de(
+            inputs, config.nprocs, collect_trace=True)
+        tr_c = wf.run_de(inputs, config.nprocs, collect_trace=True)
+    except Exception as exc:  # noqa: BLE001
+        return f"trace comparison crashed: {type(exc).__name__}: {exc}"
+    if repr(tr_i.trace.events) != repr(tr_c.trace.events):
+        return "DE traces differ between interpreted and compiled backends"
+    return None
 
 
 def _n_stmts(program: Program) -> int:
@@ -255,6 +307,11 @@ def run_case(
                     f"{label} replay under the same seed produced different statistics",
                     **errs,
                 )
+
+    if config.backend != "interpreted":
+        divergence = _backend_divergence(program, inputs, config, seed, de, am)
+        if divergence is not None:
+            return fail("backend_divergence", divergence, **errs)
 
     return DiffVerdict(
         seed=seed, pattern=pattern, n_stmts=n, ok=True, expect=expect, **errs

@@ -193,6 +193,13 @@ def make_factory(
     def factory(rank: int, size: int) -> Iterator[Request]:
         return _run(program, rank, size, inputs, wparams or {}, collector, profile)
 
+    # Metadata for Simulator's backend resolution: the compiled backend
+    # re-lowers the same program rather than wrapping this generator.
+    factory._repro_program = program
+    factory._repro_inputs = inputs
+    factory._repro_wparams = wparams
+    factory._repro_collector = collector
+    factory._repro_profile = profile
     return factory
 
 

@@ -1,0 +1,44 @@
+"""Compiled per-program kernel backend.
+
+``repro.kernel.lower`` turns a validated IR program into a generated
+Python module (content-addressed by the SHA-256 of its printed IR) with
+two entry points: a request-yielding generator byte-compatible with the
+interpreter, and a flat fast-mode state machine consumed by
+``repro.kernel.runtime``'s bucket-queue event loop.
+``repro.kernel.vectorize`` batch-evaluates AM ``delay()`` amounts in
+NumPy — per loop entry, or across all ranks at once for SPMD sites
+fixed at program start.
+
+Select it per run with ``Simulator(..., backend="compiled")`` (or
+``"auto"``, which falls back per-program on unsupported constructs).
+"""
+
+from .lower import (
+    CompiledKernel,
+    UnsupportedConstructError,
+    cache_stats,
+    cached_kernels,
+    clear_cache,
+    kernel_for,
+    load_kernel_source,
+    lower_program,
+    program_fingerprint,
+    record_fallback,
+    set_warm_dir,
+)
+from .runtime import run_fast
+
+__all__ = [
+    "CompiledKernel",
+    "UnsupportedConstructError",
+    "cache_stats",
+    "cached_kernels",
+    "clear_cache",
+    "kernel_for",
+    "load_kernel_source",
+    "lower_program",
+    "program_fingerprint",
+    "record_fallback",
+    "run_fast",
+    "set_warm_dir",
+]

@@ -1,0 +1,1003 @@
+"""Lower an IR :class:`~repro.ir.nodes.Program` to a generated Python module.
+
+The interpreted kernel (:mod:`repro.ir.interp`) walks the statement tree
+once per rank per run, paying a generator suspension plus a tree dispatch
+per statement.  This pass walks the tree **once per program** instead and
+emits flat Python source — one module per program, content-addressed by
+the SHA-256 of its printed IR — with two entry points:
+
+``request_gen(rank, size, inputs, wparams)``
+    A drop-in replacement for the interpreter's per-rank generator: it
+    yields the same :mod:`repro.sim.requests` objects in the same order
+    with the same values, so every engine feature (tracing, faults,
+    budgets, supervision, MEASURED mode) works unchanged and the results
+    are byte-identical by construction.
+
+``fast_gen(rank, size, inputs, wparams, rt, st, wv)``
+    The perf variant consumed by :mod:`repro.kernel.runtime`: compute,
+    delay and timer requests are folded into inline clock arithmetic and
+    only communication points yield (small tuples, not request objects).
+    Shared-state flushes keep per-rank stats accumulation in exactly the
+    engine's floating-point order.
+
+Anything the emitter cannot reproduce bit-for-bit raises
+:class:`UnsupportedConstructError`; ``backend="auto"`` catches it and
+falls back to the interpreter for that program (with a logged reason).
+
+Delay loops whose amount uses only batch-safe arithmetic additionally get
+a NumPy wave helper (see :mod:`repro.kernel.vectorize`); loops whose
+bounds and amounts are fixed at program start are precomputed for **all
+ranks in one 2-D batch** before the run starts (the SPMD case).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+from ..ir.nodes import (
+    AllocStmt,
+    ArrayAssign,
+    Assign,
+    CollectiveStmt,
+    CompBlock,
+    DelayStmt,
+    For,
+    If,
+    IrecvStmt,
+    IsendStmt,
+    Program,
+    ReadParams,
+    RecvStmt,
+    SendStmt,
+    StartTimer,
+    StopTimer,
+    WaitAllStmt,
+    IRValidationError,
+    walk,
+)
+from ..ir.printer import format_program
+from ..obs.logging import get_logger
+from ..obs.metrics import METRICS
+from ..symbolic.boolean import And, BoolConst, BoolExpr, Cmp, Not, Or
+from ..symbolic.expr import (
+    Add,
+    CeilDiv,
+    Const,
+    Div,
+    Expr,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Var,
+)
+from ..symbolic.extended import Cond, Sum
+from . import vectorize
+
+__all__ = [
+    "UnsupportedConstructError",
+    "CompiledKernel",
+    "program_fingerprint",
+    "lower_program",
+    "kernel_for",
+    "load_kernel_source",
+    "set_warm_dir",
+    "cache_stats",
+    "clear_cache",
+    "cached_kernels",
+]
+
+log = get_logger("kernel.lower")
+
+
+class UnsupportedConstructError(Exception):
+    """The program uses a construct the compiled backend cannot reproduce."""
+
+
+# Builtin names the interpreter injects into every rank's environment.
+_BUILTINS = ("myid", "P")
+
+# In-process content-addressed cache: fingerprint -> CompiledKernel.
+_CACHE: dict[str, "CompiledKernel"] = {}
+
+# Optional on-disk warm cache (a ResultStore's warm/ directory).  When
+# set, kernel_for consults it on an in-process miss and persists every
+# fresh lowering — campaign --resume and repro serve skip lowering for
+# programs any earlier process already compiled.
+_WARM_DIR: str | None = None
+
+# Plain aggregate counters (always on; published to METRICS when enabled).
+_STATS = {
+    "lowered": 0,
+    "cache_hits": 0,
+    "cache_misses": 0,
+    "warm_loads": 0,
+    "fallbacks": 0,
+    "lowering_seconds": 0.0,
+}
+
+
+def _count(name: str, amount: float = 1) -> None:
+    _STATS[name] += amount
+    if METRICS.enabled:
+        METRICS.counter(f"kernel_{name}", "compiled-backend lowering counters").inc(amount)
+
+
+def record_fallback(program_name: str, reason: str) -> None:
+    """Log and count one auto-mode fallback to the interpreted kernel."""
+    _count("fallbacks")
+    log.info("backend=auto: %s falls back to interpreted kernel: %s", program_name, reason)
+
+
+def cache_stats() -> dict:
+    """Snapshot of lowering/cache counters (for ``repro profile``)."""
+    out = dict(_STATS)
+    out["cached_programs"] = len(_CACHE)
+    out.update(vectorize.wave_stats())
+    return out
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+    for key in _STATS:
+        _STATS[key] = 0.0 if key == "lowering_seconds" else 0
+    vectorize.reset_wave_stats()
+
+
+def cached_kernels() -> dict[str, "CompiledKernel"]:
+    return dict(_CACHE)
+
+
+def program_fingerprint(program: Program) -> str:
+    """Content address of a program: SHA-256 of its printed IR."""
+    return hashlib.sha256(format_program(program).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CompiledKernel:
+    """A lowered program: generated source plus its executable entry points."""
+
+    program_name: str
+    fingerprint: str
+    source: str
+    lowering_seconds: float
+    vector_sites: int
+    static_sites: int
+    _ns: dict = field(repr=False, default_factory=dict)
+
+    @property
+    def request_gen(self):
+        return self._ns["request_gen"]
+
+    @property
+    def fast_gen(self):
+        return self._ns["fast_gen"]
+
+    @property
+    def static_wave_sites(self):
+        return self._ns.get("STATIC_SITES", ())
+
+
+def _execute_source(source: str, name: str, fingerprint: str) -> dict:
+    ns: dict = {}
+    code = compile(source, f"<repro.kernel:{name}:{fingerprint[:12]}>", "exec")
+    exec(code, ns)
+    return ns
+
+
+def set_warm_dir(path=None) -> None:
+    """Point the kernel cache at a store's ``warm/`` directory (or detach)."""
+    global _WARM_DIR
+    _WARM_DIR = str(path) if path is not None else None
+
+
+def kernel_for(program: Program) -> CompiledKernel:
+    """Lower *program*, going through the content-addressed caches.
+
+    Lookup order: in-process cache, then the warm directory (when
+    attached via :func:`set_warm_dir`), then a fresh lowering — which
+    is persisted back to the warm directory, best-effort.
+    """
+    fp = program_fingerprint(program)
+    hit = _CACHE.get(fp)
+    if hit is not None:
+        _count("cache_hits")
+        return hit
+    _count("cache_misses")
+    if _WARM_DIR is not None:
+        from ..store import load_warm_kernel  # lazy: store pulls in the api layer
+
+        source = load_warm_kernel(_WARM_DIR, fp)
+        if source is not None:
+            try:
+                warm = load_kernel_source(source)
+                if warm.fingerprint == fp:  # hand-edited entries must not alias
+                    return warm
+                log.warning("warm kernel %s embeds a different fingerprint; re-lowering", fp[:12])
+            except UnsupportedConstructError as exc:
+                log.warning("warm kernel %s unusable, re-lowering: %s", fp[:12], exc)
+    kernel = lower_program(program, fingerprint=fp)
+    _CACHE[fp] = kernel
+    if _WARM_DIR is not None:
+        from ..store import save_warm_kernel
+
+        try:
+            save_warm_kernel(
+                _WARM_DIR, program=kernel.program_name,
+                fingerprint=fp, source=kernel.source,
+            )
+        except OSError as exc:  # warm cache is an optimization, never fatal
+            log.warning("cannot save warm kernel %s: %s", fp[:12], exc)
+    return kernel
+
+
+def load_kernel_source(source: str) -> CompiledKernel:
+    """Warm-load a previously generated module (from the result store).
+
+    The module carries its own ``PROGRAM``/``FINGERPRINT`` constants, so a
+    warm load skips lowering entirely and seeds the in-process cache.
+    """
+    probe: dict = {}
+    try:
+        exec(compile(source, "<repro.kernel:warm>", "exec"), probe)
+    except Exception as exc:  # corrupt store entry: refuse, caller re-lowers
+        raise UnsupportedConstructError(f"stored kernel module failed to load: {exc}") from exc
+    fp = probe.get("FINGERPRINT")
+    name = probe.get("PROGRAM")
+    if not isinstance(fp, str) or not isinstance(name, str) or "request_gen" not in probe:
+        raise UnsupportedConstructError("stored kernel module lacks kernel entry points")
+    kernel = CompiledKernel(
+        program_name=name,
+        fingerprint=fp,
+        source=source,
+        lowering_seconds=0.0,
+        vector_sites=int(probe.get("VECTOR_SITES", 0)),
+        static_sites=len(probe.get("STATIC_SITES", ())),
+        _ns=probe,
+    )
+    _CACHE[fp] = kernel
+    _count("warm_loads")
+    return kernel
+
+
+def lower_program(program: Program, fingerprint: str | None = None) -> CompiledKernel:
+    """Lower one program to a generated module (no cache involvement)."""
+    t0 = time.perf_counter()
+    try:
+        program.validate()
+    except IRValidationError as exc:
+        raise UnsupportedConstructError(f"program does not validate: {exc}") from exc
+    lowerer = _Lowerer(program)
+    source = lowerer.emit_module()
+    fp = fingerprint if fingerprint is not None else program_fingerprint(program)
+    source = source.replace("__FINGERPRINT__", fp)
+    ns = _execute_source(source, program.name, fp)
+    dt = time.perf_counter() - t0
+    _count("lowered")
+    _count("lowering_seconds", dt)
+    if METRICS.enabled:
+        METRICS.histogram("kernel_lowering_time", "seconds spent lowering one program").observe(dt)
+    return CompiledKernel(
+        program_name=program.name,
+        fingerprint=fp,
+        source=source,
+        lowering_seconds=dt,
+        vector_sites=lowerer.vector_site_count,
+        static_sites=len(lowerer.static_sites),
+        _ns=ns,
+    )
+
+
+# --------------------------------------------------------------------------
+# expression emission
+# --------------------------------------------------------------------------
+
+
+def _mangle(name: str) -> str:
+    if not name.isidentifier():
+        raise UnsupportedConstructError(f"variable name {name!r} is not an identifier")
+    return f"v_{name}"
+
+
+def _emit_expr(e: Expr) -> str:
+    """Emit *e* as flat Python over ``v_<name>`` locals.
+
+    Mirrors :meth:`Expr._emit` (the interpreter's compiled form) operator
+    for operator so scalar results are bit-identical.
+    """
+    ty = type(e)
+    if ty is Const:
+        return f"({e.value!r})"
+    if ty is Var:
+        return _mangle(e.name)
+    if ty is Add:
+        return "(" + " + ".join(_emit_expr(t) for t in e.args) + ")"
+    if ty is Mul:
+        return "(" + " * ".join(_emit_expr(t) for t in e.args) + ")"
+    if ty is Max:  # Max subclasses Min: test first
+        return "max(" + ", ".join(_emit_expr(t) for t in e.args) + ")"
+    if ty is Min:
+        return "min(" + ", ".join(_emit_expr(t) for t in e.args) + ")"
+    if ty is Div:
+        return f"({_emit_expr(e.a)} / {_emit_expr(e.b)})"
+    if ty is FloorDiv:
+        return f"_fd({_emit_expr(e.a)}, {_emit_expr(e.b)})"
+    if ty is CeilDiv:
+        return f"_cd({_emit_expr(e.a)}, {_emit_expr(e.b)})"
+    if ty is Mod:
+        return f"({_emit_expr(e.a)} % {_emit_expr(e.b)})"
+    if ty is Sum:
+        body = _emit_expr(e.body)
+        lo = _emit_expr(e.lo)
+        hi = _emit_expr(e.hi)
+        var = _mangle(e.var)
+        return f"sum({body} for {var} in range(int({lo}), int({hi}) + 1))"
+    if ty is Cond:
+        return (
+            f"(({_emit_expr(e.then)}) if ({_emit_bool(e.cond)}) "
+            f"else ({_emit_expr(e.orelse)}))"
+        )
+    raise UnsupportedConstructError(f"expression node {ty.__name__} is not lowerable")
+
+
+def _emit_bool(e: BoolExpr) -> str:
+    ty = type(e)
+    if ty is BoolConst:
+        return "True" if e.value else "False"
+    if ty is Cmp:
+        return f"({_emit_expr(e.a)} {e.op} {_emit_expr(e.b)})"
+    if ty is And:
+        return "(" + " and ".join(_emit_bool(t) for t in e.args) + ")"
+    if ty is Or:
+        return "(" + " or ".join(_emit_bool(t) for t in e.args) + ")"
+    if ty is Not:
+        return f"(not {_emit_bool(e.arg)})"
+    raise UnsupportedConstructError(f"boolean node {ty.__name__} is not lowerable")
+
+
+# --------------------------------------------------------------------------
+# statement walker
+# --------------------------------------------------------------------------
+
+_PREAMBLE = '''\
+"""Generated by repro.kernel.lower — do not edit.
+
+Program {name!r}; content address (SHA-256 of printed IR) in FINGERPRINT.
+"""
+import math
+
+from repro.ir.interp import InterpreterError
+from repro.kernel import vectorize as _vec
+from repro.sim.requests import (
+    Alloc,
+    Collective,
+    Compute,
+    Delay,
+    Irecv,
+    Isend,
+    Now,
+    Recv,
+    Send,
+    Wait,
+)
+from repro.symbolic.expr import CeilDiv as _CeilDiv, FloorDiv as _FloorDiv
+
+_fd = _FloorDiv._apply
+_cd = _CeilDiv._apply
+_INF = math.inf
+_UNSET = object()
+_NOW_T = Now(charge_timer=True)
+_R_sum = lambda a, b: a + b
+_R_max = max
+_R_min = min
+
+PROGRAM = {name!r}
+FINGERPRINT = "__FINGERPRINT__"
+'''
+
+
+class _Lowerer:
+    """Walks a validated program twice, emitting both generator variants."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.vector_site_count = 0
+        self.static_sites: list[str] = []  # emitted STATIC_SITES tuple entries
+        self.helper_lines: list[str] = []
+        self._site_seq = 0
+        self._vec_plans: dict[int, vectorize.SitePlan] = {}  # id(stmt) -> plan
+        # Names a handle variable: these must never be read as scalars
+        # (the interpreter pops them from env; locals cannot replicate that).
+        self.handle_vars: set[str] = set()
+        for stmt in walk(program.body):
+            if isinstance(stmt, (IsendStmt, IrecvStmt)):
+                self.handle_vars.add(stmt.handle_var)
+            elif isinstance(stmt, WaitAllStmt):
+                self.handle_vars.update(stmt.handle_vars)
+        # Working-set caches are keyed by statement sid in the interpreter;
+        # replicate the keying (including collisions on unnumbered trees).
+        self._ws_names: dict[int, str] = {}
+        # Names whose values are fixed at rank start (for static wave sites):
+        # params and builtins, extended by top-level ReadParams.
+        self._known: dict[str, str] = {n: "input" for n in program.params}
+        self._write_counts: dict[str, int] = {}
+        for stmt in walk(program.body):
+            for name in stmt.writes():
+                self._write_counts[name] = self._write_counts.get(name, 0) + 1
+
+    # -- small helpers -----------------------------------------------------
+
+    def _check_expr_reads(self, *exprs) -> None:
+        for e in exprs:
+            if e is None:
+                continue
+            names = e.free_vars()
+            bad = names & self.handle_vars
+            if bad:
+                raise UnsupportedConstructError(
+                    f"handle variable(s) {sorted(bad)} read as scalars"
+                )
+
+    def _ws_name(self, sid: int) -> str:
+        name = self._ws_names.get(sid)
+        if name is None:
+            name = f"_wsc{len(self._ws_names)}"
+            self._ws_names[sid] = name
+        return name
+
+    # -- module assembly ---------------------------------------------------
+
+    def emit_module(self) -> str:
+        prog = self.program
+        req_lines = self._emit_gen("req")
+        fast_lines = self._emit_gen("fast")
+        parts = [_PREAMBLE.format(name=prog.name)]
+        parts.append("")
+        parts.extend(self.helper_lines)
+        parts.append(f"VECTOR_SITES = {self.vector_site_count}")
+        if self.static_sites:
+            parts.append("STATIC_SITES = (")
+            for entry in self.static_sites:
+                parts.append(f"    {entry},")
+            parts.append(")")
+        else:
+            parts.append("STATIC_SITES = ()")
+        parts.append("")
+        parts.append("def request_gen(rank, size, inputs, wparams):")
+        parts.extend(req_lines)
+        parts.append("")
+        parts.append("def fast_gen(rank, size, inputs, wparams, _rt, _st, _wv):")
+        parts.extend(fast_lines)
+        parts.append("")
+        return "\n".join(parts)
+
+    def _emit_gen(self, mode: str) -> list[str]:
+        prog = self.program
+        w = _Writer()
+        w.line("if False:")
+        w.line("    yield None  # ensures a generator even for yield-free bodies")
+        if mode == "fast":
+            w.line("_tt, _CHF, _EVOH, _DHC, _TIC = _rt")
+            w.line("clock = 0.0")
+            w.line("ev = 0")
+            w.line("ct = 0.0")
+            w.line("hc = 0.0")
+            # handle ids are assigned in program order on both sides, so
+            # the generator mirrors the runtime's per-rank counter and
+            # never needs the id sent back through the resume value
+            w.line("_hid = 0")
+        # Interpreter order: env = dict(inputs), then builtins overwrite.
+        for name in prog.params:
+            w.line(f"{_mangle(name)} = inputs[{name!r}]")
+        w.line("v_myid = rank")
+        w.line("v_P = size")
+        w.line("_wp = wparams")
+        w.line("_sz = {}")
+        w.line("_tm = {}")
+        for name in sorted(self.handle_vars):
+            w.line(f"{_mangle(name)} = _UNSET")
+        for ws in dict.fromkeys(self._collect_ws_names(prog)):
+            w.line(f"{ws} = None")
+        # Array declaration prologue (interp order: program.arrays.values()).
+        for decl in prog.arrays.values():
+            if decl.materialize:
+                raise UnsupportedConstructError(
+                    f"array {decl.name!r} is materialized (data-dependent control flow)"
+                )
+            self._check_expr_reads(decl.size)
+            w.line(f"_n = int({_emit_expr(decl.size)})")
+            w.line("if _n < 0:")
+            w.line(
+                f'    raise InterpreterError(f"array {decl.name!r} '
+                'has negative size {_n}")'
+            )
+            w.line(f"_nb = _n * {decl.itemsize!r}")
+            w.line(f"_sz[{decl.name!r}] = _nb")
+            if mode == "req":
+                w.line(f"yield Alloc({decl.name!r}, _nb)")
+            else:
+                self._fast_alloc_yield(w, decl.name)
+        for stmt in prog.body:
+            self._emit_stmt(w, stmt, mode, depth=0)
+        if mode == "fast":
+            w.line("_st[0] = clock")
+            w.line("_st[1] = ev")
+            w.line("_st[2] = ct")
+            w.line("_st[4] = hc")
+        else:
+            w.line("return")
+        return w.lines
+
+    def _collect_ws_names(self, prog: Program) -> list[str]:
+        names = []
+        for stmt in walk(prog.body):
+            if isinstance(stmt, CompBlock):
+                names.append(self._ws_name(stmt.sid))
+        return names
+
+    # -- fast-mode plumbing ------------------------------------------------
+
+    def _fast_flush(self, w: "_Writer") -> None:
+        # Only the cells the runtime reads mid-run: clock (deadlock
+        # diagnosis) and host_cost (shared accumulator — the runtime
+        # adds message costs between yields, so the float order of
+        # engine accumulation survives).  events/compute_time are
+        # generator-only and flush once at body end.
+        w.line("_st[0] = clock")
+        w.line("_st[4] = hc")
+
+    def _fast_alloc_yield(self, w: "_Writer", name: str) -> None:
+        # Engine processes Alloc inline inside _resume; the fast runtime
+        # does the same in its step loop, so this round-trips without an
+        # event-queue hop.  Memory errors surface from the runtime.
+        w.line("ev += 1")
+        self._fast_flush(w)
+        w.line(f"clock = yield (7, clock, {name!r}, _nb)")
+        w.line("hc = _st[4]")
+
+    # -- statement dispatch ------------------------------------------------
+
+    def _emit_stmt(self, w: "_Writer", stmt, mode: str, depth: int) -> None:
+        ty = type(stmt)
+        if ty is Assign:
+            self._check_expr_reads(stmt.expr)
+            w.line(f"{_mangle(stmt.var)} = {_emit_expr(stmt.expr)}")
+            if depth == 0 and self._write_counts.get(stmt.var, 0) == 1:
+                srcs = self._static_sources(stmt.expr.free_vars())
+                if srcs is not None:
+                    # Single-write top-level assign over fixed names is
+                    # itself fixed; unlocks static waves further down.
+                    self._known[stmt.var] = "derived"
+            return
+        if ty is CompBlock:
+            self._emit_comp(w, stmt, mode)
+            return
+        if ty is For:
+            self._emit_for(w, stmt, mode, depth)
+            return
+        if ty is If:
+            bad = stmt.cond.free_vars() & self.handle_vars
+            if bad:
+                raise UnsupportedConstructError(
+                    f"handle variable(s) {sorted(bad)} read as scalars"
+                )
+            w.line(f"if {_emit_bool(stmt.cond)}:")
+            if stmt.then:
+                with w.indented():
+                    for s in stmt.then:
+                        self._emit_stmt(w, s, mode, depth + 1)
+            else:
+                w.line("    pass")
+            if stmt.orelse:
+                w.line("else:")
+                with w.indented():
+                    for s in stmt.orelse:
+                        self._emit_stmt(w, s, mode, depth + 1)
+            return
+        if ty is SendStmt:
+            self._emit_send(w, stmt, mode, blocking=True)
+            return
+        if ty is RecvStmt:
+            self._emit_recv(w, stmt, mode, blocking=True)
+            return
+        if ty is IsendStmt:
+            self._emit_send(w, stmt, mode, blocking=False)
+            return
+        if ty is IrecvStmt:
+            self._emit_recv(w, stmt, mode, blocking=False)
+            return
+        if ty is WaitAllStmt:
+            self._emit_wait(w, stmt, mode)
+            return
+        if ty is CollectiveStmt:
+            self._emit_collective(w, stmt, mode)
+            return
+        if ty is DelayStmt:
+            self._emit_delay(w, stmt, mode)
+            return
+        if ty is ReadParams:
+            self._emit_read_params(w, stmt, mode, depth)
+            return
+        if ty is StartTimer:
+            if mode == "req":
+                w.line(f"_tm[{stmt.task!r}] = yield _NOW_T")
+            else:
+                w.line("clock += _TIC")
+                w.line("ev += 1")
+                w.line(f"_tm[{stmt.task!r}] = clock")
+            return
+        if ty is StopTimer:
+            w.line("try:")
+            w.line(f"    _t0 = _tm.pop({stmt.task!r})")
+            w.line("except KeyError:")
+            w.line(
+                f'    raise InterpreterError("timer_stop({stmt.task!r}) '
+                'without timer_start") from None'
+            )
+            if mode == "req":
+                w.line("_t1 = yield _NOW_T")
+            else:
+                w.line("clock += _TIC")
+                w.line("ev += 1")
+            return
+        if ty is AllocStmt:
+            self._check_expr_reads(stmt.nbytes)
+            w.line(f"_nb = int({_emit_expr(stmt.nbytes)})")
+            if mode == "req":
+                w.line(f"yield Alloc({stmt.name!r}, _nb)")
+            else:
+                w.line("if _nb < 0:")
+                w.line(f"    Alloc({stmt.name!r}, _nb)")
+                self._fast_alloc_yield(w, stmt.name)
+            w.line(f"_sz[{stmt.name!r}] = _nb")
+            return
+        if ty is ArrayAssign:
+            raise UnsupportedConstructError(
+                f"ArrayAssign to {stmt.array!r} requires materialized arrays"
+            )
+        raise UnsupportedConstructError(f"statement kind {ty.__name__} is not lowerable")
+
+    # -- individual statements ---------------------------------------------
+
+    def _emit_comp(self, w: "_Writer", stmt: CompBlock, mode: str) -> None:
+        if stmt.kernel is not None:
+            raise UnsupportedConstructError(
+                f"comp block {stmt.name!r} carries a Python kernel callable"
+            )
+        self._check_expr_reads(stmt.work)
+        ws = self._ws_name(stmt.sid)
+        w.line(f"_w = {_emit_expr(stmt.work)}")
+        w.line("if _w < 0:")
+        w.line("    _w = 0")
+        w.line("if _w > 0:")
+        with w.indented():
+            w.line(f"if {ws} is None:")
+            with w.indented():
+                if stmt.arrays:
+                    refs = " + ".join(f"_sz[{a!r}]" for a in stmt.arrays)
+                    w.line("try:")
+                    w.line(f"    {ws} = float({refs})")
+                    w.line("except KeyError as _e:")
+                    w.line(
+                        f'    raise InterpreterError(f"task {stmt.name!r} references '
+                        'undeclared array {_e.args[0]!r}") from None'
+                    )
+                else:
+                    w.line(f"{ws} = 0.0")
+            if mode == "req":
+                w.line(
+                    f"yield Compute(ops=_w * {stmt.ops_per_iter!r}, "
+                    f"working_set_bytes={ws}, task={stmt.name!r})"
+                )
+            else:
+                w.line(f"_ops = _w * {stmt.ops_per_iter!r}")
+                w.line(f"if 0 <= _ops < _INF and 0 <= {ws} < _INF:")
+                with w.indented():
+                    w.line(f"_dt = _tt(_ops, {ws})")
+                    w.line("clock += _dt")
+                    w.line("ct += _dt")
+                    w.line("hc += _ops * _CHF + _EVOH")
+                    w.line("ev += 1")
+                w.line("else:")
+                w.line(f"    Compute(ops=_ops, working_set_bytes={ws}, task={stmt.name!r})")
+
+    def _emit_send(self, w: "_Writer", stmt, mode: str, blocking: bool) -> None:
+        self._check_expr_reads(stmt.dest, stmt.nbytes)
+        w.line(f"_d = int({_emit_expr(stmt.dest)})")
+        w.line(f"_nb = int({_emit_expr(stmt.nbytes)})")
+        tag = int(stmt.tag)
+        if mode == "req":
+            if blocking:
+                w.line(f"yield Send(dest=_d, nbytes=_nb, tag={tag!r})")
+            else:
+                w.line(
+                    f"{_mangle(stmt.handle_var)} = "
+                    f"yield Isend(dest=_d, nbytes=_nb, tag={tag!r})"
+                )
+            return
+        w.line("if _d < 0 or not (0 <= _nb < _INF):")
+        cls = "Send" if blocking else "Isend"
+        w.line(f"    {cls}(dest=_d, nbytes=_nb, tag={tag!r})")
+        w.line("ev += 1")
+        self._fast_flush(w)
+        if blocking:
+            w.line(f"clock = yield (1, clock, _d, _nb, {tag!r})")
+        else:
+            w.line("_hid += 1")
+            w.line(f"{_mangle(stmt.handle_var)} = _hid")
+            w.line(f"clock = yield (3, clock, _d, _nb, {tag!r})")
+        w.line("hc = _st[4]")
+
+    def _emit_recv(self, w: "_Writer", stmt, mode: str, blocking: bool) -> None:
+        self._check_expr_reads(stmt.source, stmt.nbytes)
+        w.line(f"_s = int({_emit_expr(stmt.source)})")
+        w.line(f"_nb = int({_emit_expr(stmt.nbytes)})")
+        tag = int(stmt.tag)
+        if mode == "req":
+            if blocking:
+                w.line(f"yield Recv(source=_s, tag={tag!r}, nbytes_hint=_nb)")
+            else:
+                w.line(
+                    f"{_mangle(stmt.handle_var)} = "
+                    f"yield Irecv(source=_s, tag={tag!r}, nbytes_hint=_nb)"
+                )
+            return
+        w.line("if _s < 0 and _s != -1:")
+        cls = "Recv" if blocking else "Irecv"
+        w.line(f"    {cls}(source=_s, tag={tag!r}, nbytes_hint=_nb)")
+        w.line("ev += 1")
+        self._fast_flush(w)
+        if blocking:
+            w.line(f"clock = yield (2, clock, _s, {tag!r})")
+        else:
+            w.line("_hid += 1")
+            w.line(f"{_mangle(stmt.handle_var)} = _hid")
+            w.line(f"clock = yield (4, clock, _s, {tag!r})")
+        w.line("hc = _st[4]")
+
+    def _emit_wait(self, w: "_Writer", stmt: WaitAllStmt, mode: str) -> None:
+        names = ", ".join(_mangle(v) for v in stmt.handle_vars)
+        trail = "," if len(stmt.handle_vars) == 1 else ""
+        w.line(f"_hl = [_h for _h in ({names}{trail}) if _h is not _UNSET]")
+        w.line("if _hl:")
+        with w.indented():
+            if mode == "req":
+                w.line("yield Wait(handles=tuple(_hl))")
+            else:
+                w.line("ev += 1")
+                self._fast_flush(w)
+                w.line("clock = yield (5, clock, _hl)")
+                w.line("hc = _st[4]")
+        for v in stmt.handle_vars:
+            w.line(f"{_mangle(v)} = _UNSET")
+
+    def _emit_collective(self, w: "_Writer", stmt: CollectiveStmt, mode: str) -> None:
+        self._check_expr_reads(stmt.nbytes, stmt.root, stmt.contrib)
+        w.line(f"_nb = int({_emit_expr(stmt.nbytes)})")
+        w.line(f"_rt = int({_emit_expr(stmt.root)})")
+        if stmt.contrib is not None:
+            w.line(f"_cv = {_emit_expr(stmt.contrib)}")
+        else:
+            w.line("_cv = None")
+        kind = stmt.reduce_kind if stmt.op in ("reduce", "allreduce") else None
+        if mode == "req":
+            rfn = f"_R_{kind}" if kind is not None else "None"
+            w.line(
+                f"_res = yield Collective(op={stmt.op!r}, nbytes=_nb, root=_rt, "
+                f"data=_cv, reduce_fn={rfn})"
+            )
+            if stmt.result_var is not None:
+                w.line(f"{_mangle(stmt.result_var)} = _res.data")
+            return
+        w.line("if not (0 <= _nb < _INF) or _rt < 0:")
+        w.line(f"    Collective(op={stmt.op!r}, nbytes=_nb, root=_rt)")
+        w.line("ev += 1")
+        self._fast_flush(w)
+        w.line(f"_tmp = yield (6, clock, {stmt.op!r}, _nb, _rt, _cv, {kind!r})")
+        w.line("clock = _tmp[0]")
+        if stmt.result_var is not None:
+            w.line(f"{_mangle(stmt.result_var)} = _tmp[1]")
+        w.line("hc = _st[4]")
+
+    def _emit_read_params(self, w: "_Writer", stmt: ReadParams, mode: str, depth: int) -> None:
+        names = tuple(stmt.names)
+        w.line(f"_ms = [n for n in {names!r} if n not in _wp]")
+        w.line("if _ms:")
+        w.line(
+            '    raise InterpreterError(f"{PROGRAM}: parameter file lacks {_ms}; '
+            'run the timer-instrumented version first (Fig. 2 workflow)")'
+        )
+        nbytes = 8 * len(names)
+        w.line(f"_pl = {{n: _wp[n] for n in {names!r}}} if v_myid == 0 else None")
+        if mode == "req":
+            w.line(
+                f'_res = yield Collective(op="bcast", nbytes={nbytes!r}, root=0, data=_pl)'
+            )
+            w.line("_rd = _res.data")
+        else:
+            w.line("ev += 1")
+            self._fast_flush(w)
+            w.line(f'_tmp = yield (6, clock, "bcast", {nbytes!r}, 0, _pl, None)')
+            w.line("clock = _tmp[0]")
+            w.line("_rd = _tmp[1]")
+            w.line("hc = _st[4]")
+        for n in names:
+            w.line(f"{_mangle(n)} = _rd[{n!r}]")
+        if depth == 0:
+            for n in names:
+                if self._write_counts.get(n, 0) == 1:
+                    self._known[n] = "wparam"
+
+    def _emit_delay(self, w: "_Writer", stmt: DelayStmt, mode: str) -> None:
+        self._check_expr_reads(stmt.amount)
+        w.line(f"_a = {_emit_expr(stmt.amount)}")
+        if mode == "req":
+            w.line(f"yield Delay(seconds=max(float(_a), 0.0), task={stmt.task!r})")
+            return
+        w.line("_dy = max(float(_a), 0.0)")
+        w.line("if _dy < _INF:")
+        with w.indented():
+            w.line("clock += _dy")
+            w.line("ct += _dy")
+            w.line("hc += _DHC")
+            w.line("ev += 1")
+        w.line("else:")
+        w.line(f"    Delay(seconds=_dy, task={stmt.task!r})")
+
+    # -- loops and vectorization -------------------------------------------
+
+    def _emit_for(self, w: "_Writer", stmt: For, mode: str, depth: int) -> None:
+        self._check_expr_reads(stmt.lo, stmt.hi)
+        plan = self._vec_plan(stmt) if mode == "fast" else None
+        if plan is None:
+            w.line(
+                f"for {_mangle(stmt.var)} in "
+                f"range(int({_emit_expr(stmt.lo)}), int({_emit_expr(stmt.hi)}) + 1):"
+            )
+            with w.indented():
+                for s in stmt.body:
+                    self._emit_stmt(w, s, mode, depth + 1)
+            return
+        # Vectorizable delay loop: one NumPy wave per entry (and, when the
+        # site is fixed at program start, one 2-D batch across all ranks).
+        delay = stmt.body[0]
+        w.line(f"_lo = int({_emit_expr(stmt.lo)})")
+        w.line(f"_hi = int({_emit_expr(stmt.hi)})")
+        if plan.static_id is not None:
+            w.line(f"_dl = _wv.get({plan.static_id})")
+            w.line("if _dl is None:")
+            w.line(f"    _dl = {plan.helper}(_lo, _hi{plan.callargs})")
+        else:
+            w.line(f"_dl = {plan.helper}(_lo, _hi{plan.callargs})")
+        w.line("if _dl is not None:")
+        with w.indented():
+            w.line("for _dy in _dl:")
+            with w.indented():
+                w.line("if _dy < _INF:")
+                with w.indented():
+                    w.line("clock += _dy")
+                    w.line("ct += _dy")
+                    w.line("hc += _DHC")
+                    w.line("ev += 1")
+                w.line("else:")
+                w.line(f"    Delay(seconds=_dy, task={delay.task!r})")
+        w.line("else:")
+        with w.indented():
+            w.line(f"for {_mangle(stmt.var)} in range(_lo, _hi + 1):")
+            with w.indented():
+                self._emit_delay(w, delay, mode)
+
+    def _vec_plan(self, stmt: For) -> vectorize.SitePlan | None:
+        """Build (once) and return the wave plan for a delay-only loop."""
+        key = id(stmt)
+        if key in self._vec_plans:
+            return self._vec_plans[key]
+        plan = None
+        if (
+            len(stmt.body) == 1
+            and type(stmt.body[0]) is DelayStmt
+            and vectorize.batch_safe(stmt.body[0].amount)
+        ):
+            delay = stmt.body[0]
+            outer = sorted(
+                (delay.amount.free_vars() | stmt.lo.free_vars() | stmt.hi.free_vars())
+                - {stmt.var}
+            )
+            if all(n.isidentifier() for n in outer):
+                self._site_seq += 1
+                n = self._site_seq
+                helper = f"_vd{n}"
+                args = "".join(f", {_mangle(a)}" for a in outer)
+                body_np = vectorize.emit_numpy(delay.amount, stmt.var, set(outer))
+                self.helper_lines.append(f"def _vdf{n}(_np, _i{args}):")
+                self.helper_lines.append(f"    return {body_np}")
+                self.helper_lines.append(f"def {helper}(_lo, _hi{args}):")
+                argtuple = ", ".join(_mangle(a) for a in outer)
+                if outer:
+                    argtuple += ","
+                self.helper_lines.append(
+                    f"    return _vec.delay_wave(_lo, _hi, ({argtuple}), _vdf{n})"
+                )
+                self.helper_lines.append("")
+                static_id = self._maybe_static_site(n, stmt, delay, outer)
+                plan = vectorize.SitePlan(helper=helper, callargs=args, static_id=static_id)
+                self.vector_site_count += 1
+        self._vec_plans[key] = plan
+        return plan
+
+    def _static_sources(self, names) -> list[tuple[str, str]] | None:
+        """Resolve *names* to fixed-at-start sources, or None if any varies."""
+        out = []
+        for n in sorted(names):
+            if n == "myid" or n == "P":
+                out.append((n, "builtin"))
+                continue
+            src = self._known.get(n)
+            if src is None or self._write_counts.get(n, 0) > 1:
+                return None
+            if src == "derived":
+                return None  # conservatively skip derived chains in waves
+            out.append((n, src))
+        return out
+
+    def _maybe_static_site(self, n: int, stmt: For, delay: DelayStmt, outer) -> int | None:
+        """Emit a STATIC_SITES entry if the whole site is fixed at start.
+
+        Bounds must not depend on ``myid`` (rows would go ragged); the
+        amount may (that is the SPMD cross-rank axis).
+        """
+        bound_vars = (stmt.lo.free_vars() | stmt.hi.free_vars()) - {stmt.var}
+        if "myid" in bound_vars:
+            return None
+        srcs = self._static_sources(set(outer))
+        if srcs is None:
+            return None
+        if not (vectorize.batch_safe(stmt.lo) and vectorize.batch_safe(stmt.hi)):
+            return None
+        # ``myid`` is the cross-rank axis (a column vector at precompute
+        # time); everything else arrives as a scalar argument.
+        args = [(a, s) for a, s in srcs if a != "myid"]
+        arg_list = ", ".join(_mangle(a) for a, _ in args)
+        prefix = f", {arg_list}" if arg_list else ""
+        names = {a for a, _ in srcs}
+        lo_np = vectorize.emit_numpy(stmt.lo, None, names)
+        hi_np = vectorize.emit_numpy(stmt.hi, None, names)
+        body_np = vectorize.emit_numpy(delay.amount, stmt.var, names)
+        self.helper_lines.append(f"def _sl{n}(_np{prefix}):")
+        self.helper_lines.append(f"    return {lo_np}")
+        self.helper_lines.append(f"def _sh{n}(_np{prefix}):")
+        self.helper_lines.append(f"    return {hi_np}")
+        self.helper_lines.append(f"def _sb{n}(_np, _i, v_myid{prefix}):")
+        self.helper_lines.append(f"    return {body_np}")
+        self.helper_lines.append("")
+        spec = tuple(args)
+        self.static_sites.append(f"({n}, _sl{n}, _sh{n}, _sb{n}, {spec!r})")
+        return n
+
+
+class _Writer:
+    def __init__(self):
+        self.lines: list[str] = []
+        self._depth = 1
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self._depth + text)
+
+    def indented(self):
+        return _Indent(self)
+
+
+class _Indent:
+    def __init__(self, writer: _Writer):
+        self.w = writer
+
+    def __enter__(self):
+        self.w._depth += 1
+        return self.w
+
+    def __exit__(self, *exc):
+        self.w._depth -= 1
+        return False

@@ -1,0 +1,267 @@
+"""NumPy batch evaluation of AM ``delay()`` amounts for the compiled backend.
+
+A delay-only loop whose amount uses batch-safe arithmetic is evaluated
+as one NumPy wave per loop entry instead of once per iteration; when the
+loop bounds and every free variable are fixed at program start, the wave
+is precomputed for **all ranks in a single 2-D batch** (rank × iteration)
+before the run begins — the SPMD case the paper's AM mode targets.
+
+Byte-identity discipline
+------------------------
+
+The scalar interpreter evaluates amounts with Python numbers; Python
+keeps integer subexpressions exact while float64 rounds every operation.
+The two agree exactly as long as every integer-valued intermediate stays
+below 2**53, so:
+
+* :func:`batch_safe` statically bounds every integer-pure subexpression
+  assuming variables stay within ``±2**16``, and admits only operators
+  whose scalar and NumPy forms round identically (``+ * / min max``);
+* :func:`delay_wave` re-checks those magnitude assumptions against the
+  live argument values at run time and returns ``None`` — sending the
+  caller down the scalar loop — whenever they do not hold.
+
+Float arguments only need to be finite (IEEE ops are correctly rounded
+identically on both paths); NaN propagation through ``min``/``max``
+differs between Python and NumPy, which is why non-finite values bail.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as _np
+
+from ..symbolic.expr import Add, Const, Div, Expr, Max, Min, Mul, Var
+
+__all__ = [
+    "SitePlan",
+    "batch_safe",
+    "emit_numpy",
+    "delay_wave",
+    "static_waves",
+    "wave_stats",
+    "reset_wave_stats",
+]
+
+# Magnitude cap assumed for every variable in the static bound analysis
+# and re-checked against live integer arguments before batching.
+_VAR_LIMIT = 65536
+# Largest integer float64 represents exactly (2**53); any integer-pure
+# subexpression that could reach it disqualifies the site.
+_EXACT = 9007199254740992.0
+
+_STATS = {"waves": 0, "vector_delays": 0, "static_batches": 0}
+
+
+def wave_stats() -> dict:
+    return dict(_STATS)
+
+
+def reset_wave_stats() -> None:
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+@dataclass(frozen=True)
+class SitePlan:
+    """How one delay loop vectorizes (emitted by the lowering pass)."""
+
+    helper: str  # generated wave-helper name, e.g. "_vd3"
+    callargs: str  # ", v_a, v_b" — outer-scope argument snippet
+    static_id: int | None  # STATIC_SITES id when precomputable per run
+
+
+class _Unsafe(Exception):
+    pass
+
+
+def _int_bound(e: Expr):
+    """Max |value| of *e* when integer-typed, or None when float-typed.
+
+    Raises :class:`_Unsafe` for non-batchable operators, non-finite
+    constants, or integer subexpressions that could leave float64's
+    exact range under the ``±2**16`` variable assumption.
+    """
+    ty = type(e)
+    if ty is Const:
+        v = e.value
+        if isinstance(v, float):
+            if not math.isfinite(v):
+                raise _Unsafe
+            return None
+        if abs(v) >= _EXACT:
+            raise _Unsafe
+        return float(abs(v))
+    if ty is Var:
+        return float(_VAR_LIMIT)
+    if ty is Add:
+        bounds = [_int_bound(t) for t in e.args]
+        if any(b is None for b in bounds):
+            return None
+        total = sum(bounds)
+        if total >= _EXACT:
+            raise _Unsafe
+        return total
+    if ty is Mul:
+        bounds = [_int_bound(t) for t in e.args]
+        if any(b is None for b in bounds):
+            return None
+        prod = 1.0
+        for b in bounds:
+            prod *= b
+        if prod >= _EXACT:
+            raise _Unsafe
+        return prod
+    if ty is Max or ty is Min:  # Max subclasses Min; same bound either way
+        bounds = [_int_bound(t) for t in e.args]
+        if any(b is None for b in bounds):
+            return None
+        return max(bounds)
+    if ty is Div:
+        _int_bound(e.a)
+        _int_bound(e.b)
+        return None  # true division is float-typed
+    raise _Unsafe
+
+
+def batch_safe(e: Expr) -> bool:
+    """True when *e* evaluates identically via NumPy and the scalar path."""
+    try:
+        _int_bound(e)
+    except _Unsafe:
+        return False
+    return True
+
+
+def emit_numpy(e: Expr, loopvar: str | None, argnames: set) -> str:
+    """Emit *e* as NumPy source over ``_np``, ``_i`` and ``v_<name>`` args."""
+    ty = type(e)
+    if ty is Const:
+        return f"({e.value!r})"
+    if ty is Var:
+        if loopvar is not None and e.name == loopvar:
+            return "_i"
+        if e.name == "myid":
+            return "v_myid"
+        if e.name not in argnames:
+            raise RuntimeError(f"emit_numpy: unbound variable {e.name!r}")
+        return f"v_{e.name}"
+    if ty is Add:
+        return "(" + " + ".join(emit_numpy(t, loopvar, argnames) for t in e.args) + ")"
+    if ty is Mul:
+        return "(" + " * ".join(emit_numpy(t, loopvar, argnames) for t in e.args) + ")"
+    if ty is Max:
+        return _fold("_np.maximum", [emit_numpy(t, loopvar, argnames) for t in e.args])
+    if ty is Min:
+        return _fold("_np.minimum", [emit_numpy(t, loopvar, argnames) for t in e.args])
+    if ty is Div:
+        num = emit_numpy(e.a, loopvar, argnames)
+        den = emit_numpy(e.b, loopvar, argnames)
+        return f"({num} / {den})"
+    raise RuntimeError(f"emit_numpy: node {ty.__name__} is not batch-safe")
+
+
+def _fold(fn: str, parts: list[str]) -> str:
+    # Python's max(a, b, c) folds left; mirror it pairwise.
+    out = parts[0]
+    for p in parts[1:]:
+        out = f"{fn}({out}, {p})"
+    return out
+
+
+def _arg_ok(value) -> bool:
+    if isinstance(value, int):  # bool included, exact either way
+        return -_VAR_LIMIT <= value <= _VAR_LIMIT
+    if isinstance(value, float):
+        return math.isfinite(value)
+    return False
+
+
+def delay_wave(lo: int, hi: int, args: tuple, fn):
+    """Evaluate one delay loop's amounts as a single NumPy batch.
+
+    Returns a list of Python floats (already clamped at zero like the
+    interpreter's ``max(float(a), 0.0)``) or ``None`` when the live
+    arguments violate the exactness guard — the generated caller then
+    falls back to its scalar loop.
+    """
+    if not (-_VAR_LIMIT <= lo <= _VAR_LIMIT and -_VAR_LIMIT <= hi <= _VAR_LIMIT):
+        return None
+    for a in args:
+        if not _arg_ok(a):
+            return None
+    n = hi - lo + 1
+    if n <= 0:
+        return []
+    ivec = _np.arange(lo, hi + 1, dtype=_np.float64)
+    out = fn(_np, ivec, *args)
+    if not isinstance(out, _np.ndarray):  # amount free of the loop variable
+        out = _np.full(n, float(out))
+    out = _np.maximum(out, 0.0)
+    _STATS["waves"] += 1
+    _STATS["vector_delays"] += n
+    return out.tolist()
+
+
+def static_waves(nprocs: int, inputs: dict, wparams, sites) -> dict:
+    """Precompute per-rank delay rows for every fixed-at-start site.
+
+    Returns ``{site_id: [row_for_rank_0, row_for_rank_1, ...]}``; sites
+    whose live values fail the exactness guard are simply omitted (the
+    generated code then computes its own per-rank wave, or runs scalar).
+    """
+    waves: dict[int, list] = {}
+    if not -_VAR_LIMIT <= nprocs <= _VAR_LIMIT:
+        return waves
+    for sid, lo_fn, hi_fn, body_fn, spec in sites:
+        vals = []
+        ok = True
+        for name, src in spec:
+            if src == "input":
+                if name not in inputs:
+                    ok = False
+                    break
+                v = inputs[name]
+            elif src == "wparam":
+                if not wparams or name not in wparams:
+                    ok = False
+                    break
+                v = wparams[name]
+            elif src == "builtin":  # only P reaches here
+                v = nprocs
+            else:
+                ok = False
+                break
+            if not _arg_ok(v):
+                ok = False
+                break
+            vals.append(v)
+        if not ok:
+            continue
+        try:
+            lo = int(lo_fn(_np, *vals))
+            hi = int(hi_fn(_np, *vals))
+        except Exception:
+            continue
+        if not (-_VAR_LIMIT <= lo <= _VAR_LIMIT and -_VAR_LIMIT <= hi <= _VAR_LIMIT):
+            continue
+        n = hi - lo + 1
+        if n <= 0:
+            waves[sid] = [[] for _ in range(nprocs)]
+            _STATS["static_batches"] += 1
+            continue
+        ivec = _np.arange(lo, hi + 1, dtype=_np.float64)[None, :]
+        myid = _np.arange(nprocs, dtype=_np.float64)[:, None]
+        try:
+            out = body_fn(_np, ivec, myid, *vals)
+        except Exception:
+            continue
+        out = _np.maximum(_np.asarray(out, dtype=_np.float64), 0.0)
+        full = _np.broadcast_to(out, (nprocs, n))
+        waves[sid] = [row.tolist() for row in full]
+        _STATS["static_batches"] += 1
+        _STATS["waves"] += 1
+        _STATS["vector_delays"] += nprocs * n
+    return waves

@@ -75,7 +75,13 @@ def measure_wparams(
         collector = MeasurementCollector()
         profile = BranchProfile()
         factory = make_factory(instrumented, inputs, collector=collector, profile=profile)
-        result = Simulator(nprocs, factory, machine, mode=ExecMode.MEASURED, seed=seed).run()
+        # calibration is pinned interpreted: the timer-instrumented run
+        # feeds a MeasurementCollector, which can never lower — a global
+        # REPRO_BACKEND=compiled must not abort ground-truth measurement
+        result = Simulator(
+            nprocs, factory, machine, mode=ExecMode.MEASURED, seed=seed,
+            backend="interpreted",
+        ).run()
         span.set_virtual(0.0, result.elapsed)
         span.set(wparams=len(collector.params()))
     return Calibration(

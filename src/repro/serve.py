@@ -195,13 +195,17 @@ class SimulationService:
     def __init__(self, store: ResultStore, *, jobs: int = 1,
                  governor: TenantGovernor | None = None,
                  resolver=None, default_machine: str = "IBM-SP",
-                 default_calib_procs: int | None = 2):
+                 default_calib_procs: int | None = 2,
+                 backend: str | None = None):
         self.store = store
         self.jobs = jobs
         self.governor = governor
         self.resolver = resolver
         self.default_machine = default_machine
         self.default_calib_procs = default_calib_procs
+        # execution policy, not identity: backend never feeds the
+        # context hash — stored results are byte-identical either way
+        self.backend = backend
         self._exec_lock = threading.Lock()
         self.requests = 0
         self.executed_runs = 0
@@ -289,6 +293,7 @@ class SimulationService:
             request,
             calib_from_spec=True,  # purity: calibrate from each run's own spec
             warm_dir=str(self.store.warm_dir),
+            backend=self.backend,
         )
         batch.specs = list(missing)
         workdir = self.store.work_dir / f"batch-{uuid.uuid4().hex[:12]}"
@@ -533,7 +538,7 @@ async def _serve_async(server: ReproServer, ready=None) -> int:
 def run_server(store_dir: str | Path, *, host: str = "127.0.0.1",
                port: int = 8642, jobs: int = 1, max_bytes: int | None = None,
                max_inflight: int = 4, events_per_second: float | None = None,
-               resolver=None, ready=None) -> int:
+               resolver=None, ready=None, backend: str | None = None) -> int:
     """Blocking entry point: serve until SIGTERM/SIGINT, then exit 0.
 
     *ready*, when given, is called with the started :class:`ReproServer`
@@ -543,7 +548,7 @@ def run_server(store_dir: str | Path, *, host: str = "127.0.0.1",
     governor = TenantGovernor(
         max_inflight=max_inflight, events_per_second=events_per_second)
     service = SimulationService(
-        store, jobs=jobs, governor=governor, resolver=resolver)
+        store, jobs=jobs, governor=governor, resolver=resolver, backend=backend)
     server = ReproServer(service, host=host, port=port)
     return asyncio.run(_serve_async(server, ready=ready))
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 import enum
 import json
 import math
+import os
 from heapq import heappop, heappush
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
@@ -229,6 +230,13 @@ class Simulator:
         a run exceeds raises :class:`BudgetExceededError` carrying the
         partial :class:`SimStats`, so a livelocked or pathological
         configuration terminates cleanly instead of hanging the caller.
+    backend:
+        ``"interpreted"`` (default) walks the IR per rank per run;
+        ``"compiled"`` lowers the program once via :mod:`repro.kernel`
+        and errors if it cannot; ``"auto"`` tries the compiled backend
+        and falls back per-program with a logged reason.  ``None`` reads
+        ``REPRO_BACKEND`` from the environment.  Results are
+        byte-identical across backends.
     """
 
     def __init__(
@@ -245,6 +253,7 @@ class Simulator:
         max_events: int | None = None,
         max_virtual_time: float | None = None,
         max_wall_seconds: float | None = None,
+        backend: str | None = None,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
@@ -299,6 +308,19 @@ class Simulator:
         self._net_det = self.net._sigma == 0.0
         self._net_flat = machine.net.per_hop == 0.0
 
+        if backend is None:
+            backend = os.environ.get("REPRO_BACKEND") or "interpreted"
+        if backend not in ("interpreted", "compiled", "auto"):
+            raise ValueError(
+                f"backend must be 'interpreted', 'compiled' or 'auto', got {backend!r}"
+            )
+        self._kernel = None
+        self._kernel_args: tuple = ((), ())
+        self.backend = "interpreted"
+        self.backend_fallback_reason: str | None = None
+        if backend != "interpreted":
+            program_factory = self._resolve_backend(program_factory, backend)
+
         self._procs = [_Proc(r, program_factory(r, nprocs)) for r in range(nprocs)]
         self._queues = [MatchQueues() for _ in range(nprocs)]
         self._heap: list[tuple[float, int, int, object]] = []
@@ -306,6 +328,46 @@ class Simulator:
         self._colls: dict = {}  # (group, call index) -> _CollState
         self._coll_trace_ids = 0
         self._ran = False
+
+    def _resolve_backend(self, program_factory, requested: str):
+        """Try to swap *program_factory* for its compiled equivalent.
+
+        Returns the factory to use.  ``requested`` is ``"compiled"``
+        (failure raises) or ``"auto"`` (failure logs and falls back).
+        """
+        from ..kernel import lower as _lower
+
+        program = getattr(program_factory, "_repro_program", None)
+        reason = None
+        if program is None:
+            reason = "factory is not an IR program factory (raw generator function)"
+        elif getattr(program_factory, "_repro_collector", None) is not None:
+            reason = "a MeasurementCollector is attached (timer-instrumented run)"
+        elif getattr(program_factory, "_repro_profile", None) is not None:
+            reason = "a BranchProfile is attached (branch-profiling run)"
+        kernel = None
+        if reason is None:
+            try:
+                kernel = _lower.kernel_for(program)
+            except _lower.UnsupportedConstructError as exc:
+                reason = str(exc)
+        if kernel is None:
+            if requested == "compiled":
+                raise ValueError(
+                    f"backend='compiled' cannot run this program: {reason}"
+                )
+            _lower.record_fallback(
+                program.name if program is not None else "<raw factory>", reason
+            )
+            self.backend_fallback_reason = reason
+            return program_factory
+        inputs = program_factory._repro_inputs
+        wparams = program_factory._repro_wparams or {}
+        self._kernel = kernel
+        self._kernel_args = (inputs, wparams)
+        self.backend = "compiled"
+        request_gen = kernel.request_gen
+        return lambda rank, size: request_gen(rank, size, inputs, wparams)
 
     # -- public API ----------------------------------------------------------
     def run(self) -> SimResult:
@@ -329,6 +391,22 @@ class Simulator:
         # anywhere — not even no-op span objects or ring-buffer appends
         if not (TRACER.enabled or METRICS.enabled or FLIGHT.enabled
                 or HEARTBEAT.enabled or CHECKPOINT.enabled):
+            if (
+                self._kernel is not None
+                and self._fault_state is None
+                and self._default_timeout is None
+                and self._budget is None
+                and self.trace is None
+                and self.mode is not ExecMode.MEASURED
+            ):
+                # flat compiled path: no engine feature in play, so the
+                # bucket-queue runtime can drive the fast generators
+                if self._ran:
+                    raise RuntimeError("a Simulator instance is single-use; build a new one")
+                self._ran = True
+                from ..kernel.runtime import run_fast
+
+                return run_fast(self)
             return self._run()
         with TRACER.span("sim.run", mode=self.mode.value, nprocs=self.nprocs) as span:
             result = self._run()
@@ -371,6 +449,11 @@ class Simulator:
                     budget=self._budget_snapshot(),
                     error=report.summary(),
                 )
+            for proc in blocked:
+                try:
+                    proc.gen.close()
+                except Exception:
+                    pass  # a raising close() must not mask the deadlock itself
             raise exc
         if self._fault_state is None and self._timeouts_fired == 0:
             leftover = [r for r, q in enumerate(self._queues) if q.messages]

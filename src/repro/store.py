@@ -35,6 +35,13 @@ that function's graph:
     tuple :meth:`repro.workflow.pipeline.ModelingWorkflow.prime`
     demands the caller vouch for.
 
+``<base>/warm/kernel-<fingerprint>.json``
+    warm-start compiled kernels — the generated per-program module
+    source emitted by :mod:`repro.kernel.lower`, content-addressed by
+    the program IR fingerprint.  A warm load skips lowering entirely
+    (``repro serve`` and campaign ``--resume`` reuse these); like
+    calibrations they are tiny and never evicted.
+
 ``<base>/work/``
     scratch directories for in-flight server batches (not managed
     here; the server creates and removes them).
@@ -65,6 +72,8 @@ __all__ = [
     "warm_calibration_key",
     "save_warm_calibration",
     "load_warm_calibration",
+    "save_warm_kernel",
+    "load_warm_kernel",
     "STORE_DIR_NAME",
     "WARM_DIR_NAME",
     "WORK_DIR_NAME",
@@ -282,7 +291,10 @@ class ResultStore:
                 "bytes": self._bytes,
                 "max_bytes": self.max_bytes,
                 "contexts": len({rel.split("/", 1)[0] for rel in self._entries}),
-                "warm_calibrations": sum(1 for _ in self.warm_dir.glob("*.json")),
+                "warm_calibrations": sum(
+                    1 for p in self.warm_dir.glob("*.json")
+                    if not p.name.startswith("kernel-")),
+                "warm_kernels": sum(1 for _ in self.warm_dir.glob("kernel-*.json")),
             }
             out.update(self.counters.to_dict())
             return out
@@ -339,7 +351,10 @@ def scan_store(base_dir: str | Path) -> dict | None:
         "entries": entries,
         "bytes": nbytes,
         "contexts": len(contexts),
-        "warm_calibrations": sum(1 for _ in warm.glob("*.json")) if warm.is_dir() else 0,
+        "warm_calibrations": sum(
+            1 for p in warm.glob("*.json")
+            if not p.name.startswith("kernel-")) if warm.is_dir() else 0,
+        "warm_kernels": sum(1 for _ in warm.glob("kernel-*.json")) if warm.is_dir() else 0,
         **stats.to_dict(),
     }
 
@@ -435,3 +450,52 @@ def load_warm_calibration(
     except (KeyError, TypeError, ValueError) as exc:
         _log.warning("malformed warm calibration %s: %s", path, exc)
         return None
+
+
+# -- warm-start compiled kernels --------------------------------------------
+
+def save_warm_kernel(
+    warm_dir: str | Path, *, program: str, fingerprint: str, source: str
+) -> Path:
+    """Atomically persist one generated kernel module's source.
+
+    Keyed purely by the program IR *fingerprint*: the generated module
+    is a deterministic function of the IR, so concurrent savers write
+    identical bytes and the last rename winning is harmless.
+    """
+    warm = Path(warm_dir)
+    warm.mkdir(parents=True, exist_ok=True)
+    path = warm / f"kernel-{fingerprint}.json"
+    doc = {
+        "schema_version": 1,
+        "kind": "warm-kernel",
+        "program": program,
+        "fingerprint": fingerprint,
+        "source": source,
+    }
+    with atomic_write(path) as fh:
+        fh.write(canonical_json(doc))
+    return path
+
+
+def load_warm_kernel(warm_dir: str | Path, fingerprint: str) -> str | None:
+    """Load a stored kernel module's source, or ``None`` when absent.
+
+    Returns the raw source text; callers hand it to
+    :func:`repro.kernel.load_kernel_source`, which re-validates the
+    embedded ``FINGERPRINT``/entry points — a corrupt entry degrades to
+    a cold re-lower, never a wrong kernel.
+    """
+    path = Path(warm_dir) / f"kernel-{fingerprint}.json"
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError) as exc:
+        _log.warning("unusable warm kernel %s: %s", path, exc)
+        return None
+    source = doc.get("source")
+    if doc.get("fingerprint") != fingerprint or not isinstance(source, str):
+        _log.warning("warm kernel %s does not match its key; ignoring", path)
+        return None
+    return source

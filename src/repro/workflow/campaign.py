@@ -173,6 +173,11 @@ class CampaignConfig:
     # cache.  Like the supervision knobs these never feed config_hash.
     calib_from_spec: bool = False
     warm_dir: str | None = None
+    # -- kernel backend ("interpreted" | "compiled" | "auto"; None =
+    # Simulator's default).  Execution policy, deliberately excluded
+    # from config_hash: results are byte-identical across backends, so
+    # a journal written interpreted resumes compiled and vice versa.
+    backend: str | None = None
 
     @property
     def config_hash(self) -> str:
@@ -203,8 +208,8 @@ class CampaignConfig:
 
         *policy* takes the execution-side knobs (``supervise``,
         ``heartbeat_timeout``, ``poison_threshold``,
-        ``checkpoint_interval``, ``calib_from_spec``, ``warm_dir``) —
-        everything result-shaping comes from *request*.
+        ``checkpoint_interval``, ``calib_from_spec``, ``warm_dir``,
+        ``backend``) — everything result-shaping comes from *request*.
         """
         return cls(
             name=request.name,
@@ -517,6 +522,13 @@ class CampaignRunner:
         self._workflows: dict[tuple, ModelingWorkflow] = {}
         self._warm_pending: dict[tuple, tuple[str, str]] = {}
         self._stop_signal: int | None = None
+        # compiled-backend warm start: point the kernel cache at the
+        # store's warm/ directory so lowering is skipped for programs
+        # any earlier process (or a resumed campaign) already compiled
+        if config.warm_dir and config.backend in ("compiled", "auto"):
+            from ..kernel import set_warm_dir
+
+            set_warm_dir(config.warm_dir)
 
     @property
     def journal_path(self) -> Path:
@@ -1065,6 +1077,7 @@ class CampaignRunner:
             wf = ModelingWorkflow(
                 program, get_machine(self.config.machine),
                 calib_inputs=calib, calib_nprocs=calib_procs, seed=spec.seed,
+                backend=self.config.backend,
             )
             if self.config.warm_dir:
                 self._try_warm_start(key, wf, spec.app)
@@ -1163,6 +1176,7 @@ def execute_request(
     retry_policy: str | None = None,
     resolver=None,
     warm_dir: str | None = None,
+    backend: str | None = None,
 ) -> RunRecord:
     """Execute one :class:`repro.api.RunRequest` inline, no journal.
 
@@ -1186,6 +1200,7 @@ def execute_request(
         retry_policy=retry_policy,
         calib_from_spec=True,
         warm_dir=warm_dir,
+        backend=backend,
     )
     runner = CampaignRunner(config, out_dir=os.devnull, resolver=resolver)
     return runner.run_one(request, 0)

@@ -81,6 +81,7 @@ class WorkflowSpec:
     calib_nprocs: int
     overrides: tuple[tuple[str, float], ...] = ()
     seed: int = 0
+    backend: str | None = None  # simulation kernel; results identical either way
 
     def build(self):
         from ..cli import APPS
@@ -96,6 +97,7 @@ class WorkflowSpec:
         return ModelingWorkflow(
             builder(), get_machine(self.machine),
             calib_inputs=calib, calib_nprocs=self.calib_nprocs, seed=self.seed,
+            backend=self.backend,
         )
 
 

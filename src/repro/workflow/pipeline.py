@@ -39,6 +39,10 @@ class ModelingWorkflow:
     calib_nprocs: int
     directives: dict[int, float] | None = None
     seed: int = 0
+    #: simulation kernel for the estimators: "interpreted", "compiled" or
+    #: "auto" (None = Simulator's default).  Results are byte-identical
+    #: across backends; this only picks the execution strategy.
+    backend: str | None = None
 
     def __post_init__(self):
         self._calibration: Calibration | None = None
@@ -98,6 +102,7 @@ class ModelingWorkflow:
         self, inputs: dict[str, float], nprocs: int, seed: int | None = None, **kw
     ) -> SimResult:
         """Ground truth: the application on the (modelled) real machine."""
+        kw.setdefault("backend", self.backend)
         factory = make_factory(self.program, inputs)
         with TRACER.span("workflow.simulate", mode="measured", nprocs=nprocs) as sp:
             result = Simulator(
@@ -109,6 +114,7 @@ class ModelingWorkflow:
 
     def run_de(self, inputs: dict[str, float], nprocs: int, **kw) -> SimResult:
         """MPI-SIM-DE: direct execution + nominal communication model."""
+        kw.setdefault("backend", self.backend)
         factory = make_factory(self.program, inputs)
         with TRACER.span("workflow.simulate", mode="de", nprocs=nprocs) as sp:
             result = Simulator(nprocs, factory, self.machine, mode=ExecMode.DE, **kw).run()
@@ -117,6 +123,7 @@ class ModelingWorkflow:
 
     def run_am(self, inputs: dict[str, float], nprocs: int, **kw) -> SimResult:
         """MPI-SIM-AM: the simplified program with calibrated w_i."""
+        kw.setdefault("backend", self.backend)
         factory = make_factory(self.compiled.simplified, inputs, wparams=self.wparams)
         with TRACER.span("workflow.simulate", mode="am", nprocs=nprocs) as sp:
             result = Simulator(nprocs, factory, self.machine, mode=ExecMode.AM, **kw).run()
@@ -146,6 +153,7 @@ class ModelingWorkflow:
         :class:`repro.sim.DeadlockReport` when injected faults stall the
         application.
         """
+        kw.setdefault("backend", self.backend)
         if mode is ExecMode.AM:
             factory = make_factory(self.compiled.simplified, inputs, wparams=self.wparams)
         else:

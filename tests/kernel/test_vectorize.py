@@ -1,0 +1,103 @@
+"""Unit coverage for the NumPy delay-wave helpers.
+
+Identity at the simulator level is covered by ``test_backend.py``; these
+pin the guard conditions that route a site to (or away from) the batch
+path, since a wrong routing decision silently degrades to the scalar
+loop — correct but slow — or worse, batches something inexact.
+"""
+
+import pytest
+
+from repro.kernel import vectorize
+from repro.symbolic import Var
+from repro.symbolic.expr import Const, FloorDiv
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    vectorize.reset_wave_stats()
+    yield
+    vectorize.reset_wave_stats()
+
+
+class TestBatchSafe:
+    def test_simple_affine_ok(self):
+        assert vectorize.batch_safe(Var("i") * 3 + 1)
+
+    def test_division_ok(self):
+        assert vectorize.batch_safe(Var("n") / Const(7))
+
+    def test_min_max_ok(self):
+        from repro.symbolic.expr import Max, Min
+
+        assert vectorize.batch_safe(Max((Var("a"), Var("b"))))
+        assert vectorize.batch_safe(Min((Var("a"), Const(2))))
+
+    def test_overflowing_product_rejected(self):
+        # (2^16)^4 blows past float64's exact-integer range
+        e = Var("a") * Var("b") * Var("c") * Var("d")
+        assert not vectorize.batch_safe(e)
+
+    def test_unsupported_operator_rejected(self):
+        assert not vectorize.batch_safe(FloorDiv(Var("a"), Const(2)))
+
+    def test_nonfinite_constant_rejected(self):
+        assert not vectorize.batch_safe(Const(float("inf")) + Var("a"))
+
+
+class TestDelayWave:
+    def test_matches_scalar_loop_exactly(self):
+        fn = lambda _np, _i, v_k: _i * 0.25 + v_k  # noqa: E731
+        out = vectorize.delay_wave(1, 100, (3,), fn)
+        expected = [max(float(i * 0.25 + 3), 0.0) for i in range(1, 101)]
+        assert out == expected
+        stats = vectorize.wave_stats()
+        assert stats["waves"] == 1
+        assert stats["vector_delays"] == 100
+
+    def test_clamps_negative_amounts(self):
+        fn = lambda _np, _i: _i - 5.0  # noqa: E731
+        out = vectorize.delay_wave(1, 10, (), fn)
+        assert out[:4] == [0.0, 0.0, 0.0, 0.0]
+
+    def test_loop_invariant_amount_broadcast(self):
+        fn = lambda _np, _i, v_w: v_w * 2.0  # noqa: E731
+        assert vectorize.delay_wave(1, 4, (0.5,), fn) == [1.0, 1.0, 1.0, 1.0]
+
+    def test_empty_range(self):
+        assert vectorize.delay_wave(5, 4, (), lambda _np, _i: _i) == []
+
+    def test_out_of_range_args_bail_to_scalar(self):
+        fn = lambda _np, _i, v_k: _i + v_k  # noqa: E731
+        assert vectorize.delay_wave(1, 10, (1 << 20,), fn) is None
+        assert vectorize.delay_wave(1, 10, (float("nan"),), fn) is None
+        assert vectorize.delay_wave(1, 1 << 20, (), lambda _np, _i: _i) is None
+        assert vectorize.wave_stats()["waves"] == 0
+
+
+class TestStaticWaves:
+    def _site(self, sid=0):
+        # lo=1, hi=input n, amount = i * w  (rank-independent)
+        return (
+            sid,
+            lambda _np, v_n, v_w: 1,
+            lambda _np, v_n, v_w: v_n,
+            lambda _np, _i, _myid, v_n, v_w: _i * v_w,
+            (("n", "input"), ("w", "wparam")),
+        )
+
+    def test_precomputes_rows_for_all_ranks(self):
+        waves = vectorize.static_waves(3, {"n": 4}, {"w": 0.5}, [self._site()])
+        assert list(waves) == [0]
+        assert waves[0] == [[0.5, 1.0, 1.5, 2.0]] * 3
+        stats = vectorize.wave_stats()
+        assert stats["static_batches"] == 1
+        assert stats["vector_delays"] == 12
+
+    def test_missing_input_omits_site(self):
+        waves = vectorize.static_waves(3, {}, {"w": 0.5}, [self._site()])
+        assert waves == {}
+
+    def test_unsafe_value_omits_site(self):
+        waves = vectorize.static_waves(3, {"n": 1 << 20}, {"w": 0.5}, [self._site()])
+        assert waves == {}
